@@ -1,0 +1,169 @@
+//! Defense ablation (extension beyond the paper): how much of PIPA's
+//! degradation do deployment-side mitigations remove?
+//!
+//! Compares, on the same victims and seeds:
+//! * no defense (the paper's setting);
+//! * a retraining canary with 2% / 10% tolerances (roll back deployments
+//!   that regress a held-out canary workload);
+//! * provenance screening of the training set before retraining.
+//!
+//! ```text
+//! cargo run --release -p pipa-bench --bin ablation_defense -- --runs 5
+//! ```
+
+use pipa_bench::cli::ExpArgs;
+use pipa_core::defense::{stress_with_canary, ProvenanceFilter};
+use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
+use pipa_core::metrics::{absolute_degradation, Stats};
+use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    advisor: String,
+    defense: String,
+    mean_ad: f64,
+    rolled_back_or_dropped: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(5);
+    let cfg = args.cell_config();
+    let db = build_db(&cfg);
+    let victims = [
+        AdvisorKind::Dqn(TrajectoryMode::Best),
+        AdvisorKind::DbaBandit(TrajectoryMode::Best),
+        AdvisorKind::Swirl,
+    ];
+
+    println!(
+        "Defense ablation — PIPA vs mitigations on {} ({} runs)",
+        args.benchmark.name(),
+        args.runs
+    );
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for victim in victims {
+        // No defense.
+        let mut ads = Vec::new();
+        for run in 0..args.runs as u64 {
+            let seed = args.seed + run;
+            let normal = normal_workload(&cfg, seed);
+            let out = pipa_core::experiment::run_cell(
+                &db,
+                &normal,
+                victim,
+                InjectorKind::Pipa,
+                &cfg,
+                seed,
+            );
+            ads.push(out.ad);
+        }
+        let s = Stats::from_samples(&ads);
+        rows.push(vec![
+            victim.label(),
+            "none".to_string(),
+            format!("{:+.3}", s.mean),
+            "-".to_string(),
+        ]);
+        payload.push(Row {
+            advisor: victim.label(),
+            defense: "none".to_string(),
+            mean_ad: s.mean,
+            rolled_back_or_dropped: 0.0,
+        });
+
+        // Canary guard at two tolerances.
+        for tol in [0.02, 0.10] {
+            let mut ads = Vec::new();
+            let mut rollbacks = 0usize;
+            for run in 0..args.runs as u64 {
+                let seed = args.seed + run;
+                let normal = normal_workload(&cfg, seed);
+                let mut advisor = build_clear_box(victim, cfg.preset, seed);
+                let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
+                let (ad, rolled_back) = stress_with_canary(
+                    advisor.as_mut(),
+                    injector.as_mut(),
+                    &db,
+                    &normal,
+                    cfg.injection_size,
+                    tol,
+                    seed,
+                );
+                ads.push(ad);
+                rollbacks += usize::from(rolled_back);
+            }
+            let s = Stats::from_samples(&ads);
+            rows.push(vec![
+                victim.label(),
+                format!("canary ±{:.0}%", tol * 100.0),
+                format!("{:+.3}", s.mean),
+                format!("{rollbacks}/{} rollbacks", args.runs),
+            ]);
+            payload.push(Row {
+                advisor: victim.label(),
+                defense: format!("canary_{tol}"),
+                mean_ad: s.mean,
+                rolled_back_or_dropped: rollbacks as f64 / args.runs as f64,
+            });
+        }
+
+        // Provenance screening.
+        let mut ads = Vec::new();
+        let mut dropped_total = 0usize;
+        for run in 0..args.runs as u64 {
+            let seed = args.seed + run;
+            let normal = normal_workload(&cfg, seed);
+            let mut advisor = build_clear_box(victim, cfg.preset, seed);
+            advisor.train(&db, &normal);
+            let clean = advisor.recommend(&db, &normal);
+            let baseline = db.actual_workload_cost(&normal, &clean);
+            let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
+            let injection = injector.build(advisor.as_mut(), &db, cfg.injection_size, seed);
+            let training = normal.union(&injection);
+            let (screened, dropped) =
+                ProvenanceFilter::default().screen(&normal, &training, db.schema().num_columns());
+            dropped_total += dropped;
+            advisor.retrain(&db, &screened);
+            let poisoned = advisor.recommend(&db, &normal);
+            let cost = db.actual_workload_cost(&normal, &poisoned);
+            ads.push(absolute_degradation(cost, baseline));
+        }
+        let s = Stats::from_samples(&ads);
+        rows.push(vec![
+            victim.label(),
+            "provenance screen".to_string(),
+            format!("{:+.3}", s.mean),
+            format!("{dropped_total} queries dropped"),
+        ]);
+        payload.push(Row {
+            advisor: victim.label(),
+            defense: "provenance".to_string(),
+            mean_ad: s.mean,
+            rolled_back_or_dropped: dropped_total as f64 / args.runs as f64,
+        });
+    }
+
+    println!(
+        "{}",
+        render_table(&["advisor", "defense", "mean AD", "actions"], &rows)
+    );
+    println!(
+        "\nReading: the canary bounds *deployed* degradation by construction;\n\
+         provenance screening removes the attack at its source when the\n\
+         injection's column fingerprint diverges from history."
+    );
+
+    let artifact = ExperimentArtifact {
+        id: "ablation_defense".to_string(),
+        description: "Residual PIPA degradation under defenses".to_string(),
+        params: args.summary(),
+        results: payload,
+    };
+    if let Ok(p) = artifact.save(&args.out_dir) {
+        eprintln!("[artifact] {p}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 10: the target-segment boundary sweeps (§6.4), victim DQN.
+//!
+//! Panel (a): fix the mid-segment length to 4 and sweep its start point —
+//! the best AD appears once the start clears the best index and its
+//! foreign keys. Panel (b): sweep the mid-segment end `q` over fractions
+//! of `L` — the best AD sits near `q = L/4`; pushing `q` toward `L`
+//! dilutes the segment with low-ranked (unindexable) columns and AD
+//! falls.
+//!
+//! ```text
+//! cargo run --release -p pipa-bench --bin fig10_boundaries -- --runs 5
+//! ```
+
+use pipa_bench::cli::ExpArgs;
+use pipa_core::experiment::{build_db, normal_workload};
+use pipa_core::harness::{run_stress_test, StressConfig};
+use pipa_core::metrics::Stats;
+use pipa_core::preference::SegmentConfig;
+use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::TargetedInjector;
+use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    panel: String,
+    x: f64,
+    mean_ad: f64,
+    std_ad: f64,
+}
+
+fn run_with_segment(
+    args: &ExpArgs,
+    cfg: &pipa_core::CellConfig,
+    db: &pipa_sim::Database,
+    seg: SegmentConfig,
+) -> Stats {
+    let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
+    let mut ads = Vec::new();
+    for run in 0..args.runs as u64 {
+        let seed = args.seed + run;
+        let normal = normal_workload(cfg, seed);
+        let mut advisor = build_clear_box(victim, cfg.preset, seed);
+        // Rebuild the PIPA injector with the custom segmentation.
+        let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
+        injector.probe_cfg = pipa_core::ProbeConfig {
+            epochs: cfg.probe_epochs,
+            queries_per_epoch: cfg.benchmark.default_workload_size(),
+            seed,
+            ..Default::default()
+        };
+        injector.segment_cfg = seg;
+        let scfg = StressConfig {
+            injection_size: cfg.injection_size,
+            use_actual_cost: cfg.materialize.is_some(),
+            seed,
+        };
+        let out = run_stress_test(advisor.as_mut(), &mut injector, db, &normal, &scfg);
+        ads.push(out.ad);
+    }
+    Stats::from_samples(&ads)
+}
+
+fn main() {
+    let args = ExpArgs::parse(5);
+    let cfg = args.cell_config();
+    let db = build_db(&cfg);
+    let l = db.schema().num_columns() as f64;
+    let mut points = Vec::new();
+
+    // Panel (a): fixed mid length 4, sweep the start point.
+    println!("Figure 10(a) — start-point sweep (mid length fixed to 4), victim DQN-b");
+    let mut rows = Vec::new();
+    for start in [2usize, 3, 4, 5, 6, 7] {
+        let s = run_with_segment(
+            &args,
+            &cfg,
+            &db,
+            SegmentConfig {
+                fixed_start: Some(start),
+                fixed_len: Some(4),
+                ..Default::default()
+            },
+        );
+        rows.push(vec![
+            format!("{start}"),
+            format!("{:+.3}", s.mean),
+            format!("{:.3}", s.std),
+        ]);
+        points.push(Point {
+            panel: "a".to_string(),
+            x: start as f64,
+            mean_ad: s.mean,
+            std_ad: s.std,
+        });
+        eprintln!("[fig10a] start={start}: AD {:+.3} ± {:.3}", s.mean, s.std);
+    }
+    println!("{}", render_table(&["start", "mean AD", "std"], &rows));
+
+    // Panel (b): sweep q as a fraction of L.
+    println!("\nFigure 10(b) — mid-end sweep q ∈ fractions of L = {l}");
+    let mut rows = Vec::new();
+    for frac in [0.125f64, 0.25, 0.375, 0.5, 0.75, 0.875] {
+        let s = run_with_segment(
+            &args,
+            &cfg,
+            &db,
+            SegmentConfig {
+                mid_end_fraction: frac,
+                ..Default::default()
+            },
+        );
+        rows.push(vec![
+            format!("{frac}"),
+            format!("{:+.3}", s.mean),
+            format!("{:.3}", s.std),
+        ]);
+        points.push(Point {
+            panel: "b".to_string(),
+            x: frac,
+            mean_ad: s.mean,
+            std_ad: s.std,
+        });
+        eprintln!("[fig10b] q={frac}L: AD {:+.3} ± {:.3}", s.mean, s.std);
+    }
+    println!("{}", render_table(&["q / L", "mean AD", "std"], &rows));
+    println!(
+        "\nShape: panel (a) improves once the start clears the strong head;\n\
+         panel (b) peaks near q = L/4 and declines as low-ranked columns\n\
+         dilute the target segment."
+    );
+
+    let artifact = ExperimentArtifact {
+        id: "fig10_boundaries".to_string(),
+        description: "Target-segment boundary sweeps".to_string(),
+        params: args.summary(),
+        results: points,
+    };
+    if let Ok(p) = artifact.save(&args.out_dir) {
+        eprintln!("[artifact] {p}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 12: the probing-sampler hyperparameters (Eq. 9).
+//!
+//! Panel (a): AD as a function of α — larger α moves the sampling
+//! distribution more aggressively per observation, raising variance; the
+//! sweet spot sits near α = 0.1.
+//!
+//! Panel (b): β = 1/(i + n) trade-off — larger β (smaller i) retires
+//! unproductive columns sooner, so the estimate *converges* in fewer
+//! epochs but its segment assignment drifts from the β = 0 reference
+//! (the error rate). We report convergence epochs and segment error.
+//!
+//! ```text
+//! cargo run --release -p pipa-bench --bin fig12_alpha_beta -- --runs 5
+//! ```
+
+use pipa_bench::cli::ExpArgs;
+use pipa_core::experiment::{build_db, normal_workload, InjectorKind};
+use pipa_core::harness::{run_stress_test, StressConfig};
+use pipa_core::metrics::Stats;
+use pipa_core::preference::{segment, SegmentConfig};
+use pipa_core::probe::{probe, ProbeConfig};
+use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::TargetedInjector;
+use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use serde::Serialize;
+
+const ALPHAS: [f64; 6] = [0.01, 0.05, 0.1, 0.5, 1.0, 10.0];
+const BETA_IS: [f64; 5] = [20.0, 10.0, 5.0, 2.0, 4.0 / 3.0];
+
+#[derive(Serialize)]
+struct AlphaPoint {
+    alpha: f64,
+    mean_ad: f64,
+    std_ad: f64,
+}
+
+#[derive(Serialize)]
+struct BetaPoint {
+    beta_i: f64,
+    beta: f64,
+    convergence_epochs: f64,
+    segment_error: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(5);
+    let cfg = args.cell_config();
+    let db = build_db(&cfg);
+    let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
+    let l = db.schema().num_columns();
+
+    // Panel (a): α sweep via full stress tests.
+    println!("Figure 12(a) — AD vs α (victim DQN-b, {} runs)", args.runs);
+    let mut alpha_points = Vec::new();
+    let mut rows = Vec::new();
+    for &alpha in &ALPHAS {
+        let mut ads = Vec::new();
+        for run in 0..args.runs as u64 {
+            let seed = args.seed + run;
+            let normal = normal_workload(&cfg, seed);
+            let mut advisor = build_clear_box(victim, cfg.preset, seed);
+            let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
+            injector.probe_cfg = ProbeConfig {
+                epochs: cfg.probe_epochs,
+                queries_per_epoch: cfg.benchmark.default_workload_size(),
+                alpha,
+                seed,
+                ..Default::default()
+            };
+            let scfg = StressConfig {
+                injection_size: cfg.injection_size,
+                use_actual_cost: cfg.materialize.is_some(),
+                seed,
+            };
+            let out = run_stress_test(advisor.as_mut(), &mut injector, &db, &normal, &scfg);
+            ads.push(out.ad);
+        }
+        let s = Stats::from_samples(&ads);
+        rows.push(vec![
+            format!("{alpha}"),
+            format!("{:+.3}", s.mean),
+            format!("{:.3}", s.std),
+        ]);
+        alpha_points.push(AlphaPoint {
+            alpha,
+            mean_ad: s.mean,
+            std_ad: s.std,
+        });
+        eprintln!("[fig12a] α={alpha}: AD {:+.3} ± {:.3}", s.mean, s.std);
+    }
+    println!("{}", render_table(&["alpha", "mean AD", "std"], &rows));
+
+    // Panel (b): β trade-off measured on the probing estimate itself,
+    // against a β→0 (i = 1000) reference ranking.
+    println!("\nFigure 12(b) — β = 1/(i+n) trade-off (probing on a trained DQN)");
+    let mut beta_points = Vec::new();
+    let mut rows = Vec::new();
+    let _ = InjectorKind::Pipa;
+    for &beta_i in &BETA_IS {
+        let mut conv = Vec::new();
+        let mut err = Vec::new();
+        for run in 0..args.runs as u64 {
+            let seed = args.seed + run;
+            let normal = normal_workload(&cfg, seed);
+            let mut advisor = build_clear_box(victim, cfg.preset, seed);
+            advisor.train(&db, &normal);
+            let reference = {
+                let mut gen = cfg.backend.generator(seed);
+                let pcfg = ProbeConfig {
+                    epochs: cfg.probe_epochs,
+                    queries_per_epoch: cfg.benchmark.default_workload_size(),
+                    beta_i: 1000.0,
+                    seed,
+                    ..Default::default()
+                };
+                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
+            };
+            let res = {
+                let mut gen = cfg.backend.generator(seed);
+                let pcfg = ProbeConfig {
+                    epochs: cfg.probe_epochs,
+                    queries_per_epoch: cfg.benchmark.default_workload_size(),
+                    beta_i,
+                    seed,
+                    ..Default::default()
+                };
+                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
+            };
+            // Convergence: epochs until the running best column stops
+            // changing.
+            let best_final = *res.best_trace.last().expect("trace");
+            let converged_at = res
+                .best_trace
+                .iter()
+                .rposition(|&c| c != best_final)
+                .map(|i| i + 2)
+                .unwrap_or(1);
+            conv.push(converged_at as f64);
+            // Error rate: fraction of columns assigned to a different
+            // segment than the reference.
+            let seg_cfg = SegmentConfig::default();
+            let seg_a = segment(&res.preference, db.schema(), &seg_cfg);
+            let seg_b = segment(&reference.preference, db.schema(), &seg_cfg);
+            let seg_of = |segs: &pipa_core::Segments, c: pipa_sim::ColumnId| {
+                if segs.top.contains(&c) {
+                    0
+                } else if segs.mid.contains(&c) {
+                    1
+                } else {
+                    2
+                }
+            };
+            let mismatches = db
+                .schema()
+                .indexable_columns()
+                .into_iter()
+                .filter(|&c| seg_of(&seg_a, c) != seg_of(&seg_b, c))
+                .count();
+            err.push(mismatches as f64 / l as f64);
+        }
+        let cs = Stats::from_samples(&conv);
+        let es = Stats::from_samples(&err);
+        rows.push(vec![
+            format!("{beta_i:.2}"),
+            format!("{:.4}", 1.0 / (beta_i + l as f64)),
+            format!("{:.1}", cs.mean),
+            format!("{:.3}", es.mean),
+        ]);
+        beta_points.push(BetaPoint {
+            beta_i,
+            beta: 1.0 / (beta_i + l as f64),
+            convergence_epochs: cs.mean,
+            segment_error: es.mean,
+        });
+        eprintln!(
+            "[fig12b] i={beta_i:.2}: convergence {:.1} epochs, error {:.3}",
+            cs.mean, es.mean
+        );
+    }
+    println!(
+        "{}",
+        render_table(&["i", "beta", "convergence epochs", "segment error"], &rows)
+    );
+    println!(
+        "\nShape: very large α destabilizes AD; larger β converges in fewer\n\
+         epochs at the price of a larger segment error (the paper picks\n\
+         α = 0.1, β = 1/(10 + n))."
+    );
+
+    let artifact = ExperimentArtifact {
+        id: "fig12_alpha_beta".to_string(),
+        description: "Probing hyperparameter sweeps".to_string(),
+        params: args.summary(),
+        results: (alpha_points, beta_points),
+    };
+    if let Ok(p) = artifact.save(&args.out_dir) {
+        eprintln!("[artifact] {p}");
+    }
+}

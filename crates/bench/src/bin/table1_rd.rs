@@ -1,0 +1,94 @@
+//! Table 1: Relative performance Degradation of every advisor variant —
+//! how much PIPA's degradation exceeds the mean degradation of random
+//! injections (TP / FSM / I-R), per Definition 2.5.
+//!
+//! Paper shape: RD is positive for every advisor; DRLindex-b is usually
+//! the highest (most vulnerable), SWIRL among the lowest.
+//!
+//! ```text
+//! cargo run --release -p pipa-bench --bin table1_rd -- --runs 10
+//! ```
+
+use pipa_bench::cli::ExpArgs;
+use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::metrics::{relative_degradation, Stats};
+use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_ia::AdvisorKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    advisor: String,
+    rd: f64,
+    ad_pipa: f64,
+    ad_random: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(5);
+    let cfg = args.cell_config();
+    let db = build_db(&cfg);
+
+    println!(
+        "Table 1 — RD per advisor on {} (scale {}, {} runs)",
+        args.benchmark.name(),
+        args.scale,
+        args.runs
+    );
+
+    let random: Vec<InjectorKind> = InjectorKind::all()
+        .into_iter()
+        .filter(|k| k.is_random_baseline())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for advisor in AdvisorKind::all_seven() {
+        let mut pipa_ads = Vec::new();
+        let mut random_ads = Vec::new();
+        for run in 0..args.runs as u64 {
+            let seed = args.seed + run;
+            let normal = normal_workload(&cfg, seed);
+            pipa_ads.push(run_cell(&db, &normal, advisor, InjectorKind::Pipa, &cfg, seed).ad);
+            for &r in &random {
+                random_ads.push(run_cell(&db, &normal, advisor, r, &cfg, seed).ad);
+            }
+        }
+        let ad_pipa = Stats::from_samples(&pipa_ads).mean;
+        let ad_random = Stats::from_samples(&random_ads).mean;
+        let rd = relative_degradation(ad_pipa, ad_random);
+        eprintln!("[table1] {} RD {:+.3}", advisor.label(), rd);
+        rows.push(vec![
+            advisor.label(),
+            format!("{rd:+.3}"),
+            format!("{ad_pipa:+.3}"),
+            format!("{ad_random:+.3}"),
+        ]);
+        payload.push(Row {
+            advisor: advisor.label(),
+            rd,
+            ad_pipa,
+            ad_random,
+        });
+    }
+
+    println!(
+        "{}",
+        render_table(&["advisor", "RD", "AD(PIPA)", "AD(random)"], &rows)
+    );
+    let positive = payload.iter().filter(|r| r.rd > 0.0).count();
+    println!(
+        "\nShape: RD positive for {positive}/{} advisors (paper: all).",
+        payload.len()
+    );
+
+    let artifact = ExperimentArtifact {
+        id: format!("table1_rd_{}", args.benchmark.name()),
+        description: "Relative performance degradation per advisor".to_string(),
+        params: args.summary(),
+        results: payload,
+    };
+    if let Ok(p) = artifact.save(&args.out_dir) {
+        eprintln!("[artifact] {p}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Table 2: RD as a function of the poisoning proportion ω on TPC-H.
+//!
+//! Paper shape claims: PIPA yields positive RD across ω; RD generally
+//! grows with ω for most advisors (DQN peaks before the largest ω because
+//! extreme distribution shifts degrade it under random injections too,
+//! shrinking the *relative* gap).
+//!
+//! ```text
+//! cargo run --release -p pipa-bench --bin table2_rd_omega -- --runs 3
+//! ```
+
+use pipa_bench::cli::ExpArgs;
+use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::metrics::{relative_degradation, Stats};
+use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_ia::AdvisorKind;
+use serde::Serialize;
+
+const OMEGAS: [f64; 4] = [0.05, 0.25, 1.0, 4.0];
+
+#[derive(Serialize)]
+struct Cell {
+    advisor: String,
+    omega: f64,
+    rd: f64,
+    ad_pipa: f64,
+    ad_random: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(3);
+    let cfg = args.cell_config();
+    let db = build_db(&cfg);
+    let n = cfg.benchmark.default_workload_size();
+    // One random baseline (FSM) keeps the sweep tractable; Table 1 uses
+    // the full random set.
+    let random = InjectorKind::Fsm;
+
+    println!(
+        "Table 2 — RD vs ω on {} ({} runs per cell)",
+        args.benchmark.name(),
+        args.runs
+    );
+
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for advisor in AdvisorKind::all_seven() {
+        let mut row = vec![advisor.label()];
+        for &omega in &OMEGAS {
+            let inj_size = ((n as f64 * omega).round() as usize).max(1);
+            let mut cell_cfg = cfg.clone();
+            cell_cfg.injection_size = inj_size;
+            let mut pipa_ads = Vec::new();
+            let mut rand_ads = Vec::new();
+            for run in 0..args.runs as u64 {
+                let seed = args.seed + run;
+                let normal = normal_workload(&cfg, seed);
+                pipa_ads
+                    .push(run_cell(&db, &normal, advisor, InjectorKind::Pipa, &cell_cfg, seed).ad);
+                rand_ads.push(run_cell(&db, &normal, advisor, random, &cell_cfg, seed).ad);
+            }
+            let ad_pipa = Stats::from_samples(&pipa_ads).mean;
+            let ad_random = Stats::from_samples(&rand_ads).mean;
+            let rd = relative_degradation(ad_pipa, ad_random);
+            row.push(format!("{rd:+.3}"));
+            cells.push(Cell {
+                advisor: advisor.label(),
+                omega,
+                rd,
+                ad_pipa,
+                ad_random,
+            });
+            eprintln!("[table2] {} ω={omega}: RD {:+.3}", advisor.label(), rd);
+        }
+        rows.push(row);
+    }
+
+    let mut headers: Vec<String> = vec!["advisor".to_string()];
+    headers.extend(OMEGAS.iter().map(|o| format!("ω={o}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_table(&headers_ref, &rows));
+
+    let positive = cells.iter().filter(|c| c.rd > 0.0).count();
+    println!(
+        "\nShape: {positive}/{} cells have positive RD (paper: all).",
+        cells.len()
+    );
+
+    let artifact = ExperimentArtifact {
+        id: format!("table2_rd_omega_{}", args.benchmark.name()),
+        description: "RD vs poisoning proportion".to_string(),
+        params: args.summary(),
+        results: cells,
+    };
+    if let Ok(p) = artifact.save(&args.out_dir) {
+        eprintln!("[artifact] {p}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal hand-rolled CLI shared by the experiment binaries (keeping
+//! the dependency set to the sanctioned list — no clap).
+//!
+//! Common flags:
+//!
+//! * `--runs N` — repetitions per cell (default: per-experiment);
+//! * `--seed N` — base seed (default 0);
+//! * `--scale F` — benchmark scale factor (default 1.0);
+//! * `--benchmark tpch|tpcds` — default tpch;
+//! * `--quick` — quick advisor preset + ST generator (default);
+//! * `--paper` — paper-scale trajectory counts + trained IABART;
+//! * `--iabart` — force the IABART generator backend;
+//! * `--actual` — materialize data and measure actual executed costs;
+//! * `--out DIR` — write a JSON artifact (default `results/`).
+
+use pipa_core::experiment::{CellConfig, GenBackend};
+use pipa_ia::SpeedPreset;
+use pipa_workload::Benchmark;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Repetitions per experiment cell.
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Scale factor.
+    pub scale: f64,
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Advisor speed preset.
+    pub preset: SpeedPreset,
+    /// Use the trained IABART generator.
+    pub use_iabart: bool,
+    /// Materialize data for actual-cost measurement.
+    pub actual: bool,
+    /// Artifact output directory.
+    pub out_dir: String,
+    /// Remaining positional / unknown args (experiment-specific).
+    pub rest: Vec<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            runs: 3,
+            seed: 0,
+            scale: 1.0,
+            benchmark: Benchmark::TpcH,
+            preset: SpeedPreset::Quick,
+            use_iabart: false,
+            actual: false,
+            out_dir: "results".to_string(),
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args` with a default run count.
+    pub fn parse(default_runs: usize) -> Self {
+        let mut a = ExpArgs {
+            runs: default_runs,
+            ..Default::default()
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--runs" => a.runs = next_parse(&mut it, "--runs"),
+                "--seed" => a.seed = next_parse(&mut it, "--seed"),
+                "--scale" => a.scale = next_parse(&mut it, "--scale"),
+                "--benchmark" => {
+                    let b: String = next_parse(&mut it, "--benchmark");
+                    a.benchmark = match b.as_str() {
+                        "tpch" => Benchmark::TpcH,
+                        "tpcds" => Benchmark::TpcDs,
+                        other => panic!("unknown benchmark {other} (tpch|tpcds)"),
+                    };
+                }
+                "--quick" => a.preset = SpeedPreset::Quick,
+                "--paper" => {
+                    a.preset = SpeedPreset::Paper;
+                    a.use_iabart = true;
+                }
+                "--iabart" => a.use_iabart = true,
+                "--actual" => a.actual = true,
+                "--out" => a.out_dir = next_parse(&mut it, "--out"),
+                other => a.rest.push(other.to_string()),
+            }
+        }
+        a
+    }
+
+    /// Cell configuration derived from the flags. Training the IABART
+    /// backend (when requested) happens here, once.
+    pub fn cell_config(&self) -> CellConfig {
+        let mut cfg = CellConfig::quick(self.benchmark);
+        cfg.scale = self.scale;
+        cfg.preset = self.preset;
+        cfg.probe_epochs = match self.preset {
+            SpeedPreset::Paper => 20,
+            _ => 8,
+        };
+        if self.actual {
+            cfg.materialize = Some((self.seed ^ 0xda7a, 200_000));
+        }
+        if self.use_iabart {
+            let db = self.benchmark.database(self.scale, None);
+            eprintln!("[setup] training IABART generator (one-time)...");
+            cfg.backend = GenBackend::train_iabart(&db, 1500, self.seed);
+        }
+        cfg
+    }
+
+    /// One-line parameter summary for artifacts.
+    pub fn summary(&self) -> String {
+        format!(
+            "benchmark={} scale={} runs={} seed={} preset={:?} iabart={} actual={}",
+            self.benchmark.name(),
+            self.scale,
+            self.runs,
+            self.seed,
+            self.preset,
+            self.use_iabart,
+            self.actual
+        )
+    }
+}
+
+fn next_parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    it.next()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{flag}: {e:?}"))
+}

@@ -1,0 +1,6 @@
+//! # pipa-bench — experiment harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) plus criterion
+//! micro-benches (`benches/`). Shared CLI parsing lives here.
+
+pub mod cli;

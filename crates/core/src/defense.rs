@@ -1,0 +1,235 @@
+//! Defenses the paper's insights suggest (§1, §8): the stated purpose of
+//! the stress test is to help DBAs "deploy a more robust learning-based
+//! IA". This module operationalizes two deployment-side mitigations and
+//! lets the experiments quantify how much of PIPA's degradation each one
+//! removes.
+//!
+//! * [`CanaryGuard`] — **retraining canary**: before accepting an updated
+//!   model, compare the cost of a held-out canary workload under the new
+//!   recommendation against the pre-update baseline; roll back when it
+//!   regresses beyond a tolerance. This directly targets Definition 2.4:
+//!   a toxic injection *is* a canary regression.
+//! * [`ProvenanceFilter`] — **training-set screening**: drop training
+//!   queries whose filter-column profile diverges from the historical
+//!   workload's (PIPA's injections must touch mid-ranked columns the
+//!   normal workload rarely touches — that is also their fingerprint).
+
+use pipa_ia::ClearBoxAdvisor;
+use pipa_sim::{Database, IndexConfig, Workload};
+
+/// Retraining canary: accept an update only if the canary workload does
+/// not regress.
+pub struct CanaryGuard {
+    /// Relative regression tolerance (e.g. 0.02 = accept up to +2%).
+    pub tolerance: f64,
+}
+
+/// Outcome of a guarded retraining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedOutcome {
+    /// Canary cost before the update.
+    pub cost_before: f64,
+    /// Canary cost after the update (whether or not it was kept).
+    pub cost_after: f64,
+    /// Whether the update was rolled back.
+    pub rolled_back: bool,
+    /// The configuration in force after the guard's decision.
+    pub final_config: IndexConfig,
+}
+
+impl CanaryGuard {
+    /// Guard with the given tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        CanaryGuard { tolerance }
+    }
+
+    /// Retrain `advisor` on `training`, but keep the update only if the
+    /// `canary` workload's cost under the new recommendation stays within
+    /// tolerance of the pre-update cost. On rollback the pre-update
+    /// recommendation is reinstated as the deployed configuration (the
+    /// advisor's parameters stay updated — the *deployment* is guarded,
+    /// matching how index changes ship in practice).
+    pub fn retrain_guarded(
+        &self,
+        advisor: &mut dyn ClearBoxAdvisor,
+        db: &Database,
+        training: &Workload,
+        canary: &Workload,
+    ) -> GuardedOutcome {
+        let before_cfg = advisor.recommend(db, canary);
+        let cost_before = db.actual_workload_cost(canary, &before_cfg);
+        advisor.retrain(db, training);
+        let after_cfg = advisor.recommend(db, canary);
+        let cost_after = db.actual_workload_cost(canary, &after_cfg);
+        let rolled_back = cost_after > cost_before * (1.0 + self.tolerance);
+        GuardedOutcome {
+            cost_before,
+            cost_after,
+            rolled_back,
+            final_config: if rolled_back { before_cfg } else { after_cfg },
+        }
+    }
+}
+
+/// Provenance filter: screen a training set against a reference workload
+/// profile before retraining.
+pub struct ProvenanceFilter {
+    /// Maximum fraction of a query's filter columns allowed to be
+    /// novel (absent from the reference profile) before it is dropped.
+    pub max_novel_fraction: f64,
+}
+
+impl Default for ProvenanceFilter {
+    fn default() -> Self {
+        ProvenanceFilter {
+            max_novel_fraction: 0.5,
+        }
+    }
+}
+
+impl ProvenanceFilter {
+    /// Keep only queries whose filter columns mostly appear in the
+    /// reference workload's historical column profile. Returns the
+    /// filtered workload and how many queries were dropped.
+    pub fn screen(
+        &self,
+        reference: &Workload,
+        training: &Workload,
+        num_columns: usize,
+    ) -> (Workload, usize) {
+        let profile = reference.filter_column_frequencies(num_columns);
+        let mut kept = Workload::new();
+        let mut dropped = 0usize;
+        for wq in training.iter() {
+            let cols = wq.query.filter_columns();
+            if cols.is_empty() {
+                kept.push(wq.query.clone(), wq.frequency);
+                continue;
+            }
+            let novel = cols.iter().filter(|c| profile[c.0 as usize] == 0.0).count();
+            if (novel as f64 / cols.len() as f64) > self.max_novel_fraction {
+                dropped += 1;
+            } else {
+                kept.push(wq.query.clone(), wq.frequency);
+            }
+        }
+        (kept, dropped)
+    }
+}
+
+/// Convenience: run one stress test with a defense in place and report
+/// the residual AD (used by the defense ablation bench).
+pub fn stress_with_canary(
+    advisor: &mut dyn ClearBoxAdvisor,
+    injector: &mut dyn crate::injectors::Injector,
+    db: &Database,
+    normal: &Workload,
+    injection_size: usize,
+    tolerance: f64,
+    seed: u64,
+) -> (f64, bool) {
+    advisor.train(db, normal);
+    let clean_cfg = advisor.recommend(db, normal);
+    let baseline = db.actual_workload_cost(normal, &clean_cfg);
+    let injection = injector.build(advisor, db, injection_size, seed);
+    let training = normal.union(&injection);
+    let guard = CanaryGuard::new(tolerance);
+    let outcome = guard.retrain_guarded(advisor, db, &training, normal);
+    let final_cost = db.actual_workload_cost(normal, &outcome.final_config);
+    (
+        crate::metrics::absolute_degradation(final_cost, baseline),
+        outcome.rolled_back,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{build_db, make_injector, normal_workload, CellConfig, InjectorKind};
+    use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
+    use pipa_workload::Benchmark;
+
+    fn cfg() -> CellConfig {
+        let mut cfg = CellConfig::quick(Benchmark::TpcH);
+        cfg.preset = SpeedPreset::Test;
+        cfg.probe_epochs = 3;
+        cfg.injection_size = 10;
+        cfg
+    }
+
+    #[test]
+    fn canary_guard_bounds_degradation() {
+        let cfg = cfg();
+        let db = build_db(&cfg);
+        let normal = normal_workload(&cfg, 51);
+        let mut advisor = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            51,
+        );
+        let mut injector = make_injector(InjectorKind::Pipa, &cfg, 51);
+        let (ad, _) = stress_with_canary(
+            advisor.as_mut(),
+            injector.as_mut(),
+            &db,
+            &normal,
+            cfg.injection_size,
+            0.02,
+            51,
+        );
+        // The guard caps the deployed regression at roughly the tolerance.
+        assert!(ad <= 0.05, "guarded AD {ad} exceeds the tolerance band");
+    }
+
+    #[test]
+    fn provenance_filter_drops_extraneous_queries() {
+        let cfg = cfg();
+        let db = build_db(&cfg);
+        let normal = normal_workload(&cfg, 53);
+        let mut advisor = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            53,
+        );
+        advisor.train(&db, &normal);
+        let mut injector = make_injector(InjectorKind::Pipa, &cfg, 53);
+        let injection = injector.build(advisor.as_mut(), &db, 10, 53);
+        let training = normal.union(&injection);
+        let filter = ProvenanceFilter::default();
+        let (screened, dropped) = filter.screen(&normal, &training, db.schema().num_columns());
+        // The normal queries always survive their own profile.
+        assert!(screened.len() >= normal.len());
+        // A PIPA injection targets mid-ranked columns the normal workload
+        // does not filter on — most of it should be caught.
+        assert!(
+            dropped * 2 >= injection.len(),
+            "screen caught {dropped}/{} injected queries",
+            injection.len()
+        );
+    }
+
+    #[test]
+    fn screening_keeps_benign_template_injections() {
+        // TP injections instantiate the *same templates* as the normal
+        // workload; a provenance filter must not starve retraining of
+        // legitimate drift.
+        let cfg = cfg();
+        let db = build_db(&cfg);
+        let normal = normal_workload(&cfg, 57);
+        let mut advisor = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            57,
+        );
+        advisor.train(&db, &normal);
+        let mut injector = make_injector(InjectorKind::Tp, &cfg, 57);
+        let injection = injector.build(advisor.as_mut(), &db, 10, 57);
+        let filter = ProvenanceFilter::default();
+        let (_, dropped) = filter.screen(&normal, &injection, db.schema().num_columns());
+        assert!(
+            dropped <= injection.len() / 3,
+            "benign template queries over-filtered: {dropped}/{}",
+            injection.len()
+        );
+    }
+}

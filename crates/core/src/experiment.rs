@@ -1,0 +1,237 @@
+//! Shared experiment plumbing used by the `pipa-bench` binaries: build
+//! databases/workloads per run, construct generators (ST or a trained
+//! IABART), wire up injectors by name, and run advisor × injector cells.
+
+use crate::harness::{run_stress_test, StressConfig, StressOutcome};
+use crate::injectors::{Injector, TargetedInjector, TpInjector};
+use crate::probe::ProbeConfig;
+use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset};
+use pipa_qgen::{build_corpus, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator};
+use pipa_sim::{Database, Workload};
+use pipa_workload::{generator::WorkloadGenerator, Benchmark};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which query generator backs the index-aware injectors.
+#[derive(Clone)]
+pub enum GenBackend {
+    /// Direct ST construction (fast; used by `--quick` runs).
+    St,
+    /// A trained IABART model, cloned per injector.
+    Iabart(Box<Iabart>),
+}
+
+impl GenBackend {
+    /// Train an IABART backend for a database.
+    pub fn train_iabart(db: &Database, corpus_size: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00c0_7215);
+        let corpus = build_corpus(db, corpus_size, &mut rng);
+        let mut model = Iabart::new(
+            db.schema().clone(),
+            IabartConfig {
+                seed,
+                ..IabartConfig::default()
+            },
+        );
+        model.train(&corpus);
+        GenBackend::Iabart(Box::new(model))
+    }
+
+    /// Instantiate a generator from this backend.
+    pub fn generator(&self, seed: u64) -> Box<dyn QueryGenerator> {
+        match self {
+            GenBackend::St => Box::new(StGenerator::new(seed)),
+            GenBackend::Iabart(model) => Box::new(IabartGenerator::new((**model).clone())),
+        }
+    }
+}
+
+/// The six injection strategies of the paper's main experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectorKind {
+    /// Template instantiations.
+    Tp,
+    /// Random FSM queries.
+    Fsm,
+    /// Index-aware generator, random columns.
+    IR,
+    /// Index-aware generator, low-ranked probed columns.
+    IL,
+    /// Clear-box mid-ranked.
+    PC,
+    /// PIPA (probed mid-ranked + toxicity filter).
+    Pipa,
+}
+
+impl InjectorKind {
+    /// All six, in the paper's presentation order.
+    pub fn all() -> Vec<InjectorKind> {
+        vec![
+            InjectorKind::Tp,
+            InjectorKind::Fsm,
+            InjectorKind::IR,
+            InjectorKind::IL,
+            InjectorKind::PC,
+            InjectorKind::Pipa,
+        ]
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectorKind::Tp => "TP",
+            InjectorKind::Fsm => "FSM",
+            InjectorKind::IR => "I-R",
+            InjectorKind::IL => "I-L",
+            InjectorKind::PC => "P-C",
+            InjectorKind::Pipa => "PIPA",
+        }
+    }
+
+    /// Whether this strategy counts as a *random* injection when
+    /// computing RD (Definition 2.5 compares toxic against random).
+    pub fn is_random_baseline(self) -> bool {
+        matches!(
+            self,
+            InjectorKind::Tp | InjectorKind::Fsm | InjectorKind::IR
+        )
+    }
+}
+
+/// Everything one experiment cell needs.
+#[derive(Clone)]
+pub struct CellConfig {
+    /// Benchmark and scale.
+    pub benchmark: Benchmark,
+    /// Scale factor (paper's "1GB"/"10GB" → 1.0/10.0).
+    pub scale: f64,
+    /// Advisor training/trial preset.
+    pub preset: SpeedPreset,
+    /// Injection workload size `N̂`.
+    pub injection_size: usize,
+    /// Probing epochs `P`.
+    pub probe_epochs: usize,
+    /// Generator backend.
+    pub backend: GenBackend,
+    /// Materialize data (seed, row cap) for actual-cost measurement.
+    pub materialize: Option<(u64, u32)>,
+}
+
+impl CellConfig {
+    /// Sensible quick defaults for a benchmark.
+    pub fn quick(benchmark: Benchmark) -> Self {
+        CellConfig {
+            benchmark,
+            scale: 1.0,
+            preset: SpeedPreset::Quick,
+            injection_size: benchmark.default_workload_size(),
+            probe_epochs: 8,
+            backend: GenBackend::St,
+            materialize: None,
+        }
+    }
+}
+
+/// Build the database for a cell.
+pub fn build_db(cfg: &CellConfig) -> Database {
+    cfg.benchmark.database(cfg.scale, cfg.materialize)
+}
+
+/// Fresh normal workload for one run.
+pub fn normal_workload(cfg: &CellConfig, run_seed: u64) -> Workload {
+    let gen = WorkloadGenerator::new(cfg.benchmark.schema(), cfg.benchmark.default_templates());
+    gen.normal(&mut ChaCha8Rng::seed_from_u64(run_seed ^ 0x4021))
+        .expect("benchmark templates instantiate")
+}
+
+/// Construct an injector of the given kind.
+pub fn make_injector(kind: InjectorKind, cfg: &CellConfig, seed: u64) -> Box<dyn Injector> {
+    let probe_cfg = ProbeConfig {
+        epochs: cfg.probe_epochs,
+        queries_per_epoch: cfg.benchmark.default_workload_size(),
+        seed,
+        ..Default::default()
+    };
+    match kind {
+        InjectorKind::Tp => Box::new(TpInjector::new(cfg.benchmark.default_templates())),
+        InjectorKind::Fsm => Box::new(TargetedInjector::fsm(seed)),
+        InjectorKind::IR => Box::new(TargetedInjector::i_r(cfg.backend.generator(seed))),
+        InjectorKind::IL => {
+            let mut inj = TargetedInjector::i_l(cfg.backend.generator(seed));
+            inj.probe_cfg = probe_cfg;
+            Box::new(inj)
+        }
+        InjectorKind::PC => Box::new(TargetedInjector::p_c(cfg.backend.generator(seed))),
+        InjectorKind::Pipa => {
+            let mut inj = TargetedInjector::pipa(cfg.backend.generator(seed));
+            inj.probe_cfg = probe_cfg;
+            Box::new(inj)
+        }
+    }
+}
+
+/// Run one (advisor, injector) cell once.
+pub fn run_cell(
+    db: &Database,
+    normal: &Workload,
+    advisor_kind: AdvisorKind,
+    injector_kind: InjectorKind,
+    cfg: &CellConfig,
+    seed: u64,
+) -> StressOutcome {
+    let mut advisor = build_clear_box(advisor_kind, cfg.preset, seed);
+    let mut injector = make_injector(injector_kind, cfg, seed);
+    let scfg = StressConfig {
+        injection_size: cfg.injection_size,
+        use_actual_cost: cfg.materialize.is_some(),
+        seed,
+    };
+    run_stress_test(advisor.as_mut(), injector.as_mut(), db, normal, &scfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipa_ia::TrajectoryMode;
+
+    #[test]
+    fn injector_kinds_cover_the_paper() {
+        let all = InjectorKind::all();
+        assert_eq!(all.len(), 6);
+        assert!(InjectorKind::Tp.is_random_baseline());
+        assert!(InjectorKind::Fsm.is_random_baseline());
+        assert!(InjectorKind::IR.is_random_baseline());
+        assert!(!InjectorKind::Pipa.is_random_baseline());
+        assert!(!InjectorKind::PC.is_random_baseline());
+        assert!(!InjectorKind::IL.is_random_baseline());
+    }
+
+    #[test]
+    fn quick_cell_runs_end_to_end() {
+        let mut cfg = CellConfig::quick(Benchmark::TpcH);
+        cfg.preset = SpeedPreset::Test;
+        cfg.probe_epochs = 3;
+        cfg.injection_size = 6;
+        let db = build_db(&cfg);
+        let normal = normal_workload(&cfg, 1);
+        let out = run_cell(
+            &db,
+            &normal,
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            InjectorKind::Pipa,
+            &cfg,
+            1,
+        );
+        assert_eq!(out.injector, "PIPA");
+        assert!(out.baseline_cost > 0.0);
+    }
+
+    #[test]
+    fn st_backend_generates() {
+        let cfg = CellConfig::quick(Benchmark::TpcH);
+        let db = build_db(&cfg);
+        let mut g = cfg.backend.generator(3);
+        let cols = vec![db.schema().column_id("l_shipdate").unwrap()];
+        assert!(g.generate(&db, &cols, 0.5).is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! The stress-test harness: train → baseline → inject → retrain →
+//! measure (paper Figure 1's red/green flows, Definitions 2.2–2.5).
+
+use crate::injectors::Injector;
+use crate::metrics::{absolute_degradation, is_toxic};
+use pipa_ia::ClearBoxAdvisor;
+use pipa_sim::{Database, IndexConfig, Workload};
+use serde::Serialize;
+
+/// Harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Injection-workload size `N̂`.
+    pub injection_size: usize,
+    /// Measure final costs with the executor when data is materialized
+    /// (`true`) or with the analytical model (`false`).
+    pub use_actual_cost: bool,
+    /// Run seed (propagated to the injector).
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            injection_size: 18,
+            use_actual_cost: true,
+            seed: 0,
+        }
+    }
+}
+
+/// One stress-test outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct StressOutcome {
+    /// Advisor display name.
+    pub advisor: String,
+    /// Injector display name.
+    pub injector: String,
+    /// `c_b`: target-workload cost under the clean advisor's indexes.
+    pub baseline_cost: f64,
+    /// Target-workload cost under the poisoned advisor's indexes.
+    pub poisoned_cost: f64,
+    /// Absolute performance Degradation.
+    pub ad: f64,
+    /// Whether the injection met Definition 2.4.
+    pub toxic: bool,
+    /// Index names recommended before poisoning.
+    pub baseline_indexes: Vec<String>,
+    /// Index names recommended after poisoning.
+    pub poisoned_indexes: Vec<String>,
+    /// Actual injection-workload size achieved.
+    pub injection_size: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+/// Execute one full stress test against an already-constructed advisor.
+///
+/// The advisor is (re)trained from scratch on the normal workload first,
+/// so the same advisor instance can be reused across runs.
+pub fn run_stress_test(
+    advisor: &mut dyn ClearBoxAdvisor,
+    injector: &mut dyn Injector,
+    db: &Database,
+    normal: &Workload,
+    cfg: &StressConfig,
+) -> StressOutcome {
+    // Green flow: train on W, establish the performance baseline.
+    advisor.train(db, normal);
+    let clean_cfg = advisor.recommend(db, normal);
+    let baseline_cost = workload_cost(db, normal, &clean_cfg, cfg.use_actual_cost);
+
+    // Red flow: build Ŵ (the injector may probe the trained victim),
+    // retrain on {W, Ŵ}, re-measure on W.
+    let injection = injector.build(advisor, db, cfg.injection_size, cfg.seed);
+    let training = normal.union(&injection);
+    advisor.retrain(db, &training);
+    let poisoned_cfg = advisor.recommend(db, normal);
+    let poisoned_cost = workload_cost(db, normal, &poisoned_cfg, cfg.use_actual_cost);
+
+    StressOutcome {
+        advisor: advisor.name(),
+        injector: injector.name().to_string(),
+        baseline_cost,
+        poisoned_cost,
+        ad: absolute_degradation(poisoned_cost, baseline_cost),
+        toxic: is_toxic(poisoned_cost, baseline_cost),
+        baseline_indexes: index_names(db, &clean_cfg),
+        poisoned_indexes: index_names(db, &poisoned_cfg),
+        injection_size: injection.len(),
+        seed: cfg.seed,
+    }
+}
+
+fn workload_cost(db: &Database, w: &Workload, cfg: &IndexConfig, actual: bool) -> f64 {
+    if actual {
+        db.actual_workload_cost(w, cfg)
+    } else {
+        db.estimated_workload_cost(w, cfg)
+    }
+}
+
+fn index_names(db: &Database, cfg: &IndexConfig) -> Vec<String> {
+    cfg.indexes().iter().map(|i| i.name(db.schema())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injectors::{TargetedInjector, TpInjector};
+    use crate::probe::ProbeConfig;
+    use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
+    use pipa_qgen::StGenerator;
+    use pipa_workload::Benchmark;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Database, Workload) {
+        let db = Benchmark::TpcH.database(1.0, None);
+        let g = pipa_workload::generator::WorkloadGenerator::new(
+            Benchmark::TpcH.schema(),
+            Benchmark::TpcH.default_templates(),
+        );
+        let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        (db, w)
+    }
+
+    #[test]
+    fn stress_test_produces_consistent_outcome() {
+        let (db, w) = setup();
+        let mut ia = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            1,
+        );
+        let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
+        let cfg = StressConfig {
+            injection_size: 6,
+            use_actual_cost: false,
+            seed: 1,
+        };
+        let out = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        assert!(out.baseline_cost > 0.0);
+        assert!(out.poisoned_cost > 0.0);
+        let expect_ad = (out.poisoned_cost - out.baseline_cost) / out.baseline_cost;
+        assert!((out.ad - expect_ad).abs() < 1e-12);
+        assert_eq!(out.toxic, out.ad > 0.0);
+        assert_eq!(out.advisor, "DBAbandit-b");
+        assert_eq!(out.injector, "TP");
+        assert!(!out.baseline_indexes.is_empty());
+    }
+
+    #[test]
+    fn pipa_attack_on_bandit_is_toxic() {
+        // The core claim in miniature: a PIPA injection degrades a
+        // learned advisor.
+        let (db, w) = setup();
+        let mut ia = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            2,
+        );
+        let mut inj = TargetedInjector::pipa(Box::new(StGenerator::new(2)));
+        inj.probe_cfg = ProbeConfig {
+            epochs: 4,
+            queries_per_epoch: 6,
+            ..Default::default()
+        };
+        let cfg = StressConfig {
+            injection_size: 18,
+            use_actual_cost: false,
+            seed: 2,
+        };
+        let out = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        assert!(
+            out.ad > -0.05,
+            "PIPA should not substantially help the victim: AD {}",
+            out.ad
+        );
+    }
+
+    #[test]
+    fn reusing_the_advisor_across_runs_is_safe() {
+        let (db, w) = setup();
+        let mut ia = build_clear_box(
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            SpeedPreset::Test,
+            3,
+        );
+        let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
+        let cfg = StressConfig {
+            injection_size: 4,
+            use_actual_cost: false,
+            seed: 3,
+        };
+        let a = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        let b = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        // Baselines agree because `train` resets the advisor.
+        assert!((a.baseline_cost - b.baseline_cost).abs() < 1e-6);
+    }
+}

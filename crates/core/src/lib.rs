@@ -1,0 +1,58 @@
+//! # pipa-core — the PIPA stress-test framework
+//!
+//! The paper's contribution, end to end:
+//!
+//! * [`preference`] — the indexing-preference ranking `k` (Eq. 5–8) and
+//!   its top/mid/low segmentation (§5, §6.4);
+//! * [`probe`] — the opaque-box probing stage (Algorithm 1, Eq. 9);
+//! * [`inject`] — the toxic-injection stage (Algorithm 2, including the
+//!   line-4 "mid beats top" filter);
+//! * [`injectors`] — PIPA plus the TP / FSM / I-R / I-L / P-C baselines;
+//! * [`metrics`] — AD / RD / toxicity (Definitions 2.3–2.5);
+//! * [`harness`] — train → baseline → inject → retrain → measure;
+//! * [`defense`] — retraining canaries and provenance screening (the
+//!   mitigations the paper's insights point DBAs at);
+//! * [`experiment`] — shared plumbing for the per-figure binaries;
+//! * [`report`] — console tables and JSON artifacts.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use pipa_core::{experiment::*, metrics::Stats};
+//! use pipa_ia::{AdvisorKind, TrajectoryMode};
+//! use pipa_workload::Benchmark;
+//!
+//! let cfg = CellConfig::quick(Benchmark::TpcH);
+//! let db = build_db(&cfg);
+//! let normal = normal_workload(&cfg, 0);
+//! let out = run_cell(
+//!     &db,
+//!     &normal,
+//!     AdvisorKind::Dqn(TrajectoryMode::Best),
+//!     InjectorKind::Pipa,
+//!     &cfg,
+//!     0,
+//! );
+//! println!("AD = {:.3} (toxic: {})", out.ad, out.toxic);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defense;
+pub mod experiment;
+pub mod harness;
+pub mod inject;
+pub mod injectors;
+pub mod metrics;
+pub mod preference;
+pub mod probe;
+pub mod report;
+
+pub use defense::{CanaryGuard, ProvenanceFilter};
+pub use experiment::{CellConfig, GenBackend, InjectorKind};
+pub use harness::{run_stress_test, StressConfig, StressOutcome};
+pub use inject::{inject, InjectConfig, InjectResult};
+pub use injectors::{Injector, TargetedInjector, TpInjector};
+pub use metrics::{absolute_degradation, is_toxic, relative_degradation, Stats};
+pub use preference::{segment, IndexingPreference, SegmentConfig, Segments};
+pub use probe::{probe, ProbeConfig, ProbeResult};

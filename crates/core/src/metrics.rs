@@ -1,0 +1,147 @@
+//! Robustness metrics: Absolute and Relative performance Degradation
+//! (paper Definitions 2.3–2.5) plus the aggregation statistics the
+//! figures report (means, standard deviations, box-plot quartiles).
+
+/// Absolute performance Degradation: the relative increase in the target
+/// workload's execution cost after the advisor is retrained on the
+/// polluted training set (Definition 2.3).
+pub fn absolute_degradation(poisoned_cost: f64, baseline_cost: f64) -> f64 {
+    if baseline_cost <= 0.0 {
+        return 0.0;
+    }
+    (poisoned_cost - baseline_cost) / baseline_cost
+}
+
+/// Relative performance Degradation: how much a toxic injection exceeds
+/// the degradation expected from random injections (Definition 2.5).
+pub fn relative_degradation(ad_toxic: f64, ad_random_mean: f64) -> f64 {
+    ad_toxic - ad_random_mean
+}
+
+/// Whether an injection was toxic (Definition 2.4).
+pub fn is_toxic(poisoned_cost: f64, baseline_cost: f64) -> bool {
+    poisoned_cost > baseline_cost
+}
+
+/// Summary statistics over repeated runs (box-plot material).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Compute over a sample (empty input yields zeros).
+    pub fn from_samples(xs: &[f64]) -> Stats {
+        if xs.is_empty() {
+            return Stats {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Stats {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Linear-interpolated quantile of a sorted sample.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ad_is_relative_increase() {
+        assert!((absolute_degradation(120.0, 100.0) - 0.2).abs() < 1e-12);
+        assert!((absolute_degradation(80.0, 100.0) + 0.2).abs() < 1e-12);
+        assert_eq!(absolute_degradation(50.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn toxicity_matches_definition() {
+        assert!(is_toxic(101.0, 100.0));
+        assert!(!is_toxic(100.0, 100.0));
+        assert!(!is_toxic(90.0, 100.0));
+    }
+
+    #[test]
+    fn rd_subtracts_random_expectation() {
+        assert!((relative_degradation(0.5, 0.1) - 0.4).abs() < 1e-12);
+        assert!(relative_degradation(0.1, 0.5) < 0.0);
+    }
+
+    #[test]
+    fn stats_over_known_sample() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.q1 - 2.0).abs() < 1e-12);
+        assert!((s.q3 - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_handle_empty_and_singleton() {
+        let e = Stats::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        let s = Stats::from_samples(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

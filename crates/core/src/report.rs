@@ -1,0 +1,117 @@
+//! Result reporting: aligned console tables (the format the experiment
+//! binaries print) and JSON artifacts for EXPERIMENTS.md bookkeeping.
+
+use crate::metrics::Stats;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render an aligned console table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a [`Stats`] as the usual `mean ± std [min, q1, med, q3, max]`
+/// box-plot summary.
+pub fn format_stats(s: &Stats) -> String {
+    format!(
+        "{:+.3} ± {:.3}  [{:+.3} {:+.3} {:+.3} {:+.3} {:+.3}]",
+        s.mean, s.std, s.min, s.q1, s.median, s.q3, s.max
+    )
+}
+
+/// A named experiment artifact that serializes to JSON for record
+/// keeping (EXPERIMENTS.md links these).
+#[derive(Debug, Serialize)]
+pub struct ExperimentArtifact<T: Serialize> {
+    /// Experiment id (e.g. `"fig7"`).
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Free-form parameter summary.
+    pub params: String,
+    /// Result payload.
+    pub results: T,
+}
+
+impl<T: Serialize> ExperimentArtifact<T> {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+
+    /// Write next to the repository root (best effort; experiments print
+    /// their tables regardless).
+    pub fn save(&self, dir: &str) -> std::io::Result<String> {
+        std::fs::create_dir_all(dir)?;
+        let path = format!("{dir}/{}.json", self.id);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.0".to_string()],
+                vec!["longer".to_string(), "2".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn stats_formatting_is_stable() {
+        let s = Stats::from_samples(&[0.1, 0.2, 0.3]);
+        let f = format_stats(&s);
+        assert!(f.contains("±"));
+        assert!(f.starts_with("+0.200"));
+    }
+
+    #[test]
+    fn artifact_serializes() {
+        let a = ExperimentArtifact {
+            id: "test".to_string(),
+            description: "d".to_string(),
+            params: "p".to_string(),
+            results: vec![1.0, 2.0],
+        };
+        let j = a.to_json();
+        assert!(j.contains("\"id\": \"test\""));
+    }
+}

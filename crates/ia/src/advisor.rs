@@ -1,0 +1,146 @@
+//! The opaque-box advisor interface.
+//!
+//! PIPA (and any user of an index advisor) sees exactly this surface:
+//! train on a workload, retrain when the workload changes, recommend
+//! indexes for a workload. Nothing about the learning algorithm leaks
+//! through — which is what makes the paper's evaluator "opaque-box".
+//!
+//! The clear-box escape hatch [`ClearBoxAdvisor`] exists only for the
+//! paper's P-C baseline (§6.2), which reads the victim's actual internal
+//! column preferences to build a near-optimal comparison attack.
+
+use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+
+/// Trajectory-selection variant (paper §6.1): `-b` keeps the best
+/// trajectory's parameters, `-m` keeps the average parameters of the last
+/// trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrajectoryMode {
+    /// Keep the best trajectory (`IA-b`).
+    Best,
+    /// Keep the mean of the last `n` trajectories (`IA-m`).
+    MeanLast(usize),
+}
+
+impl TrajectoryMode {
+    /// Suffix used in advisor names (`"b"` / `"m"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            TrajectoryMode::Best => "b",
+            TrajectoryMode::MeanLast(_) => "m",
+        }
+    }
+}
+
+/// A learning-based (or heuristic) index advisor.
+pub trait IndexAdvisor {
+    /// Display name, e.g. `"DQN-b"`.
+    fn name(&self) -> String;
+
+    /// Train from scratch on a workload (the paper's initial training on
+    /// the target workload `W`).
+    fn train(&mut self, db: &Database, workload: &Workload);
+
+    /// Update on a new training workload *without* resetting parameters
+    /// (the paper's re-training on `{W, Ŵ}`; learned advisors fine-tune,
+    /// heuristics ignore this).
+    fn retrain(&mut self, db: &Database, workload: &Workload);
+
+    /// Recommend an index configuration for a workload. Trial-based
+    /// advisors run trial trajectories here; one-off advisors predict
+    /// directly.
+    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig;
+
+    /// Index-count budget `B`.
+    fn budget(&self) -> usize;
+
+    /// Whether inference runs trial trajectories (`true`) or predicts in
+    /// one shot (`false`). Affects how the stress test interprets
+    /// robustness (paper §6.2 "trial-based vs one-off").
+    fn is_trial_based(&self) -> bool;
+
+    /// Reward trace of the most recent training/retraining run, one entry
+    /// per trajectory (used to reproduce Figure 8's learning curves).
+    fn reward_trace(&self) -> &[f64] {
+        &[]
+    }
+}
+
+/// Clear-box introspection for the P-C baseline: the advisor's actual
+/// internal preference for each indexable column.
+pub trait ClearBoxAdvisor: IndexAdvisor {
+    /// `(column, internal weight)` pairs, higher = more preferred.
+    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)>;
+}
+
+/// Identifier for the advisors in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdvisorKind {
+    /// Deep Q-Network ([20]), trial-based.
+    Dqn(TrajectoryMode),
+    /// DRLindex ([29, 30]): DQN with sparse workload×column state and
+    /// `1/cost` reward, trial-based.
+    DrlIndex(TrajectoryMode),
+    /// DBABandit ([26]): C²UCB multi-armed bandit, trial-based
+    /// (converges fast: 20 trajectories).
+    DbaBandit(TrajectoryMode),
+    /// SWIRL ([19]): PPO-style policy with invalid-action masking,
+    /// one-off.
+    Swirl,
+}
+
+impl AdvisorKind {
+    /// The seven advisor variants of the paper's main experiment.
+    pub fn all_seven() -> Vec<AdvisorKind> {
+        use TrajectoryMode::*;
+        vec![
+            AdvisorKind::Dqn(Best),
+            AdvisorKind::Dqn(MeanLast(100)),
+            AdvisorKind::DrlIndex(Best),
+            AdvisorKind::DrlIndex(MeanLast(100)),
+            AdvisorKind::DbaBandit(Best),
+            AdvisorKind::DbaBandit(MeanLast(10)),
+            AdvisorKind::Swirl,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> String {
+        match self {
+            AdvisorKind::Dqn(m) => format!("DQN-{}", m.suffix()),
+            AdvisorKind::DrlIndex(m) => format!("DRLindex-{}", m.suffix()),
+            AdvisorKind::DbaBandit(m) => format!("DBAbandit-{}", m.suffix()),
+            AdvisorKind::Swirl => "SWIRL".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_variants_with_paper_labels() {
+        let all = AdvisorKind::all_seven();
+        assert_eq!(all.len(), 7);
+        let labels: Vec<String> = all.iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "DQN-b",
+                "DQN-m",
+                "DRLindex-b",
+                "DRLindex-m",
+                "DBAbandit-b",
+                "DBAbandit-m",
+                "SWIRL"
+            ]
+        );
+    }
+
+    #[test]
+    fn trajectory_suffixes() {
+        assert_eq!(TrajectoryMode::Best.suffix(), "b");
+        assert_eq!(TrajectoryMode::MeanLast(100).suffix(), "m");
+    }
+}

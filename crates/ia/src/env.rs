@@ -1,0 +1,243 @@
+//! The index-selection environment shared by the RL advisors.
+//!
+//! An episode ("trajectory" in the paper) starts from the empty index
+//! configuration and adds one single-column index per step until the
+//! budget `B` is exhausted. The reward is the *relative cost reduction*
+//! of the workload, the quantity most learned IAs optimize (paper Eq. 7);
+//! DRLindex plugs in its own `1/cost` reward.
+//!
+//! Rewards are scaled by [`REWARD_SCALE`] so learning curves land in the
+//! 0–20 range the paper's Figure 8 plots.
+
+use pipa_sim::{ColumnId, Database, Index, IndexConfig, Workload};
+
+/// Reward multiplier (presentation only; affects no ordering).
+pub const REWARD_SCALE: f64 = 20.0;
+
+/// The environment for one workload.
+pub struct IndexEnv<'a> {
+    db: &'a Database,
+    workload: &'a Workload,
+    /// Action space: candidate columns for single-column indexes.
+    pub candidates: Vec<ColumnId>,
+    /// Index-count budget.
+    pub budget: usize,
+    base_cost: f64,
+}
+
+/// State of an in-progress episode.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Indexes chosen so far.
+    pub config: IndexConfig,
+    /// Actions (candidate positions) already taken.
+    pub taken: Vec<usize>,
+    /// Cost of the workload under the current config.
+    pub current_cost: f64,
+}
+
+impl<'a> IndexEnv<'a> {
+    /// New environment over a candidate set.
+    pub fn new(
+        db: &'a Database,
+        workload: &'a Workload,
+        candidates: Vec<ColumnId>,
+        budget: usize,
+    ) -> Self {
+        let base_cost = db.estimated_workload_cost(workload, &IndexConfig::empty());
+        IndexEnv {
+            db,
+            workload,
+            candidates,
+            budget,
+            base_cost,
+        }
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    /// Workload cost with no indexes.
+    pub fn base_cost(&self) -> f64 {
+        self.base_cost
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Start an episode from the empty configuration.
+    pub fn reset(&self) -> Episode {
+        Episode {
+            config: IndexConfig::empty(),
+            taken: Vec::new(),
+            current_cost: self.base_cost,
+        }
+    }
+
+    /// Whether the episode is finished (budget used or no actions left).
+    pub fn done(&self, ep: &Episode) -> bool {
+        ep.taken.len() >= self.budget || ep.taken.len() >= self.candidates.len()
+    }
+
+    /// Apply action `a` (an index into `candidates`). Returns the step
+    /// reward: the scaled relative cost reduction this index added.
+    pub fn step(&self, ep: &mut Episode, a: usize) -> f64 {
+        debug_assert!(!ep.taken.contains(&a), "action repeated");
+        let col = self.candidates[a];
+        ep.config.add(Index::single(col));
+        ep.taken.push(a);
+        let new_cost = self.db.estimated_workload_cost(self.workload, &ep.config);
+        let reward = if self.base_cost > 0.0 {
+            (ep.current_cost - new_cost) / self.base_cost * REWARD_SCALE
+        } else {
+            0.0
+        };
+        ep.current_cost = new_cost;
+        reward
+    }
+
+    /// Total scaled benefit of an episode's final configuration.
+    pub fn episode_return(&self, ep: &Episode) -> f64 {
+        if self.base_cost > 0.0 {
+            (self.base_cost - ep.current_cost) / self.base_cost * REWARD_SCALE
+        } else {
+            0.0
+        }
+    }
+
+    /// Valid (not yet taken) actions.
+    pub fn valid_actions(&self, ep: &Episode) -> Vec<usize> {
+        (0..self.candidates.len())
+            .filter(|a| !ep.taken.contains(a))
+            .collect()
+    }
+
+    /// Greedy rollout using a per-action scoring function; used for
+    /// decoding a configuration from learned parameters.
+    pub fn greedy_rollout(&self, mut score: impl FnMut(&Episode, usize) -> f64) -> Episode {
+        let mut ep = self.reset();
+        while !self.done(&ep) {
+            let Some(best) = self
+                .valid_actions(&ep)
+                .into_iter()
+                .max_by(|&x, &y| score(&ep, x).total_cmp(&score(&ep, y)))
+            else {
+                break;
+            };
+            self.step(&mut ep, best);
+        }
+        ep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipa_workload::Benchmark;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Database, Workload) {
+        let db = Benchmark::TpcH.database(1.0, None);
+        let g = pipa_workload::generator::WorkloadGenerator::new(
+            Benchmark::TpcH.schema(),
+            Benchmark::TpcH.default_templates(),
+        );
+        let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        (db, w)
+    }
+
+    #[test]
+    fn episode_runs_to_budget() {
+        let (db, w) = setup();
+        let cands = db.schema().indexable_columns();
+        let env = IndexEnv::new(&db, &w, cands, 4);
+        let mut ep = env.reset();
+        let mut steps = 0;
+        while !env.done(&ep) {
+            let a = env.valid_actions(&ep)[0];
+            env.step(&mut ep, a);
+            steps += 1;
+        }
+        assert_eq!(steps, 4);
+        assert_eq!(ep.config.len(), 4);
+    }
+
+    #[test]
+    fn rewards_sum_to_episode_return() {
+        let (db, w) = setup();
+        let cands = db.schema().indexable_columns();
+        let env = IndexEnv::new(&db, &w, cands, 4);
+        let mut ep = env.reset();
+        let mut total = 0.0;
+        for a in [5, 10, 40, 50] {
+            total += env.step(&mut ep, a);
+        }
+        assert!((total - env.episode_return(&ep)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useful_index_gives_positive_reward() {
+        let (db, w) = setup();
+        let ship = db.schema().column_id("l_shipdate").unwrap();
+        let comment = db.schema().column_id("l_comment").unwrap();
+        let env = IndexEnv::new(&db, &w, vec![ship, comment], 2);
+        let mut ep = env.reset();
+        let r_good = env.step(&mut ep, 0);
+        let r_useless = env.step(&mut ep, 1);
+        assert!(r_good > 0.0, "l_shipdate reward {r_good}");
+        assert!(r_useless.abs() < 1e-9, "l_comment reward {r_useless}");
+    }
+
+    #[test]
+    fn greedy_rollout_with_oracle_score_beats_random() {
+        let (db, w) = setup();
+        let cands = db.schema().indexable_columns();
+        let env = IndexEnv::new(&db, &w, cands.clone(), 4);
+        // Oracle: score by true marginal benefit.
+        let oracle = env.greedy_rollout(|ep, a| {
+            let mut cfg = ep.config.clone();
+            cfg.add(Index::single(env.candidates[a]));
+            -db.estimated_workload_cost(&w, &cfg)
+        });
+        // Random: first four candidates.
+        let mut random = env.reset();
+        for a in 0..4 {
+            env.step(&mut random, a);
+        }
+        assert!(
+            env.episode_return(&oracle) > env.episode_return(&random),
+            "oracle {} vs random {}",
+            env.episode_return(&oracle),
+            env.episode_return(&random)
+        );
+        assert!(env.episode_return(&oracle) > 0.5);
+    }
+
+    #[test]
+    fn valid_actions_shrink() {
+        let (db, w) = setup();
+        let cands: Vec<ColumnId> = db
+            .schema()
+            .indexable_columns()
+            .into_iter()
+            .take(6)
+            .collect();
+        let env = IndexEnv::new(&db, &w, cands, 3);
+        let mut ep = env.reset();
+        assert_eq!(env.valid_actions(&ep).len(), 6);
+        env.step(&mut ep, 2);
+        let v = env.valid_actions(&ep);
+        assert_eq!(v.len(), 5);
+        assert!(!v.contains(&2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Construction of the paper's seven advisor variants with speed presets.
+//!
+//! The paper runs 400 trajectories per workload (20 for DBABandit); that
+//! is [`SpeedPreset::Paper`]. [`SpeedPreset::Quick`] shrinks trajectory
+//! counts ~5× for CI and interactive use — the attack dynamics survive
+//! (all experiment binaries accept `--quick`), only the variance grows.
+
+use crate::advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor};
+use crate::bandit::{BanditAdvisor, BanditConfig};
+use crate::dqn::{DqnAdvisor, DqnConfig};
+use crate::drlindex::{DrlIndexAdvisor, DrlIndexConfig};
+use crate::swirl::{SwirlAdvisor, SwirlConfig};
+
+/// How much compute to spend on training/trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedPreset {
+    /// Paper-scale trajectory counts (400 / 20).
+    Paper,
+    /// ~5× fewer trajectories; same dynamics, more variance.
+    Quick,
+    /// Tiny counts for unit tests.
+    Test,
+}
+
+impl SpeedPreset {
+    fn dqn(self, seed: u64) -> DqnConfig {
+        let mut c = match self {
+            SpeedPreset::Paper => DqnConfig::default(),
+            SpeedPreset::Quick => DqnConfig {
+                train_trajectories: 100,
+                trial_trajectories: 40,
+                ..DqnConfig::default()
+            },
+            SpeedPreset::Test => DqnConfig::fast(),
+        };
+        c.seed = seed;
+        c
+    }
+
+    fn drl(self, seed: u64) -> DrlIndexConfig {
+        let mut c = match self {
+            SpeedPreset::Paper => DrlIndexConfig::default(),
+            SpeedPreset::Quick => DrlIndexConfig {
+                train_trajectories: 250,
+                trial_trajectories: 40,
+                ..DrlIndexConfig::default()
+            },
+            SpeedPreset::Test => DrlIndexConfig::fast(),
+        };
+        c.seed = seed;
+        c
+    }
+
+    fn bandit(self, seed: u64) -> BanditConfig {
+        let mut c = match self {
+            SpeedPreset::Paper => BanditConfig::default(),
+            SpeedPreset::Quick => BanditConfig::default(),
+            SpeedPreset::Test => BanditConfig::fast(),
+        };
+        c.seed = seed;
+        c
+    }
+
+    fn swirl(self, seed: u64) -> SwirlConfig {
+        let mut c = match self {
+            SpeedPreset::Paper => SwirlConfig::default(),
+            SpeedPreset::Quick => SwirlConfig {
+                train_episodes: 200,
+                ..SwirlConfig::default()
+            },
+            SpeedPreset::Test => SwirlConfig::fast(),
+        };
+        c.seed = seed;
+        c
+    }
+}
+
+/// Build an advisor by kind.
+pub fn build_advisor(kind: AdvisorKind, preset: SpeedPreset, seed: u64) -> Box<dyn IndexAdvisor> {
+    match kind {
+        AdvisorKind::Dqn(m) => Box::new(DqnAdvisor::new(m, preset.dqn(seed))),
+        AdvisorKind::DrlIndex(m) => Box::new(DrlIndexAdvisor::new(m, preset.drl(seed))),
+        AdvisorKind::DbaBandit(m) => Box::new(BanditAdvisor::new(m, preset.bandit(seed))),
+        AdvisorKind::Swirl => Box::new(SwirlAdvisor::new(preset.swirl(seed))),
+    }
+}
+
+/// Build an advisor with clear-box introspection (for the P-C baseline).
+pub fn build_clear_box(
+    kind: AdvisorKind,
+    preset: SpeedPreset,
+    seed: u64,
+) -> Box<dyn ClearBoxAdvisor> {
+    match kind {
+        AdvisorKind::Dqn(m) => Box::new(DqnAdvisor::new(m, preset.dqn(seed))),
+        AdvisorKind::DrlIndex(m) => Box::new(DrlIndexAdvisor::new(m, preset.drl(seed))),
+        AdvisorKind::DbaBandit(m) => Box::new(BanditAdvisor::new(m, preset.bandit(seed))),
+        AdvisorKind::Swirl => Box::new(SwirlAdvisor::new(preset.swirl(seed))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_constructs() {
+        for kind in AdvisorKind::all_seven() {
+            let ia = build_advisor(kind, SpeedPreset::Test, 1);
+            assert_eq!(ia.name(), kind.label());
+            assert_eq!(ia.budget(), 4);
+        }
+    }
+
+    #[test]
+    fn trial_basedness_matches_paper() {
+        for kind in AdvisorKind::all_seven() {
+            let ia = build_advisor(kind, SpeedPreset::Test, 1);
+            let expect = kind != AdvisorKind::Swirl;
+            assert_eq!(ia.is_trial_based(), expect, "{}", ia.name());
+        }
+    }
+}

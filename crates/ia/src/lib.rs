@@ -1,0 +1,41 @@
+//! # pipa-ia — learning-based index advisors
+//!
+//! From-scratch re-implementations of the four learned index advisors the
+//! paper stress-tests, behind one opaque-box [`advisor::IndexAdvisor`]
+//! trait:
+//!
+//! * [`dqn::DqnAdvisor`] — Deep Q-Network with heuristic candidate
+//!   filtering and trial-based inference;
+//! * [`drlindex::DrlIndexAdvisor`] — DQN over a sparse query×column state
+//!   with the over-sensitive `1/cost` reward;
+//! * [`bandit::BanditAdvisor`] — C²UCB combinatorial bandit with the
+//!   arm-update trigger;
+//! * [`swirl::SwirlAdvisor`] — PPO-style policy with invalid-action
+//!   masking and one-off inference;
+//!
+//! plus heuristic baselines ([`heuristic::AutoAdminGreedy`],
+//! [`heuristic::DropHeuristic`]) whose AD is zero by construction.
+//!
+//! [`factory::build_advisor`] constructs any of the paper's seven
+//! advisor variants with speed presets.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod bandit;
+pub mod dqn;
+pub mod drlindex;
+pub mod env;
+pub mod factory;
+pub mod features;
+pub mod heuristic;
+pub mod swirl;
+
+pub use advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
+pub use bandit::{BanditAdvisor, BanditConfig};
+pub use dqn::{DqnAdvisor, DqnConfig};
+pub use drlindex::{DrlIndexAdvisor, DrlIndexConfig};
+pub use env::IndexEnv;
+pub use factory::{build_advisor, build_clear_box, SpeedPreset};
+pub use heuristic::{AutoAdminGreedy, DropHeuristic};
+pub use swirl::{SwirlAdvisor, SwirlConfig};

@@ -1,0 +1,139 @@
+//! Multilayer perceptrons — the function approximators behind DQN,
+//! DRLindex, and SWIRL.
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// A feed-forward network with uniform hidden activations and a linear
+/// output head.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `&[in, h1, h2, out]`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        sizes: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim
+    }
+
+    /// Forward pass on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward(tape, store, h);
+            if i + 1 < self.layers.len() {
+                h = match self.activation {
+                    Activation::Relu => tape.relu(h),
+                    Activation::Tanh => tape.tanh(h),
+                };
+            }
+        }
+        h
+    }
+
+    /// Inference-only forward pass (no tape bookkeeping kept around; a
+    /// throwaway tape is used internally).
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = self.forward(&mut tape, store, xv);
+        tape.value(y).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[5, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+        let y = mlp.infer(&store, &Tensor::zeros(4, 5));
+        assert_eq!((y.rows, y.cols), (4, 3));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the classic nonlinear sanity check: a linear model cannot
+        // fit it, an MLP with one hidden layer can.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[2, 8, 1], Activation::Tanh, &mut rng);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..800 {
+            store.zero_grads();
+            for (x, t) in &data {
+                let mut tape = Tape::new();
+                let xv = tape.constant(Tensor::row(x.to_vec()));
+                let y = mlp.forward(&mut tape, &store, xv);
+                let l = tape.mse_selected(y, &[(0, 0, *t)]);
+                tape.backward(l, &mut store);
+            }
+            opt.step(&mut store);
+        }
+        for (x, t) in &data {
+            let y = mlp.infer(&store, &Tensor::row(x.to_vec())).data[0];
+            assert!((y - t).abs() < 0.25, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut store = ParamStore::new();
+            let mlp = Mlp::new(&mut store, "m", &[3, 4, 2], Activation::Relu, &mut rng);
+            mlp.infer(&store, &Tensor::row(vec![0.1, 0.2, 0.3])).data
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,204 @@
+//! Optimizers: SGD (with optional momentum) and Adam, both with global
+//! gradient-norm clipping.
+
+use crate::params::ParamStore;
+
+/// An optimizer consumes accumulated gradients and updates parameters.
+pub trait Optimizer {
+    /// Apply one update step from the store's current gradients.
+    /// Gradients are left untouched; call [`ParamStore::zero_grads`]
+    /// before the next accumulation.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Global gradient-norm clip (0 disables clipping).
+    pub clip: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum and clipping.
+    pub fn with_options(lr: f32, momentum: f32, clip: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            clip,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let scale = clip_scale(store, self.clip);
+        let ids: Vec<_> = store.ids().collect();
+        if self.momentum > 0.0 && self.velocity.is_empty() {
+            self.velocity = ids
+                .iter()
+                .map(|&id| vec![0.0; store.value(id).len()])
+                .collect();
+        }
+        for (k, id) in ids.into_iter().enumerate() {
+            let grad: Vec<f32> = store.grad(id).data.iter().map(|&g| g * scale).collect();
+            let value = store.value_mut(id);
+            if self.momentum > 0.0 {
+                let vel = &mut self.velocity[k];
+                for ((v, w), g) in vel.iter_mut().zip(&mut value.data).zip(&grad) {
+                    *v = self.momentum * *v + g;
+                    *w -= self.lr * *v;
+                }
+            } else {
+                for (w, g) in value.data.iter_mut().zip(&grad) {
+                    *w -= self.lr * g;
+                }
+            }
+        }
+    }
+}
+
+/// Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 1.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let scale = clip_scale(store, self.clip);
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.is_empty() {
+            self.m = ids
+                .iter()
+                .map(|&id| vec![0.0; store.value(id).len()])
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (k, id) in ids.into_iter().enumerate() {
+            let grad: Vec<f32> = store.grad(id).data.iter().map(|&g| g * scale).collect();
+            let (m, v) = (&mut self.m[k], &mut self.v[k]);
+            let value = store.value_mut(id);
+            for i in 0..grad.len() {
+                let g = grad[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                value.data[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+fn clip_scale(store: &ParamStore, clip: f32) -> f32 {
+    if clip <= 0.0 {
+        return 1.0;
+    }
+    let norm = store.grad_norm();
+    if norm > clip {
+        clip / norm
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    /// Minimize f(w) = (w - 3)^2 starting from 0.
+    fn quadratic_descends(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(1, 1, vec![0.0]));
+        for _ in 0..iters {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let w = tape.param(&store, id);
+            let loss = tape.mse_selected(w, &[(0, 0, 3.0)]);
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        store.value(id).data[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = quadratic_descends(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = quadratic_descends(&mut Sgd::with_options(0.05, 0.9, 0.0), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = quadratic_descends(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(1, 1, vec![0.0]));
+        // Huge handmade gradient.
+        store.accumulate_grad(id, &Tensor::from_vec(1, 1, vec![1e6]));
+        let mut opt = Sgd::with_options(1.0, 0.0, 1.0);
+        opt.step(&mut store);
+        assert!(
+            store.value(id).data[0].abs() <= 1.0 + 1e-6,
+            "clipped update should be ≤ lr·clip"
+        );
+    }
+}

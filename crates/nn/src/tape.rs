@@ -1,0 +1,675 @@
+//! Reverse-mode automatic differentiation over a per-forward-pass tape.
+//!
+//! Each op appends a node holding its output value, its parents, and a
+//! backward closure mapping the output gradient to parent gradients.
+//! Parameter leaves remember their [`ParamId`]; [`Tape::backward`]
+//! accumulates their gradients into the [`ParamStore`].
+//!
+//! The tape is rebuilt every forward pass (define-by-run), which keeps
+//! control flow (sampling, masking, variable-length sequences) trivial.
+
+// Index-based loops in these kernels mirror the maths they implement.
+#![allow(clippy::needless_range_loop)]
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+type BackFn = Box<dyn Fn(&Tensor, &[&Tensor]) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    back: Option<BackFn>,
+    param: Option<ParamId>,
+}
+
+/// The autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Fresh tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(
+        &mut self,
+        value: Tensor,
+        parents: Vec<usize>,
+        back: Option<BackFn>,
+        param: Option<ParamId>,
+    ) -> Var {
+        self.nodes.push(Node {
+            value,
+            parents,
+            back,
+            param,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Leaf for a model parameter (value copied from the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), vec![], None, Some(id))
+    }
+
+    /// Leaf for a constant input (no gradient flows into it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, vec![], None, None)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps| {
+                let (a, b) = (ps[0], ps[1]);
+                vec![g.matmul_t(b), a.t_matmul(g)]
+            })),
+            None,
+        )
+    }
+
+    /// `a @ b^T`.
+    pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.matmul_t(&self.nodes[b.0].value);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps| {
+                let (a, b) = (ps[0], ps[1]);
+                // out = a b^T : da = g b ; db = g^T a
+                vec![g.matmul(b), g.t_matmul(a)]
+            })),
+            None,
+        )
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(|g, _| vec![g.clone(), g.clone()])),
+            None,
+        )
+    }
+
+    /// Add a `(1, n)` bias row to every row of `a`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let out = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(
+            out,
+            vec![a.0, bias.0],
+            Some(Box::new(|g, _| vec![g.clone(), g.sum_rows()])),
+            None,
+        )
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let out = self.nodes[a.0].value.scale(k);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, _| vec![g.scale(k)])),
+            None,
+        )
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let out = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(|g, ps| {
+                let x = ps[0];
+                let data = g
+                    .data
+                    .iter()
+                    .zip(&x.data)
+                    .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                    .collect();
+                vec![Tensor::from_vec(g.rows, g.cols, data)]
+            })),
+            None,
+        )
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out = self.nodes[a.0].value.map(f32::tanh);
+        let cached = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, _| {
+                let data = g
+                    .data
+                    .iter()
+                    .zip(&cached.data)
+                    .map(|(&gv, &y)| gv * (1.0 - y * y))
+                    .collect();
+                vec![Tensor::from_vec(g.rows, g.cols, data)]
+            })),
+            None,
+        )
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let out = self.nodes[a.0].value.softmax_rows();
+        let cached = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, _| {
+                // dL/dx_i = y_i (g_i - Σ_j g_j y_j) per row.
+                let mut dx = Tensor::zeros(g.rows, g.cols);
+                for r in 0..g.rows {
+                    let y = cached.row_slice(r);
+                    let gr = g.row_slice(r);
+                    let dot: f32 = y.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                    let drow = &mut dx.data[r * g.cols..(r + 1) * g.cols];
+                    for ((d, &yv), &gv) in drow.iter_mut().zip(y).zip(gr) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                vec![dx]
+            })),
+            None,
+        )
+    }
+
+    /// Add a constant tensor (e.g. an attention mask of `-inf`/0).
+    pub fn add_const(&mut self, a: Var, c: Tensor) -> Var {
+        let out = self.nodes[a.0].value.add(&c);
+        self.push(out, vec![a.0], Some(Box::new(|g, _| vec![g.clone()])), None)
+    }
+
+    /// Row-wise layer normalization with learned gain/bias (`(1, n)`).
+    pub fn layer_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let x = &self.nodes[a.0].value;
+        let g = &self.nodes[gamma.0].value;
+        let b = &self.nodes[beta.0].value;
+        let n = x.cols;
+        let mut out = Tensor::zeros(x.rows, n);
+        let mut xhat = Tensor::zeros(x.rows, n);
+        let mut inv_std = vec![0.0f32; x.rows];
+        for r in 0..x.rows {
+            let row = x.row_slice(r);
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            inv_std[r] = inv;
+            for c in 0..n {
+                let xh = (row[c] - mean) * inv;
+                xhat.data[r * n + c] = xh;
+                out.data[r * n + c] = xh * g.data[c] + b.data[c];
+            }
+        }
+        let gamma_val = g.clone();
+        self.push(
+            out,
+            vec![a.0, gamma.0, beta.0],
+            Some(Box::new(move |gout, _| {
+                let rows = gout.rows;
+                let n = gout.cols;
+                let mut dx = Tensor::zeros(rows, n);
+                let mut dgamma = Tensor::zeros(1, n);
+                let mut dbeta = Tensor::zeros(1, n);
+                for r in 0..rows {
+                    let go = gout.row_slice(r);
+                    let xh = xhat.row_slice(r);
+                    // dxhat = go * gamma
+                    let dxhat: Vec<f32> = go
+                        .iter()
+                        .zip(&gamma_val.data)
+                        .map(|(&a, &b)| a * b)
+                        .collect();
+                    let sum_dxhat: f32 = dxhat.iter().sum();
+                    let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(&a, &b)| a * b).sum();
+                    let inv = inv_std[r];
+                    for c in 0..n {
+                        dx.data[r * n + c] = inv / n as f32
+                            * (n as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
+                        dgamma.data[c] += go[c] * xh[c];
+                        dbeta.data[c] += go[c];
+                    }
+                }
+                vec![dx, dgamma, dbeta]
+            })),
+            None,
+        )
+    }
+
+    /// Embedding lookup: rows of `weight` selected by `ids`.
+    pub fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
+        let w = &self.nodes[weight.0].value;
+        let dim = w.cols;
+        let mut out = Tensor::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.data[r * dim..(r + 1) * dim].copy_from_slice(&w.data[id * dim..(id + 1) * dim]);
+        }
+        let ids_owned: Vec<usize> = ids.to_vec();
+        let (wrows, wcols) = (w.rows, w.cols);
+        self.push(
+            out,
+            vec![weight.0],
+            Some(Box::new(move |g, _| {
+                let mut dw = Tensor::zeros(wrows, wcols);
+                for (r, &id) in ids_owned.iter().enumerate() {
+                    let src = &g.data[r * wcols..(r + 1) * wcols];
+                    let dst = &mut dw.data[id * wcols..(id + 1) * wcols];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s;
+                    }
+                }
+                vec![dw]
+            })),
+            None,
+        )
+    }
+
+    /// Mean weighted cross-entropy between row logits and target class
+    /// indices. `weights[i] = 0` masks a row out. Returns a `(1,1)` loss.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize], weights: &[f32]) -> Var {
+        let l = &self.nodes[logits.0].value;
+        assert_eq!(l.rows, targets.len());
+        assert_eq!(l.rows, weights.len());
+        let probs = l.softmax_rows();
+        let wsum: f32 = weights.iter().sum::<f32>().max(1e-8);
+        let mut loss = 0.0f32;
+        for (r, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+            if w != 0.0 {
+                loss -= w * probs.get(r, t).max(1e-12).ln();
+            }
+        }
+        loss /= wsum;
+        let targets_owned = targets.to_vec();
+        let weights_owned = weights.to_vec();
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            vec![logits.0],
+            Some(Box::new(move |g, ps| {
+                let scale = g.data[0] / wsum;
+                let probs = ps[0].softmax_rows();
+                let mut dl = probs;
+                for (r, (&t, &w)) in targets_owned.iter().zip(&weights_owned).enumerate() {
+                    let row = &mut dl.data[r * dl.cols..(r + 1) * dl.cols];
+                    if w == 0.0 {
+                        row.fill(0.0);
+                        continue;
+                    }
+                    row[t] -= 1.0;
+                    for v in row.iter_mut() {
+                        *v *= w * scale;
+                    }
+                }
+                vec![dl]
+            })),
+            None,
+        )
+    }
+
+    /// Mean squared error between `pred` and a constant target, optionally
+    /// restricted to one column per row (Q-learning updates a single
+    /// action's value). Returns a `(1,1)` loss.
+    pub fn mse_selected(&mut self, pred: Var, targets: &[(usize, usize, f32)]) -> Var {
+        let p = &self.nodes[pred.0].value;
+        let n = targets.len().max(1) as f32;
+        let mut loss = 0.0f32;
+        for &(r, c, t) in targets {
+            let d = p.get(r, c) - t;
+            loss += d * d;
+        }
+        loss /= n;
+        let targets_owned = targets.to_vec();
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            vec![pred.0],
+            Some(Box::new(move |g, ps| {
+                let p = ps[0];
+                let mut dp = Tensor::zeros(p.rows, p.cols);
+                let scale = 2.0 * g.data[0] / n;
+                for &(r, c, t) in &targets_owned {
+                    dp.data[r * p.cols + c] += scale * (p.get(r, c) - t);
+                }
+                vec![dp]
+            })),
+            None,
+        )
+    }
+
+    /// Weighted negative log-likelihood over *probability* rows:
+    /// `loss = -(1/n) Σ_r w_r · ln(p[r, t_r])`. Weights may be negative
+    /// (those rows are pushed *down*) — exactly what a policy-gradient
+    /// update with signed advantages needs.
+    pub fn weighted_nll_rows(&mut self, probs: Var, targets: &[usize], weights: &[f32]) -> Var {
+        let p = &self.nodes[probs.0].value;
+        assert_eq!(p.rows, targets.len());
+        assert_eq!(p.rows, weights.len());
+        let n = targets.len().max(1) as f32;
+        let mut loss = 0.0f32;
+        for (r, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+            loss -= w * p.get(r, t).max(1e-8).ln();
+        }
+        loss /= n;
+        let targets_owned = targets.to_vec();
+        let weights_owned = weights.to_vec();
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            vec![probs.0],
+            Some(Box::new(move |g, ps| {
+                let p = ps[0];
+                let mut dp = Tensor::zeros(p.rows, p.cols);
+                let scale = g.data[0] / n;
+                for (r, (&t, &w)) in targets_owned.iter().zip(&weights_owned).enumerate() {
+                    dp.data[r * p.cols + t] = -w * scale / p.get(r, t).max(1e-8);
+                }
+                vec![dp]
+            })),
+            None,
+        )
+    }
+
+    /// Concatenate two tensors along columns (`(m,a)` ++ `(m,b)` →
+    /// `(m,a+b)`).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.rows, tb.rows);
+        let (m, ca, cb) = (ta.rows, ta.cols, tb.cols);
+        let mut out = Tensor::zeros(m, ca + cb);
+        for r in 0..m {
+            out.data[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(ta.row_slice(r));
+            out.data[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(tb.row_slice(r));
+        }
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, _| {
+                let mut da = Tensor::zeros(m, ca);
+                let mut db = Tensor::zeros(m, cb);
+                for r in 0..m {
+                    da.data[r * ca..(r + 1) * ca]
+                        .copy_from_slice(&g.data[r * (ca + cb)..r * (ca + cb) + ca]);
+                    db.data[r * cb..(r + 1) * cb]
+                        .copy_from_slice(&g.data[r * (ca + cb) + ca..(r + 1) * (ca + cb)]);
+                }
+                vec![da, db]
+            })),
+            None,
+        )
+    }
+
+    /// Run backpropagation from `loss` (must be `(1,1)`), accumulating
+    /// parameter gradients into `store`.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            let node = &self.nodes[i];
+            if let Some(pid) = node.param {
+                store.accumulate_grad(pid, &g);
+            }
+            if let Some(back) = &node.back {
+                let parent_vals: Vec<&Tensor> =
+                    node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+                let pgrads = back(&g, &parent_vals);
+                debug_assert_eq!(pgrads.len(), node.parents.len());
+                for (&p, pg) in node.parents.iter().zip(pgrads) {
+                    match &mut grads[p] {
+                        Some(existing) => {
+                            for (a, &b) in existing.data.iter_mut().zip(&pg.data) {
+                                *a += b;
+                            }
+                        }
+                        slot => *slot = Some(pg),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric gradient check helper: perturb each scalar of the single
+    /// parameter and compare against the analytic gradient.
+    fn grad_check(build: impl Fn(&mut Tape, &ParamStore, ParamId) -> Var, init: Tensor, tol: f32) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", init);
+        // Analytic.
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &store, id);
+        store.zero_grads();
+        tape.backward(loss, &mut store);
+        let analytic = store.grad(id).clone();
+        // Numeric.
+        let eps = 1e-3f32;
+        for i in 0..analytic.len() {
+            let orig = store.value(id).data[i];
+            store.value_mut(id).data[i] = orig + eps;
+            let mut t1 = Tape::new();
+            let l1 = build(&mut t1, &store, id);
+            let f1 = t1.value(l1).data[0];
+            store.value_mut(id).data[i] = orig - eps;
+            let mut t2 = Tape::new();
+            let l2 = build(&mut t2, &store, id);
+            let f2 = t2.value(l2).data[0];
+            store.value_mut(id).data[i] = orig;
+            let numeric = (f1 - f2) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data[i]).abs() < tol,
+                "grad mismatch at {i}: numeric {numeric} analytic {}",
+                analytic.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_chain_gradients() {
+        let x = Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+        grad_check(
+            move |t, s, id| {
+                let w = t.param(s, id);
+                let xv = t.constant(x.clone());
+                let h = t.matmul(xv, w); // (2,3)@(3,2)
+                let h2 = t.relu(h);
+                let ssum = t.value(h2).clone();
+                let ones = t.constant(Tensor::full(ssum.cols, 1, 1.0));
+                let rowsum = t.matmul(h2, ones); // (2,1)
+                let onesr = t.constant(Tensor::full(1, ssum.rows.max(2), 0.0));
+                let _ = onesr;
+                // reduce to scalar via (1,2)@(2,1)
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, -0.3, 0.4, 0.5, -0.6]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradients() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                t.cross_entropy(w, &[1, 0], &[1.0, 0.5])
+            },
+            Tensor::from_vec(2, 3, vec![0.2, -0.1, 0.4, 1.0, 0.3, -0.2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_mask_zeroes_rows() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let loss = tape.cross_entropy(w, &[0, 1], &[1.0, 0.0]);
+        tape.backward(loss, &mut store);
+        let g = store.grad(id);
+        assert_eq!(g.data[2], 0.0);
+        assert_eq!(g.data[3], 0.0);
+        assert!(g.data[0] != 0.0);
+    }
+
+    #[test]
+    fn layer_norm_gradients() {
+        grad_check(
+            |t, s, id| {
+                let x = t.param(s, id);
+                let gamma = t.constant(Tensor::row(vec![1.0, 1.5, 0.5]));
+                let beta = t.constant(Tensor::row(vec![0.0, 0.1, -0.1]));
+                let y = t.layer_norm(x, gamma, beta, 1e-5);
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                let ones = t.constant(Tensor::full(3, 1, 1.0));
+                let rowsum = t.matmul(y, ones);
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.9, 0.1, -0.4]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn tanh_and_bias_gradients() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                let x = t.constant(Tensor::from_vec(2, 2, vec![1.0, -0.5, 0.3, 0.8]));
+                let h = t.matmul(x, w);
+                let b = t.constant(Tensor::row(vec![0.1, -0.2]));
+                let hb = t.add_bias(h, b);
+                let y = t.tanh(hb);
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                let ones = t.constant(Tensor::full(2, 1, 1.0));
+                let rowsum = t.matmul(y, ones);
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(2, 2, vec![0.4, -0.3, 0.2, 0.6]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn embedding_scatters_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.add(
+            "emb",
+            Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let e = tape.embedding(w, &[2, 0, 2]);
+        assert_eq!(tape.value(e).row_slice(0), &[5.0, 6.0]);
+        let loss = tape.mse_selected(e, &[(0, 0, 0.0), (1, 1, 0.0), (2, 1, 0.0)]);
+        tape.backward(loss, &mut store);
+        let g = store.grad(id);
+        // Row 1 of the embedding was never used.
+        assert_eq!(g.data[2], 0.0);
+        assert_eq!(g.data[3], 0.0);
+        // Row 2 used twice (rows 0 and 2 of output).
+        assert!(g.data[4] != 0.0 || g.data[5] != 0.0);
+    }
+
+    #[test]
+    fn mse_selected_gradients() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                t.mse_selected(w, &[(0, 1, 0.5), (1, 0, -1.0)])
+            },
+            Tensor::from_vec(2, 2, vec![0.2, 0.8, -0.4, 0.1]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_rows_gradients() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                let sm = t.softmax_rows(w);
+                // Weighted sum to get a scalar that depends non-trivially
+                // on all entries.
+                let weights = t.constant(Tensor::from_vec(3, 1, vec![1.0, 2.0, -1.0]));
+                let rowsum = t.matmul(sm, weights);
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(2, 3, vec![0.3, 0.1, -0.2, 0.5, -0.5, 0.0]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                let c = t.constant(Tensor::from_vec(2, 1, vec![1.0, -1.0]));
+                let cat = t.concat_cols(w, c);
+                let weights = t.constant(Tensor::from_vec(3, 1, vec![1.0, 0.5, 2.0]));
+                let rowsum = t.matmul(cat, weights);
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_t_gradients() {
+        grad_check(
+            |t, s, id| {
+                let w = t.param(s, id);
+                let x = t.constant(Tensor::from_vec(2, 3, vec![1.0, 0.5, -0.5, 0.2, 0.9, -1.0]));
+                let scores = t.matmul_t(x, w); // (2,3)@(2,3)^T -> (2,2)
+                let weights = t.constant(Tensor::from_vec(2, 1, vec![1.0, -0.5]));
+                let rowsum = t.matmul(scores, weights);
+                let red = t.constant(Tensor::full(1, 2, 1.0));
+                t.matmul(red, rowsum)
+            },
+            Tensor::from_vec(2, 3, vec![0.3, -0.2, 0.7, 0.1, 0.4, -0.6]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        // Using a param twice must add both contributions.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(1, 1, vec![3.0]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let sq = tape.matmul(w, w); // w^2 as (1,1)@(1,1)
+        tape.backward(sq, &mut store);
+        assert!((store.grad(id).data[0] - 6.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,447 @@
+//! The word-level SQL grammar FSM ([43]-style).
+//!
+//! The FSM does three jobs, exactly as in the paper:
+//!
+//! 1. **random query generation** (the FSM baseline and IABART's training
+//!    corpus) — a seeded random walk over legal transitions, "starting
+//!    from the state FROM … to determine the subsequent legal column
+//!    candidates" (§3.1);
+//! 2. **constrained decoding** (§3.3) — at every step it exposes the set
+//!    of legal next *words*, against which the decoder prefix-matches its
+//!    sub-token output;
+//! 3. **validation** — a token sequence parses iff it drives the FSM to
+//!    the accepting state.
+//!
+//! The grammar (word level, FROM-first canonical order):
+//!
+//! ```text
+//! query  := from TABLE (join TABLE)* select AGG where PRED (and PRED)*
+//! AGG    := (sum|avg|min|max) ( COLUMN ) | count ( * )
+//! PRED   := COLUMN (=|<=|>=) VALUE | COLUMN between VALUE VALUE
+//! ```
+
+use crate::token::{Kw, Op, Word, VALUE_BUCKETS};
+use pipa_sim::{ColumnId, Schema, TableId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Maximum tables a generated query may join.
+pub const MAX_TABLES: usize = 3;
+/// Maximum predicates a generated query may carry.
+pub const MAX_PREDS: usize = 4;
+
+/// FSM control state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    Start,
+    ExpectTable,
+    AfterTables,
+    ExpectAgg,
+    ExpectLParen {
+        count_star: bool,
+    },
+    ExpectAggArg {
+        count_star: bool,
+    },
+    ExpectRParen,
+    ExpectWhereOrJoin,
+    ExpectPredCol,
+    ExpectOp,
+    ExpectValue {
+        second_of_between: bool,
+    },
+    AfterPred,
+    /// Terminal state (reserved; the grammar currently ends in
+    /// `AfterPred`, which also accepts).
+    #[allow(dead_code)]
+    Done,
+}
+
+/// The grammar FSM over one schema.
+#[derive(Clone)]
+pub struct QueryFsm<'a> {
+    schema: &'a Schema,
+    state: State,
+    /// Tables in scope.
+    pub scope: Vec<TableId>,
+    /// Predicate columns already used.
+    pub used_pred_cols: Vec<ColumnId>,
+    /// Pending predicate column (between `ExpectOp` and value states).
+    pending_col: Option<ColumnId>,
+    pending_op: Option<Op>,
+    first_between_value: Option<u8>,
+    preds_done: usize,
+}
+
+impl<'a> QueryFsm<'a> {
+    /// Fresh FSM in the `from` state.
+    pub fn new(schema: &'a Schema) -> Self {
+        QueryFsm {
+            schema,
+            state: State::Start,
+            scope: Vec::new(),
+            used_pred_cols: Vec::new(),
+            pending_col: None,
+            pending_op: None,
+            first_between_value: None,
+            preds_done: 0,
+        }
+    }
+
+    /// Whether the FSM accepts the sequence ending here.
+    pub fn can_end(&self) -> bool {
+        matches!(self.state, State::AfterPred | State::Done)
+    }
+
+    /// Tables joinable to the current scope by a foreign key.
+    fn joinable_tables(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        for fk in self.schema.foreign_keys() {
+            let (tf, tt) = (self.schema.table_of(fk.from), self.schema.table_of(fk.to));
+            for (a, b) in [(tf, tt), (tt, tf)] {
+                if self.scope.contains(&a) && !self.scope.contains(&b) && !out.contains(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    fn scope_columns(&self) -> Vec<ColumnId> {
+        self.scope
+            .iter()
+            .flat_map(|&t| self.schema.columns_of(t).iter().copied())
+            .collect()
+    }
+
+    /// Legal next words.
+    pub fn candidates(&self) -> Vec<Word> {
+        match &self.state {
+            State::Start => vec![Word::Kw(Kw::From)],
+            State::ExpectTable => {
+                if self.scope.is_empty() {
+                    self.schema
+                        .tables()
+                        .iter()
+                        .map(|t| Word::Table(t.id))
+                        .collect()
+                } else {
+                    self.joinable_tables()
+                        .into_iter()
+                        .map(Word::Table)
+                        .collect()
+                }
+            }
+            State::AfterTables | State::ExpectWhereOrJoin => {
+                let mut c = vec![Word::Kw(Kw::Select)];
+                if self.scope.len() < MAX_TABLES && !self.joinable_tables().is_empty() {
+                    c.insert(0, Word::Kw(Kw::Join));
+                }
+                if matches!(self.state, State::ExpectWhereOrJoin) {
+                    c = vec![Word::Kw(Kw::Where)];
+                }
+                c
+            }
+            State::ExpectAgg => vec![
+                Word::Kw(Kw::Sum),
+                Word::Kw(Kw::Avg),
+                Word::Kw(Kw::Min),
+                Word::Kw(Kw::Max),
+                Word::Kw(Kw::Count),
+            ],
+            State::ExpectLParen { .. } => vec![Word::Kw(Kw::LParen)],
+            State::ExpectAggArg { count_star } => {
+                if *count_star {
+                    vec![Word::Kw(Kw::Star)]
+                } else {
+                    self.scope_columns().into_iter().map(Word::Column).collect()
+                }
+            }
+            State::ExpectRParen => vec![Word::Kw(Kw::RParen)],
+            State::ExpectPredCol => self
+                .scope_columns()
+                .into_iter()
+                .filter(|c| !self.used_pred_cols.contains(c))
+                .map(Word::Column)
+                .collect(),
+            State::ExpectOp => vec![
+                Word::Op(Op::Eq),
+                Word::Op(Op::Le),
+                Word::Op(Op::Ge),
+                Word::Op(Op::Between),
+            ],
+            State::ExpectValue { .. } => (0..VALUE_BUCKETS as u8).map(Word::Value).collect(),
+            State::AfterPred => {
+                if self.preds_done < MAX_PREDS
+                    && self
+                        .scope_columns()
+                        .iter()
+                        .any(|c| !self.used_pred_cols.contains(c))
+                {
+                    vec![Word::Kw(Kw::And)]
+                } else {
+                    vec![]
+                }
+            }
+            State::Done => vec![],
+        }
+    }
+
+    /// Advance on a word. Returns `false` (leaving the FSM unchanged) if
+    /// the word is not a legal continuation.
+    pub fn advance(&mut self, w: Word) -> bool {
+        if !self.candidates().contains(&w) {
+            return false;
+        }
+        self.state = match (&self.state, w) {
+            (State::Start, Word::Kw(Kw::From)) => State::ExpectTable,
+            (State::ExpectTable, Word::Table(t)) => {
+                self.scope.push(t);
+                State::AfterTables
+            }
+            (State::AfterTables, Word::Kw(Kw::Join)) => State::ExpectTable,
+            (State::AfterTables, Word::Kw(Kw::Select)) => State::ExpectAgg,
+            (State::ExpectAgg, Word::Kw(Kw::Count)) => State::ExpectLParen { count_star: true },
+            (State::ExpectAgg, Word::Kw(_)) => State::ExpectLParen { count_star: false },
+            (State::ExpectLParen { count_star }, Word::Kw(Kw::LParen)) => State::ExpectAggArg {
+                count_star: *count_star,
+            },
+            (State::ExpectAggArg { .. }, Word::Kw(Kw::Star))
+            | (State::ExpectAggArg { .. }, Word::Column(_)) => State::ExpectRParen,
+            (State::ExpectRParen, Word::Kw(Kw::RParen)) => State::ExpectWhereOrJoin,
+            (State::ExpectWhereOrJoin, Word::Kw(Kw::Where)) => State::ExpectPredCol,
+            (State::ExpectPredCol, Word::Column(c)) => {
+                self.pending_col = Some(c);
+                self.used_pred_cols.push(c);
+                State::ExpectOp
+            }
+            (State::ExpectOp, Word::Op(op)) => {
+                self.pending_op = Some(op);
+                State::ExpectValue {
+                    second_of_between: false,
+                }
+            }
+            (
+                State::ExpectValue {
+                    second_of_between: false,
+                },
+                Word::Value(v),
+            ) => {
+                if self.pending_op == Some(Op::Between) {
+                    self.first_between_value = Some(v);
+                    State::ExpectValue {
+                        second_of_between: true,
+                    }
+                } else {
+                    self.preds_done += 1;
+                    State::AfterPred
+                }
+            }
+            (
+                State::ExpectValue {
+                    second_of_between: true,
+                },
+                Word::Value(_),
+            ) => {
+                self.preds_done += 1;
+                State::AfterPred
+            }
+            (State::AfterPred, Word::Kw(Kw::And)) => State::ExpectPredCol,
+            (s, w) => unreachable!("legal candidate not handled: {s:?} {w:?}"),
+        };
+        true
+    }
+
+    /// Random walk producing a complete legal word sequence.
+    ///
+    /// `bias` optionally steers table and predicate-column choices toward
+    /// the given columns (ST-style construction and IABART corpus
+    /// balancing both use this).
+    pub fn generate<R: Rng + ?Sized>(
+        schema: &'a Schema,
+        rng: &mut R,
+        bias: Option<&[ColumnId]>,
+    ) -> Vec<Word> {
+        let mut fsm = QueryFsm::new(schema);
+        let mut words = Vec::new();
+        loop {
+            let cands = fsm.candidates();
+            if cands.is_empty() {
+                break;
+            }
+            // Decide whether to stop when allowed: stop with probability
+            // growing in the number of predicates — but keep going while
+            // reachable bias columns are still unfiltered, so a corpus
+            // sample for the index set {c} filters *all* of {c} whenever
+            // the grammar allows it (this is the association IABART must
+            // learn).
+            if fsm.can_end() {
+                let unused_bias_reachable = bias.is_some_and(|targets| {
+                    targets.iter().any(|c| {
+                        fsm.scope.contains(&schema.table_of(*c)) && !fsm.used_pred_cols.contains(c)
+                    })
+                });
+                let stop_p = if unused_bias_reachable {
+                    0.02
+                } else {
+                    0.35 + 0.25 * fsm.preds_done as f64
+                };
+                if rng.gen::<f64>() < stop_p {
+                    break;
+                }
+            }
+            let w = pick_candidate(&cands, bias, schema, rng);
+            let ok = fsm.advance(w);
+            debug_assert!(ok);
+            words.push(w);
+        }
+        words
+    }
+}
+
+/// Weighted candidate choice: bias toward target columns (and the tables
+/// that contain them) when provided.
+fn pick_candidate<R: Rng + ?Sized>(
+    cands: &[Word],
+    bias: Option<&[ColumnId]>,
+    schema: &Schema,
+    rng: &mut R,
+) -> Word {
+    if let Some(targets) = bias {
+        // Prefer target columns directly.
+        let target_cols: Vec<Word> = cands
+            .iter()
+            .copied()
+            .filter(|w| matches!(w, Word::Column(c) if targets.contains(c)))
+            .collect();
+        if !target_cols.is_empty() && rng.gen::<f64>() < 0.95 {
+            return *target_cols.choose(rng).expect("nonempty");
+        }
+        // Prefer tables containing target columns.
+        let target_tables: Vec<Word> = cands
+            .iter()
+            .copied()
+            .filter(|w| {
+                matches!(w, Word::Table(t)
+                    if targets.iter().any(|&c| schema.table_of(c) == *t))
+            })
+            .collect();
+        if !target_tables.is_empty() && rng.gen::<f64>() < 0.95 {
+            return *target_tables.choose(rng).expect("nonempty");
+        }
+    }
+    *cands.choose(rng).expect("nonempty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipa_workload::Benchmark;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn walk_produces_legal_sequences() {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let words = QueryFsm::generate(&schema, &mut rng, None);
+            // Replay through a fresh FSM.
+            let mut fsm = QueryFsm::new(&schema);
+            for &w in &words {
+                assert!(fsm.advance(w), "illegal word {w:?} in {words:?}");
+            }
+            assert!(fsm.can_end(), "incomplete sequence {words:?}");
+            assert!(fsm.preds_done >= 1, "queries must be sargable");
+        }
+    }
+
+    #[test]
+    fn from_is_always_first() {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let words = QueryFsm::generate(&schema, &mut rng, None);
+        assert_eq!(words[0], Word::Kw(Kw::From));
+        assert!(matches!(words[1], Word::Table(_)));
+    }
+
+    #[test]
+    fn joins_follow_foreign_keys() {
+        let schema = Benchmark::TpcH.schema();
+        let mut fsm = QueryFsm::new(&schema);
+        fsm.advance(Word::Kw(Kw::From));
+        let lineitem = schema.table_id("lineitem").unwrap();
+        fsm.advance(Word::Table(lineitem));
+        fsm.advance(Word::Kw(Kw::Join));
+        let joinable = fsm.candidates();
+        // lineitem joins orders, part, supplier — not region.
+        let region = schema.table_id("region").unwrap();
+        assert!(!joinable.contains(&Word::Table(region)));
+        assert!(joinable.contains(&Word::Table(schema.table_id("orders").unwrap())));
+    }
+
+    #[test]
+    fn predicate_columns_not_repeated() {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let words = QueryFsm::generate(&schema, &mut rng, None);
+            let mut cols = Vec::new();
+            let mut in_where = false;
+            let mut expecting_col = false;
+            for w in &words {
+                match w {
+                    Word::Kw(Kw::Where) | Word::Kw(Kw::And) => {
+                        in_where = true;
+                        expecting_col = true;
+                    }
+                    Word::Column(c) if in_where && expecting_col => {
+                        assert!(!cols.contains(c), "repeated predicate column");
+                        cols.push(*c);
+                        expecting_col = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bias_steers_generation() {
+        let schema = Benchmark::TpcH.schema();
+        let targets = vec![schema.column_id("l_shipdate").unwrap()];
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let words = QueryFsm::generate(&schema, &mut rng, Some(&targets));
+            if words
+                .iter()
+                .any(|w| matches!(w, Word::Column(c) if *c == targets[0]))
+            {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits > 30,
+            "bias should usually include the target: {hits}/50"
+        );
+    }
+
+    #[test]
+    fn illegal_advance_rejected() {
+        let schema = Benchmark::TpcH.schema();
+        let mut fsm = QueryFsm::new(&schema);
+        assert!(!fsm.advance(Word::Kw(Kw::Select)), "must start with from");
+        assert!(fsm.advance(Word::Kw(Kw::From)));
+        assert!(!fsm.advance(Word::Kw(Kw::From)), "no double from");
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let schema = Benchmark::TpcH.schema();
+        let mut fsm = QueryFsm::new(&schema);
+        fsm.advance(Word::Kw(Kw::From));
+        let snapshot = fsm.clone();
+        assert_eq!(snapshot.candidates(), fsm.candidates());
+    }
+}

@@ -1,0 +1,274 @@
+//! Parsing word sequences back into `pipa_sim` query ASTs (and encoding
+//! ASTs into word sequences for corpus construction).
+//!
+//! Parsing replays the sequence through the grammar [`QueryFsm`], so a
+//! sequence parses iff it is grammatical — this is what the GAC metric
+//! (§6.7) measures.
+
+use crate::fsm::QueryFsm;
+use crate::token::{bucket_to_fraction, fraction_to_bucket, Kw, Op, Word};
+use pipa_sim::{
+    Aggregate, ColumnId, PredOp, Predicate, Query, QueryBuilder, Schema, SimError, SimResult,
+};
+
+/// Parse a word sequence into a [`Query`].
+pub fn parse_words(schema: &Schema, words: &[Word]) -> SimResult<Query> {
+    // Validate via FSM replay.
+    let mut fsm = QueryFsm::new(schema);
+    for &w in words {
+        if !fsm.advance(w) {
+            return Err(SimError::Parse(format!("illegal word {w:?}")));
+        }
+    }
+    if !fsm.can_end() {
+        return Err(SimError::Parse("incomplete query".to_string()));
+    }
+
+    // Extract structure with a simple cursor.
+    let mut i = 0;
+    let expect_kw = |i: &mut usize, k: Kw, words: &[Word]| -> SimResult<()> {
+        match words.get(*i) {
+            Some(Word::Kw(kk)) if *kk == k => {
+                *i += 1;
+                Ok(())
+            }
+            other => Err(SimError::Parse(format!("expected {k:?}, got {other:?}"))),
+        }
+    };
+    expect_kw(&mut i, Kw::From, words)?;
+    let mut tables = Vec::new();
+    loop {
+        match words.get(i) {
+            Some(Word::Table(t)) => {
+                tables.push(*t);
+                i += 1;
+            }
+            other => return Err(SimError::Parse(format!("expected table, got {other:?}"))),
+        }
+        match words.get(i) {
+            Some(Word::Kw(Kw::Join)) => i += 1,
+            _ => break,
+        }
+    }
+    expect_kw(&mut i, Kw::Select, words)?;
+    let agg_kw = match words.get(i) {
+        Some(Word::Kw(k)) => *k,
+        other => {
+            return Err(SimError::Parse(format!(
+                "expected aggregate, got {other:?}"
+            )))
+        }
+    };
+    i += 1;
+    expect_kw(&mut i, Kw::LParen, words)?;
+    let agg = match (agg_kw, words.get(i)) {
+        (Kw::Count, Some(Word::Kw(Kw::Star))) => Aggregate::CountStar,
+        (Kw::Sum, Some(Word::Column(c))) => Aggregate::Sum(*c),
+        (Kw::Avg, Some(Word::Column(c))) => Aggregate::Avg(*c),
+        (Kw::Min, Some(Word::Column(c))) => Aggregate::Min(*c),
+        (Kw::Max, Some(Word::Column(c))) => Aggregate::Max(*c),
+        (k, other) => return Err(SimError::Parse(format!("bad aggregate {k:?} {other:?}"))),
+    };
+    i += 1;
+    expect_kw(&mut i, Kw::RParen, words)?;
+    expect_kw(&mut i, Kw::Where, words)?;
+
+    let mut preds: Vec<Predicate> = Vec::new();
+    loop {
+        let col = match words.get(i) {
+            Some(Word::Column(c)) => *c,
+            other => return Err(SimError::Parse(format!("expected column, got {other:?}"))),
+        };
+        i += 1;
+        let op = match words.get(i) {
+            Some(Word::Op(o)) => *o,
+            other => return Err(SimError::Parse(format!("expected op, got {other:?}"))),
+        };
+        i += 1;
+        let v1 = match words.get(i) {
+            Some(Word::Value(v)) => *v,
+            other => return Err(SimError::Parse(format!("expected value, got {other:?}"))),
+        };
+        i += 1;
+        let pred = match op {
+            Op::Eq => Predicate::eq(col, bucket_to_fraction(v1)),
+            Op::Le => Predicate::le(col, bucket_to_fraction(v1)),
+            Op::Ge => Predicate::ge(col, bucket_to_fraction(v1)),
+            Op::Between => {
+                let v2 = match words.get(i) {
+                    Some(Word::Value(v)) => *v,
+                    other => {
+                        return Err(SimError::Parse(format!(
+                            "expected second value, got {other:?}"
+                        )))
+                    }
+                };
+                i += 1;
+                Predicate::between(col, bucket_to_fraction(v1), bucket_to_fraction(v2))
+            }
+        };
+        preds.push(pred);
+        match words.get(i) {
+            Some(Word::Kw(Kw::And)) => i += 1,
+            None => break,
+            other => return Err(SimError::Parse(format!("expected and/end, got {other:?}"))),
+        }
+    }
+
+    // Assemble: joins connect each later table to the earliest FK partner.
+    let mut b = QueryBuilder::new();
+    b = b.table(tables[0]);
+    for (pos, &t) in tables.iter().enumerate().skip(1) {
+        let edge = schema.foreign_keys().iter().find(|fk| {
+            let (tf, tt) = (schema.table_of(fk.from), schema.table_of(fk.to));
+            (tt == t && tables[..pos].contains(&tf)) || (tf == t && tables[..pos].contains(&tt))
+        });
+        match edge {
+            Some(fk) => b = b.join(schema, fk.from, fk.to),
+            None => {
+                return Err(SimError::Parse(format!(
+                    "table {} not FK-connected",
+                    schema.table(t).name
+                )))
+            }
+        }
+    }
+    for p in preds {
+        b = b.filter(schema, p);
+    }
+    b = b.aggregate(agg);
+    b.build(schema)
+}
+
+/// Encode a query of the FSM-grammar subset back into words. Returns
+/// `None` when the query falls outside the subset (multiple aggregates,
+/// projections, grouping, IN-lists, …).
+pub fn encode_query(_schema: &Schema, q: &Query) -> Option<Vec<Word>> {
+    if !q.projection.is_empty()
+        || q.aggregates.len() != 1
+        || !q.group_by.is_empty()
+        || !q.order_by.is_empty()
+        || q.predicates.is_empty()
+    {
+        return None;
+    }
+    let mut words = vec![Word::Kw(Kw::From)];
+    // Table order: FROM order must keep FK-connectivity; the query
+    // validated already, so its own table order works.
+    for (i, &t) in q.tables.iter().enumerate() {
+        if i > 0 {
+            words.push(Word::Kw(Kw::Join));
+        }
+        words.push(Word::Table(t));
+    }
+    words.push(Word::Kw(Kw::Select));
+    let (kw, arg): (Kw, Option<ColumnId>) = match q.aggregates[0] {
+        Aggregate::CountStar => (Kw::Count, None),
+        Aggregate::Sum(c) => (Kw::Sum, Some(c)),
+        Aggregate::Avg(c) => (Kw::Avg, Some(c)),
+        Aggregate::Min(c) => (Kw::Min, Some(c)),
+        Aggregate::Max(c) => (Kw::Max, Some(c)),
+    };
+    words.push(Word::Kw(kw));
+    words.push(Word::Kw(Kw::LParen));
+    match arg {
+        Some(c) => words.push(Word::Column(c)),
+        None => words.push(Word::Kw(Kw::Star)),
+    }
+    words.push(Word::Kw(Kw::RParen));
+    words.push(Word::Kw(Kw::Where));
+    for (i, p) in q.predicates.iter().enumerate() {
+        if i > 0 {
+            words.push(Word::Kw(Kw::And));
+        }
+        words.push(Word::Column(p.col));
+        match &p.op {
+            PredOp::Eq(f) => {
+                words.push(Word::Op(Op::Eq));
+                words.push(Word::Value(fraction_to_bucket(*f)));
+            }
+            PredOp::Le(f) => {
+                words.push(Word::Op(Op::Le));
+                words.push(Word::Value(fraction_to_bucket(*f)));
+            }
+            PredOp::Ge(f) => {
+                words.push(Word::Op(Op::Ge));
+                words.push(Word::Value(fraction_to_bucket(*f)));
+            }
+            PredOp::Between(lo, hi) => {
+                words.push(Word::Op(Op::Between));
+                words.push(Word::Value(fraction_to_bucket(*lo)));
+                words.push(Word::Value(fraction_to_bucket(*hi)));
+            }
+            PredOp::In(_) => return None,
+        }
+    }
+    Some(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipa_workload::Benchmark;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fsm_output_always_parses() {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let words = QueryFsm::generate(&schema, &mut rng, None);
+            let q = parse_words(&schema, &words).expect("FSM output parses");
+            assert!(q.validate(&schema).is_ok());
+            assert!(!q.predicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn roundtrip_words_query_words() {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let words = QueryFsm::generate(&schema, &mut rng, None);
+            let q = parse_words(&schema, &words).unwrap();
+            let re = encode_query(&schema, &q).expect("in subset");
+            let q2 = parse_words(&schema, &re).unwrap();
+            // Semantic equivalence: same tables, predicates, aggregate.
+            assert_eq!(q.predicates, q2.predicates);
+            assert_eq!(q.aggregates, q2.aggregates);
+            let mut ta = q.tables.clone();
+            let mut tb = q2.tables.clone();
+            ta.sort_unstable();
+            tb.sort_unstable();
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let schema = Benchmark::TpcH.schema();
+        assert!(parse_words(&schema, &[Word::Kw(Kw::Select)]).is_err());
+        assert!(parse_words(&schema, &[]).is_err());
+        // Truncated: from table select sum ( — incomplete.
+        let lineitem = schema.table_id("lineitem").unwrap();
+        let words = vec![
+            Word::Kw(Kw::From),
+            Word::Table(lineitem),
+            Word::Kw(Kw::Select),
+        ];
+        assert!(parse_words(&schema, &words).is_err());
+    }
+
+    #[test]
+    fn out_of_subset_queries_encode_to_none() {
+        let schema = Benchmark::TpcH.schema();
+        let key = schema.column_id("l_orderkey").unwrap();
+        let q = QueryBuilder::new()
+            .filter(&schema, Predicate::in_list(key, vec![0.1, 0.2]))
+            .aggregate(Aggregate::CountStar)
+            .build(&schema)
+            .unwrap();
+        assert!(encode_query(&schema, &q).is_none());
+    }
+}

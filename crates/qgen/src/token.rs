@@ -1,0 +1,334 @@
+//! The token language IABART operates on.
+//!
+//! Sequences follow the paper's layout `<cls> q <sep> I <sep> R <eos>`
+//! (§3.1). The query part `q` uses a canonical FROM-first word order —
+//! the paper's FSM also "starts from the state FROM, which helps the FSM
+//! determine the table first" — and identifiers are split into sub-token
+//! fragments (`l_shipdate` → `l _ shipdate`), which is what makes the
+//! paper's prefix-matching decoding (§3.3) necessary and reproducible.
+//!
+//! Literals are discretized domain-fraction buckets `v0..v19` and rewards
+//! are buckets `r0..r20` (the paper rounds rewards to two decimals; 5%
+//! buckets keep the vocabulary small at no cost to the experiments).
+
+use pipa_sim::{ColumnId, Schema, TableId};
+use std::collections::HashMap;
+
+/// Number of value buckets for literals.
+pub const VALUE_BUCKETS: usize = 20;
+/// Number of reward buckets (`r0` = benefit 0.0 … `r20` = benefit 1.0).
+pub const REWARD_BUCKETS: usize = 21;
+
+/// A word of the query language (the FSM's alphabet). Words are built
+/// from one or more vocabulary tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Word {
+    /// Keyword (`from`, `join`, `select`, `where`, `and`, aggregates,
+    /// parens, `*`, `idx`).
+    Kw(Kw),
+    /// Comparison operator.
+    Op(Op),
+    /// Table name.
+    Table(TableId),
+    /// Column name.
+    Column(ColumnId),
+    /// Bucketed literal (`v0..v19`).
+    Value(u8),
+    /// Bucketed reward (`r0..r20`).
+    Reward(u8),
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kw {
+    From,
+    Join,
+    Select,
+    Where,
+    And,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    LParen,
+    RParen,
+    Star,
+    Idx,
+}
+
+impl Kw {
+    /// Surface form.
+    pub fn text(self) -> &'static str {
+        match self {
+            Kw::From => "from",
+            Kw::Join => "join",
+            Kw::Select => "select",
+            Kw::Where => "where",
+            Kw::And => "and",
+            Kw::Sum => "sum",
+            Kw::Avg => "avg",
+            Kw::Min => "min",
+            Kw::Max => "max",
+            Kw::Count => "count",
+            Kw::LParen => "(",
+            Kw::RParen => ")",
+            Kw::Star => "*",
+            Kw::Idx => "idx",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Op {
+    Eq,
+    Le,
+    Ge,
+    Between,
+}
+
+impl Op {
+    /// Surface form.
+    pub fn text(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+            Op::Between => "between",
+        }
+    }
+}
+
+/// Token ids (dense). The first five are special.
+pub const PAD: usize = 0;
+/// Sequence start.
+pub const CLS: usize = 1;
+/// Segment separator.
+pub const SEP: usize = 2;
+/// Sequence end.
+pub const EOS: usize = 3;
+/// Mask token for span corruption.
+pub const MASK: usize = 4;
+
+/// The vocabulary: maps tokens (identifier fragments, keywords, buckets)
+/// to dense ids, and knows how to spell every [`Word`] as a fragment
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+    /// Pre-computed fragment spellings of every table/column identifier.
+    table_frags: Vec<Vec<usize>>,
+    column_frags: Vec<Vec<usize>>,
+}
+
+/// Split an identifier into sub-token fragments: `l_shipdate` →
+/// `["l", "_", "shipdate"]`.
+pub fn ident_fragments(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, part) in name.split('_').enumerate() {
+        if i > 0 {
+            out.push("_".to_string());
+        }
+        if !part.is_empty() {
+            out.push(part.to_string());
+        }
+    }
+    out
+}
+
+impl Vocab {
+    /// Build the vocabulary for a schema.
+    pub fn build(schema: &Schema) -> Self {
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+            table_frags: Vec::new(),
+            column_frags: Vec::new(),
+        };
+        for special in ["<pad>", "<cls>", "<sep>", "<eos>", "<mask>"] {
+            v.intern(special);
+        }
+        for kw in [
+            Kw::From,
+            Kw::Join,
+            Kw::Select,
+            Kw::Where,
+            Kw::And,
+            Kw::Sum,
+            Kw::Avg,
+            Kw::Min,
+            Kw::Max,
+            Kw::Count,
+            Kw::LParen,
+            Kw::RParen,
+            Kw::Star,
+            Kw::Idx,
+        ] {
+            v.intern(kw.text());
+        }
+        for op in [Op::Eq, Op::Le, Op::Ge, Op::Between] {
+            v.intern(op.text());
+        }
+        for b in 0..VALUE_BUCKETS {
+            v.intern(&format!("v{b}"));
+        }
+        for b in 0..REWARD_BUCKETS {
+            v.intern(&format!("r{b}"));
+        }
+        for t in schema.tables() {
+            let frags: Vec<usize> = ident_fragments(&t.name)
+                .iter()
+                .map(|f| v.intern(f))
+                .collect();
+            v.table_frags.push(frags);
+        }
+        for c in schema.columns() {
+            let frags: Vec<usize> = ident_fragments(&c.name)
+                .iter()
+                .map(|f| v.intern(f))
+                .collect();
+            v.column_frags.push(frags);
+        }
+        v
+    }
+
+    fn intern(&mut self, tok: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(tok) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(tok.to_string(), id);
+        self.id_to_token.push(tok.to_string());
+        id
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether the vocabulary is empty (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Token id of a surface string.
+    pub fn id(&self, tok: &str) -> Option<usize> {
+        self.token_to_id.get(tok).copied()
+    }
+
+    /// Surface string of a token id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Fragment token ids spelling a word.
+    pub fn spell(&self, w: Word) -> Vec<usize> {
+        match w {
+            Word::Kw(k) => vec![self.id(k.text()).expect("kw interned")],
+            Word::Op(o) => vec![self.id(o.text()).expect("op interned")],
+            Word::Table(t) => self.table_frags[t.0 as usize].clone(),
+            Word::Column(c) => self.column_frags[c.0 as usize].clone(),
+            Word::Value(b) => vec![self.id(&format!("v{b}")).expect("bucket")],
+            Word::Reward(b) => vec![self.id(&format!("r{b}")).expect("bucket")],
+        }
+    }
+
+    /// Encode a word sequence as token ids.
+    pub fn encode_words(&self, words: &[Word]) -> Vec<usize> {
+        words.iter().flat_map(|&w| self.spell(w)).collect()
+    }
+}
+
+/// Map a domain fraction to a bucket token index.
+pub fn fraction_to_bucket(frac: f64) -> u8 {
+    ((frac.clamp(0.0, 1.0) * VALUE_BUCKETS as f64) as usize).min(VALUE_BUCKETS - 1) as u8
+}
+
+/// Map a bucket back to the fraction at its center.
+pub fn bucket_to_fraction(b: u8) -> f64 {
+    (f64::from(b) + 0.5) / VALUE_BUCKETS as f64
+}
+
+/// Map a benefit in `[0,1]` to a reward bucket.
+pub fn reward_to_bucket(benefit: f64) -> u8 {
+    ((benefit.clamp(0.0, 1.0) * (REWARD_BUCKETS - 1) as f64).round() as usize)
+        .min(REWARD_BUCKETS - 1) as u8
+}
+
+/// Center value of a reward bucket.
+pub fn bucket_to_reward(b: u8) -> f64 {
+    f64::from(b) / (REWARD_BUCKETS - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipa_workload::Benchmark;
+
+    #[test]
+    fn fragments_split_identifiers() {
+        assert_eq!(ident_fragments("l_shipdate"), vec!["l", "_", "shipdate"]);
+        assert_eq!(
+            ident_fragments("customer_demographics"),
+            vec!["customer", "_", "demographics"]
+        );
+        assert_eq!(ident_fragments("region"), vec!["region"]);
+    }
+
+    #[test]
+    fn vocab_roundtrips_words() {
+        let schema = Benchmark::TpcH.schema();
+        let v = Vocab::build(&schema);
+        let ship = schema.column_id("l_shipdate").unwrap();
+        let spelled = v.spell(Word::Column(ship));
+        let texts: Vec<&str> = spelled.iter().map(|&id| v.token(id)).collect();
+        assert_eq!(texts, vec!["l", "_", "shipdate"]);
+        assert_eq!(v.spell(Word::Kw(Kw::Select)).len(), 1);
+    }
+
+    #[test]
+    fn specials_are_fixed_ids() {
+        let schema = Benchmark::TpcH.schema();
+        let v = Vocab::build(&schema);
+        assert_eq!(v.id("<pad>"), Some(PAD));
+        assert_eq!(v.id("<cls>"), Some(CLS));
+        assert_eq!(v.id("<sep>"), Some(SEP));
+        assert_eq!(v.id("<eos>"), Some(EOS));
+        assert_eq!(v.id("<mask>"), Some(MASK));
+    }
+
+    #[test]
+    fn vocab_is_compact() {
+        let schema = Benchmark::TpcH.schema();
+        let v = Vocab::build(&schema);
+        // Fragments shared between identifiers are interned once.
+        assert!(v.len() < 220, "vocab size {}", v.len());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn buckets_roundtrip() {
+        for b in 0..VALUE_BUCKETS as u8 {
+            assert_eq!(fraction_to_bucket(bucket_to_fraction(b)), b);
+        }
+        assert_eq!(fraction_to_bucket(0.0), 0);
+        assert_eq!(fraction_to_bucket(1.0), (VALUE_BUCKETS - 1) as u8);
+        assert_eq!(reward_to_bucket(0.0), 0);
+        assert_eq!(reward_to_bucket(1.0), (REWARD_BUCKETS - 1) as u8);
+        assert!((bucket_to_reward(reward_to_bucket(0.5)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn encode_words_concatenates() {
+        let schema = Benchmark::TpcH.schema();
+        let v = Vocab::build(&schema);
+        let ship = schema.column_id("l_shipdate").unwrap();
+        let seq = v.encode_words(&[Word::Kw(Kw::Where), Word::Column(ship)]);
+        assert_eq!(seq.len(), 4); // where + 3 fragments
+    }
+}

@@ -1,0 +1,447 @@
+//! The `Database` facade: schema + statistics + (optionally) materialized
+//! data, exposing exactly the interface the paper assumes of the DBMS:
+//! estimated costs via hypothetical indexes, and actual execution costs.
+
+use crate::cost::{AnalyticalCostModel, Catalog, CostModel, PAGE_SIZE};
+use crate::datagen::generate_table;
+use crate::exec::Executor;
+use crate::index::{Index, IndexConfig};
+use crate::query::Query;
+use crate::schema::{ColumnId, DataType, Schema, TableId};
+use crate::stats::{ColumnStats, TableStats};
+use crate::storage::{PhysicalIndex, Storage};
+use crate::workload::Workload;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A simulated database instance.
+pub struct Database {
+    schema: Schema,
+    table_stats: Vec<TableStats>,
+    column_stats: Vec<ColumnStats>,
+    model: AnalyticalCostModel,
+    storage: Option<Storage>,
+    /// Physical indexes are config-independent; cache them per definition.
+    phys_cache: Mutex<HashMap<Index, PhysicalIndex>>,
+    scale: f64,
+}
+
+impl Database {
+    /// Start building a database for a schema.
+    pub fn builder(schema: Schema) -> DatabaseBuilder {
+        DatabaseBuilder::new(schema)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The scale factor the statistics were generated at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Per-column statistics, indexed by `ColumnId.0`.
+    pub fn column_stats(&self) -> &[ColumnStats] {
+        &self.column_stats
+    }
+
+    /// Statistics for one column.
+    pub fn column_stat(&self, c: ColumnId) -> &ColumnStats {
+        &self.column_stats[c.0 as usize]
+    }
+
+    /// Per-table statistics.
+    pub fn table_stats(&self) -> &[TableStats] {
+        &self.table_stats
+    }
+
+    /// A read-only catalog view for cost models.
+    pub fn catalog(&self) -> Catalog<'_> {
+        Catalog {
+            schema: &self.schema,
+            table_stats: &self.table_stats,
+            column_stats: &self.column_stats,
+        }
+    }
+
+    /// All indexable columns (`0..L`).
+    pub fn indexable_columns(&self) -> Vec<ColumnId> {
+        self.schema.indexable_columns()
+    }
+
+    /// Whether data is materialized (actual execution available).
+    pub fn has_data(&self) -> bool {
+        self.storage.as_ref().is_some_and(|s| s.is_complete())
+    }
+
+    /// Estimated cost of a query under a hypothetical configuration.
+    pub fn estimated_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+        self.model.query_cost(self.catalog(), q, cfg)
+    }
+
+    /// Estimated cost of a workload.
+    pub fn estimated_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+        self.model.workload_cost(self.catalog(), w, cfg)
+    }
+
+    /// Relative cost reduction of `cfg` vs no indexes for one query.
+    pub fn query_benefit(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+        let base = self.estimated_query_cost(q, &IndexConfig::empty());
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.estimated_query_cost(q, cfg) / base
+    }
+
+    /// Relative cost reduction of `cfg` vs no indexes for a workload.
+    pub fn workload_benefit(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+        let base = self.estimated_workload_cost(w, &IndexConfig::empty());
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.estimated_workload_cost(w, cfg) / base
+    }
+
+    /// Actual (executed) cost of a query; falls back to the estimate when
+    /// no data is materialized.
+    pub fn actual_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+        let Some(storage) = &self.storage else {
+            return self.estimated_query_cost(q, cfg);
+        };
+        let phys = self.physical_for(cfg, storage);
+        let ex = Executor::new(self.catalog(), storage);
+        ex.execute_cost(q, cfg, &phys)
+    }
+
+    /// Actual (executed) cost of a workload, frequency-weighted.
+    pub fn actual_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+        let Some(storage) = &self.storage else {
+            return self.estimated_workload_cost(w, cfg);
+        };
+        let phys = self.physical_for(cfg, storage);
+        let ex = Executor::new(self.catalog(), storage);
+        w.iter()
+            .map(|wq| wq.frequency as f64 * ex.execute_cost(&wq.query, cfg, &phys))
+            .sum()
+    }
+
+    /// The single candidate index minimizing a query's estimated cost.
+    pub fn best_single_index(&self, q: &Query, candidates: &[Index]) -> Option<Index> {
+        candidates
+            .iter()
+            .map(|i| {
+                let cfg = IndexConfig::from_indexes([i.clone()]);
+                (self.estimated_query_cost(q, &cfg), i)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, i)| i.clone())
+    }
+
+    /// EXPLAIN-style access-path summary of a query under a hypothetical
+    /// configuration.
+    pub fn explain(&self, q: &Query, cfg: &IndexConfig) -> String {
+        self.model.explain(self.catalog(), q, cfg)
+    }
+
+    /// Render a query to SQL using this database's statistics.
+    pub fn render_sql(&self, q: &Query) -> String {
+        q.render_sql(&self.schema, |c| &self.column_stats[c.0 as usize])
+    }
+
+    fn physical_for(&self, cfg: &IndexConfig, storage: &Storage) -> HashMap<Index, PhysicalIndex> {
+        let mut cache = self.phys_cache.lock().expect("poisoned");
+        let mut out = HashMap::with_capacity(cfg.len());
+        for idx in cfg.indexes() {
+            let phys = cache.entry(idx.clone()).or_insert_with(|| {
+                let data = storage
+                    .table(idx.table(&self.schema))
+                    .expect("complete storage");
+                PhysicalIndex::build(&self.schema, data, idx.clone())
+            });
+            out.insert(idx.clone(), phys.clone());
+        }
+        out
+    }
+}
+
+/// Builder for [`Database`].
+pub struct DatabaseBuilder {
+    schema: Schema,
+    column_stats: Option<Vec<ColumnStats>>,
+    scale: f64,
+    materialize: Option<MaterializeOpts>,
+}
+
+/// Data-materialization options.
+#[derive(Debug, Clone, Copy)]
+struct MaterializeOpts {
+    seed: u64,
+    row_cap: u32,
+}
+
+impl DatabaseBuilder {
+    /// New builder with scale 1.0 and no data.
+    pub fn new(schema: Schema) -> Self {
+        DatabaseBuilder {
+            schema,
+            column_stats: None,
+            scale: 1.0,
+            materialize: None,
+        }
+    }
+
+    /// Scale factor applied to every table's base row count.
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Provide explicit column statistics (indexed by `ColumnId.0`,
+    /// covering every column). When omitted, default statistics are
+    /// derived from column types (see [`default_column_stats`]).
+    pub fn column_stats(mut self, stats: Vec<ColumnStats>) -> Self {
+        self.column_stats = Some(stats);
+        self
+    }
+
+    /// Materialize synthetic data (capped at `row_cap` rows per table so
+    /// large scale factors stay laptop-sized; costs are page-based so the
+    /// cap only coarsens, never reorders, actual costs).
+    pub fn materialize(mut self, seed: u64, row_cap: u32) -> Self {
+        self.materialize = Some(MaterializeOpts { seed, row_cap });
+        self
+    }
+
+    /// Build the database.
+    pub fn build(self) -> Database {
+        let scaled_rows = |t: &crate::schema::Table| -> u64 {
+            ((t.base_rows as f64 * self.scale).round() as u64).max(1)
+        };
+        let column_stats = self
+            .column_stats
+            .unwrap_or_else(|| default_column_stats(&self.schema, self.scale));
+        assert_eq!(
+            column_stats.len(),
+            self.schema.num_columns(),
+            "stats must cover every column"
+        );
+
+        let mut storage = None;
+        let mut table_stats = Vec::with_capacity(self.schema.num_tables());
+        if let Some(opts) = self.materialize {
+            let mut st = Storage::new(self.schema.num_tables());
+            for t in self.schema.tables() {
+                let rows = scaled_rows(t).min(u64::from(opts.row_cap)) as u32;
+                st.set_table(generate_table(
+                    &self.schema,
+                    &column_stats,
+                    t.id,
+                    rows,
+                    opts.seed,
+                ));
+            }
+            // Table stats reflect the materialized heap so that estimates
+            // and actual execution describe the same physical database.
+            for t in self.schema.tables() {
+                let data = st.table(t.id).expect("just set");
+                table_stats.push(TableStats {
+                    rows: u64::from(data.rows),
+                    pages: data.pages(),
+                });
+            }
+            storage = Some(st);
+        } else {
+            for t in self.schema.tables() {
+                let rows = scaled_rows(t);
+                let width = u64::from(self.schema.row_width(t.id));
+                table_stats.push(TableStats {
+                    rows,
+                    pages: (rows * width).div_ceil(PAGE_SIZE).max(1),
+                });
+            }
+        }
+
+        Database {
+            schema: self.schema,
+            table_stats,
+            column_stats,
+            model: AnalyticalCostModel::new(),
+            storage,
+            phys_cache: Mutex::new(HashMap::new()),
+            scale: self.scale,
+        }
+    }
+}
+
+/// Default column statistics derived from types alone: keys (`*_id`,
+/// `*key`) get NDV = rows, dates span seven years, numerics get moderate
+/// NDV, short text gets low NDV. Benchmark crates provide real statistics;
+/// this default keeps toy schemas convenient.
+pub fn default_column_stats(schema: &Schema, scale: f64) -> Vec<ColumnStats> {
+    schema
+        .columns()
+        .iter()
+        .map(|c| {
+            let rows = ((schema.table(c.table).base_rows as f64 * scale) as u64).max(1);
+            let name = c.name.as_str();
+            let ndv: u64 = if name.ends_with("key") || name.ends_with("_id") {
+                rows
+            } else {
+                match c.ty {
+                    DataType::Date => 2556,
+                    DataType::Decimal => 10_000.min(rows),
+                    DataType::Int | DataType::BigInt => 1000.min(rows),
+                    DataType::Char(_) => 50.min(rows),
+                    DataType::Varchar(_) => 1000.min(rows),
+                }
+            }
+            .max(1);
+            ColumnStats::uniform(c.id, c.ty, ndv, 0, ndv as i64 - 1)
+        })
+        .collect()
+}
+
+/// Identify the table with the most rows (used by tests and examples).
+pub fn largest_table(db: &Database) -> TableId {
+    db.schema()
+        .tables()
+        .iter()
+        .max_by_key(|t| db.table_stats()[t.id.0 as usize].rows)
+        .expect("nonempty schema")
+        .id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::query::QueryBuilder;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "orders",
+            50_000,
+            &[
+                ("o_orderkey", DataType::BigInt),
+                ("o_custkey", DataType::Int),
+                ("o_totalprice", DataType::Decimal),
+            ],
+        );
+        s.add_table("customer", 5000, &[("c_custkey", DataType::Int)]);
+        s
+    }
+
+    #[test]
+    fn builder_without_data_estimates_only() {
+        let db = Database::builder(schema()).scale(2.0).build();
+        assert!(!db.has_data());
+        assert_eq!(db.table_stats()[0].rows, 100_000);
+        let q = QueryBuilder::new()
+            .filter(
+                db.schema(),
+                Predicate::eq(db.schema().column_id("o_orderkey").unwrap(), 0.5),
+            )
+            .select(db.schema().column_id("o_totalprice").unwrap())
+            .build(db.schema())
+            .unwrap();
+        let cfg = IndexConfig::from_indexes([Index::single(
+            db.schema().column_id("o_orderkey").unwrap(),
+        )]);
+        // actual falls back to estimated
+        assert_eq!(
+            db.actual_query_cost(&q, &cfg),
+            db.estimated_query_cost(&q, &cfg)
+        );
+        assert!(db.query_benefit(&q, &cfg) > 0.5);
+    }
+
+    #[test]
+    fn materialized_db_executes() {
+        let db = Database::builder(schema()).materialize(7, 20_000).build();
+        assert!(db.has_data());
+        let key = db.schema().column_id("o_orderkey").unwrap();
+        let q = QueryBuilder::new()
+            .filter(db.schema(), Predicate::eq(key, 0.5))
+            .select(db.schema().column_id("o_totalprice").unwrap())
+            .build(db.schema())
+            .unwrap();
+        let none = db.actual_query_cost(&q, &IndexConfig::empty());
+        let cfg = IndexConfig::from_indexes([Index::single(key)]);
+        let with = db.actual_query_cost(&q, &cfg);
+        assert!(with < none, "with={with} none={none}");
+    }
+
+    #[test]
+    fn row_cap_bounds_materialization() {
+        let db = Database::builder(schema())
+            .scale(10.0)
+            .materialize(7, 1000)
+            .build();
+        assert_eq!(db.table_stats()[0].rows, 1000);
+    }
+
+    #[test]
+    fn phys_cache_reuses_indexes() {
+        let db = Database::builder(schema()).materialize(7, 5000).build();
+        let key = db.schema().column_id("o_custkey").unwrap();
+        let cfg = IndexConfig::from_indexes([Index::single(key)]);
+        let q = QueryBuilder::new()
+            .filter(db.schema(), Predicate::eq(key, 0.5))
+            .select(key)
+            .build(db.schema())
+            .unwrap();
+        let a = db.actual_query_cost(&q, &cfg);
+        let b = db.actual_query_cost(&q, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(db.phys_cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn default_stats_treat_keys_as_unique() {
+        let s = schema();
+        let stats = default_column_stats(&s, 1.0);
+        let key = s.column_id("o_orderkey").unwrap();
+        assert_eq!(stats[key.0 as usize].ndv, 50_000);
+    }
+
+    #[test]
+    fn render_sql_uses_stats() {
+        let db = Database::builder(schema()).build();
+        let key = db.schema().column_id("o_custkey").unwrap();
+        let q = QueryBuilder::new()
+            .filter(db.schema(), Predicate::eq(key, 0.0))
+            .select(key)
+            .build(db.schema())
+            .unwrap();
+        assert_eq!(
+            db.render_sql(&q),
+            "select o_custkey from orders where o_custkey = 0;"
+        );
+    }
+
+    #[test]
+    fn explain_reports_the_chosen_path() {
+        let db = Database::builder(schema()).build();
+        let key = db.schema().column_id("o_orderkey").unwrap();
+        let q = QueryBuilder::new()
+            .filter(db.schema(), Predicate::eq(key, 0.5))
+            .select(db.schema().column_id("o_totalprice").unwrap())
+            .build(db.schema())
+            .unwrap();
+        let none = db.explain(&q, &IndexConfig::empty());
+        assert!(none.contains("seq scan"), "{none}");
+        let cfg = IndexConfig::from_indexes([Index::single(key)]);
+        let with = db.explain(&q, &cfg);
+        assert!(with.contains("idx_orders_o_orderkey"), "{with}");
+        assert!(with.contains("index"), "{with}");
+    }
+
+    #[test]
+    fn largest_table_is_orders() {
+        let db = Database::builder(schema()).build();
+        assert_eq!(largest_table(&db), TableId(0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared across the simulator.
+
+use std::fmt;
+
+/// Errors raised by the database substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A table name did not resolve against the schema.
+    UnknownTable(String),
+    /// A column name did not resolve against the schema.
+    UnknownColumn(String),
+    /// A query referenced a column of a table that is not in its FROM list.
+    ColumnNotInScope(String),
+    /// An index definition is invalid (empty, duplicate columns, or columns
+    /// from more than one table).
+    InvalidIndex(String),
+    /// A query is structurally invalid (no tables, disconnected joins, ...).
+    InvalidQuery(String),
+    /// The executor was asked to run against a database without
+    /// materialized data.
+    NoData,
+    /// Parsing rendered SQL back into the AST failed.
+    Parse(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SimError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SimError::ColumnNotInScope(c) => write!(f, "column not in scope: {c}"),
+            SimError::InvalidIndex(m) => write!(f, "invalid index: {m}"),
+            SimError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            SimError::NoData => write!(f, "database has no materialized data"),
+            SimError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;

@@ -1,0 +1,295 @@
+//! Index definitions and budgeted index configurations.
+//!
+//! An [`Index`] is an ordered list of columns of a single table (B+-tree
+//! semantics: the leading column dominates usability, which is why the
+//! paper's probing stage restricts itself to single-column information).
+//! An [`IndexConfig`] is the set of indexes an advisor recommends, bounded
+//! by a budget on index *count* (the paper's default `B = 4`) or storage.
+
+use crate::error::{SimError, SimResult};
+use crate::schema::{ColumnId, Schema, TableId};
+use crate::stats::TableStats;
+use std::fmt;
+
+/// Entry overhead per index tuple (item pointer + header), bytes.
+const INDEX_TUPLE_OVERHEAD: u32 = 12;
+
+/// A (possibly multi-column) B+-tree index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Index {
+    /// Key columns in order; all must belong to the same table.
+    pub columns: Vec<ColumnId>,
+}
+
+impl Index {
+    /// Single-column index.
+    pub fn single(col: ColumnId) -> Self {
+        Index { columns: vec![col] }
+    }
+
+    /// Multi-column index; validates non-emptiness, distinctness, and
+    /// single-table membership.
+    pub fn multi(schema: &Schema, columns: Vec<ColumnId>) -> SimResult<Self> {
+        if columns.is_empty() {
+            return Err(SimError::InvalidIndex("empty column list".into()));
+        }
+        let table = schema.table_of(columns[0]);
+        for (i, &c) in columns.iter().enumerate() {
+            if schema.table_of(c) != table {
+                return Err(SimError::InvalidIndex(
+                    "columns span multiple tables".into(),
+                ));
+            }
+            if columns[..i].contains(&c) {
+                return Err(SimError::InvalidIndex("duplicate column".into()));
+            }
+        }
+        Ok(Index { columns })
+    }
+
+    /// The leading (primary) key column.
+    pub fn leading(&self) -> ColumnId {
+        self.columns[0]
+    }
+
+    /// The indexed table.
+    pub fn table(&self, schema: &Schema) -> TableId {
+        schema.table_of(self.columns[0])
+    }
+
+    /// Estimated size in bytes: one entry per row, key widths plus
+    /// per-entry overhead, with a 1/0.9 fill-factor allowance.
+    pub fn size_bytes(&self, schema: &Schema, rows: u64) -> u64 {
+        let key_width: u32 = self
+            .columns
+            .iter()
+            .map(|&c| schema.column(c).ty.width())
+            .sum();
+        let entry = u64::from(key_width + INDEX_TUPLE_OVERHEAD);
+        (rows * entry * 10) / 9
+    }
+
+    /// Leaf pages of the index given the table's stats.
+    pub fn leaf_pages(&self, schema: &Schema, stats: &TableStats) -> u64 {
+        self.size_bytes(schema, stats.rows)
+            .div_ceil(crate::cost::PAGE_SIZE)
+            .max(1)
+    }
+
+    /// B+-tree height estimate (levels above the leaves).
+    pub fn height(&self, schema: &Schema, stats: &TableStats) -> u32 {
+        let mut pages = self.leaf_pages(schema, stats);
+        let mut h = 0u32;
+        // ~200 fanout for internal nodes.
+        while pages > 1 {
+            pages = pages.div_ceil(200);
+            h += 1;
+        }
+        h.max(1)
+    }
+
+    /// Human-readable name, e.g. `idx_lineitem_l_partkey_l_suppkey`.
+    pub fn name(&self, schema: &Schema) -> String {
+        let t = schema.table(self.table(schema)).name.clone();
+        let cols: Vec<&str> = self
+            .columns
+            .iter()
+            .map(|&c| schema.column(c).name.as_str())
+            .collect();
+        format!("idx_{t}_{}", cols.join("_"))
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.columns)
+    }
+}
+
+/// A set of indexes recommended by an advisor, with budget accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexConfig {
+    indexes: Vec<Index>,
+}
+
+impl IndexConfig {
+    /// The empty configuration (no indexes; the paper's `∅`).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from a list, deduplicating.
+    pub fn from_indexes(indexes: impl IntoIterator<Item = Index>) -> Self {
+        let mut cfg = Self::default();
+        for i in indexes {
+            cfg.add(i);
+        }
+        cfg
+    }
+
+    /// Add an index if not already present. Returns whether it was added.
+    pub fn add(&mut self, index: Index) -> bool {
+        if self.indexes.contains(&index) {
+            false
+        } else {
+            self.indexes.push(index);
+            true
+        }
+    }
+
+    /// Remove an index. Returns whether it was present.
+    pub fn remove(&mut self, index: &Index) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| i != index);
+        self.indexes.len() != before
+    }
+
+    /// The indexes in insertion order.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Number of indexes (the paper's count budget `B`).
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether no indexes are present.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Whether any index has the given leading column (the probing stage's
+    /// `l_i ∈ I^p` test uses leading columns).
+    pub fn has_leading_column(&self, col: ColumnId) -> bool {
+        self.indexes.iter().any(|i| i.leading() == col)
+    }
+
+    /// Leading columns of all indexes, deduplicated, insertion order.
+    pub fn leading_columns(&self) -> Vec<ColumnId> {
+        let mut out = Vec::with_capacity(self.indexes.len());
+        for i in &self.indexes {
+            if !out.contains(&i.leading()) {
+                out.push(i.leading());
+            }
+        }
+        out
+    }
+
+    /// Total estimated size in bytes.
+    pub fn size_bytes<F>(&self, schema: &Schema, mut rows_of: F) -> u64
+    where
+        F: FnMut(TableId) -> u64,
+    {
+        self.indexes
+            .iter()
+            .map(|i| i.size_bytes(schema, rows_of(i.table(schema))))
+            .sum()
+    }
+
+    /// Whether the count budget is satisfied.
+    pub fn within_count_budget(&self, budget: usize) -> bool {
+        self.indexes.len() <= budget
+    }
+}
+
+impl FromIterator<Index> for IndexConfig {
+    fn from_iter<T: IntoIterator<Item = Index>>(iter: T) -> Self {
+        Self::from_indexes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn toy() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "orders",
+            1000,
+            &[
+                ("o_orderkey", DataType::BigInt),
+                ("o_custkey", DataType::Int),
+            ],
+        );
+        s.add_table("customer", 100, &[("c_custkey", DataType::Int)]);
+        s
+    }
+
+    #[test]
+    fn multi_rejects_cross_table_and_dups() {
+        let s = toy();
+        let o = s.column_id("o_orderkey").unwrap();
+        let c = s.column_id("c_custkey").unwrap();
+        assert!(Index::multi(&s, vec![o, c]).is_err());
+        assert!(Index::multi(&s, vec![o, o]).is_err());
+        assert!(Index::multi(&s, vec![]).is_err());
+        assert!(Index::multi(&s, vec![o, s.column_id("o_custkey").unwrap()]).is_ok());
+    }
+
+    #[test]
+    fn size_scales_with_rows_and_width() {
+        let s = toy();
+        let o = s.column_id("o_orderkey").unwrap();
+        let idx = Index::single(o);
+        let small = idx.size_bytes(&s, 1000);
+        let big = idx.size_bytes(&s, 10_000);
+        let ratio = big as f64 / small as f64;
+        assert!((ratio - 10.0).abs() < 0.01, "ratio={ratio}");
+        let wide = Index::multi(&s, vec![o, s.column_id("o_custkey").unwrap()]).unwrap();
+        assert!(wide.size_bytes(&s, 1000) > small);
+    }
+
+    #[test]
+    fn config_dedup_and_budget() {
+        let s = toy();
+        let o = s.column_id("o_orderkey").unwrap();
+        let mut cfg = IndexConfig::empty();
+        assert!(cfg.add(Index::single(o)));
+        assert!(!cfg.add(Index::single(o)));
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.within_count_budget(1));
+        assert!(!cfg.within_count_budget(0));
+        assert!(cfg.has_leading_column(o));
+        assert!(cfg.remove(&Index::single(o)));
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn leading_columns_deduped() {
+        let s = toy();
+        let o = s.column_id("o_orderkey").unwrap();
+        let c2 = s.column_id("o_custkey").unwrap();
+        let cfg = IndexConfig::from_indexes([
+            Index::single(o),
+            Index::multi(&s, vec![o, c2]).unwrap(),
+            Index::single(c2),
+        ]);
+        assert_eq!(cfg.leading_columns(), vec![o, c2]);
+    }
+
+    #[test]
+    fn height_grows_slowly() {
+        let s = toy();
+        let idx = Index::single(s.column_id("o_orderkey").unwrap());
+        let small = TableStats {
+            rows: 1000,
+            pages: 10,
+        };
+        let big = TableStats {
+            rows: 100_000_000,
+            pages: 1_000_000,
+        };
+        assert!(idx.height(&s, &small) <= idx.height(&s, &big));
+        assert!(idx.height(&s, &big) <= 5);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let s = toy();
+        let idx = Index::single(s.column_id("o_custkey").unwrap());
+        assert_eq!(idx.name(&s), "idx_orders_o_custkey");
+    }
+}

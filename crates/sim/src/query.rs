@@ -1,0 +1,443 @@
+//! Analytic query AST and SQL rendering.
+//!
+//! Queries are select-project-join-aggregate blocks: a set of tables,
+//! equi-join edges, conjunctive sargable [`Predicate`]s, a projection or
+//! aggregate list, and optional grouping/ordering. This covers the query
+//! shapes produced by the paper's FSM generator and by IABART, and is rich
+//! enough for TPC-H/TPC-DS style templates.
+
+use crate::error::{SimError, SimResult};
+use crate::predicate::Predicate;
+use crate::schema::{ColumnId, Schema, TableId};
+use crate::stats::ColumnStats;
+
+/// An equi-join edge `left = right` between columns of two tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Column on one side of the equality.
+    pub left: ColumnId,
+    /// Column on the other side.
+    pub right: ColumnId,
+}
+
+/// Aggregate expressions in the SELECT list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `count(*)`.
+    CountStar,
+    /// `sum(col)`.
+    Sum(ColumnId),
+    /// `avg(col)`.
+    Avg(ColumnId),
+    /// `min(col)`.
+    Min(ColumnId),
+    /// `max(col)`.
+    Max(ColumnId),
+}
+
+impl Aggregate {
+    /// The column referenced, if any.
+    pub fn column(&self) -> Option<ColumnId> {
+        match self {
+            Aggregate::CountStar => None,
+            Aggregate::Sum(c) | Aggregate::Avg(c) | Aggregate::Min(c) | Aggregate::Max(c) => {
+                Some(*c)
+            }
+        }
+    }
+}
+
+/// A single analytic query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Referenced tables (FROM list).
+    pub tables: Vec<TableId>,
+    /// Equi-join edges connecting the tables.
+    pub joins: Vec<JoinEdge>,
+    /// Conjunctive filter predicates.
+    pub predicates: Vec<Predicate>,
+    /// Plain projected columns (may be empty if aggregates are present).
+    pub projection: Vec<ColumnId>,
+    /// Aggregate expressions.
+    pub aggregates: Vec<Aggregate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnId>,
+    /// ORDER BY columns.
+    pub order_by: Vec<ColumnId>,
+    /// Optional LIMIT.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Every column the query touches (projection, aggregates, predicates,
+    /// joins, grouping, ordering), deduplicated and sorted.
+    pub fn referenced_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self
+            .projection
+            .iter()
+            .copied()
+            .chain(self.aggregates.iter().filter_map(|a| a.column()))
+            .chain(self.predicates.iter().map(|p| p.col))
+            .chain(self.joins.iter().flat_map(|j| [j.left, j.right]))
+            .chain(self.group_by.iter().copied())
+            .chain(self.order_by.iter().copied())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Columns appearing in sargable filter predicates (the columns an
+    /// index could help with).
+    pub fn filter_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self.predicates.iter().map(|p| p.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Columns appearing in join conditions.
+    pub fn join_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self.joins.iter().flat_map(|j| [j.left, j.right]).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Predicates restricted to one table.
+    pub fn predicates_on(&self, schema: &Schema, table: TableId) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| schema.table_of(p.col) == table)
+            .collect()
+    }
+
+    /// Validate structural invariants: at least one table, all referenced
+    /// columns belong to FROM tables, and the join graph connects every
+    /// table when more than one is present.
+    pub fn validate(&self, schema: &Schema) -> SimResult<()> {
+        if self.tables.is_empty() {
+            return Err(SimError::InvalidQuery("no tables".into()));
+        }
+        let in_scope = |c: ColumnId| self.tables.contains(&schema.table_of(c));
+        for c in self.referenced_columns() {
+            if !in_scope(c) {
+                return Err(SimError::ColumnNotInScope(schema.column(c).name.clone()));
+            }
+        }
+        if self.projection.is_empty() && self.aggregates.is_empty() {
+            return Err(SimError::InvalidQuery("empty select list".into()));
+        }
+        if self.tables.len() > 1 {
+            // Union-find connectivity over join edges.
+            let mut parent: Vec<usize> = (0..self.tables.len()).collect();
+            fn find(p: &mut Vec<usize>, i: usize) -> usize {
+                if p[i] != i {
+                    let r = find(p, p[i]);
+                    p[i] = r;
+                }
+                p[i]
+            }
+            let pos = |t: TableId| self.tables.iter().position(|&x| x == t);
+            for j in &self.joins {
+                let (lt, rt) = (schema.table_of(j.left), schema.table_of(j.right));
+                if let (Some(a), Some(b)) = (pos(lt), pos(rt)) {
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    parent[ra] = rb;
+                }
+            }
+            let root = find(&mut parent, 0);
+            for i in 1..self.tables.len() {
+                if find(&mut parent, i) != root {
+                    return Err(SimError::InvalidQuery(format!(
+                        "table {} not connected by joins",
+                        schema.table(self.tables[i]).name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the query as SQL text. Literals are derived from each
+    /// column's statistics (`stats_of` must cover every filtered column).
+    pub fn render_sql<'a, F>(&self, schema: &Schema, mut stats_of: F) -> String
+    where
+        F: FnMut(ColumnId) -> &'a ColumnStats,
+    {
+        let mut select_items: Vec<String> = self
+            .projection
+            .iter()
+            .map(|&c| schema.column(c).name.clone())
+            .collect();
+        for a in &self.aggregates {
+            let item = match a {
+                Aggregate::CountStar => "count(*)".to_string(),
+                Aggregate::Sum(c) => format!("sum({})", schema.column(*c).name),
+                Aggregate::Avg(c) => format!("avg({})", schema.column(*c).name),
+                Aggregate::Min(c) => format!("min({})", schema.column(*c).name),
+                Aggregate::Max(c) => format!("max({})", schema.column(*c).name),
+            };
+            select_items.push(item);
+        }
+        let mut sql = format!("select {} from ", select_items.join(", "));
+        sql.push_str(
+            &self
+                .tables
+                .iter()
+                .map(|&t| schema.table(t).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        let mut conds: Vec<String> = self
+            .joins
+            .iter()
+            .map(|j| {
+                format!(
+                    "{} = {}",
+                    schema.column(j.left).name,
+                    schema.column(j.right).name
+                )
+            })
+            .collect();
+        for p in &self.predicates {
+            let name = &schema.column(p.col).name;
+            conds.push(p.render_sql(name, stats_of(p.col)));
+        }
+        if !conds.is_empty() {
+            sql.push_str(" where ");
+            sql.push_str(&conds.join(" and "));
+        }
+        if !self.group_by.is_empty() {
+            sql.push_str(" group by ");
+            sql.push_str(
+                &self
+                    .group_by
+                    .iter()
+                    .map(|&c| schema.column(c).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        if !self.order_by.is_empty() {
+            sql.push_str(" order by ");
+            sql.push_str(
+                &self
+                    .order_by
+                    .iter()
+                    .map(|&c| schema.column(c).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        if let Some(l) = self.limit {
+            sql.push_str(&format!(" limit {l}"));
+        }
+        sql.push(';');
+        sql
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    q: QueryParts,
+}
+
+#[derive(Debug, Clone, Default)]
+struct QueryParts {
+    tables: Vec<TableId>,
+    joins: Vec<JoinEdge>,
+    predicates: Vec<Predicate>,
+    projection: Vec<ColumnId>,
+    aggregates: Vec<Aggregate>,
+    group_by: Vec<ColumnId>,
+    order_by: Vec<ColumnId>,
+    limit: Option<u64>,
+}
+
+impl QueryBuilder {
+    /// Start building a query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a FROM table (deduplicated).
+    pub fn table(mut self, t: TableId) -> Self {
+        if !self.q.tables.contains(&t) {
+            self.q.tables.push(t);
+        }
+        self
+    }
+
+    /// Add an equi-join edge; both tables are added to FROM.
+    pub fn join(mut self, schema: &Schema, left: ColumnId, right: ColumnId) -> Self {
+        let lt = schema.table_of(left);
+        let rt = schema.table_of(right);
+        self = self.table(lt).table(rt);
+        self.q.joins.push(JoinEdge { left, right });
+        self
+    }
+
+    /// Add a filter predicate; the column's table is added to FROM.
+    pub fn filter(mut self, schema: &Schema, p: Predicate) -> Self {
+        self = self.table(schema.table_of(p.col));
+        self.q.predicates.push(p);
+        self
+    }
+
+    /// Project a column.
+    pub fn select(mut self, c: ColumnId) -> Self {
+        self.q.projection.push(c);
+        self
+    }
+
+    /// Add an aggregate.
+    pub fn aggregate(mut self, a: Aggregate) -> Self {
+        self.q.aggregates.push(a);
+        self
+    }
+
+    /// GROUP BY a column.
+    pub fn group_by(mut self, c: ColumnId) -> Self {
+        self.q.group_by.push(c);
+        self
+    }
+
+    /// ORDER BY a column.
+    pub fn order_by(mut self, c: ColumnId) -> Self {
+        self.q.order_by.push(c);
+        self
+    }
+
+    /// Set LIMIT.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.q.limit = Some(n);
+        self
+    }
+
+    /// Finish, validating against the schema.
+    pub fn build(self, schema: &Schema) -> SimResult<Query> {
+        let q = Query {
+            tables: self.q.tables,
+            joins: self.q.joins,
+            predicates: self.q.predicates,
+            projection: self.q.projection,
+            aggregates: self.q.aggregates,
+            group_by: self.q.group_by,
+            order_by: self.q.order_by,
+            limit: self.q.limit,
+        };
+        q.validate(schema)?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn toy() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "orders",
+            1000,
+            &[
+                ("o_orderkey", DataType::BigInt),
+                ("o_custkey", DataType::Int),
+                ("o_totalprice", DataType::Decimal),
+            ],
+        );
+        s.add_table(
+            "customer",
+            100,
+            &[("c_custkey", DataType::Int), ("c_name", DataType::Char(12))],
+        );
+        s
+    }
+
+    fn col(s: &Schema, n: &str) -> ColumnId {
+        s.column_id(n).unwrap()
+    }
+
+    #[test]
+    fn builder_builds_joined_query() {
+        let s = toy();
+        let q = QueryBuilder::new()
+            .join(&s, col(&s, "o_custkey"), col(&s, "c_custkey"))
+            .filter(&s, Predicate::eq(col(&s, "o_totalprice"), 0.5))
+            .select(col(&s, "c_name"))
+            .aggregate(Aggregate::Sum(col(&s, "o_totalprice")))
+            .group_by(col(&s, "c_name"))
+            .build(&s)
+            .unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.filter_columns(), vec![col(&s, "o_totalprice")]);
+        assert!(q.join_columns().contains(&col(&s, "c_custkey")));
+    }
+
+    #[test]
+    fn disconnected_join_graph_rejected() {
+        let s = toy();
+        let err = QueryBuilder::new()
+            .table(s.table_id("orders").unwrap())
+            .table(s.table_id("customer").unwrap())
+            .select(col(&s, "o_orderkey"))
+            .build(&s);
+        assert!(matches!(err, Err(SimError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn empty_select_list_rejected() {
+        let s = toy();
+        let err = QueryBuilder::new()
+            .table(s.table_id("orders").unwrap())
+            .build(&s);
+        assert!(matches!(err, Err(SimError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn renders_full_sql() {
+        let s = toy();
+        let price = col(&s, "o_totalprice");
+        let stats = crate::stats::ColumnStats::uniform(price, DataType::Decimal, 100, 0, 10_000);
+        let q = QueryBuilder::new()
+            .filter(&s, Predicate::between(price, 0.0, 0.5))
+            .select(col(&s, "o_orderkey"))
+            .order_by(col(&s, "o_orderkey"))
+            .limit(10)
+            .build(&s)
+            .unwrap();
+        let sql = q.render_sql(&s, |_| &stats);
+        assert_eq!(
+            sql,
+            "select o_orderkey from orders where o_totalprice between 0.00 and 50.00 \
+             order by o_orderkey limit 10;"
+        );
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated() {
+        let s = toy();
+        let k = col(&s, "o_orderkey");
+        let q = QueryBuilder::new()
+            .select(k)
+            .order_by(k)
+            .filter(&s, Predicate::eq(k, 0.1))
+            .build(&s)
+            .unwrap();
+        assert_eq!(q.referenced_columns(), vec![k]);
+    }
+
+    #[test]
+    fn out_of_scope_column_rejected() {
+        let s = toy();
+        let q = QueryBuilder::new()
+            .table(s.table_id("orders").unwrap())
+            .select(col(&s, "c_name"));
+        // select c_name but FROM only orders: builder adds the table only
+        // via filter/join, so validation must fail.
+        assert!(matches!(q.build(&s), Err(SimError::ColumnNotInScope(_))));
+    }
+}

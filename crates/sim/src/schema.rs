@@ -1,0 +1,352 @@
+//! Relational schema: tables, columns, data types, and foreign keys.
+//!
+//! Columns are addressed by a globally unique [`ColumnId`] so that the rest
+//! of the system (index advisors, the probing stage, the query generator)
+//! can treat "the set of indexable columns" as a flat `0..L` range, exactly
+//! as the paper does (`L = 61` on TPC-H, `L = 425` on our TPC-DS encoding).
+
+use crate::error::{SimError, SimResult};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Globally unique column identifier (dense, `0..schema.num_columns()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+/// Table identifier (dense, `0..schema.num_tables()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// SQL data type of a column. Only the properties the cost model and data
+/// generator need are retained: byte width and whether the domain is
+/// ordered text or numeric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 4-byte integer.
+    Int,
+    /// 8-byte integer (keys on large fact tables).
+    BigInt,
+    /// Fixed-point decimal, stored as 8 bytes.
+    Decimal,
+    /// Calendar date, 4 bytes.
+    Date,
+    /// Fixed-length character data of the given width.
+    Char(u16),
+    /// Variable-length character data with the given average width.
+    Varchar(u16),
+}
+
+impl DataType {
+    /// Average stored width in bytes, used for page-count estimation.
+    pub fn width(self) -> u32 {
+        match self {
+            DataType::Int | DataType::Date => 4,
+            DataType::BigInt | DataType::Decimal => 8,
+            DataType::Char(w) => u32::from(w),
+            // varlena header + average payload
+            DataType::Varchar(w) => 4 + u32::from(w) / 2,
+        }
+    }
+
+    /// Whether values of this type are rendered as quoted literals in SQL.
+    pub fn is_textual(self) -> bool {
+        matches!(self, DataType::Char(_) | DataType::Varchar(_))
+    }
+}
+
+/// A column definition within a table.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Global identifier.
+    pub id: ColumnId,
+    /// Owning table.
+    pub table: TableId,
+    /// Lower-case column name, e.g. `l_partkey`.
+    pub name: String,
+    /// Declared data type.
+    pub ty: DataType,
+}
+
+/// A foreign-key relationship: `from` references `to` (the primary key of
+/// another table). The injecting stage uses the foreign-key closure of the
+/// best index to delimit the "top-ranked" segment (paper §5, §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column.
+    pub from: ColumnId,
+    /// Referenced (primary-key) column.
+    pub to: ColumnId,
+}
+
+/// A table definition.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Global identifier.
+    pub id: TableId,
+    /// Lower-case table name, e.g. `lineitem`.
+    pub name: String,
+    /// Columns in declaration order. Their [`ColumnId`]s are dense and
+    /// ascending but not necessarily contiguous across tables.
+    pub columns: Vec<ColumnId>,
+    /// Base row count at scale factor 1. The database scales this.
+    pub base_rows: u64,
+}
+
+/// A complete relational schema.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    tables: Vec<Table>,
+    columns: Vec<Column>,
+    foreign_keys: Vec<ForeignKey>,
+    table_by_name: HashMap<String, TableId>,
+    column_by_name: HashMap<String, ColumnId>,
+}
+
+impl Schema {
+    /// Create an empty schema; populate with [`Schema::add_table`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table with `(name, type)` columns and a base row count
+    /// (row count at scale factor 1). Returns the new table id.
+    ///
+    /// Column names must be globally unique (TPC-style prefixes guarantee
+    /// this), which lets queries reference columns without qualification.
+    pub fn add_table(&mut self, name: &str, base_rows: u64, cols: &[(&str, DataType)]) -> TableId {
+        let tid = TableId(self.tables.len() as u32);
+        let mut column_ids = Vec::with_capacity(cols.len());
+        for &(cname, ty) in cols {
+            let cid = ColumnId(self.columns.len() as u32);
+            assert!(
+                !self.column_by_name.contains_key(cname),
+                "duplicate column name {cname}"
+            );
+            self.columns.push(Column {
+                id: cid,
+                table: tid,
+                name: cname.to_string(),
+                ty,
+            });
+            self.column_by_name.insert(cname.to_string(), cid);
+            column_ids.push(cid);
+        }
+        assert!(
+            !self.table_by_name.contains_key(name),
+            "duplicate table name {name}"
+        );
+        self.table_by_name.insert(name.to_string(), tid);
+        self.tables.push(Table {
+            id: tid,
+            name: name.to_string(),
+            columns: column_ids,
+            base_rows,
+        });
+        tid
+    }
+
+    /// Register a foreign key by column names.
+    pub fn add_foreign_key(&mut self, from: &str, to: &str) {
+        let from = self
+            .column_id(from)
+            .unwrap_or_else(|_| panic!("unknown fk column {from}"));
+        let to = self
+            .column_id(to)
+            .unwrap_or_else(|_| panic!("unknown fk column {to}"));
+        self.foreign_keys.push(ForeignKey { from, to });
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of columns across all tables (the paper's `L`).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All tables in declaration order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// All registered foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Look up a table definition.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Look up a column definition.
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.0 as usize]
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> SimResult<TableId> {
+        self.table_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolve a column name.
+    pub fn column_id(&self, name: &str) -> SimResult<ColumnId> {
+        self.column_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownColumn(name.to_string()))
+    }
+
+    /// The table owning a column.
+    pub fn table_of(&self, col: ColumnId) -> TableId {
+        self.column(col).table
+    }
+
+    /// All columns usable as index keys (every column, per the paper's
+    /// single-column probing space).
+    pub fn indexable_columns(&self) -> Vec<ColumnId> {
+        self.columns.iter().map(|c| c.id).collect()
+    }
+
+    /// Foreign-key closure of a column: every column related to `col` by a
+    /// foreign key in either direction, transitively. Used by the injecting
+    /// stage to widen the "top-ranked" segment (paper §6.4: the best index
+    /// *and its foreign keys* are treated as top-ranked).
+    pub fn foreign_key_closure(&self, col: ColumnId) -> Vec<ColumnId> {
+        let mut seen = vec![false; self.columns.len()];
+        let mut stack = vec![col];
+        let mut out = Vec::new();
+        while let Some(c) = stack.pop() {
+            if std::mem::replace(&mut seen[c.0 as usize], true) {
+                continue;
+            }
+            out.push(c);
+            for fk in &self.foreign_keys {
+                if fk.from == c && !seen[fk.to.0 as usize] {
+                    stack.push(fk.to);
+                }
+                if fk.to == c && !seen[fk.from.0 as usize] {
+                    stack.push(fk.from);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Columns of `table` in declaration order.
+    pub fn columns_of(&self, table: TableId) -> &[ColumnId] {
+        &self.table(table).columns
+    }
+
+    /// Average row width in bytes for a table (sum of column widths plus a
+    /// fixed 24-byte tuple header, as in PostgreSQL).
+    pub fn row_width(&self, table: TableId) -> u32 {
+        24 + self
+            .columns_of(table)
+            .iter()
+            .map(|&c| self.column(c).ty.width())
+            .sum::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            "orders",
+            1000,
+            &[
+                ("o_orderkey", DataType::BigInt),
+                ("o_custkey", DataType::Int),
+                ("o_comment", DataType::Varchar(40)),
+            ],
+        );
+        s.add_table(
+            "customer",
+            100,
+            &[("c_custkey", DataType::Int), ("c_name", DataType::Char(12))],
+        );
+        s.add_foreign_key("o_custkey", "c_custkey");
+        s
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let s = toy();
+        assert_eq!(s.num_tables(), 2);
+        assert_eq!(s.num_columns(), 5);
+        assert_eq!(s.column_id("o_custkey").unwrap(), ColumnId(1));
+        assert_eq!(s.table_id("customer").unwrap(), TableId(1));
+        assert_eq!(s.table_of(ColumnId(3)), TableId(1));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let s = toy();
+        assert!(matches!(s.table_id("nope"), Err(SimError::UnknownTable(_))));
+        assert!(matches!(
+            s.column_id("nope"),
+            Err(SimError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn fk_closure_is_symmetric_and_transitive() {
+        let s = toy();
+        let o_custkey = s.column_id("o_custkey").unwrap();
+        let c_custkey = s.column_id("c_custkey").unwrap();
+        let cl = s.foreign_key_closure(o_custkey);
+        assert!(cl.contains(&o_custkey) && cl.contains(&c_custkey));
+        // Closure from the other side reaches back.
+        let cl2 = s.foreign_key_closure(c_custkey);
+        assert_eq!(cl, cl2);
+    }
+
+    #[test]
+    fn row_width_includes_header() {
+        let s = toy();
+        let w = s.row_width(TableId(0));
+        assert_eq!(w, 24 + 8 + 4 + (4 + 20));
+    }
+
+    #[test]
+    fn textual_types_and_widths() {
+        assert!(DataType::Varchar(10).is_textual());
+        assert!(!DataType::Decimal.is_textual());
+        assert_eq!(DataType::Char(25).width(), 25);
+        assert_eq!(DataType::Int.width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_column_panics() {
+        let mut s = toy();
+        s.add_table("x", 1, &[("o_orderkey", DataType::Int)]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Column- and table-level statistics used by the cost model, the data
+//! generator, and predicate selectivity estimation.
+//!
+//! Every column's value domain is normalized to integer *positions* in
+//! `[min, max]`; [`crate::value`] maps positions to typed literals. An
+//! optional equi-depth histogram refines range selectivities for skewed
+//! columns.
+
+use crate::schema::{ColumnId, DataType};
+
+/// Equi-depth histogram over a column's domain positions. `bounds` holds
+/// `n+1` ascending positions delimiting `n` buckets, each containing an
+/// equal share of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket boundaries (length = buckets + 1).
+    pub bounds: Vec<i64>,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from a *sorted* sample of positions.
+    /// Returns `None` for empty samples.
+    pub fn from_sorted_sample(sample: &[i64], buckets: usize) -> Option<Self> {
+        if sample.is_empty() || buckets == 0 {
+            return None;
+        }
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for b in 0..=buckets {
+            let idx = (b * (sample.len() - 1)) / buckets;
+            bounds.push(sample[idx]);
+        }
+        // Keep bounds non-decreasing (duplicates collapse naturally).
+        Some(Histogram { bounds })
+    }
+
+    /// Fraction of rows with position strictly below `pos`.
+    pub fn fraction_below(&self, pos: i64) -> f64 {
+        let n = self.bounds.len() - 1;
+        if n == 0 {
+            return 0.0;
+        }
+        if pos <= self.bounds[0] {
+            return 0.0;
+        }
+        if pos >= *self.bounds.last().expect("nonempty") {
+            return 1.0;
+        }
+        // Find the bucket containing pos.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.bounds[mid + 1] <= pos {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let b_lo = self.bounds[lo];
+        let b_hi = self.bounds[lo + 1];
+        let within = if b_hi > b_lo {
+            (pos - b_lo) as f64 / (b_hi - b_lo) as f64
+        } else {
+            0.0
+        };
+        (lo as f64 + within) / n as f64
+    }
+
+    /// Fraction of rows in `[lo, hi]` (inclusive-ish; continuous model).
+    pub fn fraction_between(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.fraction_below(hi) - self.fraction_below(lo)).max(0.0)
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column this belongs to.
+    pub col: ColumnId,
+    /// Declared type (duplicated from the schema for convenience).
+    pub ty: DataType,
+    /// Number of distinct values.
+    pub ndv: u64,
+    /// Minimum domain position.
+    pub min: i64,
+    /// Maximum domain position.
+    pub max: i64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    /// Physical-order correlation in `[-1, 1]`; 1.0 means the heap is
+    /// sorted by this column (cheap range index scans), 0 means random.
+    pub correlation: f64,
+    /// Optional equi-depth histogram (uniform assumed when absent).
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Uniform statistics over `[min, max]` with the given NDV.
+    pub fn uniform(col: ColumnId, ty: DataType, ndv: u64, min: i64, max: i64) -> Self {
+        ColumnStats {
+            col,
+            ty,
+            ndv: ndv.max(1),
+            min,
+            max: max.max(min),
+            null_frac: 0.0,
+            correlation: 0.0,
+            histogram: None,
+        }
+    }
+
+    /// Selectivity of `col = literal-at-position`.
+    pub fn eq_selectivity(&self) -> f64 {
+        (1.0 - self.null_frac) / self.ndv as f64
+    }
+
+    /// Selectivity of `lo <= col <= hi` given domain positions.
+    pub fn range_selectivity(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        let sel = if let Some(h) = &self.histogram {
+            h.fraction_between(lo, hi)
+        } else {
+            let span = (self.max - self.min) as f64;
+            if span <= 0.0 {
+                1.0
+            } else {
+                let lo = lo.clamp(self.min, self.max);
+                let hi = hi.clamp(self.min, self.max);
+                ((hi - lo) as f64 + 1.0) / (span + 1.0)
+            }
+        };
+        (sel * (1.0 - self.null_frac)).clamp(0.0, 1.0)
+    }
+
+    /// Position corresponding to a domain fraction in `[0,1]`.
+    pub fn position_at(&self, frac: f64) -> i64 {
+        let span = (self.max - self.min).max(0) as f64;
+        self.min + (frac.clamp(0.0, 1.0) * span).round() as i64
+    }
+
+    /// Fraction corresponding to a position (inverse of [`Self::position_at`]).
+    pub fn fraction_of(&self, pos: i64) -> f64 {
+        let span = (self.max - self.min).max(0) as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            ((pos - self.min) as f64 / span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Table-level statistics.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count after applying the scale factor.
+    pub rows: u64,
+    /// Heap pages (derived from row width and [`crate::cost::PAGE_SIZE`]).
+    pub pages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ColumnStats {
+        ColumnStats::uniform(ColumnId(0), DataType::Int, 100, 0, 999)
+    }
+
+    #[test]
+    fn eq_selectivity_is_one_over_ndv() {
+        let s = stats();
+        assert!((s.eq_selectivity() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_selectivity_accounts_for_nulls() {
+        let mut s = stats();
+        s.null_frac = 0.5;
+        assert!((s.eq_selectivity() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let s = stats();
+        let sel = s.range_selectivity(0, 499);
+        assert!((sel - 0.5).abs() < 0.01, "sel={sel}");
+        assert_eq!(s.range_selectivity(10, 5), 0.0);
+        assert!((s.range_selectivity(0, 999) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_clamps_out_of_domain() {
+        let s = stats();
+        assert!((s.range_selectivity(-100, 2000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_fraction_roundtrip() {
+        let s = stats();
+        for f in [0.0, 0.25, 0.5, 1.0] {
+            let p = s.position_at(f);
+            assert!((s.fraction_of(p) - f).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn histogram_refines_skew() {
+        // Sample heavily skewed toward low positions.
+        let mut sample: Vec<i64> = (0..900).map(|i| i % 100).collect();
+        sample.extend(900..1000);
+        sample.sort_unstable();
+        let h = Histogram::from_sorted_sample(&sample, 10).expect("hist");
+        // ~90% of the mass is below 100.
+        let f = h.fraction_below(100);
+        assert!(f > 0.8, "fraction_below(100) = {f}");
+        let mut s = stats();
+        s.histogram = Some(h);
+        assert!(s.range_selectivity(0, 99) > 0.8);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = Histogram::from_sorted_sample(&[5, 5, 5, 5], 4).expect("hist");
+        assert_eq!(h.fraction_below(4), 0.0);
+        assert_eq!(h.fraction_below(6), 1.0);
+        assert!(Histogram::from_sorted_sample(&[], 4).is_none());
+    }
+
+    #[test]
+    fn histogram_fraction_monotone() {
+        let sample: Vec<i64> = (0..1000).map(|i| (i * i) % 997).collect();
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        let h = Histogram::from_sorted_sample(&sorted, 16).expect("hist");
+        let mut prev = -1.0;
+        for pos in (0..1000).step_by(37) {
+            let f = h.fraction_below(pos);
+            assert!(f >= prev - 1e-12, "monotone at {pos}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn degenerate_domain() {
+        let s = ColumnStats::uniform(ColumnId(0), DataType::Int, 1, 7, 7);
+        assert_eq!(s.position_at(0.7), 7);
+        assert_eq!(s.fraction_of(7), 0.0);
+        assert!((s.range_selectivity(7, 7) - 1.0).abs() < 1e-9);
+    }
+}

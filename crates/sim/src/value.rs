@@ -1,0 +1,273 @@
+//! Literal values and the normalized domain-position representation.
+//!
+//! Selectivity math operates on *domain fractions*: every column's value
+//! domain is mapped onto `[0, 1)`, and a predicate records the fraction(s)
+//! it touches. Rendering a fraction back into a SQL literal is delegated to
+//! the column's statistics (which know the min/max and type).
+
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer literal (also used for BIGINT).
+    Int(i64),
+    /// Decimal literal.
+    Float(f64),
+    /// Character literal.
+    Str(String),
+    /// Date literal, stored as days since 1990-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// Total order consistent with SQL comparison semantics within a type.
+    /// Cross-type comparisons order by discriminant (never produced by
+    /// well-formed queries; kept total for container use).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => discriminant_rank(a).cmp(&discriminant_rank(b)),
+        }
+    }
+
+    /// Render as a SQL literal.
+    pub fn render_sql(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v:.2}"),
+            Value::Str(s) => format!("'{s}'"),
+            Value::Date(d) => format!("'{}'", render_date(*d)),
+        }
+    }
+}
+
+fn discriminant_rank(v: &Value) -> u8 {
+    match v {
+        Value::Int(_) => 0,
+        Value::Float(_) => 1,
+        Value::Str(_) => 2,
+        Value::Date(_) => 3,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_sql())
+    }
+}
+
+/// Days-since-1990-01-01 to `YYYY-MM-DD` (proleptic Gregorian).
+pub fn render_date(days: i32) -> String {
+    // Simple civil-date conversion anchored at 1990-01-01.
+    let mut y = 1990i32;
+    let mut d = days;
+    loop {
+        let len = if is_leap(y) { 366 } else { 365 };
+        if d >= len {
+            d -= len;
+            y += 1;
+        } else if d < 0 {
+            y -= 1;
+            d += if is_leap(y) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let ml = month_lengths(y);
+    let mut m = 0usize;
+    while d >= ml[m] {
+        d -= ml[m];
+        m += 1;
+    }
+    format!("{y:04}-{:02}-{:02}", m + 1, d + 1)
+}
+
+/// Parse `YYYY-MM-DD` back to days since 1990-01-01.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: usize = it.next()?.parse().ok()?;
+    let d: i32 = it.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || it.next().is_some() {
+        return None;
+    }
+    let mut days = 0i32;
+    if y >= 1990 {
+        for yy in 1990..y {
+            days += if is_leap(yy) { 366 } else { 365 };
+        }
+    } else {
+        for yy in y..1990 {
+            days -= if is_leap(yy) { 366 } else { 365 };
+        }
+    }
+    let ml = month_lengths(y);
+    if d < 1 || d > ml[m - 1] {
+        return None;
+    }
+    days += ml[..m - 1].iter().sum::<i32>();
+    Some(days + d - 1)
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn month_lengths(y: i32) -> [i32; 12] {
+    [
+        31,
+        if is_leap(y) { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ]
+}
+
+/// Map a domain fraction in `[0,1]` to a literal for a column with the given
+/// type and integer domain `[min, max]` (the statistics keep all domains as
+/// integer positions; strings are synthesized deterministically from the
+/// position so that code order equals lexicographic order).
+pub fn fraction_to_value(ty: DataType, min: i64, max: i64, frac: f64) -> Value {
+    let span = (max - min).max(0) as f64;
+    let pos = min + (frac.clamp(0.0, 1.0) * span).round() as i64;
+    position_to_value(ty, pos)
+}
+
+/// Map an integer domain position to a literal of the right type.
+pub fn position_to_value(ty: DataType, pos: i64) -> Value {
+    match ty {
+        DataType::Int | DataType::BigInt => Value::Int(pos),
+        DataType::Decimal => Value::Float(pos as f64 / 100.0),
+        DataType::Date => Value::Date(pos as i32),
+        DataType::Char(_) | DataType::Varchar(_) => Value::Str(synth_string(pos)),
+    }
+}
+
+/// Inverse of [`position_to_value`] as far as possible.
+pub fn value_to_position(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Float(f) => Some((f * 100.0).round() as i64),
+        Value::Date(d) => Some(i64::from(*d)),
+        Value::Str(s) => parse_synth_string(s),
+    }
+}
+
+/// Deterministic synthetic string for an integer position. Uses a base-26
+/// big-endian encoding padded to 8 letters so lexicographic order equals
+/// numeric order for non-negative positions.
+pub fn synth_string(pos: i64) -> String {
+    let mut p = pos.max(0) as u64;
+    let mut buf = [b'a'; 8];
+    for slot in buf.iter_mut().rev() {
+        *slot = b'a' + (p % 26) as u8;
+        p /= 26;
+    }
+    String::from_utf8(buf.to_vec()).expect("ascii")
+}
+
+/// Decode a synthetic string back to its position.
+pub fn parse_synth_string(s: &str) -> Option<i64> {
+    if s.len() != 8 || !s.bytes().all(|b| b.is_ascii_lowercase()) {
+        return None;
+    }
+    let mut p: i64 = 0;
+    for b in s.bytes() {
+        p = p * 26 + i64::from(b - b'a');
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip() {
+        for d in [-400, -1, 0, 1, 58, 365, 366, 730, 10_000] {
+            let s = render_date(d);
+            assert_eq!(parse_date(&s), Some(d), "date {d} rendered {s}");
+        }
+        assert_eq!(render_date(0), "1990-01-01");
+        assert_eq!(render_date(31), "1990-02-01");
+    }
+
+    #[test]
+    fn parse_date_rejects_garbage() {
+        assert_eq!(parse_date("1990-13-01"), None);
+        assert_eq!(parse_date("1990-02-30"), None);
+        assert_eq!(parse_date("hello"), None);
+    }
+
+    #[test]
+    fn synth_string_order_matches_numeric_order() {
+        let mut prev = synth_string(0);
+        for p in 1..500 {
+            let cur = synth_string(p);
+            assert!(cur > prev, "strings must be lexicographically increasing");
+            assert_eq!(parse_synth_string(&cur), Some(p));
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn fraction_mapping_hits_extremes() {
+        let v0 = fraction_to_value(DataType::Int, 10, 20, 0.0);
+        let v1 = fraction_to_value(DataType::Int, 10, 20, 1.0);
+        assert_eq!(v0, Value::Int(10));
+        assert_eq!(v1, Value::Int(20));
+    }
+
+    #[test]
+    fn position_roundtrip_all_types() {
+        for ty in [
+            DataType::Int,
+            DataType::BigInt,
+            DataType::Decimal,
+            DataType::Date,
+            DataType::Varchar(12),
+        ] {
+            let v = position_to_value(ty, 1234);
+            assert_eq!(value_to_position(&v), Some(1234), "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn total_cmp_is_total() {
+        let vals = [
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Str("abc".into()),
+            Value::Date(10),
+        ];
+        for a in &vals {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn render_sql_quotes_text() {
+        assert_eq!(Value::Str("x".into()).render_sql(), "'x'");
+        assert_eq!(Value::Int(7).render_sql(), "7");
+        assert_eq!(Value::Date(0).render_sql(), "'1990-01-01'");
+    }
+}

@@ -1,0 +1,206 @@
+//! Workloads: multisets of queries with frequencies.
+//!
+//! The paper's objects `W` (target/normal workload), `PW` (probing
+//! workload), and `Ŵ` (injection workload) are all values of [`Workload`].
+
+use crate::query::Query;
+use crate::schema::ColumnId;
+
+/// One workload entry: a query and how often it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    /// The query.
+    pub query: Query,
+    /// Execution frequency (the paper draws these uniformly at random for
+    /// normal workloads and uses unit frequency for probing queries).
+    pub frequency: u32,
+}
+
+/// A workload: queries with frequencies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(query, frequency)` pairs.
+    pub fn from_queries(items: impl IntoIterator<Item = (Query, u32)>) -> Self {
+        Workload {
+            queries: items
+                .into_iter()
+                .map(|(query, frequency)| WorkloadQuery { query, frequency })
+                .collect(),
+        }
+    }
+
+    /// Add a query with a frequency.
+    pub fn push(&mut self, query: Query, frequency: u32) {
+        self.queries.push(WorkloadQuery { query, frequency });
+    }
+
+    /// Append every entry of `other` (the paper's `{W, Ŵ}` training set).
+    pub fn extend_from(&mut self, other: &Workload) {
+        self.queries.extend(other.queries.iter().cloned());
+    }
+
+    /// Union into a new workload.
+    pub fn union(&self, other: &Workload) -> Workload {
+        let mut w = self.clone();
+        w.extend_from(other);
+        w
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Sum of frequencies (total query executions).
+    pub fn total_frequency(&self) -> u64 {
+        self.queries.iter().map(|q| u64::from(q.frequency)).sum()
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkloadQuery> {
+        self.queries.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn entries(&self) -> &[WorkloadQuery] {
+        &self.queries
+    }
+
+    /// Frequency-weighted count of how often each column appears in a
+    /// sargable filter predicate, over the whole workload. Index advisors
+    /// use this as their workload featurization, and SWIRL's invalid-action
+    /// masking masks columns with zero counts.
+    pub fn filter_column_frequencies(&self, num_columns: usize) -> Vec<f64> {
+        let mut freq = vec![0.0; num_columns];
+        for wq in &self.queries {
+            for c in wq.query.filter_columns() {
+                freq[c.0 as usize] += f64::from(wq.frequency);
+            }
+        }
+        freq
+    }
+
+    /// All columns usable as index candidates: filter columns plus join
+    /// columns (join keys benefit from index nested loops, and real
+    /// advisors consider them).
+    pub fn candidate_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self
+            .queries
+            .iter()
+            .flat_map(|wq| {
+                let mut v = wq.query.filter_columns();
+                v.extend(wq.query.join_columns());
+                v
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// All columns appearing in any filter predicate.
+    pub fn filter_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self
+            .queries
+            .iter()
+            .flat_map(|wq| wq.query.filter_columns())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// True if the two workloads share no identical query (the paper's
+    /// "extraneous" requirement `Ŵ ∩ W = ∅`).
+    pub fn is_disjoint_from(&self, other: &Workload) -> bool {
+        !self
+            .queries
+            .iter()
+            .any(|a| other.queries.iter().any(|b| a.query == b.query))
+    }
+}
+
+impl FromIterator<(Query, u32)> for Workload {
+    fn from_iter<T: IntoIterator<Item = (Query, u32)>>(iter: T) -> Self {
+        Self::from_queries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::query::QueryBuilder;
+    use crate::schema::{DataType, Schema};
+
+    fn toy() -> (Schema, Query, Query) {
+        let mut s = Schema::new();
+        s.add_table("t", 100, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let a = s.column_id("a").unwrap();
+        let b = s.column_id("b").unwrap();
+        let qa = QueryBuilder::new()
+            .filter(&s, Predicate::eq(a, 0.5))
+            .select(a)
+            .build(&s)
+            .unwrap();
+        let qb = QueryBuilder::new()
+            .filter(&s, Predicate::eq(b, 0.5))
+            .select(b)
+            .build(&s)
+            .unwrap();
+        (s, qa, qb)
+    }
+
+    #[test]
+    fn frequencies_accumulate() {
+        let (s, qa, qb) = toy();
+        let w = Workload::from_queries([(qa, 3), (qb, 2)]);
+        assert_eq!(w.total_frequency(), 5);
+        let f = w.filter_column_frequencies(s.num_columns());
+        assert_eq!(f, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn union_keeps_both() {
+        let (_, qa, qb) = toy();
+        let w1 = Workload::from_queries([(qa.clone(), 1)]);
+        let w2 = Workload::from_queries([(qb, 1)]);
+        let u = w1.union(&w2);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_disjoint_from(&w1));
+    }
+
+    #[test]
+    fn disjointness_detects_shared_queries() {
+        let (_, qa, qb) = toy();
+        let w1 = Workload::from_queries([(qa.clone(), 1)]);
+        let w2 = Workload::from_queries([(qa, 7), (qb.clone(), 1)]);
+        let w3 = Workload::from_queries([(qb, 1)]);
+        assert!(!w1.is_disjoint_from(&w2), "same query, different freq");
+        assert!(w1.is_disjoint_from(&w3));
+    }
+
+    #[test]
+    fn filter_columns_sorted_dedup() {
+        let (s, qa, qb) = toy();
+        let w = Workload::from_queries([(qb, 1), (qa.clone(), 1), (qa, 1)]);
+        assert_eq!(
+            w.filter_columns(),
+            vec![s.column_id("a").unwrap(), s.column_id("b").unwrap()]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Normal-workload generation, following the paper's setup (§6.1):
+//! "we create a workload of N queries by populating all available query
+//! templates of the benchmark and randomly specifying the query
+//! frequencies according to a uniform distribution."
+
+use crate::templates::TemplateSpec;
+use pipa_sim::{Schema, SimResult, Workload};
+use rand::{Rng, RngCore};
+
+/// Maximum frequency drawn for a workload query (frequencies are uniform
+/// in `1..=MAX_FREQUENCY`).
+pub const MAX_FREQUENCY: u32 = 10;
+
+/// Generate a normal workload: one instantiation per template, each with a
+/// uniformly random frequency.
+pub fn generate_normal_workload<R: RngCore>(
+    schema: &Schema,
+    templates: &[TemplateSpec],
+    rng: &mut R,
+) -> SimResult<Workload> {
+    let mut w = Workload::new();
+    for t in templates {
+        let q = t.instantiate(schema, rng)?;
+        w.push(q, rng.gen_range(1..=MAX_FREQUENCY));
+    }
+    Ok(w)
+}
+
+/// Reusable generator bundling a schema and a template pool.
+///
+/// Also produces *template-based injection workloads* (the paper's TP
+/// baseline): fresh instantiations of the target workload's templates with
+/// fresh uniform frequencies.
+pub struct WorkloadGenerator {
+    schema: Schema,
+    templates: Vec<TemplateSpec>,
+}
+
+impl WorkloadGenerator {
+    /// New generator over a schema and template pool.
+    pub fn new(schema: Schema, templates: Vec<TemplateSpec>) -> Self {
+        WorkloadGenerator { schema, templates }
+    }
+
+    /// The template pool.
+    pub fn templates(&self) -> &[TemplateSpec] {
+        &self.templates
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A normal workload (one query per template, uniform frequencies).
+    pub fn normal<R: RngCore>(&self, rng: &mut R) -> SimResult<Workload> {
+        generate_normal_workload(&self.schema, &self.templates, rng)
+    }
+
+    /// A workload of exactly `n` queries: templates are cycled (and
+    /// re-instantiated with fresh parameters each cycle).
+    pub fn of_size<R: RngCore>(&self, n: usize, rng: &mut R) -> SimResult<Workload> {
+        let mut w = Workload::new();
+        for i in 0..n {
+            let t = &self.templates[i % self.templates.len()];
+            w.push(
+                t.instantiate(&self.schema, rng)?,
+                rng.gen_range(1..=MAX_FREQUENCY),
+            );
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normal_workload_has_one_query_per_template() {
+        let s = tpch::schema();
+        let ts = tpch::default_templates();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = generate_normal_workload(&s, &ts, &mut rng).unwrap();
+        assert_eq!(w.len(), 18);
+        for wq in w.iter() {
+            assert!((1..=MAX_FREQUENCY).contains(&wq.frequency));
+        }
+    }
+
+    #[test]
+    fn workloads_differ_across_runs() {
+        let s = tpch::schema();
+        let ts = tpch::default_templates();
+        let g = WorkloadGenerator::new(s, ts);
+        let a = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        let b = g.normal(&mut ChaCha8Rng::seed_from_u64(2)).unwrap();
+        assert!(a.is_disjoint_from(&b), "different seeds → disjoint params");
+    }
+
+    #[test]
+    fn of_size_cycles_templates() {
+        let s = tpch::schema();
+        let ts = tpch::default_templates();
+        let g = WorkloadGenerator::new(s, ts);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let w = g.of_size(40, &mut rng).unwrap();
+        assert_eq!(w.len(), 40);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = tpch::schema();
+        let ts = tpch::default_templates();
+        let g = WorkloadGenerator::new(s, ts);
+        let a = g.normal(&mut ChaCha8Rng::seed_from_u64(4)).unwrap();
+        let b = g.normal(&mut ChaCha8Rng::seed_from_u64(4)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,654 @@
+//! TPC-H: the full 8-table, 61-column schema, per-column statistics, and
+//! structural equivalents of the 22 benchmark query templates.
+//!
+//! Row counts and NDVs follow the TPC-H specification at scale factor 1
+//! and scale linearly (keys) or stay fixed (categorical domains) with the
+//! scale factor. Domains use the `[0, ndv-1]` convention from
+//! `pipa_sim::datagen`, so equality literals always hit real values.
+
+use crate::templates::{avg, names, pred, sum, AggSpec, ParamKind, TemplateSpec};
+use pipa_sim::{ColumnStats, DataType, Schema};
+
+/// Number of indexable columns in TPC-H (the paper's `L = 61`).
+pub const NUM_COLUMNS: usize = 61;
+
+/// Default normal-workload size used by the paper on TPC-H (`N = 18`).
+pub const DEFAULT_WORKLOAD_SIZE: usize = 18;
+
+/// Build the TPC-H schema with base row counts at scale factor 1.
+pub fn schema() -> Schema {
+    use DataType::*;
+    let mut s = Schema::new();
+    s.add_table(
+        "region",
+        5,
+        &[
+            ("r_regionkey", Int),
+            ("r_name", Char(25)),
+            ("r_comment", Varchar(152)),
+        ],
+    );
+    s.add_table(
+        "nation",
+        25,
+        &[
+            ("n_nationkey", Int),
+            ("n_name", Char(25)),
+            ("n_regionkey", Int),
+            ("n_comment", Varchar(152)),
+        ],
+    );
+    s.add_table(
+        "supplier",
+        10_000,
+        &[
+            ("s_suppkey", Int),
+            ("s_name", Char(25)),
+            ("s_address", Varchar(40)),
+            ("s_nationkey", Int),
+            ("s_phone", Char(15)),
+            ("s_acctbal", Decimal),
+            ("s_comment", Varchar(101)),
+        ],
+    );
+    s.add_table(
+        "customer",
+        150_000,
+        &[
+            ("c_custkey", Int),
+            ("c_name", Varchar(25)),
+            ("c_address", Varchar(40)),
+            ("c_nationkey", Int),
+            ("c_phone", Char(15)),
+            ("c_acctbal", Decimal),
+            ("c_mktsegment", Char(10)),
+            ("c_comment", Varchar(117)),
+        ],
+    );
+    s.add_table(
+        "part",
+        200_000,
+        &[
+            ("p_partkey", Int),
+            ("p_name", Varchar(55)),
+            ("p_mfgr", Char(25)),
+            ("p_brand", Char(10)),
+            ("p_type", Varchar(25)),
+            ("p_size", Int),
+            ("p_container", Char(10)),
+            ("p_retailprice", Decimal),
+            ("p_comment", Varchar(23)),
+        ],
+    );
+    s.add_table(
+        "partsupp",
+        800_000,
+        &[
+            ("ps_partkey", Int),
+            ("ps_suppkey", Int),
+            ("ps_availqty", Int),
+            ("ps_supplycost", Decimal),
+            ("ps_comment", Varchar(199)),
+        ],
+    );
+    s.add_table(
+        "orders",
+        1_500_000,
+        &[
+            ("o_orderkey", BigInt),
+            ("o_custkey", Int),
+            ("o_orderstatus", Char(1)),
+            ("o_totalprice", Decimal),
+            ("o_orderdate", Date),
+            ("o_orderpriority", Char(15)),
+            ("o_clerk", Char(15)),
+            ("o_shippriority", Int),
+            ("o_comment", Varchar(79)),
+        ],
+    );
+    s.add_table(
+        "lineitem",
+        6_000_000,
+        &[
+            ("l_orderkey", BigInt),
+            ("l_partkey", Int),
+            ("l_suppkey", Int),
+            ("l_linenumber", Int),
+            ("l_quantity", Decimal),
+            ("l_extendedprice", Decimal),
+            ("l_discount", Decimal),
+            ("l_tax", Decimal),
+            ("l_returnflag", Char(1)),
+            ("l_linestatus", Char(1)),
+            ("l_shipdate", Date),
+            ("l_commitdate", Date),
+            ("l_receiptdate", Date),
+            ("l_shipinstruct", Char(25)),
+            ("l_shipmode", Char(10)),
+            ("l_comment", Varchar(44)),
+        ],
+    );
+    for (from, to) in [
+        ("n_regionkey", "r_regionkey"),
+        ("s_nationkey", "n_nationkey"),
+        ("c_nationkey", "n_nationkey"),
+        ("ps_partkey", "p_partkey"),
+        ("ps_suppkey", "s_suppkey"),
+        ("o_custkey", "c_custkey"),
+        ("l_orderkey", "o_orderkey"),
+        ("l_partkey", "p_partkey"),
+        ("l_suppkey", "s_suppkey"),
+    ] {
+        s.add_foreign_key(from, to);
+    }
+    debug_assert_eq!(s.num_columns(), NUM_COLUMNS);
+    s
+}
+
+/// TPC-H column statistics at a given scale factor.
+///
+/// NDV rules per the spec: keys are unique per table; foreign keys inherit
+/// the referenced key's NDV; dates span 1992-01-01..1998-12-31 (2557 days,
+/// mapped to 0..2556); categorical columns have fixed small domains.
+/// Correlations reflect generation order (keys and dates are appended in
+/// order).
+pub fn column_stats(schema: &Schema, scale: f64) -> Vec<ColumnStats> {
+    let sf = |n: u64| ((n as f64 * scale).round() as u64).max(1);
+    schema
+        .columns()
+        .iter()
+        .map(|c| {
+            let (ndv, corr, null_frac): (u64, f64, f64) = match c.name.as_str() {
+                "r_regionkey" => (5, 1.0, 0.0),
+                "r_name" => (5, 0.0, 0.0),
+                "r_comment" => (5, 0.0, 0.0),
+                "n_nationkey" => (25, 1.0, 0.0),
+                "n_name" => (25, 0.0, 0.0),
+                "n_regionkey" => (5, 0.0, 0.0),
+                "n_comment" => (25, 0.0, 0.0),
+                "s_suppkey" => (sf(10_000), 1.0, 0.0),
+                "s_name" => (sf(10_000), 0.95, 0.0),
+                "s_address" => (sf(10_000), 0.0, 0.0),
+                "s_nationkey" => (25, 0.0, 0.0),
+                "s_phone" => (sf(10_000), 0.0, 0.0),
+                "s_acctbal" => (sf(9_000), 0.0, 0.0),
+                "s_comment" => (sf(10_000), 0.0, 0.0),
+                "c_custkey" => (sf(150_000), 1.0, 0.0),
+                "c_name" => (sf(150_000), 0.95, 0.0),
+                "c_address" => (sf(150_000), 0.0, 0.0),
+                "c_nationkey" => (25, 0.0, 0.0),
+                "c_phone" => (sf(150_000), 0.0, 0.0),
+                "c_acctbal" => (sf(9_000), 0.0, 0.0),
+                "c_mktsegment" => (5, 0.0, 0.0),
+                "c_comment" => (sf(150_000), 0.0, 0.0),
+                "p_partkey" => (sf(200_000), 1.0, 0.0),
+                "p_name" => (sf(200_000), 0.0, 0.0),
+                "p_mfgr" => (5, 0.0, 0.0),
+                "p_brand" => (25, 0.0, 0.0),
+                "p_type" => (150, 0.0, 0.0),
+                "p_size" => (50, 0.0, 0.0),
+                "p_container" => (40, 0.0, 0.0),
+                "p_retailprice" => (sf(20_000), 0.0, 0.0),
+                "p_comment" => (sf(130_000), 0.0, 0.0),
+                "ps_partkey" => (sf(200_000), 0.95, 0.0),
+                "ps_suppkey" => (sf(10_000), 0.0, 0.0),
+                "ps_availqty" => (10_000, 0.0, 0.0),
+                "ps_supplycost" => (sf(100_000), 0.0, 0.0),
+                "ps_comment" => (sf(800_000), 0.0, 0.0),
+                "o_orderkey" => (sf(1_500_000), 1.0, 0.0),
+                "o_custkey" => (sf(100_000), 0.0, 0.0),
+                "o_orderstatus" => (3, 0.0, 0.0),
+                "o_totalprice" => (sf(1_400_000), 0.0, 0.0),
+                "o_orderdate" => (2406, 0.95, 0.0),
+                "o_orderpriority" => (5, 0.0, 0.0),
+                "o_clerk" => (sf(1_000), 0.0, 0.0),
+                "o_shippriority" => (1, 0.0, 0.0),
+                "o_comment" => (sf(1_400_000), 0.0, 0.0),
+                "l_orderkey" => (sf(1_500_000), 1.0, 0.0),
+                "l_partkey" => (sf(200_000), 0.0, 0.0),
+                "l_suppkey" => (sf(10_000), 0.0, 0.0),
+                "l_linenumber" => (7, 0.0, 0.0),
+                "l_quantity" => (50, 0.0, 0.0),
+                "l_extendedprice" => (sf(900_000), 0.0, 0.0),
+                "l_discount" => (11, 0.0, 0.0),
+                "l_tax" => (9, 0.0, 0.0),
+                "l_returnflag" => (3, 0.0, 0.0),
+                "l_linestatus" => (2, 0.0, 0.0),
+                "l_shipdate" => (2526, 0.95, 0.0),
+                "l_commitdate" => (2466, 0.95, 0.0),
+                "l_receiptdate" => (2554, 0.95, 0.0),
+                "l_shipinstruct" => (4, 0.0, 0.0),
+                "l_shipmode" => (7, 0.0, 0.0),
+                "l_comment" => (sf(4_500_000), 0.0, 0.0),
+                other => panic!("unmapped TPC-H column {other}"),
+            };
+            let mut st = ColumnStats::uniform(c.id, c.ty, ndv, 0, ndv as i64 - 1);
+            st.correlation = corr;
+            st.null_frac = null_frac;
+            st
+        })
+        .collect()
+}
+
+/// Structural equivalents of the 22 TPC-H query templates, expressed in
+/// the `pipa-sim` AST (no subqueries: correlated subqueries are folded
+/// into joins + filters, as is standard in index-selection evaluations).
+pub fn templates() -> Vec<TemplateSpec> {
+    use AggSpec::CountStar;
+    use ParamKind::*;
+    let pp = pred;
+    let range = |a: f64, b: f64| Range {
+        width_min: a,
+        width_max: b,
+    };
+    vec![
+        TemplateSpec {
+            id: 1,
+            label: "q1_pricing_summary".to_string(),
+            joins: vec![],
+            predicates: vec![pp("l_shipdate", Le { lo: 0.7, hi: 0.99 })],
+            select: vec![],
+            aggregates: vec![
+                sum("l_quantity"),
+                sum("l_extendedprice"),
+                avg("l_discount"),
+                CountStar,
+            ],
+            group_by: names(&["l_returnflag", "l_linestatus"]),
+            order_by: names(&["l_returnflag", "l_linestatus"]),
+        },
+        TemplateSpec {
+            id: 2,
+            label: "q2_minimum_cost_supplier".to_string(),
+            joins: vec![
+                ("ps_partkey".to_string(), "p_partkey".to_string()),
+                ("ps_suppkey".to_string(), "s_suppkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+                ("n_regionkey".to_string(), "r_regionkey".to_string()),
+            ],
+            predicates: vec![pp("p_size", Eq), pp("p_type", Eq), pp("r_name", Eq)],
+            select: names(&["s_acctbal", "s_name", "n_name", "p_partkey"]),
+            aggregates: vec![],
+            group_by: vec![],
+            order_by: names(&["s_acctbal"]),
+        },
+        TemplateSpec {
+            id: 3,
+            label: "q3_shipping_priority".to_string(),
+            joins: vec![
+                ("c_custkey".to_string(), "o_custkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+            ],
+            predicates: vec![
+                pp("c_mktsegment", Eq),
+                pp("o_orderdate", range(0.01, 0.03)),
+                pp("l_shipdate", range(0.01, 0.03)),
+            ],
+            select: names(&["l_orderkey", "o_orderdate", "o_shippriority"]),
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["l_orderkey", "o_orderdate", "o_shippriority"]),
+            order_by: names(&["o_orderdate"]),
+        },
+        TemplateSpec {
+            id: 4,
+            label: "q4_order_priority".to_string(),
+            joins: vec![("l_orderkey".to_string(), "o_orderkey".to_string())],
+            predicates: vec![
+                pp("o_orderdate", range(0.01, 0.02)),
+                pp("l_receiptdate", range(0.02, 0.05)),
+            ],
+            select: vec![],
+            aggregates: vec![CountStar],
+            group_by: names(&["o_orderpriority"]),
+            order_by: names(&["o_orderpriority"]),
+        },
+        TemplateSpec {
+            id: 5,
+            label: "q5_local_supplier_volume".to_string(),
+            joins: vec![
+                ("c_custkey".to_string(), "o_custkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("l_suppkey".to_string(), "s_suppkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+                ("n_regionkey".to_string(), "r_regionkey".to_string()),
+            ],
+            predicates: vec![pp("r_name", Eq), pp("o_orderdate", range(0.02, 0.04))],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["n_name"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 6,
+            label: "q6_forecast_revenue".to_string(),
+            joins: vec![],
+            predicates: vec![
+                pp("l_shipdate", range(0.01, 0.03)),
+                pp("l_discount", range(0.15, 0.25)),
+                pp("l_quantity", Le { lo: 0.4, hi: 0.5 }),
+            ],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 7,
+            label: "q7_volume_shipping".to_string(),
+            joins: vec![
+                ("l_suppkey".to_string(), "s_suppkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("o_custkey".to_string(), "c_custkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![
+                pp("l_shipdate", range(0.02, 0.04)),
+                pp("n_name", In { k: 2 }),
+            ],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["n_name"]),
+            order_by: names(&["n_name"]),
+        },
+        TemplateSpec {
+            id: 8,
+            label: "q8_market_share".to_string(),
+            joins: vec![
+                ("l_partkey".to_string(), "p_partkey".to_string()),
+                ("l_suppkey".to_string(), "s_suppkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("o_custkey".to_string(), "c_custkey".to_string()),
+                ("c_nationkey".to_string(), "n_nationkey".to_string()),
+                ("n_regionkey".to_string(), "r_regionkey".to_string()),
+            ],
+            predicates: vec![
+                pp("p_type", Eq),
+                pp("r_name", Eq),
+                pp("o_orderdate", range(0.02, 0.05)),
+            ],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice"), avg("l_discount")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 9,
+            label: "q9_product_type_profit".to_string(),
+            joins: vec![
+                ("l_partkey".to_string(), "p_partkey".to_string()),
+                ("l_suppkey".to_string(), "s_suppkey".to_string()),
+                ("ps_partkey".to_string(), "p_partkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![pp("p_name", range(0.01, 0.03))],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["n_name"]),
+            order_by: names(&["n_name"]),
+        },
+        TemplateSpec {
+            id: 10,
+            label: "q10_returned_items".to_string(),
+            joins: vec![
+                ("c_custkey".to_string(), "o_custkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("c_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![pp("o_orderdate", range(0.01, 0.02)), pp("l_returnflag", Eq)],
+            select: names(&["c_custkey", "c_name", "c_acctbal", "n_name"]),
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["c_custkey", "c_name", "c_acctbal", "n_name"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 11,
+            label: "q11_important_stock".to_string(),
+            joins: vec![
+                ("ps_suppkey".to_string(), "s_suppkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![pp("n_name", Eq)],
+            select: names(&["ps_partkey"]),
+            aggregates: vec![sum("ps_supplycost")],
+            group_by: names(&["ps_partkey"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 12,
+            label: "q12_shipping_modes".to_string(),
+            joins: vec![("l_orderkey".to_string(), "o_orderkey".to_string())],
+            predicates: vec![
+                pp("l_shipmode", In { k: 2 }),
+                pp("l_receiptdate", range(0.01, 0.03)),
+            ],
+            select: vec![],
+            aggregates: vec![CountStar],
+            group_by: names(&["l_shipmode"]),
+            order_by: names(&["l_shipmode"]),
+        },
+        TemplateSpec {
+            id: 13,
+            label: "q13_customer_distribution".to_string(),
+            joins: vec![("c_custkey".to_string(), "o_custkey".to_string())],
+            predicates: vec![pp("o_orderpriority", Eq)],
+            select: vec![],
+            aggregates: vec![CountStar],
+            group_by: names(&["c_custkey"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 14,
+            label: "q14_promotion_effect".to_string(),
+            joins: vec![("l_partkey".to_string(), "p_partkey".to_string())],
+            predicates: vec![pp("l_shipdate", range(0.01, 0.02))],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 15,
+            label: "q15_top_supplier".to_string(),
+            joins: vec![("l_suppkey".to_string(), "s_suppkey".to_string())],
+            predicates: vec![pp("l_shipdate", range(0.01, 0.02))],
+            select: names(&["s_suppkey", "s_name"]),
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: names(&["s_suppkey", "s_name"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 16,
+            label: "q16_parts_supplier_relationship".to_string(),
+            joins: vec![("ps_partkey".to_string(), "p_partkey".to_string())],
+            predicates: vec![
+                pp("p_brand", Eq),
+                pp("p_type", Eq),
+                pp("p_size", In { k: 8 }),
+            ],
+            select: names(&["p_brand", "p_type", "p_size"]),
+            aggregates: vec![CountStar],
+            group_by: names(&["p_brand", "p_type", "p_size"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 17,
+            label: "q17_small_quantity_order".to_string(),
+            joins: vec![("l_partkey".to_string(), "p_partkey".to_string())],
+            predicates: vec![
+                pp("p_brand", Eq),
+                pp("p_container", Eq),
+                pp("l_quantity", Le { lo: 0.0, hi: 0.1 }),
+            ],
+            select: vec![],
+            aggregates: vec![avg("l_extendedprice")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 18,
+            label: "q18_large_volume_customer".to_string(),
+            joins: vec![
+                ("c_custkey".to_string(), "o_custkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+            ],
+            predicates: vec![pp("l_quantity", Ge { lo: 0.96, hi: 0.99 })],
+            select: names(&["c_name", "c_custkey", "o_orderkey", "o_orderdate"]),
+            aggregates: vec![sum("l_quantity")],
+            group_by: names(&["c_name", "c_custkey", "o_orderkey", "o_orderdate"]),
+            order_by: names(&["o_orderdate"]),
+        },
+        TemplateSpec {
+            id: 19,
+            label: "q19_discounted_revenue".to_string(),
+            joins: vec![("l_partkey".to_string(), "p_partkey".to_string())],
+            predicates: vec![
+                pp("p_brand", Eq),
+                pp("p_container", In { k: 4 }),
+                pp("l_quantity", range(0.05, 0.1)),
+                pp("l_shipmode", In { k: 2 }),
+            ],
+            select: vec![],
+            aggregates: vec![sum("l_extendedprice")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 20,
+            label: "q20_potential_part_promotion".to_string(),
+            joins: vec![
+                ("ps_suppkey".to_string(), "s_suppkey".to_string()),
+                ("ps_partkey".to_string(), "p_partkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![
+                pp("p_name", range(0.04, 0.06)),
+                pp("n_name", Eq),
+                pp("ps_availqty", Ge { lo: 0.4, hi: 0.6 }),
+            ],
+            select: names(&["s_name", "s_address"]),
+            aggregates: vec![],
+            group_by: vec![],
+            order_by: names(&["s_name"]),
+        },
+        TemplateSpec {
+            id: 21,
+            label: "q21_suppliers_kept_waiting".to_string(),
+            joins: vec![
+                ("l_suppkey".to_string(), "s_suppkey".to_string()),
+                ("l_orderkey".to_string(), "o_orderkey".to_string()),
+                ("s_nationkey".to_string(), "n_nationkey".to_string()),
+            ],
+            predicates: vec![pp("o_orderstatus", Eq), pp("n_name", Eq)],
+            select: names(&["s_name"]),
+            aggregates: vec![CountStar],
+            group_by: names(&["s_name"]),
+            order_by: vec![],
+        },
+        TemplateSpec {
+            id: 22,
+            label: "q22_global_sales_opportunity".to_string(),
+            joins: vec![("c_custkey".to_string(), "o_custkey".to_string())],
+            predicates: vec![
+                pp("c_phone", range(0.02, 0.06)),
+                pp("c_acctbal", Ge { lo: 0.5, hi: 0.7 }),
+            ],
+            select: vec![],
+            aggregates: vec![CountStar, sum("c_acctbal")],
+            group_by: vec![],
+            order_by: vec![],
+        },
+    ]
+}
+
+/// The 18 templates used as the default workload (following SWIRL's setup,
+/// the paper's `N = 18`): the heavy nested templates 2, 17, 20, 21 are
+/// excluded, as index-selection papers commonly do.
+pub fn default_templates() -> Vec<TemplateSpec> {
+    templates()
+        .into_iter()
+        .filter(|t| ![2, 17, 20, 21].contains(&t.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn schema_has_61_columns() {
+        let s = schema();
+        assert_eq!(s.num_columns(), 61);
+        assert_eq!(s.num_tables(), 8);
+        assert_eq!(s.foreign_keys().len(), 9);
+    }
+
+    #[test]
+    fn stats_cover_every_column() {
+        let s = schema();
+        let st = column_stats(&s, 1.0);
+        assert_eq!(st.len(), 61);
+        // Keys are unique.
+        let ok = s.column_id("o_orderkey").unwrap();
+        assert_eq!(st[ok.0 as usize].ndv, 1_500_000);
+        // Categorical stays fixed under scaling.
+        let st10 = column_stats(&s, 10.0);
+        let flag = s.column_id("l_returnflag").unwrap();
+        assert_eq!(st10[flag.0 as usize].ndv, 3);
+        assert_eq!(st10[ok.0 as usize].ndv, 15_000_000);
+    }
+
+    #[test]
+    fn domains_follow_ndv_convention() {
+        let s = schema();
+        for st in column_stats(&s, 1.0) {
+            assert_eq!(st.min, 0);
+            assert_eq!(st.max, st.ndv as i64 - 1);
+        }
+    }
+
+    #[test]
+    fn all_22_templates_instantiate() {
+        let s = schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ts = templates();
+        assert_eq!(ts.len(), 22);
+        for t in &ts {
+            for _ in 0..3 {
+                let q = t
+                    .instantiate(&s, &mut rng)
+                    .unwrap_or_else(|e| panic!("template {} failed: {e}", t.id));
+                assert!(q.validate(&s).is_ok(), "template {}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn default_set_has_18() {
+        let ts = default_templates();
+        assert_eq!(ts.len(), DEFAULT_WORKLOAD_SIZE);
+        assert!(ts.iter().all(|t| ![2, 17, 20, 21].contains(&t.id)));
+    }
+
+    #[test]
+    fn fk_closure_of_l_partkey_reaches_part() {
+        let s = schema();
+        let lp = s.column_id("l_partkey").unwrap();
+        let closure = s.foreign_key_closure(lp);
+        assert!(closure.contains(&s.column_id("p_partkey").unwrap()));
+        assert!(closure.contains(&s.column_id("ps_partkey").unwrap()));
+    }
+
+    #[test]
+    fn templates_touch_many_columns() {
+        // The workload must exercise a diverse indexable surface for the
+        // probing stage to be meaningful.
+        let ts = templates();
+        let mut cols: Vec<&str> = ts.iter().flat_map(|t| t.filter_column_names()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert!(cols.len() >= 15, "only {} filter columns", cols.len());
+    }
+}

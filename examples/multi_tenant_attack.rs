@@ -1,0 +1,106 @@
+//! The paper's motivating scenario (§1): a multi-tenant cloud database
+//! where one malicious tenant pollutes the shared advisor's training
+//! workload.
+//!
+//! Three tenants submit normal analytic workloads; the platform's learned
+//! advisor trains on their union. Tenant "mallory" then submits an
+//! extraneous workload crafted with PIPA. The advisor updates — and the
+//! *honest* tenants' queries get slower, even though their workloads
+//! never changed.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant_attack
+//! ```
+
+use pipa::core::injectors::{Injector, TargetedInjector};
+use pipa::core::ProbeConfig;
+use pipa::ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
+use pipa::qgen::StGenerator;
+use pipa::sim::Workload;
+use pipa::workload::{generator::WorkloadGenerator, Benchmark};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let benchmark = Benchmark::TpcH;
+    let db = benchmark.database(1.0, None);
+    let gen = WorkloadGenerator::new(benchmark.schema(), benchmark.default_templates());
+
+    // Three honest tenants with their own workload mixes.
+    let tenants: Vec<(&str, Workload)> = vec![
+        (
+            "acme",
+            gen.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap(),
+        ),
+        (
+            "globex",
+            gen.normal(&mut ChaCha8Rng::seed_from_u64(2)).unwrap(),
+        ),
+        (
+            "initech",
+            gen.normal(&mut ChaCha8Rng::seed_from_u64(3)).unwrap(),
+        ),
+    ];
+    let mut shared = Workload::new();
+    for (_, w) in &tenants {
+        shared.extend_from(w);
+    }
+    println!(
+        "shared training workload: {} queries from 3 tenants",
+        shared.len()
+    );
+
+    // The platform's advisor trains on the shared workload.
+    let mut advisor = build_clear_box(
+        AdvisorKind::DbaBandit(TrajectoryMode::Best),
+        SpeedPreset::Quick,
+        7,
+    );
+    advisor.train(&db, &shared);
+    let clean_cfg = advisor.recommend(&db, &shared);
+    println!("\nplatform indexes (clean):");
+    for i in clean_cfg.indexes() {
+        println!("  {}", i.name(db.schema()));
+    }
+    let clean_costs: Vec<(String, f64)> = tenants
+        .iter()
+        .map(|(name, w)| (name.to_string(), db.estimated_workload_cost(w, &clean_cfg)))
+        .collect();
+
+    // Mallory probes the advisor and submits a PIPA injection.
+    println!("\nmallory probes the advisor and submits an extraneous workload...");
+    let mut mallory = TargetedInjector::pipa(Box::new(StGenerator::new(99)));
+    mallory.probe_cfg = ProbeConfig {
+        epochs: 8,
+        queries_per_epoch: 18,
+        seed: 99,
+        ..Default::default()
+    };
+    let poison = mallory.build(advisor.as_mut(), &db, 18, 99);
+    println!(
+        "injected {} queries (all disjoint from tenant workloads)",
+        poison.len()
+    );
+    assert!(poison.is_disjoint_from(&shared));
+
+    // Nightly retraining picks up the polluted set.
+    advisor.retrain(&db, &shared.union(&poison));
+    let poisoned_cfg = advisor.recommend(&db, &shared);
+    println!("\nplatform indexes (after mallory):");
+    for i in poisoned_cfg.indexes() {
+        println!("  {}", i.name(db.schema()));
+    }
+
+    println!("\nper-tenant impact (same workloads, new indexes):");
+    for ((name, w), (_, before)) in tenants.iter().zip(&clean_costs) {
+        let after = db.estimated_workload_cost(w, &poisoned_cfg);
+        let delta = (after - before) / before * 100.0;
+        println!("  {name:8} cost {before:9.0} → {after:9.0}  ({delta:+.1}%)");
+    }
+    println!(
+        "\nHonest tenants pay for mallory's injection — the robustness gap\n\
+         PIPA is designed to expose. Defenses: workload provenance checks,\n\
+         retraining canaries (compare pre/post cost on a held-out target\n\
+         workload), and anomaly detection on training-set drift."
+    );
+}

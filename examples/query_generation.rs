@@ -1,0 +1,89 @@
+//! Index-aware query generation with IABART (paper §3).
+//!
+//! Trains the seq2seq generator on an FSM corpus labeled with what-if
+//! indexes, then asks it for queries that given column sets would
+//! optimize — and checks the request was honoured with the what-if
+//! engine. Also prints a side-by-side with the ST baseline.
+//!
+//! ```text
+//! cargo run --release --example query_generation
+//! ```
+
+use pipa::qgen::{
+    build_corpus, label_indexes, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator,
+};
+use pipa::sim::{Index, IndexConfig};
+use pipa::workload::Benchmark;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let db = Benchmark::TpcH.database(1.0, None);
+    let schema = db.schema().clone();
+
+    // 1. Corpus: FSM-generated queries + greedy what-if index labels +
+    //    discretized rewards (§3.1).
+    println!("building corpus...");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let corpus = build_corpus(&db, 600, &mut rng);
+    println!("corpus: {} samples", corpus.len());
+    let sample = &corpus[0];
+    println!(
+        "sample query: {}\nsample labels: {:?} (reward bucket r{})",
+        db.render_sql(&sample.query),
+        sample
+            .indexes
+            .iter()
+            .map(|c| schema.column(*c).name.clone())
+            .collect::<Vec<_>>(),
+        sample.reward_bucket
+    );
+
+    // 2. Progressive training (Tasks 1 → 2 → 3, §3.2).
+    println!("\ntraining IABART (progressive masked-span tasks)...");
+    let mut model = Iabart::new(schema.clone(), IabartConfig::default());
+    model.train(&corpus);
+    println!(
+        "training loss: {:.3} → {:.3}",
+        model.loss_trace.first().unwrap(),
+        model.loss_trace.last().unwrap()
+    );
+    let mut iabart = IabartGenerator::new(model);
+    let mut st = StGenerator::new(5);
+
+    // 3. Generate for a few target column sets and verify index-awareness
+    //    with the what-if engine.
+    let target_sets = [
+        vec!["l_shipdate"],
+        vec!["o_orderdate", "o_totalprice"],
+        vec!["p_type", "p_size"],
+    ];
+    for names in target_sets {
+        let cols: Vec<_> = names.iter().map(|n| schema.column_id(n).unwrap()).collect();
+        println!("\n=== target indexes: {names:?} ===");
+        for (label, generator) in [
+            ("IABART", &mut iabart as &mut dyn QueryGenerator),
+            ("ST", &mut st as &mut dyn QueryGenerator),
+        ] {
+            match generator.generate(&db, &cols, 0.6) {
+                Some(q) => {
+                    let rec = label_indexes(&db, &q, cols.len());
+                    let hit = rec.iter().filter(|c| cols.contains(c)).count();
+                    let cfg: IndexConfig = cols.iter().map(|&c| Index::single(c)).collect();
+                    println!(
+                        "{label:7} {}\n        target-index benefit {:+.2}, advisor picks {hit}/{} targets",
+                        db.render_sql(&q),
+                        db.query_benefit(&q, &cfg),
+                        cols.len()
+                    );
+                }
+                None => println!("{label:7} (generation failed)"),
+            }
+        }
+    }
+
+    println!(
+        "\nIABART's decoding is FSM-constrained (§3.3), so every output is\n\
+         grammatical by construction — the GAC = 1.00 row of Table 3."
+    );
+}

@@ -1,0 +1,73 @@
+//! A DBA-facing robustness audit: compare every advisor variant under the
+//! same PIPA stress test before deploying one (the paper's stated second
+//! benefit: "facilitates the DBAs to deploy a more robust learning-based
+//! IA").
+//!
+//! Prints an audit table — baseline quality (benefit over no indexes) and
+//! robustness (AD under PIPA) — plus a simple deployment recommendation:
+//! prefer advisors in the top-left (high benefit, low degradation).
+//!
+//! ```text
+//! cargo run --release --example robust_advisor_audit
+//! ```
+
+use pipa::core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
+use pipa::core::metrics::Stats;
+use pipa::ia::{AdvisorKind, SpeedPreset};
+use pipa::workload::Benchmark;
+
+fn main() {
+    let mut cfg = CellConfig::quick(Benchmark::TpcH);
+    cfg.preset = SpeedPreset::Quick;
+    let db = build_db(&cfg);
+    let runs = 3u64;
+
+    println!("Robustness audit — TPC-H, {} runs per advisor\n", runs);
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}  verdict",
+        "advisor", "clean benefit", "mean AD", "worst AD"
+    );
+    println!("{}", "-".repeat(68));
+
+    let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
+    for kind in AdvisorKind::all_seven() {
+        let mut benefits = Vec::new();
+        let mut ads = Vec::new();
+        for run in 0..runs {
+            let normal = normal_workload(&cfg, 1000 + run);
+            let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, 1000 + run);
+            // Clean benefit: how much the advisor's baseline config
+            // improves the workload over no indexes.
+            let base = db.estimated_workload_cost(&normal, &pipa::sim::IndexConfig::empty());
+            benefits.push(1.0 - out.baseline_cost / base);
+            ads.push(out.ad);
+        }
+        let b = Stats::from_samples(&benefits);
+        let a = Stats::from_samples(&ads);
+        results.push((kind.label(), b.mean, a.mean, a.max));
+    }
+
+    for (name, benefit, mean_ad, worst_ad) in &results {
+        let verdict = if *mean_ad <= 0.02 && *benefit > 0.1 {
+            "deployable (robust here — still monitor retraining)"
+        } else if *mean_ad <= 0.08 {
+            "acceptable with retraining canaries"
+        } else {
+            "NOT robust: gate retraining on provenance checks"
+        };
+        println!(
+            "{name:<12} {:>13.1}% {:>11.3} {:>12.3}  {verdict}",
+            benefit * 100.0,
+            mean_ad,
+            worst_ad
+        );
+    }
+
+    println!(
+        "\nReading the table: 'clean benefit' is what the advisor earns you\n\
+         on an honest workload; AD is what a poisoned retraining costs you\n\
+         on the *same* workload. The paper's conclusion holds when every\n\
+         learned advisor shows positive AD while heuristic advisors (not\n\
+         shown: their AD is identically zero) do not."
+    );
+}

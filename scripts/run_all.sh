@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact (quick profile). Pass --paper for
+# paper-scale trajectory counts + trained IABART (slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+EXTRA="${@:-}"
+cargo build --release -p pipa-bench
+B=target/release
+mkdir -p results
+run() { echo "== $1 =="; "$B/$1" "${@:2}" $EXTRA | tee "results/$1_console.txt"; }
+run fig1_motivation --runs 5
+run fig7_main_ad --runs 8
+run table1_rd --runs 5
+run fig8_local_optimum
+run fig9_omega_sweep --runs 3
+run table2_rd_omega --runs 3
+run fig10_boundaries --runs 5
+run fig11_probing_epochs --runs 4
+run fig12_alpha_beta --runs 3
+run table3_qgen --runs 150
+run ablation_defense --runs 4
+run ablation_design --runs 5
+echo "All artifacts written to results/"

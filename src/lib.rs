@@ -1,0 +1,22 @@
+//! # pipa — facade crate for the PIPA reproduction
+//!
+//! Re-exports every sub-crate of the workspace under one roof so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the database substrate (schema, statistics, cost model,
+//!   executor, what-if interface);
+//! * [`workload`] — TPC-H / TPC-DS schemas, templates, workload generation;
+//! * [`nn`] — the tiny neural-network library backing the learned advisors
+//!   and the IABART query generator;
+//! * [`ia`] — learning-based index advisors (DQN, DRLindex, DBABandit,
+//!   SWIRL) plus heuristic baselines;
+//! * [`qgen`] — query generators (FSM, templates, IABART);
+//! * [`core`] — PIPA itself: probing, injecting, AD/RD metrics, and the
+//!   stress-test harness.
+
+pub use pipa_core as core;
+pub use pipa_ia as ia;
+pub use pipa_nn as nn;
+pub use pipa_qgen as qgen;
+pub use pipa_sim as sim;
+pub use pipa_workload as workload;

@@ -1,0 +1,103 @@
+//! Property-based tests on the tensor kernels and optimizers.
+
+use pipa::nn::{Adam, Optimizer, ParamStore, Sgd, Tape, Tensor};
+use proptest::prelude::*;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_an_involution(t in arb_tensor(3, 5)) {
+        let tt = t.transpose().transpose();
+        prop_assert_eq!(t.data, tt.data);
+    }
+
+    #[test]
+    fn matmul_t_consistency(a in arb_tensor(2, 4), b in arb_tensor(3, 4)) {
+        // a @ b^T computed directly must equal a @ transpose(b).
+        let direct = a.matmul_t(&b);
+        let via_transpose = a.matmul(&b.transpose());
+        for (x, y) in direct.data.iter().zip(&via_transpose.data) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn t_matmul_consistency(a in arb_tensor(4, 2), b in arb_tensor(4, 3)) {
+        let direct = a.t_matmul(&b);
+        let via_transpose = a.transpose().matmul(&b);
+        for (x, y) in direct.data.iter().zip(&via_transpose.data) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(t in arb_tensor(2, 6), shift in -3.0f32..3.0) {
+        let a = t.softmax_rows();
+        let b = t.map(|x| x + shift).softmax_rows();
+        for (x, y) in a.data.iter().zip(&b.data) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        // Rows are distributions.
+        for r in 0..a.rows {
+            let s: f32 = a.row_slice(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(2, 3),
+        b in arb_tensor(3, 2),
+        c in arb_tensor(3, 2),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.data.iter().zip(&right.data) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn optimizers_descend_quadratics(target in -5.0f32..5.0) {
+        // Every optimizer must reduce (w - target)^2 from w = 0.
+        for opt in [0u8, 1] {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Tensor::from_vec(1, 1, vec![0.0]));
+            let mut sgd = Sgd::new(0.1);
+            let mut adam = Adam::new(0.1);
+            for _ in 0..150 {
+                store.zero_grads();
+                let mut tape = Tape::new();
+                let w = tape.param(&store, id);
+                let loss = tape.mse_selected(w, &[(0, 0, target)]);
+                tape.backward(loss, &mut store);
+                match opt {
+                    0 => sgd.step(&mut store),
+                    _ => adam.step(&mut store),
+                }
+            }
+            let w = store.value(id).data[0];
+            prop_assert!(
+                (w - target).abs() < 0.25,
+                "optimizer {opt}: w = {w}, target = {target}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_average_is_elementwise_mean() {
+    let mut store = ParamStore::new();
+    store.add("a", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+    let s1 = store.snapshot();
+    store.restore(&[3.0, 6.0]);
+    let s2 = store.snapshot();
+    let avg = ParamStore::average(&[s1, s2]);
+    assert_eq!(avg, vec![2.0, 4.0]);
+}

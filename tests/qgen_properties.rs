@@ -1,0 +1,97 @@
+//! Property-based tests on the query-generation stack: grammar, parsing,
+//! tokenization, and the GAC = 1 guarantee of constrained decoding.
+
+use pipa::qgen::token::{
+    bucket_to_fraction, fraction_to_bucket, ident_fragments, reward_to_bucket,
+};
+use pipa::qgen::{parse_words, QueryFsm, Vocab, Word};
+use pipa::workload::Benchmark;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fsm_walks_always_parse(seed in 0u64..10_000) {
+        let schema = Benchmark::TpcH.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let words = QueryFsm::generate(&schema, &mut rng, None);
+        let q = parse_words(&schema, &words).expect("FSM output parses");
+        prop_assert!(q.validate(&schema).is_ok());
+        prop_assert!(!q.predicates.is_empty(), "sargable by construction");
+        prop_assert!(q.tables.len() <= pipa::qgen::fsm::MAX_TABLES);
+        prop_assert!(q.predicates.len() <= pipa::qgen::fsm::MAX_PREDS);
+    }
+
+    #[test]
+    fn tpcds_fsm_walks_parse_too(seed in 0u64..2_000) {
+        let schema = Benchmark::TpcDs.schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let words = QueryFsm::generate(&schema, &mut rng, None);
+        let q = parse_words(&schema, &words).expect("TPC-DS FSM output parses");
+        prop_assert!(q.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn value_buckets_roundtrip(frac in 0.0f64..1.0) {
+        let b = fraction_to_bucket(frac);
+        let back = bucket_to_fraction(b);
+        prop_assert!((back - frac).abs() <= 0.05 + 1e-9, "{frac} → {b} → {back}");
+    }
+
+    #[test]
+    fn reward_buckets_are_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(reward_to_bucket(lo) <= reward_to_bucket(hi));
+    }
+
+    #[test]
+    fn fragments_reassemble_identifiers(
+        parts in proptest::collection::vec("[a-z]{1,8}", 1..4)
+    ) {
+        let ident = parts.join("_");
+        let frags = ident_fragments(&ident);
+        prop_assert_eq!(frags.join(""), ident);
+    }
+}
+
+#[test]
+fn vocab_spells_every_schema_word() {
+    for b in [Benchmark::TpcH, Benchmark::TpcDs] {
+        let schema = b.schema();
+        let vocab = Vocab::build(&schema);
+        for t in schema.tables() {
+            assert!(!vocab.spell(Word::Table(t.id)).is_empty());
+        }
+        for c in schema.columns() {
+            let spelled = vocab.spell(Word::Column(c.id));
+            let joined: String = spelled
+                .iter()
+                .map(|&id| vocab.token(id))
+                .collect::<Vec<_>>()
+                .join("");
+            assert_eq!(joined, c.name, "{}: fragments must reassemble", b.name());
+        }
+    }
+}
+
+#[test]
+fn untrained_iabart_is_still_grammatical() {
+    // The FSM-constrained decoder guarantees grammar (GAC = 1) even with
+    // random weights — Table 3's structural claim.
+    use pipa::qgen::{Iabart, IabartConfig};
+    let db = Benchmark::TpcH.database(1.0, None);
+    let mut model = Iabart::new(db.schema().clone(), IabartConfig::fast());
+    let ship = db.schema().column_id("l_shipdate").unwrap();
+    let mut ok = 0;
+    for _ in 0..12 {
+        if let Ok(q) = model.generate(&[ship], 0.5) {
+            assert!(q.validate(db.schema()).is_ok());
+            assert!(!q.predicates.is_empty());
+            ok += 1;
+        }
+    }
+    assert!(ok >= 10, "decode success {ok}/12");
+}
