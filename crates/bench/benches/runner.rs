@@ -1,0 +1,157 @@
+//! Throughput of the parallel experiment runner and the what-if cost
+//! cache: the first perf datapoint for the `results/BENCH_*.json`
+//! series.
+//!
+//! Three scenarios over the same 4-cell grid (2 advisors × 2 injectors ×
+//! 1 run, `Test` preset):
+//!
+//! * `runner/serial_uncached` — `--jobs 1` with memoization disabled:
+//!   the pre-runner baseline every experiment used to pay;
+//! * `runner/parallel4_uncached` — `--jobs 4`, memoization disabled:
+//!   isolates thread-pool scaling (bounded by the machine's core count —
+//!   on a single-core container this is expected to be ≈1×);
+//! * `runner/serial_cached_warm` — `--jobs 1` against a warmed cache:
+//!   isolates the memoization win, which is core-count independent.
+//!
+//! A custom `main` (the `[[bench]]` is `harness = false`) re-reads the
+//! criterion JSON lines and writes `results/BENCH_runner.json` with the
+//! derived speedups and the measured cache hit rate.
+
+use criterion::Criterion;
+use pipa_core::experiment::{build_db, CellConfig, GridSpec, InjectorKind};
+use pipa_core::run_grid;
+use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+use pipa_workload::Benchmark;
+use serde::Serialize;
+use std::hint::black_box;
+
+#[derive(Serialize)]
+struct Medians {
+    serial_uncached: Option<f64>,
+    parallel4_uncached: Option<f64>,
+    serial_cached_warm: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct BenchArtifact {
+    id: String,
+    description: String,
+    grid_cells: usize,
+    cores_available: usize,
+    median_ns: Medians,
+    parallel4_speedup: Option<f64>,
+    cache_speedup: Option<f64>,
+    cache_hit_rate_after_warm_run: f64,
+    cache_hit_rate_final: f64,
+    cache_entries: usize,
+}
+
+fn grid() -> (CellConfig, GridSpec) {
+    let mut cfg = CellConfig::quick(Benchmark::TpcH);
+    cfg.preset = SpeedPreset::Test;
+    cfg.probe_epochs = 2;
+    cfg.injection_size = 4;
+    let spec = GridSpec::new(
+        vec![
+            AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            AdvisorKind::Swirl,
+        ],
+        vec![InjectorKind::Fsm, InjectorKind::Pipa],
+        1,
+        7,
+    );
+    (cfg, spec)
+}
+
+/// Pull `median_ns` out of the criterion JSON line for `id`. The vendored
+/// serde_json is serialize-only, and the line format is fixed
+/// (`{"id":"...","median_ns":N,...}`), so a string scan suffices.
+fn median_of(lines: &str, id: &str) -> Option<f64> {
+    let line = lines
+        .lines()
+        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
+}
+
+fn main() {
+    let json_path = std::env::temp_dir().join("pipa_runner_bench.jsonl");
+    let _ = std::fs::remove_file(&json_path);
+    std::env::set_var("CRITERION_JSON", &json_path);
+
+    let (cfg, spec) = grid();
+    let db = build_db(&cfg);
+    let mut c = Criterion::default().sample_size(10);
+
+    db.set_whatif_cache_enabled(false);
+    c.bench_function("runner/serial_uncached", |b| {
+        b.iter(|| black_box(run_grid(&db, &cfg, &spec, 1)))
+    });
+    c.bench_function("runner/parallel4_uncached", |b| {
+        b.iter(|| black_box(run_grid(&db, &cfg, &spec, 4)))
+    });
+
+    db.set_whatif_cache_enabled(true);
+    db.clear_whatif_cache();
+    let _ = run_grid(&db, &cfg, &spec, 1); // warm the cache
+    let warm_stats = db.whatif_cache_stats();
+    c.bench_function("runner/serial_cached_warm", |b| {
+        b.iter(|| black_box(run_grid(&db, &cfg, &spec, 1)))
+    });
+    let final_stats = db.whatif_cache_stats();
+
+    let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
+    let serial = median_of(&lines, "runner/serial_uncached");
+    let par4 = median_of(&lines, "runner/parallel4_uncached");
+    let cached = median_of(&lines, "runner/serial_cached_warm");
+    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
+        _ => None,
+    };
+    let parallel_speedup = ratio(serial, par4);
+    let cache_speedup = ratio(serial, cached);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\ncores available: {cores}");
+    if let Some(s) = parallel_speedup {
+        println!("parallel (4 workers) speedup over serial: {s:.2}x");
+    }
+    if let Some(s) = cache_speedup {
+        println!("warm-cache speedup over uncached serial:  {s:.2}x");
+    }
+    println!(
+        "cache after benchmark: {} hits / {} misses (hit rate {:.3})",
+        final_stats.hits,
+        final_stats.misses,
+        final_stats.hit_rate()
+    );
+
+    let artifact = BenchArtifact {
+        id: "BENCH_runner".to_string(),
+        description: "experiment-runner throughput: serial vs parallel vs warm what-if cache"
+            .to_string(),
+        grid_cells: spec.len(),
+        cores_available: cores,
+        median_ns: Medians {
+            serial_uncached: serial,
+            parallel4_uncached: par4,
+            serial_cached_warm: cached,
+        },
+        parallel4_speedup: parallel_speedup,
+        cache_speedup,
+        cache_hit_rate_after_warm_run: warm_stats.hit_rate(),
+        cache_hit_rate_final: final_stats.hit_rate(),
+        cache_entries: final_stats.entries,
+    };
+    // Cargo runs benches with the package dir as cwd; anchor the artifact
+    // at the workspace-root results/ alongside the experiment outputs.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let out = dir.join("BENCH_runner.json");
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(&out, serde_json::to_string_pretty(&artifact).unwrap()).is_ok()
+    {
+        eprintln!("[artifact] {}", out.display());
+    }
+}

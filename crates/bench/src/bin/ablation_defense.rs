@@ -16,6 +16,7 @@ use pipa_core::defense::{stress_with_canary, ProvenanceFilter};
 use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
 use pipa_core::metrics::{absolute_degradation, Stats};
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
 use serde::Serialize;
 
@@ -43,24 +44,17 @@ fn main() {
         args.runs
     );
 
+    let runs: Vec<u64> = (0..args.runs as u64).collect();
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for victim in victims {
         // No defense.
-        let mut ads = Vec::new();
-        for run in 0..args.runs as u64 {
-            let seed = args.seed + run;
+        let ads = par_map(args.jobs, runs.clone(), |_, run| {
+            let seed = derive_seed(args.seed, run);
             let normal = normal_workload(&cfg, seed);
-            let out = pipa_core::experiment::run_cell(
-                &db,
-                &normal,
-                victim,
-                InjectorKind::Pipa,
-                &cfg,
-                seed,
-            );
-            ads.push(out.ad);
-        }
+            pipa_core::experiment::run_cell(&db, &normal, victim, InjectorKind::Pipa, &cfg, seed)
+                .ad
+        });
         let s = Stats::from_samples(&ads);
         rows.push(vec![
             victim.label(),
@@ -77,14 +71,12 @@ fn main() {
 
         // Canary guard at two tolerances.
         for tol in [0.02, 0.10] {
-            let mut ads = Vec::new();
-            let mut rollbacks = 0usize;
-            for run in 0..args.runs as u64 {
-                let seed = args.seed + run;
+            let outs = par_map(args.jobs, runs.clone(), |_, run| {
+                let seed = derive_seed(args.seed, run);
                 let normal = normal_workload(&cfg, seed);
                 let mut advisor = build_clear_box(victim, cfg.preset, seed);
                 let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
-                let (ad, rolled_back) = stress_with_canary(
+                stress_with_canary(
                     advisor.as_mut(),
                     injector.as_mut(),
                     &db,
@@ -92,10 +84,10 @@ fn main() {
                     cfg.injection_size,
                     tol,
                     seed,
-                );
-                ads.push(ad);
-                rollbacks += usize::from(rolled_back);
-            }
+                )
+            });
+            let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();
+            let rollbacks: usize = outs.iter().map(|(_, rb)| usize::from(*rb)).sum();
             let s = Stats::from_samples(&ads);
             rows.push(vec![
                 victim.label(),
@@ -112,10 +104,8 @@ fn main() {
         }
 
         // Provenance screening.
-        let mut ads = Vec::new();
-        let mut dropped_total = 0usize;
-        for run in 0..args.runs as u64 {
-            let seed = args.seed + run;
+        let outs = par_map(args.jobs, runs.clone(), |_, run| {
+            let seed = derive_seed(args.seed, run);
             let normal = normal_workload(&cfg, seed);
             let mut advisor = build_clear_box(victim, cfg.preset, seed);
             advisor.train(&db, &normal);
@@ -126,12 +116,13 @@ fn main() {
             let training = normal.union(&injection);
             let (screened, dropped) =
                 ProvenanceFilter::default().screen(&normal, &training, db.schema().num_columns());
-            dropped_total += dropped;
             advisor.retrain(&db, &screened);
             let poisoned = advisor.recommend(&db, &normal);
             let cost = db.actual_workload_cost(&normal, &poisoned);
-            ads.push(absolute_degradation(cost, baseline));
-        }
+            (absolute_degradation(cost, baseline), dropped)
+        });
+        let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();
+        let dropped_total: usize = outs.iter().map(|(_, d)| *d).sum();
         let s = Stats::from_samples(&ads);
         rows.push(vec![
             victim.label(),

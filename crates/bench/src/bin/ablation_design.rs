@@ -16,7 +16,7 @@ use pipa_core::experiment::{build_db, normal_workload, GenBackend};
 use pipa_core::harness::{run_stress_test, StressConfig};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{InjectConfig, ProbeConfig, TargetedInjector};
+use pipa_core::{derive_seed, par_map, InjectConfig, ProbeConfig, TargetedInjector};
 use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
 use serde::Serialize;
 
@@ -36,9 +36,9 @@ fn run_variant(
     unit_frequencies: bool,
 ) -> Stats {
     let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
-    let mut ads = Vec::new();
-    for run in 0..args.runs as u64 {
-        let seed = args.seed + run;
+    let runs: Vec<u64> = (0..args.runs as u64).collect();
+    let ads = par_map(args.jobs, runs, |_, run| {
+        let seed = derive_seed(args.seed, run);
         let normal = normal_workload(cfg, seed);
         let mut advisor = build_clear_box(victim, cfg.preset, seed);
         let mut injector = TargetedInjector::pipa(backend.generator(seed));
@@ -57,7 +57,7 @@ fn run_variant(
             unit_frequencies,
             ..InjectConfig::default()
         };
-        let out = run_stress_test(
+        run_stress_test(
             advisor.as_mut(),
             &mut injector,
             db,
@@ -67,9 +67,9 @@ fn run_variant(
                 use_actual_cost: cfg.materialize.is_some(),
                 seed,
             },
-        );
-        ads.push(out.ad);
-    }
+        )
+        .ad
+    });
     Stats::from_samples(&ads)
 }
 

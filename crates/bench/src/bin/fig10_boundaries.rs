@@ -18,6 +18,7 @@ use pipa_core::metrics::Stats;
 use pipa_core::preference::SegmentConfig;
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
 use serde::Serialize;
 
@@ -36,9 +37,9 @@ fn run_with_segment(
     seg: SegmentConfig,
 ) -> Stats {
     let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
-    let mut ads = Vec::new();
-    for run in 0..args.runs as u64 {
-        let seed = args.seed + run;
+    let runs: Vec<u64> = (0..args.runs as u64).collect();
+    let ads = par_map(args.jobs, runs, |_, run| {
+        let seed = derive_seed(args.seed, run);
         let normal = normal_workload(cfg, seed);
         let mut advisor = build_clear_box(victim, cfg.preset, seed);
         // Rebuild the PIPA injector with the custom segmentation.
@@ -55,9 +56,8 @@ fn run_with_segment(
             use_actual_cost: cfg.materialize.is_some(),
             seed,
         };
-        let out = run_stress_test(advisor.as_mut(), &mut injector, db, &normal, &scfg);
-        ads.push(out.ad);
-    }
+        run_stress_test(advisor.as_mut(), &mut injector, db, &normal, &scfg).ad
+    });
     Stats::from_samples(&ads)
 }
 

@@ -11,9 +11,10 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::{AdvisorKind, TrajectoryMode};
 use serde::Serialize;
 
@@ -39,20 +40,44 @@ fn main() {
     );
 
     let victims = [AdvisorKind::Dqn(TrajectoryMode::Best), AdvisorKind::Swirl];
+    let epoch_cfgs: Vec<CellConfig> = EPOCHS
+        .iter()
+        .map(|&p| {
+            let mut c = cfg.clone();
+            c.probe_epochs = p;
+            c
+        })
+        .collect();
+    let grid: Vec<(AdvisorKind, usize, u64)> = victims
+        .iter()
+        .flat_map(|&v| {
+            (0..EPOCHS.len()).flat_map(move |pi| (0..args.runs as u64).map(move |r| (v, pi, r)))
+        })
+        .collect();
+    let outs = par_map(args.jobs, grid, |_, (victim, pi, run)| {
+        let seed = derive_seed(args.seed, run);
+        let normal = normal_workload(&cfg, seed);
+        let out = run_cell(
+            &db,
+            &normal,
+            victim,
+            InjectorKind::Pipa,
+            &epoch_cfgs[pi],
+            seed,
+        );
+        (victim, pi, out.ad)
+    });
+
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for victim in victims {
         let mut row = vec![victim.label()];
-        for &p in &EPOCHS {
-            let mut cell_cfg = cfg.clone();
-            cell_cfg.probe_epochs = p;
-            let mut ads = Vec::new();
-            for run in 0..args.runs as u64 {
-                let seed = args.seed + run;
-                let normal = normal_workload(&cfg, seed);
-                let out = run_cell(&db, &normal, victim, InjectorKind::Pipa, &cell_cfg, seed);
-                ads.push(out.ad);
-            }
+        for (pi, &p) in EPOCHS.iter().enumerate() {
+            let ads: Vec<f64> = outs
+                .iter()
+                .filter(|(v, i, _)| *v == victim && *i == pi)
+                .map(|(_, _, ad)| *ad)
+                .collect();
             let s = Stats::from_samples(&ads);
             row.push(format!("{:+.3}", s.mean));
             points.push(Point {
@@ -61,7 +86,6 @@ fn main() {
                 mean_ad: s.mean,
                 std_ad: s.std,
             });
-            eprintln!("[fig11] {} P={p}: AD {:+.3}", victim.label(), s.mean);
         }
         rows.push(row);
     }

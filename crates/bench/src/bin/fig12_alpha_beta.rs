@@ -21,6 +21,7 @@ use pipa_core::preference::{segment, SegmentConfig};
 use pipa_core::probe::{probe, ProbeConfig};
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
 use serde::Serialize;
 
@@ -51,30 +52,37 @@ fn main() {
 
     // Panel (a): α sweep via full stress tests.
     println!("Figure 12(a) — AD vs α (victim DQN-b, {} runs)", args.runs);
+    let grid: Vec<(usize, u64)> = (0..ALPHAS.len())
+        .flat_map(|ai| (0..args.runs as u64).map(move |r| (ai, r)))
+        .collect();
+    let alpha_outs = par_map(args.jobs, grid, |_, (ai, run)| {
+        let seed = derive_seed(args.seed, run);
+        let normal = normal_workload(&cfg, seed);
+        let mut advisor = build_clear_box(victim, cfg.preset, seed);
+        let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
+        injector.probe_cfg = ProbeConfig {
+            epochs: cfg.probe_epochs,
+            queries_per_epoch: cfg.benchmark.default_workload_size(),
+            alpha: ALPHAS[ai],
+            seed,
+            ..Default::default()
+        };
+        let scfg = StressConfig {
+            injection_size: cfg.injection_size,
+            use_actual_cost: cfg.materialize.is_some(),
+            seed,
+        };
+        let out = run_stress_test(advisor.as_mut(), &mut injector, &db, &normal, &scfg);
+        (ai, out.ad)
+    });
     let mut alpha_points = Vec::new();
     let mut rows = Vec::new();
-    for &alpha in &ALPHAS {
-        let mut ads = Vec::new();
-        for run in 0..args.runs as u64 {
-            let seed = args.seed + run;
-            let normal = normal_workload(&cfg, seed);
-            let mut advisor = build_clear_box(victim, cfg.preset, seed);
-            let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
-            injector.probe_cfg = ProbeConfig {
-                epochs: cfg.probe_epochs,
-                queries_per_epoch: cfg.benchmark.default_workload_size(),
-                alpha,
-                seed,
-                ..Default::default()
-            };
-            let scfg = StressConfig {
-                injection_size: cfg.injection_size,
-                use_actual_cost: cfg.materialize.is_some(),
-                seed,
-            };
-            let out = run_stress_test(advisor.as_mut(), &mut injector, &db, &normal, &scfg);
-            ads.push(out.ad);
-        }
+    for (ai, &alpha) in ALPHAS.iter().enumerate() {
+        let ads: Vec<f64> = alpha_outs
+            .iter()
+            .filter(|(i, _)| *i == ai)
+            .map(|(_, ad)| *ad)
+            .collect();
         let s = Stats::from_samples(&ads);
         rows.push(vec![
             format!("{alpha}"),
@@ -86,7 +94,6 @@ fn main() {
             mean_ad: s.mean,
             std_ad: s.std,
         });
-        eprintln!("[fig12a] α={alpha}: AD {:+.3} ± {:.3}", s.mean, s.std);
     }
     println!("{}", render_table(&["alpha", "mean AD", "std"], &rows));
 
@@ -96,11 +103,13 @@ fn main() {
     let mut beta_points = Vec::new();
     let mut rows = Vec::new();
     let _ = InjectorKind::Pipa;
-    for &beta_i in &BETA_IS {
-        let mut conv = Vec::new();
-        let mut err = Vec::new();
-        for run in 0..args.runs as u64 {
-            let seed = args.seed + run;
+    let grid: Vec<(usize, u64)> = (0..BETA_IS.len())
+        .flat_map(|bi| (0..args.runs as u64).map(move |r| (bi, r)))
+        .collect();
+    let beta_outs = par_map(args.jobs, grid, |_, (bi, run)| {
+        let beta_i = BETA_IS[bi];
+        {
+            let seed = derive_seed(args.seed, run);
             let normal = normal_workload(&cfg, seed);
             let mut advisor = build_clear_box(victim, cfg.preset, seed);
             advisor.train(&db, &normal);
@@ -135,7 +144,6 @@ fn main() {
                 .rposition(|&c| c != best_final)
                 .map(|i| i + 2)
                 .unwrap_or(1);
-            conv.push(converged_at as f64);
             // Error rate: fraction of columns assigned to a different
             // segment than the reference.
             let seg_cfg = SegmentConfig::default();
@@ -156,8 +164,20 @@ fn main() {
                 .into_iter()
                 .filter(|&c| seg_of(&seg_a, c) != seg_of(&seg_b, c))
                 .count();
-            err.push(mismatches as f64 / l as f64);
+            (bi, converged_at as f64, mismatches as f64 / l as f64)
         }
+    });
+    for (bi, &beta_i) in BETA_IS.iter().enumerate() {
+        let conv: Vec<f64> = beta_outs
+            .iter()
+            .filter(|(i, _, _)| *i == bi)
+            .map(|(_, c, _)| *c)
+            .collect();
+        let err: Vec<f64> = beta_outs
+            .iter()
+            .filter(|(i, _, _)| *i == bi)
+            .map(|(_, _, e)| *e)
+            .collect();
         let cs = Stats::from_samples(&conv);
         let es = Stats::from_samples(&err);
         rows.push(vec![
@@ -172,10 +192,6 @@ fn main() {
             convergence_epochs: cs.mean,
             segment_error: es.mean,
         });
-        eprintln!(
-            "[fig12b] i={beta_i:.2}: convergence {:.1} epochs, error {:.3}",
-            cs.mean, es.mean
-        );
     }
     println!(
         "{}",

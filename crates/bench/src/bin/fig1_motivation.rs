@@ -15,6 +15,7 @@ use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::{AdvisorKind, TrajectoryMode};
 
 fn main() {
@@ -29,17 +30,26 @@ fn main() {
     // training sets).
     let inj_size = (cfg.injection_size / 8).max(2);
 
+    let mut cell_cfg = cfg.clone();
+    cell_cfg.injection_size = inj_size;
+    let grid: Vec<(InjectorKind, u64)> = [InjectorKind::Fsm, InjectorKind::Pipa]
+        .iter()
+        .flat_map(|&k| (0..args.runs as u64).map(move |r| (k, r)))
+        .collect();
+    let outs = par_map(args.jobs, grid, |_, (kind, run)| {
+        let seed = derive_seed(args.seed, run);
+        let normal = normal_workload(&cfg, seed);
+        (kind, run_cell(&db, &normal, victim, kind, &cell_cfg, seed).ad)
+    });
+
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for kind in [InjectorKind::Fsm, InjectorKind::Pipa] {
-        let mut ads = Vec::new();
-        for run in 0..args.runs as u64 {
-            let normal = normal_workload(&cfg, args.seed + run);
-            let mut cell_cfg = cfg.clone();
-            cell_cfg.injection_size = inj_size;
-            let out = run_cell(&db, &normal, victim, kind, &cell_cfg, args.seed + run);
-            ads.push(out.ad);
-        }
+        let ads: Vec<f64> = outs
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, ad)| *ad)
+            .collect();
         let s = Stats::from_samples(&ads);
         rows.push(vec![
             kind.label().to_string(),

@@ -14,7 +14,7 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::experiment::{build_db, run_grid, GridSpec, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{format_stats, render_table, ExperimentArtifact};
 use pipa_ia::AdvisorKind;
@@ -42,17 +42,25 @@ fn main() {
         args.runs
     );
 
+    // One grid over the full cross product; cells run on `--jobs` workers
+    // and come back in spec order with per-run derived seeds.
+    let spec = GridSpec::new(
+        AdvisorKind::all_seven(),
+        InjectorKind::all(),
+        args.runs as u64,
+        args.seed,
+    );
+    let outcomes = run_grid(&db, &cfg, &spec, args.jobs);
+
     let mut cells: Vec<Cell> = Vec::new();
     for advisor in AdvisorKind::all_seven() {
         let mut rows = Vec::new();
         for injector in InjectorKind::all() {
-            let mut ads = Vec::new();
-            for run in 0..args.runs as u64 {
-                let seed = args.seed + run;
-                let normal = normal_workload(&cfg, seed);
-                let out = run_cell(&db, &normal, advisor, injector, &cfg, seed);
-                ads.push(out.ad);
-            }
+            let ads: Vec<f64> = outcomes
+                .iter()
+                .filter(|(c, _)| c.advisor == advisor && c.injector == injector)
+                .map(|(_, o)| o.ad)
+                .collect();
             let s = Stats::from_samples(&ads);
             rows.push(vec![injector.label().to_string(), format_stats(&s)]);
             cells.push(Cell {
@@ -63,12 +71,6 @@ fn main() {
                 always_positive: ads.iter().all(|&a| a > 0.0),
                 ads,
             });
-            eprintln!(
-                "[fig7] {} × {} done (mean AD {:+.3})",
-                advisor.label(),
-                injector.label(),
-                s.mean
-            );
         }
         println!("\n=== {} ===", advisor.label());
         println!(

@@ -13,6 +13,7 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
+use pipa_core::par_map;
 use pipa_core::report::ExperimentArtifact;
 use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
 use serde::Serialize;
@@ -46,48 +47,27 @@ fn main() {
     let normal = normal_workload(&cfg, args.seed);
     let mut curves = Vec::new();
 
-    // Panels (a)-(c): trial-based victims, PIPA vs I-L.
+    // Panels (a)-(c): trial-based victims, PIPA vs I-L. Panel (d): SWIRL
+    // — one-off prediction after poisoning, then a full clean re-training
+    // restores the optimal indexes ("three training stages").
+    // The eight (panel, victim, injector) cells are independent; run them
+    // on the worker pool and print in panel order afterwards.
     let victims = [
         ("a", AdvisorKind::Dqn(TrajectoryMode::Best)),
         ("b", AdvisorKind::DbaBandit(TrajectoryMode::Best)),
         ("c", AdvisorKind::DrlIndex(TrajectoryMode::Best)),
+        ("d", AdvisorKind::Swirl),
     ];
-    for (panel, kind) in victims {
-        for injector_kind in [InjectorKind::Pipa, InjectorKind::IL] {
-            let mut advisor = build_clear_box(kind, cfg.preset, args.seed);
-            advisor.train(&db, &normal);
-            let clean = advisor.recommend(&db, &normal);
-            let clean_benefit = db.workload_benefit(&normal, &clean);
-            let mut injector = make_injector(injector_kind, &cfg, args.seed);
-            let inj = injector.build(advisor.as_mut(), &db, cfg.injection_size, args.seed);
-            advisor.retrain(&db, &normal.union(&inj));
-            let poisoned = advisor.recommend(&db, &normal);
-            let poisoned_benefit = db.workload_benefit(&normal, &poisoned);
-            let trace = advisor.reward_trace().to_vec();
-            println!(
-                "panel ({panel}) {} after {:5}: clean benefit {:.3} → poisoned {:.3} | inference trace: {}",
-                kind.label(),
-                injector_kind.label(),
-                clean_benefit,
-                poisoned_benefit,
-                summarize(&trace, 10)
-            );
-            curves.push(Curve {
-                panel: panel.to_string(),
-                advisor: kind.label(),
-                injector: injector_kind.label().to_string(),
-                trace,
-                clean_benefit,
-                poisoned_benefit,
-                retrained_benefit: None,
-            });
-        }
-    }
-
-    // Panel (d): SWIRL — one-off prediction after poisoning, then a full
-    // clean re-training restores the optimal indexes.
-    for injector_kind in [InjectorKind::Pipa, InjectorKind::IL] {
-        let mut advisor = build_clear_box(AdvisorKind::Swirl, cfg.preset, args.seed);
+    let grid: Vec<(&str, AdvisorKind, InjectorKind)> = victims
+        .iter()
+        .flat_map(|&(panel, kind)| {
+            [InjectorKind::Pipa, InjectorKind::IL]
+                .into_iter()
+                .map(move |inj| (panel, kind, inj))
+        })
+        .collect();
+    let cells = par_map(args.jobs, grid, |_, (panel, kind, injector_kind)| {
+        let mut advisor = build_clear_box(kind, cfg.preset, args.seed);
         advisor.train(&db, &normal);
         let clean = advisor.recommend(&db, &normal);
         let clean_benefit = db.workload_benefit(&normal, &clean);
@@ -96,27 +76,38 @@ fn main() {
         advisor.retrain(&db, &normal.union(&inj));
         let poisoned = advisor.recommend(&db, &normal);
         let poisoned_benefit = db.workload_benefit(&normal, &poisoned);
-        // Re-re-train on the clean workload (paper: "SWIRL has gone
-        // through three training stages").
-        advisor.retrain(&db, &normal);
-        let recovered = advisor.recommend(&db, &normal);
-        let retrained_benefit = db.workload_benefit(&normal, &recovered);
-        println!(
-            "panel (d) SWIRL after {:5}: clean {:.3} → poisoned {:.3} → clean-retrained {:.3}",
-            injector_kind.label(),
-            clean_benefit,
-            poisoned_benefit,
-            retrained_benefit
-        );
-        curves.push(Curve {
-            panel: "d".to_string(),
-            advisor: "SWIRL".to_string(),
+        let retrained_benefit = (panel == "d").then(|| {
+            advisor.retrain(&db, &normal);
+            let recovered = advisor.recommend(&db, &normal);
+            db.workload_benefit(&normal, &recovered)
+        });
+        Curve {
+            panel: panel.to_string(),
+            advisor: kind.label(),
             injector: injector_kind.label().to_string(),
             trace: advisor.reward_trace().to_vec(),
             clean_benefit,
             poisoned_benefit,
-            retrained_benefit: Some(retrained_benefit),
-        });
+            retrained_benefit,
+        }
+    });
+    for c in cells {
+        match c.retrained_benefit {
+            None => println!(
+                "panel ({}) {} after {:5}: clean benefit {:.3} → poisoned {:.3} | inference trace: {}",
+                c.panel,
+                c.advisor,
+                c.injector,
+                c.clean_benefit,
+                c.poisoned_benefit,
+                summarize(&c.trace, 10)
+            ),
+            Some(retrained) => println!(
+                "panel (d) SWIRL after {:5}: clean {:.3} → poisoned {:.3} → clean-retrained {:.3}",
+                c.injector, c.clean_benefit, c.poisoned_benefit, retrained
+            ),
+        }
+        curves.push(c);
     }
 
     println!(

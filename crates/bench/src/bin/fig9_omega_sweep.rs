@@ -14,9 +14,10 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::AdvisorKind;
 use serde::Serialize;
 
@@ -46,36 +47,55 @@ fn main() {
         args.runs
     );
 
+    // One config per ω (the injection size is the only thing that varies).
+    let omega_cfgs: Vec<CellConfig> = OMEGAS
+        .iter()
+        .map(|&omega| {
+            let mut c = cfg.clone();
+            c.injection_size = ((n as f64 * omega).round() as usize).max(1);
+            c
+        })
+        .collect();
+    let grid: Vec<(AdvisorKind, usize, u64)> = AdvisorKind::all_seven()
+        .into_iter()
+        .flat_map(|a| {
+            (0..OMEGAS.len()).flat_map(move |oi| (0..args.runs as u64).map(move |r| (a, oi, r)))
+        })
+        .collect();
+    let outs = par_map(args.jobs, grid, |_, (advisor, oi, run)| {
+        let seed = derive_seed(args.seed, run);
+        let normal = normal_workload(&cfg, seed);
+        let out = run_cell(
+            &db,
+            &normal,
+            advisor,
+            InjectorKind::Pipa,
+            &omega_cfgs[oi],
+            seed,
+        );
+        (advisor, oi, out.ad)
+    });
+
     let mut cells = Vec::new();
     let mut rows = Vec::new();
     for advisor in AdvisorKind::all_seven() {
         let mut row = vec![advisor.label()];
-        for &omega in &OMEGAS {
-            let inj_size = ((n as f64 * omega).round() as usize).max(1);
-            let mut cell_cfg = cfg.clone();
-            cell_cfg.injection_size = inj_size;
-            let mut ads = Vec::new();
-            for run in 0..args.runs as u64 {
-                let seed = args.seed + run;
-                let normal = normal_workload(&cfg, seed);
-                let out = run_cell(&db, &normal, advisor, InjectorKind::Pipa, &cell_cfg, seed);
-                ads.push(out.ad);
-            }
+        for (oi, &omega) in OMEGAS.iter().enumerate() {
+            let ads: Vec<f64> = outs
+                .iter()
+                .filter(|(a, i, _)| *a == advisor && *i == oi)
+                .map(|(_, _, ad)| *ad)
+                .collect();
             let s = Stats::from_samples(&ads);
             row.push(format!("{:+.3}", s.mean));
             cells.push(Cell {
                 advisor: advisor.label(),
                 omega,
-                injection_size: inj_size,
+                injection_size: omega_cfgs[oi].injection_size,
                 mean_ad: s.mean,
                 std_ad: s.std,
                 ads,
             });
-            eprintln!(
-                "[fig9] {} ω={omega}: mean AD {:+.3}",
-                advisor.label(),
-                s.mean
-            );
         }
         rows.push(row);
     }

@@ -10,7 +10,7 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::experiment::{build_db, run_grid, GridSpec, InjectorKind};
 use pipa_core::metrics::{relative_degradation, Stats};
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_ia::AdvisorKind;
@@ -36,28 +36,38 @@ fn main() {
         args.runs
     );
 
-    let random: Vec<InjectorKind> = InjectorKind::all()
-        .into_iter()
-        .filter(|k| k.is_random_baseline())
-        .collect();
+    // PIPA plus the three random baselines in one grid: all cells of a
+    // run share a derived seed, so PIPA and the baselines see the *same*
+    // normal workload — the pairing Definition 2.5 requires.
+    let mut injectors = vec![InjectorKind::Pipa];
+    injectors.extend(
+        InjectorKind::all()
+            .into_iter()
+            .filter(|k| k.is_random_baseline()),
+    );
+    let spec = GridSpec::new(
+        AdvisorKind::all_seven(),
+        injectors,
+        args.runs as u64,
+        args.seed,
+    );
+    let outcomes = run_grid(&db, &cfg, &spec, args.jobs);
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for advisor in AdvisorKind::all_seven() {
-        let mut pipa_ads = Vec::new();
-        let mut random_ads = Vec::new();
-        for run in 0..args.runs as u64 {
-            let seed = args.seed + run;
-            let normal = normal_workload(&cfg, seed);
-            pipa_ads.push(run_cell(&db, &normal, advisor, InjectorKind::Pipa, &cfg, seed).ad);
-            for &r in &random {
-                random_ads.push(run_cell(&db, &normal, advisor, r, &cfg, seed).ad);
-            }
-        }
-        let ad_pipa = Stats::from_samples(&pipa_ads).mean;
-        let ad_random = Stats::from_samples(&random_ads).mean;
+        let ads = |want_pipa: bool| -> Vec<f64> {
+            outcomes
+                .iter()
+                .filter(|(c, _)| {
+                    c.advisor == advisor && (c.injector == InjectorKind::Pipa) == want_pipa
+                })
+                .map(|(_, o)| o.ad)
+                .collect()
+        };
+        let ad_pipa = Stats::from_samples(&ads(true)).mean;
+        let ad_random = Stats::from_samples(&ads(false)).mean;
         let rd = relative_degradation(ad_pipa, ad_random);
-        eprintln!("[table1] {} RD {:+.3}", advisor.label(), rd);
         rows.push(vec![
             advisor.label(),
             format!("{rd:+.3}"),

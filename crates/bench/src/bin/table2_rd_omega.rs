@@ -10,9 +10,10 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
+use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::{relative_degradation, Stats};
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_core::{derive_seed, par_map};
 use pipa_ia::AdvisorKind;
 use serde::Serialize;
 
@@ -42,25 +43,48 @@ fn main() {
         args.runs
     );
 
+    let omega_cfgs: Vec<CellConfig> = OMEGAS
+        .iter()
+        .map(|&omega| {
+            let mut c = cfg.clone();
+            c.injection_size = ((n as f64 * omega).round() as usize).max(1);
+            c
+        })
+        .collect();
+    // Tuples (advisor, ω index, injector, run); PIPA and the FSM baseline
+    // share each run's seed (and thus normal workload) for RD pairing.
+    let grid: Vec<(AdvisorKind, usize, InjectorKind, u64)> = AdvisorKind::all_seven()
+        .into_iter()
+        .flat_map(|a| {
+            (0..OMEGAS.len()).flat_map(move |oi| {
+                [InjectorKind::Pipa, random]
+                    .into_iter()
+                    .flat_map(move |inj| (0..args.runs as u64).map(move |r| (a, oi, inj, r)))
+            })
+        })
+        .collect();
+    let outs = par_map(args.jobs, grid, |_, (advisor, oi, inj, run)| {
+        let seed = derive_seed(args.seed, run);
+        let normal = normal_workload(&cfg, seed);
+        let out = run_cell(&db, &normal, advisor, inj, &omega_cfgs[oi], seed);
+        (advisor, oi, inj, out.ad)
+    });
+
     let mut cells = Vec::new();
     let mut rows = Vec::new();
     for advisor in AdvisorKind::all_seven() {
         let mut row = vec![advisor.label()];
-        for &omega in &OMEGAS {
-            let inj_size = ((n as f64 * omega).round() as usize).max(1);
-            let mut cell_cfg = cfg.clone();
-            cell_cfg.injection_size = inj_size;
-            let mut pipa_ads = Vec::new();
-            let mut rand_ads = Vec::new();
-            for run in 0..args.runs as u64 {
-                let seed = args.seed + run;
-                let normal = normal_workload(&cfg, seed);
-                pipa_ads
-                    .push(run_cell(&db, &normal, advisor, InjectorKind::Pipa, &cell_cfg, seed).ad);
-                rand_ads.push(run_cell(&db, &normal, advisor, random, &cell_cfg, seed).ad);
-            }
-            let ad_pipa = Stats::from_samples(&pipa_ads).mean;
-            let ad_random = Stats::from_samples(&rand_ads).mean;
+        for (oi, &omega) in OMEGAS.iter().enumerate() {
+            let mean_ad = |want: InjectorKind| -> f64 {
+                let ads: Vec<f64> = outs
+                    .iter()
+                    .filter(|(a, i, inj, _)| *a == advisor && *i == oi && *inj == want)
+                    .map(|(_, _, _, ad)| *ad)
+                    .collect();
+                Stats::from_samples(&ads).mean
+            };
+            let ad_pipa = mean_ad(InjectorKind::Pipa);
+            let ad_random = mean_ad(random);
             let rd = relative_degradation(ad_pipa, ad_random);
             row.push(format!("{rd:+.3}"));
             cells.push(Cell {
@@ -70,7 +94,6 @@ fn main() {
                 ad_pipa,
                 ad_random,
             });
-            eprintln!("[table2] {} ω={omega}: RD {:+.3}", advisor.label(), rd);
         }
         rows.push(row);
     }

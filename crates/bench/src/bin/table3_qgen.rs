@@ -13,6 +13,7 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
+use pipa_core::par_map;
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_ia::SpeedPreset;
 use pipa_qgen::{
@@ -60,10 +61,52 @@ fn main() {
         IabartGenerator::new(model)
     };
 
+    // The nine generator evaluations share nothing mutable (each clones
+    // the evaluation RNG), so they run as independent cells. Each IABART
+    // ablation trains its own model inside its cell.
+    const METHODS: [&str; 9] = [
+        "ST",
+        "DT",
+        "FSM",
+        "GPT-3.5-like",
+        "GPT-4-like",
+        "IABART w/o Task1&2",
+        "IABART w/o Task1",
+        "IABART w/o Task2",
+        "IABART",
+    ];
+    let eval_rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xe7a1);
+    let qualities = par_map(args.jobs, (0..METHODS.len()).collect(), |_, vi| {
+        let mut rng = eval_rng.clone();
+        let mut gen: Box<dyn QueryGenerator> = match vi {
+            0 => Box::new(StGenerator::new(args.seed)),
+            1 => Box::new(DtGenerator::new(
+                args.benchmark.default_templates(),
+                args.seed,
+            )),
+            2 => Box::new(FsmGenerator::new(args.seed)),
+            3 => Box::new(LlmLikeGenerator::gpt35_like(args.seed)),
+            4 => Box::new(LlmLikeGenerator::gpt4_like(args.seed)),
+            5 => Box::new(train_variant(ProgressiveTasks {
+                task1: false,
+                task2: false,
+            })),
+            6 => Box::new(train_variant(ProgressiveTasks {
+                task1: false,
+                task2: true,
+            })),
+            7 => Box::new(train_variant(ProgressiveTasks {
+                task1: true,
+                task2: false,
+            })),
+            _ => Box::new(train_variant(ProgressiveTasks::default())),
+        };
+        evaluate_generator_dyn(gen.as_mut(), &db, n_tests, k_targets, &mut rng)
+    });
+
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Vec::new();
-    let mut eval = |name: &str, gen: &mut dyn QueryGenerator, rng: &mut ChaCha8Rng| {
-        let q: GenQuality = evaluate_generator_dyn(gen, &db, n_tests, k_targets, rng);
+    for (name, q) in METHODS.iter().zip(&qualities) {
         eprintln!(
             "[table3] {name}: GAC {:.2} IAC {:.2} RMSE {:.3} Distinct {:.3}",
             q.gac, q.iac, q.rmse, q.distinct
@@ -82,64 +125,7 @@ fn main() {
             rmse: q.rmse,
             distinct: q.distinct,
         });
-    };
-
-    let eval_rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xe7a1);
-    eval(
-        "ST",
-        &mut StGenerator::new(args.seed),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "DT",
-        &mut DtGenerator::new(args.benchmark.default_templates(), args.seed),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "FSM",
-        &mut FsmGenerator::new(args.seed),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "GPT-3.5-like",
-        &mut LlmLikeGenerator::gpt35_like(args.seed),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "GPT-4-like",
-        &mut LlmLikeGenerator::gpt4_like(args.seed),
-        &mut eval_rng.clone(),
-    );
-    eprintln!("[table3] training IABART ablations...");
-    eval(
-        "IABART w/o Task1&2",
-        &mut train_variant(ProgressiveTasks {
-            task1: false,
-            task2: false,
-        }),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "IABART w/o Task1",
-        &mut train_variant(ProgressiveTasks {
-            task1: false,
-            task2: true,
-        }),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "IABART w/o Task2",
-        &mut train_variant(ProgressiveTasks {
-            task1: true,
-            task2: false,
-        }),
-        &mut eval_rng.clone(),
-    );
-    eval(
-        "IABART",
-        &mut train_variant(ProgressiveTasks::default()),
-        &mut eval_rng.clone(),
-    );
+    }
 
     println!(
         "Table 3 — query-generation quality ({} test queries, {} targets each)",

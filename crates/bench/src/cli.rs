@@ -11,6 +11,8 @@
 //! * `--paper` — paper-scale trajectory counts + trained IABART;
 //! * `--iabart` — force the IABART generator backend;
 //! * `--actual` — materialize data and measure actual executed costs;
+//! * `--jobs N` — worker threads for independent cells (0 = all cores,
+//!   default 1; results are bit-identical for every N);
 //! * `--out DIR` — write a JSON artifact (default `results/`).
 
 use pipa_core::experiment::{CellConfig, GenBackend};
@@ -34,6 +36,8 @@ pub struct ExpArgs {
     pub use_iabart: bool,
     /// Materialize data for actual-cost measurement.
     pub actual: bool,
+    /// Worker threads for independent cells (0 = available parallelism).
+    pub jobs: usize,
     /// Artifact output directory.
     pub out_dir: String,
     /// Remaining positional / unknown args (experiment-specific).
@@ -50,6 +54,7 @@ impl Default for ExpArgs {
             preset: SpeedPreset::Quick,
             use_iabart: false,
             actual: false,
+            jobs: 1,
             out_dir: "results".to_string(),
             rest: Vec::new(),
         }
@@ -84,6 +89,7 @@ impl ExpArgs {
                 }
                 "--iabart" => a.use_iabart = true,
                 "--actual" => a.actual = true,
+                "--jobs" => a.jobs = next_parse(&mut it, "--jobs"),
                 "--out" => a.out_dir = next_parse(&mut it, "--out"),
                 other => a.rest.push(other.to_string()),
             }
@@ -115,6 +121,9 @@ impl ExpArgs {
     /// One-line parameter summary for artifacts.
     pub fn summary(&self) -> String {
         format!(
+            // `jobs` is deliberately absent: parallelism must not leave
+            // any trace in artifacts (--jobs N is byte-identical to
+            // --jobs 1, see DESIGN.md "Determinism guarantees").
             "benchmark={} scale={} runs={} seed={} preset={:?} iabart={} actual={}",
             self.benchmark.name(),
             self.scale,

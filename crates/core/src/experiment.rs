@@ -5,6 +5,7 @@
 use crate::harness::{run_stress_test, StressConfig, StressOutcome};
 use crate::injectors::{Injector, TargetedInjector, TpInjector};
 use crate::probe::ProbeConfig;
+use crate::runner::{derive_seed, par_map};
 use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset};
 use pipa_qgen::{build_corpus, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator};
 use pipa_sim::{Database, Workload};
@@ -187,6 +188,110 @@ pub fn run_cell(
         seed,
     };
     run_stress_test(advisor.as_mut(), injector.as_mut(), db, normal, &scfg)
+}
+
+/// A full advisor × injector × run experiment grid.
+///
+/// This is the shared specification behind the experiment binaries: the
+/// axes to sweep plus a root seed. [`GridSpec::cells`] enumerates the
+/// cells in a fixed (advisor-major, then injector, then run) order, and
+/// [`run_grid`] evaluates them — serially or in parallel — with results
+/// always in that same order.
+#[derive(Clone)]
+pub struct GridSpec {
+    /// Advisors under test.
+    pub advisors: Vec<AdvisorKind>,
+    /// Injection strategies.
+    pub injectors: Vec<InjectorKind>,
+    /// Repetitions per (advisor, injector) pair.
+    pub runs: u64,
+    /// Root seed; per-run seeds are derived via
+    /// [`derive_seed`]`(root_seed, run)`.
+    pub root_seed: u64,
+}
+
+/// One cell of a [`GridSpec`]: coordinates plus the derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Advisor under test.
+    pub advisor: AdvisorKind,
+    /// Injection strategy.
+    pub injector: InjectorKind,
+    /// Run index within the (advisor, injector) pair.
+    pub run: u64,
+    /// Seed for this cell: `derive_seed(root_seed, run)`. Cells of the
+    /// same run share it deliberately — RD (Definition 2.5) compares
+    /// PIPA against random baselines *on the same normal workload*, and
+    /// the normal workload is a function of the run seed.
+    pub seed: u64,
+}
+
+impl GridSpec {
+    /// A grid over the given axes.
+    pub fn new(
+        advisors: Vec<AdvisorKind>,
+        injectors: Vec<InjectorKind>,
+        runs: u64,
+        root_seed: u64,
+    ) -> Self {
+        GridSpec {
+            advisors,
+            injectors,
+            runs,
+            root_seed,
+        }
+    }
+
+    /// Every cell, advisor-major then injector then run — the order
+    /// [`run_grid`] returns results in, independent of `--jobs`.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &advisor in &self.advisors {
+            for &injector in &self.injectors {
+                for run in 0..self.runs {
+                    out.push(GridCell {
+                        advisor,
+                        injector,
+                        run,
+                        seed: derive_seed(self.root_seed, run),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.advisors.len() * self.injectors.len() * self.runs as usize
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Evaluate every cell of a grid on up to `jobs` worker threads
+/// (`0` = all cores), returning `(cell, outcome)` pairs in
+/// [`GridSpec::cells`] order regardless of scheduling.
+///
+/// Each cell regenerates its normal workload from its own seed and runs
+/// one full stress test; no state is shared between cells except the
+/// database's memoized what-if costs, which are pure functions of their
+/// keys. `run_grid(.., 1)` and `run_grid(.., N)` therefore produce
+/// identical results — see `DESIGN.md` ("Determinism guarantees").
+pub fn run_grid(
+    db: &Database,
+    cfg: &CellConfig,
+    spec: &GridSpec,
+    jobs: usize,
+) -> Vec<(GridCell, StressOutcome)> {
+    par_map(jobs, spec.cells(), |_, cell| {
+        let normal = normal_workload(cfg, cell.seed);
+        let out = run_cell(db, &normal, cell.advisor, cell.injector, cfg, cell.seed);
+        (cell, out)
+    })
 }
 
 #[cfg(test)]

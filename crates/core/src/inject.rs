@@ -210,16 +210,22 @@ mod tests {
     #[test]
     fn toxicity_filter_accepts_mid_optimized_queries() {
         let (db, seg) = setup();
-        let mid: Vec<ColumnId> = seg
+        let selective: Vec<ColumnId> = seg
             .mid
             .iter()
             .copied()
             .filter(|&c| db.column_stat(c).ndv > 100)
+            .collect();
+        let Some(&first) = selective.first() else {
+            return; // segmentation produced no selective mid columns
+        };
+        // Stay on one table so the probe query needs no join edges.
+        let table = db.schema().column(first).table;
+        let mid: Vec<ColumnId> = selective
+            .into_iter()
+            .filter(|&c| db.schema().column(c).table == table)
             .take(2)
             .collect();
-        if mid.is_empty() {
-            return; // segmentation produced no selective mid columns
-        }
         let mut b = pipa_sim::QueryBuilder::new();
         for &c in &mid {
             b = b.filter(db.schema(), pipa_sim::Predicate::eq(c, 0.4));

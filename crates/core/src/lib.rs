@@ -4,15 +4,19 @@
 //!
 //! * [`preference`] — the indexing-preference ranking `k` (Eq. 5–8) and
 //!   its top/mid/low segmentation (§5, §6.4);
-//! * [`probe`] — the opaque-box probing stage (Algorithm 1, Eq. 9);
-//! * [`inject`] — the toxic-injection stage (Algorithm 2, including the
+//! * [`mod@probe`] — the opaque-box probing stage (Algorithm 1, Eq. 9);
+//! * [`mod@inject`] — the toxic-injection stage (Algorithm 2, including the
 //!   line-4 "mid beats top" filter);
 //! * [`injectors`] — PIPA plus the TP / FSM / I-R / I-L / P-C baselines;
 //! * [`metrics`] — AD / RD / toxicity (Definitions 2.3–2.5);
 //! * [`harness`] — train → baseline → inject → retrain → measure;
 //! * [`defense`] — retraining canaries and provenance screening (the
 //!   mitigations the paper's insights point DBAs at);
-//! * [`experiment`] — shared plumbing for the per-figure binaries;
+//! * [`experiment`] — shared plumbing for the per-figure binaries,
+//!   including the [`experiment::GridSpec`] advisor × injector × run
+//!   grid API;
+//! * [`runner`] — deterministic parallel cell execution ([`par_map`],
+//!   SplitMix64 seed derivation);
 //! * [`report`] — console tables and JSON artifacts.
 //!
 //! ## Quick start
@@ -47,12 +51,14 @@ pub mod metrics;
 pub mod preference;
 pub mod probe;
 pub mod report;
+pub mod runner;
 
 pub use defense::{CanaryGuard, ProvenanceFilter};
-pub use experiment::{CellConfig, GenBackend, InjectorKind};
+pub use experiment::{run_grid, CellConfig, GenBackend, GridCell, GridSpec, InjectorKind};
 pub use harness::{run_stress_test, StressConfig, StressOutcome};
 pub use inject::{inject, InjectConfig, InjectResult};
 pub use injectors::{Injector, TargetedInjector, TpInjector};
 pub use metrics::{absolute_degradation, is_toxic, relative_degradation, Stats};
 pub use preference::{segment, IndexingPreference, SegmentConfig, Segments};
 pub use probe::{probe, ProbeConfig, ProbeResult};
+pub use runner::{default_jobs, derive_seed, par_map};

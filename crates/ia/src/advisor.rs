@@ -76,15 +76,15 @@ pub trait ClearBoxAdvisor: IndexAdvisor {
 /// Identifier for the advisors in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdvisorKind {
-    /// Deep Q-Network ([20]), trial-based.
+    /// Deep Q-Network (\[20\]), trial-based.
     Dqn(TrajectoryMode),
     /// DRLindex ([29, 30]): DQN with sparse workload×column state and
     /// `1/cost` reward, trial-based.
     DrlIndex(TrajectoryMode),
-    /// DBABandit ([26]): C²UCB multi-armed bandit, trial-based
+    /// DBABandit (\[26\]): C²UCB multi-armed bandit, trial-based
     /// (converges fast: 20 trajectories).
     DbaBandit(TrajectoryMode),
-    /// SWIRL ([19]): PPO-style policy with invalid-action masking,
+    /// SWIRL (\[19\]): PPO-style policy with invalid-action masking,
     /// one-off.
     Swirl,
 }

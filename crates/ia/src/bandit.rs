@@ -1,4 +1,4 @@
-//! DBABandit advisor (after [26], "DBA bandits"): index selection as a
+//! DBABandit advisor (after \[26\], "DBA bandits"): index selection as a
 //! combinatorial contextual bandit (C²UCB) with ridge-regression reward
 //! estimation and optimistic (UCB) arm selection.
 //!

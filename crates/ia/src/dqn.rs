@@ -1,4 +1,4 @@
-//! DQN index advisor (after [20], "An index advisor using deep
+//! DQN index advisor (after \[20\], "An index advisor using deep
 //! reinforcement learning"): an MLP Q-network over workload-frequency +
 //! index-bitmap state, ε-greedy exploration, an experience-replay buffer,
 //! and a periodically synced target network.

@@ -1,4 +1,4 @@
-//! SWIRL advisor (after [19], "SWIRL: Selection of Workload-aware Indexes
+//! SWIRL advisor (after \[19\], "SWIRL: Selection of Workload-aware Indexes
 //! using Reinforcement Learning"): a PPO-style policy network over
 //! workload features with **invalid action masking**, trained across many
 //! workload episodes so that inference is **one-off** — given a new

@@ -10,7 +10,7 @@
 //!   (our rewards are relative benefits in `[0,1]`; the paper's unit is
 //!   an estimated-cost scale — shapes, not magnitudes, are comparable);
 //! * **Distinct** — mean ratio of unique tokens within each query's
-//!   rendered SQL (diversity, after [22]).
+//!   rendered SQL (diversity, after \[22\]).
 
 use crate::baselines::QueryGenerator;
 use crate::corpus::label_indexes;
@@ -21,7 +21,7 @@ use std::collections::HashSet;
 
 /// Draw a realistic target-index set: columns of one anchor table and its
 /// FK neighbourhood, restricted to plausibly indexable columns
-/// (NDV ≥ 20). The paper "randomly select[s] three indexes" — indexes,
+/// (NDV ≥ 20). The paper "randomly select\[s\] three indexes" — indexes,
 /// not arbitrary columns, so unindexable text/flag columns are excluded.
 pub fn sample_target_set<R: RngCore>(db: &Database, k: usize, rng: &mut R) -> Vec<ColumnId> {
     let schema = db.schema();

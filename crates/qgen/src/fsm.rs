@@ -1,4 +1,4 @@
-//! The word-level SQL grammar FSM ([43]-style).
+//! The word-level SQL grammar FSM (\[43\]-style).
 //!
 //! The FSM does three jobs, exactly as in the paper:
 //!

@@ -1,0 +1,380 @@
+//! Thread-safe what-if cost cache.
+//!
+//! Every advisor training run, probing epoch, and injection search issues
+//! the same `c(q, d, I)` what-if calls over and over — across epochs,
+//! across runs of one experiment cell, and across cells of a grid. The
+//! cost model is pure (a function of the catalog, query, and index
+//! configuration), so repeated probes are pure waste. This module
+//! memoizes them behind a sharded `RwLock` map keyed on 128-bit
+//! structural fingerprints of the query and configuration.
+//!
+//! Concurrency: reads take a shard read-lock; misses compute *outside*
+//! any lock and then take the shard write-lock to publish. Two threads
+//! may race to compute the same entry, but the cost model is
+//! deterministic, so both compute the identical value and the insert is
+//! idempotent — correctness never depends on who wins.
+//!
+//! Determinism: a cache hit returns a previously computed `f64`
+//! bit-for-bit, so cached and uncached runs produce identical results
+//! (see `DESIGN.md`, "Determinism guarantees").
+
+use crate::index::IndexConfig;
+use crate::predicate::PredOp;
+use crate::query::{Aggregate, Query};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independently locked shards. A power of two so the shard
+/// pick is a mask; 16 keeps contention negligible at the thread counts
+/// the experiment runner uses without bloating an idle `Database`.
+const SHARDS: usize = 16;
+
+/// A 128-bit structural fingerprint (two independent FNV-1a streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+/// Incremental FNV-1a × 2 hasher over canonical byte encodings.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        // Standard FNV-1a offset for stream A; an arbitrary odd constant
+        // (pi fraction) decorrelates stream B.
+        Fnv2 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x2437_54c8_10f8_6cb5,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01b3);
+            self.b = (self.b ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_0197);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint {
+            a: self.a,
+            b: self.b,
+        }
+    }
+}
+
+/// Structural fingerprint of a query: every field that can influence its
+/// cost, tagged and length-prefixed so distinct structures cannot
+/// collide by concatenation.
+pub fn fingerprint_query(q: &Query) -> Fingerprint {
+    let mut h = Fnv2::new();
+    h.u32(q.tables.len() as u32);
+    for t in &q.tables {
+        h.u32(t.0);
+    }
+    h.u32(q.joins.len() as u32);
+    for j in &q.joins {
+        h.u32(j.left.0);
+        h.u32(j.right.0);
+    }
+    h.u32(q.predicates.len() as u32);
+    for p in &q.predicates {
+        h.u32(p.col.0);
+        match &p.op {
+            PredOp::Eq(v) => {
+                h.u32(1);
+                h.f64(*v);
+            }
+            PredOp::Le(v) => {
+                h.u32(2);
+                h.f64(*v);
+            }
+            PredOp::Ge(v) => {
+                h.u32(3);
+                h.f64(*v);
+            }
+            PredOp::Between(lo, hi) => {
+                h.u32(4);
+                h.f64(*lo);
+                h.f64(*hi);
+            }
+            PredOp::In(vs) => {
+                h.u32(5);
+                h.u32(vs.len() as u32);
+                for v in vs {
+                    h.f64(*v);
+                }
+            }
+        }
+    }
+    h.u32(q.projection.len() as u32);
+    for c in &q.projection {
+        h.u32(c.0);
+    }
+    h.u32(q.aggregates.len() as u32);
+    for a in &q.aggregates {
+        match a {
+            Aggregate::CountStar => h.u32(0xffff_ffff),
+            Aggregate::Sum(c) => {
+                h.u32(1);
+                h.u32(c.0);
+            }
+            Aggregate::Avg(c) => {
+                h.u32(2);
+                h.u32(c.0);
+            }
+            Aggregate::Min(c) => {
+                h.u32(3);
+                h.u32(c.0);
+            }
+            Aggregate::Max(c) => {
+                h.u32(4);
+                h.u32(c.0);
+            }
+        }
+    }
+    h.u32(q.group_by.len() as u32);
+    for c in &q.group_by {
+        h.u32(c.0);
+    }
+    h.u32(q.order_by.len() as u32);
+    for c in &q.order_by {
+        h.u32(c.0);
+    }
+    h.u64(q.limit.map_or(u64::MAX, |l| l.wrapping_add(1)));
+    h.finish()
+}
+
+/// Structural fingerprint of an index configuration (order-sensitive:
+/// the cost model is order-insensitive, so keying on insertion order
+/// only costs duplicate entries, never correctness).
+pub fn fingerprint_config(cfg: &IndexConfig) -> Fingerprint {
+    let mut h = Fnv2::new();
+    h.u32(cfg.len() as u32);
+    for idx in cfg.indexes() {
+        h.u32(idx.columns.len() as u32);
+        for c in &idx.columns {
+            h.u32(c.0);
+        }
+    }
+    h.finish()
+}
+
+/// Hit/miss counters and current size of a [`CostCache`], as returned by
+/// [`CostCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the cost model.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe `(query, config) → cost` memo table.
+pub struct CostCache {
+    shards: Vec<RwLock<HashMap<(Fingerprint, Fingerprint), f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl Default for CostCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        CostCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Enable or disable memoization (lookups bypass the map when
+    /// disabled; existing entries are kept). Used by benchmarks to
+    /// measure cold-path cost.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether memoization is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Look up `(q, cfg)`, computing and publishing via `compute` on a
+    /// miss. `compute` runs outside all locks.
+    pub fn get_or_compute(
+        &self,
+        q: Fingerprint,
+        cfg: Fingerprint,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let key = (q, cfg);
+        let shard = &self.shards[(q.a ^ cfg.a) as usize & (SHARDS - 1)];
+        if let Some(&v) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        shard
+            .write()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(v);
+        v
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+
+    /// Drop all entries and zero the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Index;
+    use crate::schema::ColumnId;
+
+    fn q(frac: f64) -> Query {
+        Query {
+            tables: vec![crate::schema::TableId(0)],
+            joins: vec![],
+            predicates: vec![crate::predicate::Predicate::eq(ColumnId(0), frac)],
+            projection: vec![ColumnId(0)],
+            aggregates: vec![],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_fingerprints() {
+        let a = fingerprint_query(&q(0.25));
+        let b = fingerprint_query(&q(0.75));
+        assert_ne!(a, b);
+        let c1 = fingerprint_config(&IndexConfig::empty());
+        let c2 = fingerprint_config(&IndexConfig::from_indexes([Index::single(ColumnId(1))]));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn fingerprints_are_stable() {
+        assert_eq!(fingerprint_query(&q(0.5)), fingerprint_query(&q(0.5)));
+    }
+
+    #[test]
+    fn hit_returns_cached_value_and_counts() {
+        let cache = CostCache::new();
+        let qf = fingerprint_query(&q(0.5));
+        let cf = fingerprint_config(&IndexConfig::empty());
+        let first = cache.get_or_compute(qf, cf, || 42.0);
+        let second = cache.get_or_compute(qf, cf, || panic!("must hit"));
+        assert_eq!(first, 42.0);
+        assert_eq!(second, 42.0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = CostCache::new();
+        cache.set_enabled(false);
+        let qf = fingerprint_query(&q(0.5));
+        let cf = fingerprint_config(&IndexConfig::empty());
+        assert_eq!(cache.get_or_compute(qf, cf, || 1.0), 1.0);
+        assert_eq!(cache.get_or_compute(qf, cf, || 2.0), 2.0);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = CostCache::new();
+        let qf = fingerprint_query(&q(0.5));
+        let cf = fingerprint_config(&IndexConfig::empty());
+        let _ = cache.get_or_compute(qf, cf, || 1.0);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = CostCache::new();
+        let qs: Vec<Fingerprint> = (0..64)
+            .map(|i| fingerprint_query(&q(i as f64 / 64.0)))
+            .collect();
+        let cf = fingerprint_config(&IndexConfig::empty());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (i, &qf) in qs.iter().enumerate() {
+                        let v = cache.get_or_compute(qf, cf, || i as f64);
+                        assert_eq!(v, i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 64);
+    }
+}

@@ -6,8 +6,10 @@
 //! [`WhatIf`] helpers, exactly as the paper's components only issue
 //! `c(W, d, I)` requests to PostgreSQL's hypothetical-index extension.
 
+pub mod cache;
 mod model;
 
+pub use cache::{CacheStats, CostCache};
 pub use model::AnalyticalCostModel;
 
 use crate::index::IndexConfig;

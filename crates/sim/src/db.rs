@@ -2,7 +2,8 @@
 //! data, exposing exactly the interface the paper assumes of the DBMS:
 //! estimated costs via hypothetical indexes, and actual execution costs.
 
-use crate::cost::{AnalyticalCostModel, Catalog, CostModel, PAGE_SIZE};
+use crate::cost::cache::{fingerprint_config, fingerprint_query};
+use crate::cost::{AnalyticalCostModel, CacheStats, Catalog, CostCache, CostModel, PAGE_SIZE};
 use crate::datagen::generate_table;
 use crate::exec::Executor;
 use crate::index::{Index, IndexConfig};
@@ -23,6 +24,8 @@ pub struct Database {
     storage: Option<Storage>,
     /// Physical indexes are config-independent; cache them per definition.
     phys_cache: Mutex<HashMap<Index, PhysicalIndex>>,
+    /// Memoized what-if costs; the model is pure so entries never go stale.
+    whatif_cache: CostCache,
     scale: f64,
 }
 
@@ -77,13 +80,50 @@ impl Database {
     }
 
     /// Estimated cost of a query under a hypothetical configuration.
+    ///
+    /// Memoized: the analytical model is a pure function of the catalog
+    /// (fixed after construction), so repeated what-if probes for the
+    /// same `(query, config)` pair are answered from a thread-safe cache
+    /// (see [`CostCache`]). Hits return the previously computed value
+    /// bit-for-bit, so caching never changes results.
     pub fn estimated_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
-        self.model.query_cost(self.catalog(), q, cfg)
+        let cf = fingerprint_config(cfg);
+        self.whatif_cache
+            .get_or_compute(fingerprint_query(q), cf, || {
+                self.model.query_cost(self.catalog(), q, cfg)
+            })
     }
 
-    /// Estimated cost of a workload.
+    /// Estimated cost of a workload (frequency-weighted sum of memoized
+    /// per-query estimates).
     pub fn estimated_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
-        self.model.workload_cost(self.catalog(), w, cfg)
+        let cf = fingerprint_config(cfg);
+        w.iter()
+            .map(|wq| {
+                wq.frequency as f64
+                    * self
+                        .whatif_cache
+                        .get_or_compute(fingerprint_query(&wq.query), cf, || {
+                            self.model.query_cost(self.catalog(), &wq.query, cfg)
+                        })
+            })
+            .sum()
+    }
+
+    /// Hit/miss counters of the what-if cost cache.
+    pub fn whatif_cache_stats(&self) -> CacheStats {
+        self.whatif_cache.stats()
+    }
+
+    /// Enable or disable what-if memoization (benchmarks use this to
+    /// measure the uncached path; results are identical either way).
+    pub fn set_whatif_cache_enabled(&self, on: bool) {
+        self.whatif_cache.set_enabled(on);
+    }
+
+    /// Drop all memoized what-if costs and zero the counters.
+    pub fn clear_whatif_cache(&self) {
+        self.whatif_cache.clear();
     }
 
     /// Relative cost reduction of `cfg` vs no indexes for one query.
@@ -270,6 +310,7 @@ impl DatabaseBuilder {
             model: AnalyticalCostModel::new(),
             storage,
             phys_cache: Mutex::new(HashMap::new()),
+            whatif_cache: CostCache::new(),
             scale: self.scale,
         }
     }

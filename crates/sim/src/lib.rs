@@ -38,7 +38,7 @@ pub mod storage;
 pub mod value;
 pub mod workload;
 
-pub use cost::{AnalyticalCostModel, CostModel, CostParams, WhatIf};
+pub use cost::{AnalyticalCostModel, CacheStats, CostCache, CostModel, CostParams, WhatIf};
 pub use db::{Database, DatabaseBuilder};
 pub use error::{SimError, SimResult};
 pub use index::{Index, IndexConfig};

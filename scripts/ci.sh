@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, rustdoc (warnings denied), clippy
+# (warnings denied). Run before every push; scripts/run_all.sh assumes
+# this is green. All steps are offline (vendored path dependencies).
+#
+# Gates target the pipa packages, not the vendored shims: the vendored
+# crates keep upstream names, so their own test harnesses (e.g. serde's
+# derive-macro self-tests) assume the real crates-io source layout and
+# do not compile standalone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PKGS=(-p pipa -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
+
+echo "== cargo build --release =="
+cargo build --release "${PKGS[@]}"
+
+echo "== cargo test -q =="
+cargo test -q "${PKGS[@]}"
+
+echo "== cargo doc (RUSTDOCFLAGS=-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKGS[@]}"
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --all-targets -q "${PKGS[@]}" -- -D warnings
+
+echo "CI green."

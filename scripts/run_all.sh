@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Regenerate every paper artifact (quick profile). Pass --paper for
-# paper-scale trajectory counts + trained IABART (slower).
+# paper-scale trajectory counts + trained IABART (slower), or
+# --jobs N to parallelize each binary's grid (artifacts are
+# byte-identical across --jobs values; see DESIGN.md).
+# Run scripts/ci.sh first — it gates build/tests/docs/clippy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 EXTRA="${@:-}"

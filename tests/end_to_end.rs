@@ -3,7 +3,7 @@
 
 use pipa::core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa::core::harness::{run_stress_test, StressConfig};
-use pipa::core::injectors::{Injector, TpInjector};
+use pipa::core::injectors::TpInjector;
 use pipa::core::metrics::absolute_degradation;
 use pipa::ia::{
     build_clear_box, AdvisorKind, AutoAdminGreedy, IndexAdvisor, SpeedPreset, TrajectoryMode,

@@ -1,0 +1,258 @@
+//! Offline vendored criterion-lite: a wall-clock micro-benchmark harness
+//! exposing the subset of the criterion 0.5 API this workspace's benches
+//! use (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`).
+//!
+//! Differences from real criterion: no statistical outlier analysis, no
+//! HTML reports, no comparison against saved baselines. Each benchmark
+//! runs a calibrated number of iterations per sample and reports the
+//! median / mean / min sample time. When the `CRITERION_JSON` environment
+//! variable is set, a machine-readable summary of every benchmark in the
+//! process is appended to that path as one JSON object per line.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// lite harness always re-runs setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One benchmark's collected sample times.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Per-iteration time of each sample, nanoseconds.
+    pub sample_ns: Vec<f64>,
+}
+
+impl SampleReport {
+    /// Median per-iteration nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        let mut xs = self.sample_ns.clone();
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    }
+
+    /// Mean per-iteration nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.sample_ns.is_empty() {
+            return 0.0;
+        }
+        self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark and print its summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            report: SampleReport {
+                id: id.to_string(),
+                sample_ns: Vec::new(),
+            },
+        };
+        f(&mut b);
+        let med = b.report.median_ns();
+        println!(
+            "{id:<40} time: [median {} mean {} min {}]",
+            fmt_ns(med),
+            fmt_ns(b.report.mean_ns()),
+            fmt_ns(
+                b.report
+                    .sample_ns
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+            ),
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let line = format!(
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
+                id,
+                med,
+                b.report.mean_ns(),
+                b.report.sample_ns.len()
+            );
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+        self
+    }
+}
+
+/// Measures a single benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Duration,
+    report: SampleReport,
+}
+
+impl Bencher {
+    /// Benchmark a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in one sample slot.
+        let t0 = Instant::now();
+        let mut calibration_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / calibration_iters as f64;
+        let slot_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((slot_ns / per_iter) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.report
+                .sample_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmark a routine whose input is rebuilt by `setup` outside the
+    /// timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.report.sample_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )*
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn report_statistics() {
+        let r = SampleReport {
+            id: "x".into(),
+            sample_ns: vec![3.0, 1.0, 2.0],
+        };
+        assert_eq!(r.median_ns(), 2.0);
+        assert_eq!(r.mean_ns(), 2.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline vendored mini-`proptest`: the subset of the proptest API this
+//! workspace's property tests use, with deterministic ChaCha8-driven
+//! sampling and **no shrinking** (a failing case prints its inputs via
+//! the normal assert message instead).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
+//! * range strategies (`0..4u8`, `-2.0f32..2.0`, …), tuple strategies,
+//!   [`Just`], [`Strategy::prop_map`], [`collection::vec`];
+//! * simple regex-class string strategies like `"[a-z]{1,8}"`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (plain asserts here).
+//!
+//! Each `proptest!` test derives its RNG seed from the test name, so
+//! runs are reproducible and independent of declaration order.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub mod collection;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Test-case generation settings.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies (a seeded ChaCha8 stream).
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic RNG derived from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name picks a stable, per-test stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// A generator of values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+/// String strategy from a miniature regex subset: a sequence of literal
+/// characters or `[a-z0-9_]`-style classes, each optionally quantified
+/// with `{n}`, `{m,n}`, `?`, `+`, or `*` (`+`/`*` capped at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse into (choices, min-reps, max-reps) atoms; panics on unsupported
+/// syntax so misuse fails loudly rather than generating garbage.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        assert!(a <= b, "bad class range in {pat:?}");
+                        set.extend((a..=b).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                assert!(
+                    !"(){}|.*+?^$".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pat:?}"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!choices.is_empty(), "empty class in pattern {pat:?}");
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+/// Assert inside a property test (no shrinking: identical to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs
+/// for `cases` generated inputs (default 64).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            // Strategies are built once; per-case values are drawn from
+            // the shared tuple strategy so expensive setup isn't repeated.
+            let __strategy = ( $($strat,)* );
+            for __case in 0..__cfg.cases {
+                let ( $($pat,)* ) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_strategy_matches_class_and_reps() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0u32..10,
+            y in (0.0f64..1.0).prop_map(|v| v * 2.0),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in crate::collection::vec(0u8..255, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The [`Standard`] distribution and the [`Distribution`] trait (the
+//! subset of `rand::distributions` this workspace uses).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the whole domain
+/// for integers and `bool`, uniform in `[0, 1)` for floats (matching
+/// upstream's bit constructions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, same construction as upstream.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty: $m:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8: next_u32, u16: next_u32, u32: next_u32, u64: next_u64, usize: next_u64,
+    i8: next_u32, i16: next_u32, i32: next_u32, i64: next_u64, isize: next_u64,
+);

@@ -1,0 +1,162 @@
+//! Offline vendored `rand_chacha`: a [`ChaCha8Rng`] built on the real
+//! ChaCha stream cipher with 8 double-rounds, implementing the local
+//! mini-`rand` traits ([`rand::RngCore`], [`rand::SeedableRng`]).
+//!
+//! The keystream is the standard ChaCha block function (as in RFC 8439,
+//! with a 64-bit block counter and 64-bit stream id, like upstream
+//! `rand_chacha`), so the generator has the statistical quality the
+//! experiments assume. `u64` output composes two `u32` draws
+//! low-word-first, matching `rand_core`'s `next_u64_via_u32` helper.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const DOUBLE_ROUNDS: usize = 4; // ChaCha8 = 8 rounds = 4 double-rounds.
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as 8 little-endian words.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// 64-bit stream id (words 14–15); always 0 here, as in upstream's
+    /// `seed_from_u64` construction.
+    stream: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word within `block`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        x[0..4].copy_from_slice(&CONSTANTS);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = self.stream as u32;
+        x[15] = (self.stream >> 32) as u32;
+        let input = x;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input) {
+            *o = o.wrapping_add(i);
+        }
+        self.block = x;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let b = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(va, (0..16).map(|_| c.next_u64()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let _ = a.next_u32(); // mid-block
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chacha_block_matches_reference_structure() {
+        // The all-zero key/counter block of ChaCha8 must differ from the
+        // input constants (sanity that rounds actually ran) and be stable.
+        let mut r = ChaCha8Rng::from_seed([0u8; 32]);
+        let first = r.next_u32();
+        assert_ne!(first, CONSTANTS[0]);
+        let mut r2 = ChaCha8Rng::from_seed([0u8; 32]);
+        assert_eq!(first, r2.next_u32());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

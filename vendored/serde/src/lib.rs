@@ -1,0 +1,243 @@
+//! Offline vendored mini-`serde`: the [`Serialize`] trait, a JSON-shaped
+//! [`Value`] tree, and impls for the std types this workspace serializes.
+//!
+//! Unlike real serde there is no `Serializer` abstraction: `Serialize`
+//! produces a [`Value`] directly and the local `serde_json` crate renders
+//! it. The `#[derive(Serialize)]` macro (re-exported from the vendored
+//! `serde_derive`) emits field-name/value objects exactly like upstream's
+//! default struct representation.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64` seeds round-trip).
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved (like serde_json with
+    /// `preserve_order`), keeping artifact diffs stable.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (upstream HashMap iteration
+        // order is arbitrary; sorted keys keep artifacts diffable).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u64.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(String::from("a"), vec![1.0f64])].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Array(vec![
+                Value::Str("a".into()),
+                Value::Array(vec![Value::Float(1.0)]),
+            ])])
+        );
+    }
+
+    #[test]
+    fn derive_on_struct_emits_ordered_object() {
+        #[derive(Serialize)]
+        struct S {
+            first: u32,
+            second: String,
+        }
+        let v = S {
+            first: 1,
+            second: "two".into(),
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("first".into(), Value::UInt(1)),
+                ("second".into(), Value::Str("two".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_on_generic_struct() {
+        #[derive(Serialize)]
+        struct Wrap<T: Serialize> {
+            inner: T,
+        }
+        let v = Wrap { inner: vec![1u8] }.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![("inner".into(), Value::Array(vec![Value::UInt(1)]))])
+        );
+    }
+
+    #[test]
+    fn derive_on_unit_enum() {
+        #[derive(Serialize)]
+        enum E {
+            Alpha,
+            Beta,
+        }
+        assert_eq!(E::Alpha.to_value(), Value::Str("Alpha".into()));
+        assert_eq!(E::Beta.to_value(), Value::Str("Beta".into()));
+    }
+}

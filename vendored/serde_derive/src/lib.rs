@@ -1,0 +1,230 @@
+//! Offline vendored `#[derive(Serialize)]` for the local mini-`serde`.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields (optionally generic, e.g.
+//!   `struct Artifact<T: Serialize> { ... }`);
+//! * enums with unit variants (serialized as their name, as upstream
+//!   serde does).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (see crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("derive(Serialize): expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Optional generics: capture everything between the outer < >.
+    let mut generics = String::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let start = i;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        generics = tokens[start..i]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+    }
+    let param_names = generic_param_names(&generics);
+    let ty = if param_names.is_empty() {
+        name.clone()
+    } else {
+        format!("{name}<{}>", param_names.join(", "))
+    };
+
+    // Skip any where-clause, find the body brace group.
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize): no body on {name}"));
+
+    let to_value = if kind == "struct" {
+        let fields = named_fields(body);
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}))"
+                )
+            })
+            .collect();
+        format!(
+            "::serde::Value::Object(::std::vec![{}])",
+            entries.join(", ")
+        )
+    } else {
+        let variants = unit_variants(body, &name);
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                format!(
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                )
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join(", "))
+    };
+
+    format!(
+        "impl {generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {to_value} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl parses")
+}
+
+/// Skip leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // '#' + [group]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Names of named struct fields: `attr* vis? name : type ,`.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip to the top-level comma ending this field's type.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-only enum; panics on payload variants.
+fn unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "derive(Serialize) on {enum_name}: payload variants are not supported \
+                 by the vendored mini-serde"
+            ),
+            Some(other) => panic!("derive(Serialize) on {enum_name}: unexpected {other}"),
+        }
+    }
+    variants
+}
+
+/// Extract the bare parameter names from a captured generics list,
+/// e.g. `< T : Serialize , U >` → `["T", "U"]`.
+fn generic_param_names(generics: &str) -> Vec<String> {
+    if generics.is_empty() {
+        return Vec::new();
+    }
+    let inner = generics
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>');
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for part in split_top_level_commas(inner, &mut depth) {
+        let first = part
+            .split(|c: char| c == ':' || c.is_whitespace())
+            .find(|s| !s.is_empty());
+        if let Some(n) = first {
+            names.push(n.to_string());
+        }
+    }
+    names
+}
+
+fn split_top_level_commas(s: &str, depth: &mut i32) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                *depth += 1;
+                cur.push(c);
+            }
+            '>' | ')' | ']' => {
+                *depth -= 1;
+                cur.push(c);
+            }
+            ',' if *depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}

@@ -1,0 +1,178 @@
+//! Offline vendored mini-`serde_json`: renders the mini-`serde`
+//! [`Value`] tree as JSON text, compact or pretty (2-space indent,
+//! matching upstream's `to_string_pretty` layout so existing
+//! `results/*.json` artifacts keep their shape).
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error (the mini-serde `Value` tree is total, so errors
+/// never actually occur; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON with 2-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => out.push_str(&format_f64(*x)),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                write_value(out, item, indent, depth + 1);
+            }
+        }),
+        Value::Object(entries) => {
+            write_seq(out, indent, depth, entries.is_empty(), '{', '}', |out| {
+                for (i, (k, item)) in entries.iter().enumerate() {
+                    sep(out, indent, depth + 1, i > 0);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, item, indent, depth + 1);
+                }
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if empty {
+        out.push(close);
+        return;
+    }
+    body(out);
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+/// JSON float formatting: finite whole numbers keep a trailing `.0`
+/// (like upstream's ryu output), non-finite values become `null` (the
+/// closest JSON-legal rendering; upstream errors instead).
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e16 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Float(0.5), Value::Null])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(to_string(&W(v)).unwrap(), r#"{"a":1,"b":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_uses_two_space_indent() {
+        struct W;
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(1)]))])
+            }
+        }
+        assert_eq!(
+            to_string_pretty(&W).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero_like_upstream() {
+        assert_eq!(format_f64(1.0), "1.0");
+        assert_eq!(format_f64(-2.0), "-2.0");
+        assert_eq!(format_f64(0.125), "0.125");
+        assert_eq!(format_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}
