@@ -15,9 +15,10 @@ use pipa_bench::cli::ExpArgs;
 use pipa_core::defense::{stress_with_canary, ProvenanceFilter};
 use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
 use pipa_core::metrics::{absolute_degradation, Stats};
+use pipa_core::par_map_traced;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map};
-use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,16 +46,39 @@ fn main() {
     );
 
     let runs: Vec<u64> = (0..args.runs as u64).collect();
+    let trace_out = args.trace_outputs();
+    let ctx = |victim: AdvisorKind, defense: &'static str| {
+        let args = &args;
+        move |_: usize, run: &u64| {
+            CellCtx::new(args.cell_seed(*run).get())
+                .field("advisor", victim.label())
+                .field("defense", defense)
+                .field("run", *run)
+        }
+    };
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for victim in victims {
         // No defense.
-        let ads = par_map(args.jobs, runs.clone(), |_, run| {
-            let seed = derive_seed(args.seed, run);
-            let normal = normal_workload(&cfg, seed);
-            pipa_core::experiment::run_cell(&db, &normal, victim, InjectorKind::Pipa, &cfg, seed)
+        let ads = par_map_traced(
+            args.jobs,
+            runs.clone(),
+            &trace_out,
+            ctx(victim, "none"),
+            |_, run| {
+                let seed = args.cell_seed(run);
+                let normal = normal_workload(&cfg, seed.get());
+                pipa_core::experiment::run_cell(
+                    &db,
+                    &normal,
+                    victim,
+                    InjectorKind::Pipa,
+                    &cfg,
+                    seed,
+                )
                 .ad
-        });
+            },
+        );
         let s = Stats::from_samples(&ads);
         rows.push(vec![
             victim.label(),
@@ -70,22 +94,28 @@ fn main() {
         });
 
         // Canary guard at two tolerances.
-        for tol in [0.02, 0.10] {
-            let outs = par_map(args.jobs, runs.clone(), |_, run| {
-                let seed = derive_seed(args.seed, run);
-                let normal = normal_workload(&cfg, seed);
-                let mut advisor = build_clear_box(victim, cfg.preset, seed);
-                let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
-                stress_with_canary(
-                    advisor.as_mut(),
-                    injector.as_mut(),
-                    &db,
-                    &normal,
-                    cfg.injection_size,
-                    tol,
-                    seed,
-                )
-            });
+        for (tol, tol_label) in [(0.02, "canary_2pct"), (0.10, "canary_10pct")] {
+            let outs = par_map_traced(
+                args.jobs,
+                runs.clone(),
+                &trace_out,
+                ctx(victim, tol_label),
+                |_, run| {
+                    let seed = args.cell_seed(run);
+                    let normal = normal_workload(&cfg, seed.get());
+                    let mut advisor = victim.build(cfg.preset, seed.get());
+                    let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
+                    stress_with_canary(
+                        advisor.as_mut(),
+                        injector.as_mut(),
+                        &db,
+                        &normal,
+                        cfg.injection_size,
+                        tol,
+                        seed.get(),
+                    )
+                },
+            );
             let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();
             let rollbacks: usize = outs.iter().map(|(_, rb)| usize::from(*rb)).sum();
             let s = Stats::from_samples(&ads);
@@ -104,23 +134,33 @@ fn main() {
         }
 
         // Provenance screening.
-        let outs = par_map(args.jobs, runs.clone(), |_, run| {
-            let seed = derive_seed(args.seed, run);
-            let normal = normal_workload(&cfg, seed);
-            let mut advisor = build_clear_box(victim, cfg.preset, seed);
-            advisor.train(&db, &normal);
-            let clean = advisor.recommend(&db, &normal);
-            let baseline = db.actual_workload_cost(&normal, &clean);
-            let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
-            let injection = injector.build(advisor.as_mut(), &db, cfg.injection_size, seed);
-            let training = normal.union(&injection);
-            let (screened, dropped) =
-                ProvenanceFilter::default().screen(&normal, &training, db.schema().num_columns());
-            advisor.retrain(&db, &screened);
-            let poisoned = advisor.recommend(&db, &normal);
-            let cost = db.actual_workload_cost(&normal, &poisoned);
-            (absolute_degradation(cost, baseline), dropped)
-        });
+        let outs = par_map_traced(
+            args.jobs,
+            runs.clone(),
+            &trace_out,
+            ctx(victim, "provenance"),
+            |_, run| {
+                let seed = args.cell_seed(run);
+                let normal = normal_workload(&cfg, seed.get());
+                let mut advisor = victim.build(cfg.preset, seed.get());
+                advisor.train(&db, &normal);
+                let clean = advisor.recommend(&db, &normal);
+                let baseline = db.actual_workload_cost(&normal, &clean);
+                let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
+                let injection =
+                    injector.build(advisor.as_mut(), &db, cfg.injection_size, seed.get());
+                let training = normal.union(&injection);
+                let (screened, dropped) = ProvenanceFilter::default().screen(
+                    &normal,
+                    &training,
+                    db.schema().num_columns(),
+                );
+                advisor.retrain(&db, &screened);
+                let poisoned = advisor.recommend(&db, &normal);
+                let cost = db.actual_workload_cost(&normal, &poisoned);
+                (absolute_degradation(cost, baseline), dropped)
+            },
+        );
         let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();
         let dropped_total: usize = outs.iter().map(|(_, d)| *d).sum();
         let s = Stats::from_samples(&ads);
@@ -138,6 +178,7 @@ fn main() {
         });
     }
 
+    args.finish_trace(&trace_out, &db);
     println!(
         "{}",
         render_table(&["advisor", "defense", "mean AD", "actions"], &rows)

@@ -13,11 +13,12 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, GenBackend};
-use pipa_core::harness::{run_stress_test, StressConfig};
+use pipa_core::harness::StressTest;
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map, InjectConfig, ProbeConfig, TargetedInjector};
-use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use pipa_core::{par_map_traced, InjectConfig, ProbeConfig, TargetedInjector};
+use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::{CellCtx, TraceOutputs};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,49 +28,60 @@ struct Row {
     std_ad: f64,
 }
 
+/// One ablation arm: the trace label plus the two design knobs it flips.
+struct Variant {
+    label: &'static str,
+    filter_on: bool,
+    unit_frequencies: bool,
+}
+
 fn run_variant(
     args: &ExpArgs,
     cfg: &pipa_core::CellConfig,
     db: &pipa_sim::Database,
+    out: &TraceOutputs,
     backend: &GenBackend,
-    filter_on: bool,
-    unit_frequencies: bool,
+    variant: Variant,
 ) -> Stats {
     let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
     let runs: Vec<u64> = (0..args.runs as u64).collect();
-    let ads = par_map(args.jobs, runs, |_, run| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(cfg, seed);
-        let mut advisor = build_clear_box(victim, cfg.preset, seed);
-        let mut injector = TargetedInjector::pipa(backend.generator(seed));
-        injector.probe_cfg = ProbeConfig {
-            epochs: cfg.probe_epochs,
-            queries_per_epoch: cfg.benchmark.default_workload_size(),
-            seed,
-            ..Default::default()
-        };
-        injector.inject_cfg = InjectConfig {
-            // Disabling the filter: accept every generated query by
-            // making the attempt budget exactly one pass and skipping the
-            // cost check via a zero-wide segment trick is intrusive, so
-            // the config exposes it directly.
-            skip_toxicity_filter: !filter_on,
-            unit_frequencies,
-            ..InjectConfig::default()
-        };
-        run_stress_test(
-            advisor.as_mut(),
-            &mut injector,
-            db,
-            &normal,
-            &StressConfig {
-                injection_size: cfg.injection_size,
-                use_actual_cost: cfg.materialize.is_some(),
-                seed,
-            },
-        )
-        .ad
-    });
+    let ads = par_map_traced(
+        args.jobs,
+        runs,
+        out,
+        |_, &run| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("variant", variant.label)
+                .field("run", run)
+        },
+        |_, run| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(cfg, seed.get());
+            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut injector = TargetedInjector::pipa(backend.generator(seed.get()));
+            injector.probe_cfg = ProbeConfig {
+                epochs: cfg.probe_epochs,
+                queries_per_epoch: cfg.benchmark.default_workload_size(),
+                seed: seed.get(),
+                ..Default::default()
+            };
+            injector.inject_cfg = InjectConfig {
+                // Disabling the filter: accept every generated query by
+                // making the attempt budget exactly one pass and skipping the
+                // cost check via a zero-wide segment trick is intrusive, so
+                // the config exposes it directly.
+                skip_toxicity_filter: !variant.filter_on,
+                unit_frequencies: variant.unit_frequencies,
+                ..InjectConfig::default()
+            };
+            StressTest::new(db, &normal)
+                .injection_size(cfg.injection_size)
+                .actual_cost(cfg.materialize.is_some())
+                .seed(seed)
+                .run(advisor.as_mut(), &mut injector)
+                .ad
+        },
+    );
     Stats::from_samples(&ads)
 }
 
@@ -101,11 +113,17 @@ fn main() {
         });
     };
 
-    let full = run_variant(&args, &cfg, &db, &st, true, false);
+    let out = args.trace_outputs();
+    let variant = |label, filter_on, unit_frequencies| Variant {
+        label,
+        filter_on,
+        unit_frequencies,
+    };
+    let full = run_variant(&args, &cfg, &db, &out, &st, variant("full", true, false));
     record("PIPA (full)", full, &mut rows, &mut payload);
-    let nofilter = run_variant(&args, &cfg, &db, &st, false, false);
+    let nofilter = run_variant(&args, &cfg, &db, &out, &st, variant("no_filter", false, false));
     record("w/o toxicity filter", nofilter, &mut rows, &mut payload);
-    let unitfreq = run_variant(&args, &cfg, &db, &st, true, true);
+    let unitfreq = run_variant(&args, &cfg, &db, &out, &st, variant("unit_freq", true, true));
     record(
         "unit injection frequencies",
         unitfreq,
@@ -115,11 +133,12 @@ fn main() {
 
     if args.use_iabart {
         let iabart = cfg.backend.clone();
-        let s = run_variant(&args, &cfg, &db, &iabart, true, false);
+        let s = run_variant(&args, &cfg, &db, &out, &iabart, variant("iabart", true, false));
         record("IABART generator", s, &mut rows, &mut payload);
     } else {
         eprintln!("[ablation] pass --iabart to include the IABART-generator variant");
     }
+    args.finish_trace(&out, &db);
 
     println!("{}", render_table(&["variant", "mean AD", "std"], &rows));
     println!(

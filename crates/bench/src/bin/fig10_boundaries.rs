@@ -13,13 +13,14 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload};
-use pipa_core::harness::{run_stress_test, StressConfig};
+use pipa_core::harness::StressTest;
 use pipa_core::metrics::Stats;
+use pipa_core::par_map_traced;
 use pipa_core::preference::SegmentConfig;
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
-use pipa_core::{derive_seed, par_map};
-use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::{CellCtx, TraceOutputs};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,30 +35,44 @@ fn run_with_segment(
     args: &ExpArgs,
     cfg: &pipa_core::CellConfig,
     db: &pipa_sim::Database,
+    out: &TraceOutputs,
+    panel: &'static str,
+    x: f64,
     seg: SegmentConfig,
 ) -> Stats {
     let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
     let runs: Vec<u64> = (0..args.runs as u64).collect();
-    let ads = par_map(args.jobs, runs, |_, run| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(cfg, seed);
-        let mut advisor = build_clear_box(victim, cfg.preset, seed);
-        // Rebuild the PIPA injector with the custom segmentation.
-        let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
-        injector.probe_cfg = pipa_core::ProbeConfig {
-            epochs: cfg.probe_epochs,
-            queries_per_epoch: cfg.benchmark.default_workload_size(),
-            seed,
-            ..Default::default()
-        };
-        injector.segment_cfg = seg;
-        let scfg = StressConfig {
-            injection_size: cfg.injection_size,
-            use_actual_cost: cfg.materialize.is_some(),
-            seed,
-        };
-        run_stress_test(advisor.as_mut(), &mut injector, db, &normal, &scfg).ad
-    });
+    let ads = par_map_traced(
+        args.jobs,
+        runs,
+        out,
+        |_, &run| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("panel", panel)
+                .field("x", x)
+                .field("run", run)
+        },
+        |_, run| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(cfg, seed.get());
+            let mut advisor = victim.build(cfg.preset, seed.get());
+            // Rebuild the PIPA injector with the custom segmentation.
+            let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed.get()));
+            injector.probe_cfg = pipa_core::ProbeConfig {
+                epochs: cfg.probe_epochs,
+                queries_per_epoch: cfg.benchmark.default_workload_size(),
+                seed: seed.get(),
+                ..Default::default()
+            };
+            injector.segment_cfg = seg;
+            StressTest::new(db, &normal)
+                .injection_size(cfg.injection_size)
+                .actual_cost(cfg.materialize.is_some())
+                .seed(seed)
+                .run(advisor.as_mut(), &mut injector)
+                .ad
+        },
+    );
     Stats::from_samples(&ads)
 }
 
@@ -66,6 +81,7 @@ fn main() {
     let cfg = args.cell_config();
     let db = build_db(&cfg);
     let l = db.schema().num_columns() as f64;
+    let out = args.trace_outputs();
     let mut points = Vec::new();
 
     // Panel (a): fixed mid length 4, sweep the start point.
@@ -76,6 +92,9 @@ fn main() {
             &args,
             &cfg,
             &db,
+            &out,
+            "a",
+            start as f64,
             SegmentConfig {
                 fixed_start: Some(start),
                 fixed_len: Some(4),
@@ -105,6 +124,9 @@ fn main() {
             &args,
             &cfg,
             &db,
+            &out,
+            "b",
+            frac,
             SegmentConfig {
                 mid_end_fraction: frac,
                 ..Default::default()
@@ -130,6 +152,7 @@ fn main() {
          dilute the target segment."
     );
 
+    args.finish_trace(&out, &db);
     let artifact = ExperimentArtifact {
         id: "fig10_boundaries".to_string(),
         description: "Target-segment boundary sweeps".to_string(),

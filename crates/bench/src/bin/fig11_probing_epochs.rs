@@ -14,8 +14,9 @@ use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map};
+use pipa_core::par_map_traced;
 use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 const EPOCHS: [usize; 6] = [0, 1, 2, 4, 8, 16];
@@ -54,19 +55,32 @@ fn main() {
             (0..EPOCHS.len()).flat_map(move |pi| (0..args.runs as u64).map(move |r| (v, pi, r)))
         })
         .collect();
-    let outs = par_map(args.jobs, grid, |_, (victim, pi, run)| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(&cfg, seed);
-        let out = run_cell(
-            &db,
-            &normal,
-            victim,
-            InjectorKind::Pipa,
-            &epoch_cfgs[pi],
-            seed,
-        );
-        (victim, pi, out.ad)
-    });
+    let out = args.trace_outputs();
+    let outs = par_map_traced(
+        args.jobs,
+        grid,
+        &out,
+        |_, &(victim, pi, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("advisor", victim.label())
+                .field("probe_epochs", EPOCHS[pi])
+                .field("run", run)
+        },
+        |_, (victim, pi, run)| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            let out = run_cell(
+                &db,
+                &normal,
+                victim,
+                InjectorKind::Pipa,
+                &epoch_cfgs[pi],
+                seed,
+            );
+            (victim, pi, out.ad)
+        },
+    );
+    args.finish_trace(&out, &db);
 
     let mut points = Vec::new();
     let mut rows = Vec::new();

@@ -15,14 +15,15 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, InjectorKind};
-use pipa_core::harness::{run_stress_test, StressConfig};
+use pipa_core::harness::StressTest;
 use pipa_core::metrics::Stats;
+use pipa_core::par_map_traced;
 use pipa_core::preference::{segment, SegmentConfig};
 use pipa_core::probe::{probe, ProbeConfig};
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
-use pipa_core::{derive_seed, par_map};
-use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 const ALPHAS: [f64; 6] = [0.01, 0.05, 0.1, 0.5, 1.0, 10.0];
@@ -55,26 +56,37 @@ fn main() {
     let grid: Vec<(usize, u64)> = (0..ALPHAS.len())
         .flat_map(|ai| (0..args.runs as u64).map(move |r| (ai, r)))
         .collect();
-    let alpha_outs = par_map(args.jobs, grid, |_, (ai, run)| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(&cfg, seed);
-        let mut advisor = build_clear_box(victim, cfg.preset, seed);
-        let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed));
-        injector.probe_cfg = ProbeConfig {
-            epochs: cfg.probe_epochs,
-            queries_per_epoch: cfg.benchmark.default_workload_size(),
-            alpha: ALPHAS[ai],
-            seed,
-            ..Default::default()
-        };
-        let scfg = StressConfig {
-            injection_size: cfg.injection_size,
-            use_actual_cost: cfg.materialize.is_some(),
-            seed,
-        };
-        let out = run_stress_test(advisor.as_mut(), &mut injector, &db, &normal, &scfg);
-        (ai, out.ad)
-    });
+    let trace_out = args.trace_outputs();
+    let alpha_outs = par_map_traced(
+        args.jobs,
+        grid,
+        &trace_out,
+        |_, &(ai, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("panel", "a")
+                .field("alpha", ALPHAS[ai])
+                .field("run", run)
+        },
+        |_, (ai, run)| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed.get()));
+            injector.probe_cfg = ProbeConfig {
+                epochs: cfg.probe_epochs,
+                queries_per_epoch: cfg.benchmark.default_workload_size(),
+                alpha: ALPHAS[ai],
+                seed: seed.get(),
+                ..Default::default()
+            };
+            let out = StressTest::new(&db, &normal)
+                .injection_size(cfg.injection_size)
+                .actual_cost(cfg.materialize.is_some())
+                .seed(seed)
+                .run(advisor.as_mut(), &mut injector);
+            (ai, out.ad)
+        },
+    );
     let mut alpha_points = Vec::new();
     let mut rows = Vec::new();
     for (ai, &alpha) in ALPHAS.iter().enumerate() {
@@ -106,31 +118,40 @@ fn main() {
     let grid: Vec<(usize, u64)> = (0..BETA_IS.len())
         .flat_map(|bi| (0..args.runs as u64).map(move |r| (bi, r)))
         .collect();
-    let beta_outs = par_map(args.jobs, grid, |_, (bi, run)| {
-        let beta_i = BETA_IS[bi];
-        {
-            let seed = derive_seed(args.seed, run);
-            let normal = normal_workload(&cfg, seed);
-            let mut advisor = build_clear_box(victim, cfg.preset, seed);
+    let beta_outs = par_map_traced(
+        args.jobs,
+        grid,
+        &trace_out,
+        |_, &(bi, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("panel", "b")
+                .field("beta_i", BETA_IS[bi])
+                .field("run", run)
+        },
+        |_, (bi, run)| {
+            let beta_i = BETA_IS[bi];
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            let mut advisor = victim.build(cfg.preset, seed.get());
             advisor.train(&db, &normal);
             let reference = {
-                let mut gen = cfg.backend.generator(seed);
+                let mut gen = cfg.backend.generator(seed.get());
                 let pcfg = ProbeConfig {
                     epochs: cfg.probe_epochs,
                     queries_per_epoch: cfg.benchmark.default_workload_size(),
                     beta_i: 1000.0,
-                    seed,
+                    seed: seed.get(),
                     ..Default::default()
                 };
                 probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
             };
             let res = {
-                let mut gen = cfg.backend.generator(seed);
+                let mut gen = cfg.backend.generator(seed.get());
                 let pcfg = ProbeConfig {
                     epochs: cfg.probe_epochs,
                     queries_per_epoch: cfg.benchmark.default_workload_size(),
                     beta_i,
-                    seed,
+                    seed: seed.get(),
                     ..Default::default()
                 };
                 probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
@@ -165,8 +186,9 @@ fn main() {
                 .filter(|&c| seg_of(&seg_a, c) != seg_of(&seg_b, c))
                 .count();
             (bi, converged_at as f64, mismatches as f64 / l as f64)
-        }
-    });
+        },
+    );
+    args.finish_trace(&trace_out, &db);
     for (bi, &beta_i) in BETA_IS.iter().enumerate() {
         let conv: Vec<f64> = beta_outs
             .iter()

@@ -14,9 +14,10 @@
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, run_cell, InjectorKind};
 use pipa_core::metrics::Stats;
+use pipa_core::par_map_traced;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map};
 use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::CellCtx;
 
 fn main() {
     let args = ExpArgs::parse(3);
@@ -36,11 +37,23 @@ fn main() {
         .iter()
         .flat_map(|&k| (0..args.runs as u64).map(move |r| (k, r)))
         .collect();
-    let outs = par_map(args.jobs, grid, |_, (kind, run)| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(&cfg, seed);
-        (kind, run_cell(&db, &normal, victim, kind, &cell_cfg, seed).ad)
-    });
+    let out = args.trace_outputs();
+    let outs = par_map_traced(
+        args.jobs,
+        grid,
+        &out,
+        |_, &(kind, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("injector", kind.label())
+                .field("run", run)
+        },
+        |_, (kind, run)| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            (kind, run_cell(&db, &normal, victim, kind, &cell_cfg, seed).ad)
+        },
+    );
+    args.finish_trace(&out, &db);
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();

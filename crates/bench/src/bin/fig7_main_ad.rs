@@ -14,7 +14,7 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, run_grid, GridSpec, InjectorKind};
+use pipa_core::experiment::{build_db, run_grid_traced, GridSpec, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{format_stats, render_table, ExperimentArtifact};
 use pipa_ia::AdvisorKind;
@@ -45,15 +45,17 @@ fn main() {
     // One grid over the full cross product; cells run on `--jobs` workers
     // and come back in spec order with per-run derived seeds.
     let spec = GridSpec::new(
-        AdvisorKind::all_seven(),
+        AdvisorKind::all(),
         InjectorKind::all(),
         args.runs as u64,
         args.seed,
     );
-    let outcomes = run_grid(&db, &cfg, &spec, args.jobs);
+    let out = args.trace_outputs();
+    let outcomes = run_grid_traced(&db, &cfg, &spec, args.jobs, &out);
+    args.finish_trace(&out, &db);
 
     let mut cells: Vec<Cell> = Vec::new();
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let mut rows = Vec::new();
         for injector in InjectorKind::all() {
             let ads: Vec<f64> = outcomes
@@ -81,7 +83,7 @@ fn main() {
 
     // Shape summary.
     println!("\nShape summary:");
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let label = advisor.label();
         let get = |inj: &str| {
             cells

@@ -13,9 +13,11 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
-use pipa_core::par_map;
+use pipa_core::par_map_traced;
 use pipa_core::report::ExperimentArtifact;
-use pipa_ia::{build_clear_box, AdvisorKind, TrajectoryMode};
+use pipa_core::CellSeed;
+use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -66,12 +68,23 @@ fn main() {
                 .map(move |inj| (panel, kind, inj))
         })
         .collect();
-    let cells = par_map(args.jobs, grid, |_, (panel, kind, injector_kind)| {
-        let mut advisor = build_clear_box(kind, cfg.preset, args.seed);
+    let out = args.trace_outputs();
+    let cells = par_map_traced(
+        args.jobs,
+        grid,
+        &out,
+        |_, &(panel, kind, injector_kind)| {
+            CellCtx::new(args.seed)
+                .field("panel", panel)
+                .field("advisor", kind.label())
+                .field("injector", injector_kind.label())
+        },
+        |_, (panel, kind, injector_kind)| {
+        let mut advisor = kind.build(cfg.preset, args.seed);
         advisor.train(&db, &normal);
         let clean = advisor.recommend(&db, &normal);
         let clean_benefit = db.workload_benefit(&normal, &clean);
-        let mut injector = make_injector(injector_kind, &cfg, args.seed);
+        let mut injector = make_injector(injector_kind, &cfg, CellSeed::raw(args.seed));
         let inj = injector.build(advisor.as_mut(), &db, cfg.injection_size, args.seed);
         advisor.retrain(&db, &normal.union(&inj));
         let poisoned = advisor.recommend(&db, &normal);
@@ -90,7 +103,9 @@ fn main() {
             poisoned_benefit,
             retrained_benefit,
         }
-    });
+        },
+    );
+    args.finish_trace(&out, &db);
     for c in cells {
         match c.retrained_benefit {
             None => println!(

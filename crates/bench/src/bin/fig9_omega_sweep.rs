@@ -17,8 +17,9 @@ use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map};
+use pipa_core::par_map_traced;
 use pipa_ia::AdvisorKind;
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 /// Poisoning proportions (paper: {0.01, 0.1, 1, 10, 100}; the two largest
@@ -56,29 +57,42 @@ fn main() {
             c
         })
         .collect();
-    let grid: Vec<(AdvisorKind, usize, u64)> = AdvisorKind::all_seven()
+    let grid: Vec<(AdvisorKind, usize, u64)> = AdvisorKind::all()
         .into_iter()
         .flat_map(|a| {
             (0..OMEGAS.len()).flat_map(move |oi| (0..args.runs as u64).map(move |r| (a, oi, r)))
         })
         .collect();
-    let outs = par_map(args.jobs, grid, |_, (advisor, oi, run)| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(&cfg, seed);
-        let out = run_cell(
-            &db,
-            &normal,
-            advisor,
-            InjectorKind::Pipa,
-            &omega_cfgs[oi],
-            seed,
-        );
-        (advisor, oi, out.ad)
-    });
+    let out = args.trace_outputs();
+    let outs = par_map_traced(
+        args.jobs,
+        grid,
+        &out,
+        |_, &(advisor, oi, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("advisor", advisor.label())
+                .field("omega", OMEGAS[oi])
+                .field("run", run)
+        },
+        |_, (advisor, oi, run)| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            let out = run_cell(
+                &db,
+                &normal,
+                advisor,
+                InjectorKind::Pipa,
+                &omega_cfgs[oi],
+                seed,
+            );
+            (advisor, oi, out.ad)
+        },
+    );
+    args.finish_trace(&out, &db);
 
     let mut cells = Vec::new();
     let mut rows = Vec::new();
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let mut row = vec![advisor.label()];
         for (oi, &omega) in OMEGAS.iter().enumerate() {
             let ads: Vec<f64> = outs
@@ -106,7 +120,7 @@ fn main() {
     println!("{}", render_table(&headers_ref, &rows));
 
     // Shape: monotone-ish growth per advisor.
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let label = advisor.label();
         let series: Vec<f64> = OMEGAS
             .iter()

@@ -10,7 +10,7 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::experiment::{build_db, run_grid, GridSpec, InjectorKind};
+use pipa_core::experiment::{build_db, run_grid_traced, GridSpec, InjectorKind};
 use pipa_core::metrics::{relative_degradation, Stats};
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_ia::AdvisorKind;
@@ -46,16 +46,18 @@ fn main() {
             .filter(|k| k.is_random_baseline()),
     );
     let spec = GridSpec::new(
-        AdvisorKind::all_seven(),
+        AdvisorKind::all(),
         injectors,
         args.runs as u64,
         args.seed,
     );
-    let outcomes = run_grid(&db, &cfg, &spec, args.jobs);
+    let out = args.trace_outputs();
+    let outcomes = run_grid_traced(&db, &cfg, &spec, args.jobs, &out);
+    args.finish_trace(&out, &db);
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let ads = |want_pipa: bool| -> Vec<f64> {
             outcomes
                 .iter()

@@ -13,8 +13,9 @@ use pipa_bench::cli::ExpArgs;
 use pipa_core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa_core::metrics::{relative_degradation, Stats};
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_core::{derive_seed, par_map};
+use pipa_core::par_map_traced;
 use pipa_ia::AdvisorKind;
+use pipa_obs::CellCtx;
 use serde::Serialize;
 
 const OMEGAS: [f64; 4] = [0.05, 0.25, 1.0, 4.0];
@@ -53,7 +54,7 @@ fn main() {
         .collect();
     // Tuples (advisor, ω index, injector, run); PIPA and the FSM baseline
     // share each run's seed (and thus normal workload) for RD pairing.
-    let grid: Vec<(AdvisorKind, usize, InjectorKind, u64)> = AdvisorKind::all_seven()
+    let grid: Vec<(AdvisorKind, usize, InjectorKind, u64)> = AdvisorKind::all()
         .into_iter()
         .flat_map(|a| {
             (0..OMEGAS.len()).flat_map(move |oi| {
@@ -63,16 +64,30 @@ fn main() {
             })
         })
         .collect();
-    let outs = par_map(args.jobs, grid, |_, (advisor, oi, inj, run)| {
-        let seed = derive_seed(args.seed, run);
-        let normal = normal_workload(&cfg, seed);
-        let out = run_cell(&db, &normal, advisor, inj, &omega_cfgs[oi], seed);
-        (advisor, oi, inj, out.ad)
-    });
+    let out = args.trace_outputs();
+    let outs = par_map_traced(
+        args.jobs,
+        grid,
+        &out,
+        |_, &(advisor, oi, inj, run)| {
+            CellCtx::new(args.cell_seed(run).get())
+                .field("advisor", advisor.label())
+                .field("injector", inj.label())
+                .field("omega", OMEGAS[oi])
+                .field("run", run)
+        },
+        |_, (advisor, oi, inj, run)| {
+            let seed = args.cell_seed(run);
+            let normal = normal_workload(&cfg, seed.get());
+            let out = run_cell(&db, &normal, advisor, inj, &omega_cfgs[oi], seed);
+            (advisor, oi, inj, out.ad)
+        },
+    );
+    args.finish_trace(&out, &db);
 
     let mut cells = Vec::new();
     let mut rows = Vec::new();
-    for advisor in AdvisorKind::all_seven() {
+    for advisor in AdvisorKind::all() {
         let mut row = vec![advisor.label()];
         for (oi, &omega) in OMEGAS.iter().enumerate() {
             let mean_ad = |want: InjectorKind| -> f64 {

@@ -13,8 +13,9 @@
 //! ```
 
 use pipa_bench::cli::ExpArgs;
-use pipa_core::par_map;
+use pipa_core::par_map_traced;
 use pipa_core::report::{render_table, ExperimentArtifact};
+use pipa_obs::CellCtx;
 use pipa_ia::SpeedPreset;
 use pipa_qgen::{
     build_corpus, evaluate_generator, DtGenerator, FsmGenerator, GenQuality, Iabart, IabartConfig,
@@ -76,7 +77,13 @@ fn main() {
         "IABART",
     ];
     let eval_rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xe7a1);
-    let qualities = par_map(args.jobs, (0..METHODS.len()).collect(), |_, vi| {
+    let trace_out = args.trace_outputs();
+    let qualities = par_map_traced(
+        args.jobs,
+        (0..METHODS.len()).collect(),
+        &trace_out,
+        |_, &vi| CellCtx::new(args.seed).field("method", METHODS[vi]),
+        |_, vi| {
         let mut rng = eval_rng.clone();
         let mut gen: Box<dyn QueryGenerator> = match vi {
             0 => Box::new(StGenerator::new(args.seed)),
@@ -102,7 +109,9 @@ fn main() {
             _ => Box::new(train_variant(ProgressiveTasks::default())),
         };
         evaluate_generator_dyn(gen.as_mut(), &db, n_tests, k_targets, &mut rng)
-    });
+        },
+    );
+    args.finish_trace(&trace_out, &db);
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Vec::new();

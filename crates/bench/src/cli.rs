@@ -13,10 +13,17 @@
 //! * `--actual` — materialize data and measure actual executed costs;
 //! * `--jobs N` — worker threads for independent cells (0 = all cores,
 //!   default 1; results are bit-identical for every N);
-//! * `--out DIR` — write a JSON artifact (default `results/`).
+//! * `--out DIR` — write a JSON artifact (default `results/`);
+//! * `--trace PATH` — write the deterministic per-cell event stream as
+//!   JSONL (byte-identical for every `--jobs` setting);
+//! * `--metrics-out PATH` — write wall-clock timing metrics as JSONL
+//!   (*not* deterministic — timings vary run to run);
+//! * `--test` — tiny advisor preset for smoke tests/CI.
 
 use pipa_core::experiment::{CellConfig, GenBackend};
+use pipa_core::runner::CellSeed;
 use pipa_ia::SpeedPreset;
+use pipa_obs::TraceOutputs;
 use pipa_workload::Benchmark;
 
 /// Parsed common arguments.
@@ -40,6 +47,10 @@ pub struct ExpArgs {
     pub jobs: usize,
     /// Artifact output directory.
     pub out_dir: String,
+    /// Deterministic trace JSONL path (`--trace`).
+    pub trace: Option<String>,
+    /// Wall-clock metrics JSONL path (`--metrics-out`).
+    pub metrics_out: Option<String>,
     /// Remaining positional / unknown args (experiment-specific).
     pub rest: Vec<String>,
 }
@@ -56,6 +67,8 @@ impl Default for ExpArgs {
             actual: false,
             jobs: 1,
             out_dir: "results".to_string(),
+            trace: None,
+            metrics_out: None,
             rest: Vec::new(),
         }
     }
@@ -87,10 +100,13 @@ impl ExpArgs {
                     a.preset = SpeedPreset::Paper;
                     a.use_iabart = true;
                 }
+                "--test" => a.preset = SpeedPreset::Test,
                 "--iabart" => a.use_iabart = true,
                 "--actual" => a.actual = true,
                 "--jobs" => a.jobs = next_parse(&mut it, "--jobs"),
                 "--out" => a.out_dir = next_parse(&mut it, "--out"),
+                "--trace" => a.trace = Some(next_parse(&mut it, "--trace")),
+                "--metrics-out" => a.metrics_out = Some(next_parse(&mut it, "--metrics-out")),
                 other => a.rest.push(other.to_string()),
             }
         }
@@ -105,7 +121,8 @@ impl ExpArgs {
         cfg.preset = self.preset;
         cfg.probe_epochs = match self.preset {
             SpeedPreset::Paper => 20,
-            _ => 8,
+            SpeedPreset::Quick => 8,
+            SpeedPreset::Test => 2,
         };
         if self.actual {
             cfg.materialize = Some((self.seed ^ 0xda7a, 200_000));
@@ -116,6 +133,37 @@ impl ExpArgs {
             cfg.backend = GenBackend::train_iabart(&db, 1500, self.seed);
         }
         cfg
+    }
+
+    /// Open the observability sinks requested by `--trace` /
+    /// `--metrics-out` (both optional; with neither flag the returned
+    /// outputs are disabled and tracing costs one atomic load per probe).
+    pub fn trace_outputs(&self) -> TraceOutputs {
+        TraceOutputs::create(self.trace.as_deref(), self.metrics_out.as_deref())
+            .unwrap_or_else(|e| panic!("opening trace/metrics sink: {e}"))
+    }
+
+    /// The seed for run index `run`, derived from `--seed` with the
+    /// runner's SplitMix64 scheme (never `seed + run`).
+    pub fn cell_seed(&self, run: u64) -> CellSeed {
+        CellSeed::derive(self.seed, run)
+    }
+
+    /// Finish an instrumented run: report process-global what-if cache
+    /// statistics to the metrics channel (they are scheduling-dependent
+    /// under `--jobs > 1`, so they never go to the trace channel) and
+    /// flush both sinks.
+    pub fn finish_trace(&self, out: &TraceOutputs, db: &pipa_sim::Database) {
+        if out.active() {
+            let stats = db.whatif_cache_stats();
+            out.global_metric(
+                pipa_obs::Event::new("whatif_cache")
+                    .field("hits", stats.hits)
+                    .field("misses", stats.misses)
+                    .field("hit_rate", stats.hit_rate()),
+            );
+        }
+        out.flush();
     }
 
     /// One-line parameter summary for artifacts.

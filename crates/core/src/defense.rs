@@ -167,7 +167,7 @@ mod tests {
             SpeedPreset::Test,
             51,
         );
-        let mut injector = make_injector(InjectorKind::Pipa, &cfg, 51);
+        let mut injector = make_injector(InjectorKind::Pipa, &cfg, crate::runner::CellSeed::raw(51));
         let (ad, _) = stress_with_canary(
             advisor.as_mut(),
             injector.as_mut(),
@@ -192,7 +192,7 @@ mod tests {
             53,
         );
         advisor.train(&db, &normal);
-        let mut injector = make_injector(InjectorKind::Pipa, &cfg, 53);
+        let mut injector = make_injector(InjectorKind::Pipa, &cfg, crate::runner::CellSeed::raw(53));
         let injection = injector.build(advisor.as_mut(), &db, 10, 53);
         let training = normal.union(&injection);
         let filter = ProvenanceFilter::default();
@@ -222,7 +222,7 @@ mod tests {
             57,
         );
         advisor.train(&db, &normal);
-        let mut injector = make_injector(InjectorKind::Tp, &cfg, 57);
+        let mut injector = make_injector(InjectorKind::Tp, &cfg, crate::runner::CellSeed::raw(57));
         let injection = injector.build(advisor.as_mut(), &db, 10, 57);
         let filter = ProvenanceFilter::default();
         let (_, dropped) = filter.screen(&normal, &injection, db.schema().num_columns());

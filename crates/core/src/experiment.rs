@@ -2,11 +2,12 @@
 //! databases/workloads per run, construct generators (ST or a trained
 //! IABART), wire up injectors by name, and run advisor × injector cells.
 
-use crate::harness::{run_stress_test, StressConfig, StressOutcome};
+use crate::harness::{StressOutcome, StressTest};
 use crate::injectors::{Injector, TargetedInjector, TpInjector};
 use crate::probe::ProbeConfig;
-use crate::runner::{derive_seed, par_map};
-use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset};
+use crate::runner::{par_map_traced, CellSeed};
+use pipa_ia::{AdvisorKind, SpeedPreset};
+use pipa_obs::{CellCtx, TraceOutputs};
 use pipa_qgen::{build_corpus, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator};
 use pipa_sim::{Database, Workload};
 use pipa_workload::{generator::WorkloadGenerator, Benchmark};
@@ -146,7 +147,8 @@ pub fn normal_workload(cfg: &CellConfig, run_seed: u64) -> Workload {
 }
 
 /// Construct an injector of the given kind.
-pub fn make_injector(kind: InjectorKind, cfg: &CellConfig, seed: u64) -> Box<dyn Injector> {
+pub fn make_injector(kind: InjectorKind, cfg: &CellConfig, seed: CellSeed) -> Box<dyn Injector> {
+    let seed = seed.get();
     let probe_cfg = ProbeConfig {
         epochs: cfg.probe_epochs,
         queries_per_epoch: cfg.benchmark.default_workload_size(),
@@ -178,16 +180,15 @@ pub fn run_cell(
     advisor_kind: AdvisorKind,
     injector_kind: InjectorKind,
     cfg: &CellConfig,
-    seed: u64,
+    seed: CellSeed,
 ) -> StressOutcome {
-    let mut advisor = build_clear_box(advisor_kind, cfg.preset, seed);
+    let mut advisor = advisor_kind.build(cfg.preset, seed.get());
     let mut injector = make_injector(injector_kind, cfg, seed);
-    let scfg = StressConfig {
-        injection_size: cfg.injection_size,
-        use_actual_cost: cfg.materialize.is_some(),
-        seed,
-    };
-    run_stress_test(advisor.as_mut(), injector.as_mut(), db, normal, &scfg)
+    StressTest::new(db, normal)
+        .injection_size(cfg.injection_size)
+        .actual_cost(cfg.materialize.is_some())
+        .seed(seed)
+        .run(advisor.as_mut(), injector.as_mut())
 }
 
 /// A full advisor × injector × run experiment grid.
@@ -206,7 +207,7 @@ pub struct GridSpec {
     /// Repetitions per (advisor, injector) pair.
     pub runs: u64,
     /// Root seed; per-run seeds are derived via
-    /// [`derive_seed`]`(root_seed, run)`.
+    /// [`CellSeed::derive`]`(root_seed, run)`.
     pub root_seed: u64,
 }
 
@@ -219,11 +220,11 @@ pub struct GridCell {
     pub injector: InjectorKind,
     /// Run index within the (advisor, injector) pair.
     pub run: u64,
-    /// Seed for this cell: `derive_seed(root_seed, run)`. Cells of the
-    /// same run share it deliberately — RD (Definition 2.5) compares
-    /// PIPA against random baselines *on the same normal workload*, and
-    /// the normal workload is a function of the run seed.
-    pub seed: u64,
+    /// Seed for this cell: [`CellSeed::derive`]`(root_seed, run)`. Cells
+    /// of the same run share it deliberately — RD (Definition 2.5)
+    /// compares PIPA against random baselines *on the same normal
+    /// workload*, and the normal workload is a function of the run seed.
+    pub seed: CellSeed,
 }
 
 impl GridSpec {
@@ -253,7 +254,7 @@ impl GridSpec {
                         advisor,
                         injector,
                         run,
-                        seed: derive_seed(self.root_seed, run),
+                        seed: CellSeed::derive(self.root_seed, run),
                     });
                 }
             }
@@ -287,11 +288,39 @@ pub fn run_grid(
     spec: &GridSpec,
     jobs: usize,
 ) -> Vec<(GridCell, StressOutcome)> {
-    par_map(jobs, spec.cells(), |_, cell| {
-        let normal = normal_workload(cfg, cell.seed);
-        let out = run_cell(db, &normal, cell.advisor, cell.injector, cfg, cell.seed);
-        (cell, out)
-    })
+    run_grid_traced(db, cfg, spec, jobs, &TraceOutputs::disabled())
+}
+
+/// [`run_grid`] with per-cell observability: each cell records into its
+/// own `pipa-obs` scope (context: `cell_seed`, `advisor`, `injector`,
+/// `run`) and the buffered traces are flushed to `out` in
+/// [`GridSpec::cells`] order — so the trace stream, like the results, is
+/// byte-identical across `--jobs` settings.
+pub fn run_grid_traced(
+    db: &Database,
+    cfg: &CellConfig,
+    spec: &GridSpec,
+    jobs: usize,
+    out: &TraceOutputs,
+) -> Vec<(GridCell, StressOutcome)> {
+    let results = par_map_traced(
+        jobs,
+        spec.cells(),
+        out,
+        |_, cell| {
+            CellCtx::new(cell.seed.get())
+                .field("advisor", cell.advisor.label())
+                .field("injector", cell.injector.label())
+                .field("run", cell.run)
+        },
+        |_, cell| {
+            let normal = normal_workload(cfg, cell.seed.get());
+            let outcome = run_cell(db, &normal, cell.advisor, cell.injector, cfg, cell.seed);
+            (cell, outcome)
+        },
+    );
+    out.flush();
+    results
 }
 
 #[cfg(test)]
@@ -325,10 +354,41 @@ mod tests {
             AdvisorKind::DbaBandit(TrajectoryMode::Best),
             InjectorKind::Pipa,
             &cfg,
-            1,
+            CellSeed::raw(1),
         );
         assert_eq!(out.injector, "PIPA");
         assert!(out.baseline_cost > 0.0);
+    }
+
+    #[test]
+    fn traced_grid_carries_cell_context() {
+        let mut cfg = CellConfig::quick(Benchmark::TpcH);
+        cfg.preset = SpeedPreset::Test;
+        cfg.probe_epochs = 2;
+        cfg.injection_size = 4;
+        let db = build_db(&cfg);
+        let spec = GridSpec::new(
+            vec![AdvisorKind::DbaBandit(TrajectoryMode::Best)],
+            vec![InjectorKind::Tp],
+            1,
+            7,
+        );
+        let sink = pipa_obs::MemorySink::new();
+        let out = TraceOutputs::with_sinks(Some(Box::new(sink.clone())), None);
+        let results = run_grid_traced(&db, &cfg, &spec, 1, &out);
+        assert_eq!(results.len(), 1);
+        let lines = sink.lines();
+        assert!(!lines.is_empty());
+        let seed = CellSeed::derive(7, 0).get();
+        for line in &lines {
+            assert!(line.contains(&format!("\"cell_seed\":{seed}")), "{line}");
+            assert!(line.contains("\"advisor\":\"DBAbandit-b\""), "{line}");
+            assert!(line.contains("\"injector\":\"TP\""), "{line}");
+            assert!(line.contains("\"run\":0"), "{line}");
+        }
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"stress_outcome\"")));
     }
 
     #[test]

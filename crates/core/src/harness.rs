@@ -1,13 +1,22 @@
 //! The stress-test harness: train → baseline → inject → retrain →
 //! measure (paper Figure 1's red/green flows, Definitions 2.2–2.5).
+//!
+//! The entry point is the [`StressTest`] builder. Each stage reports
+//! through `pipa-obs` (phase markers, what-if/page counters from the
+//! layers below, a final `stress_outcome` event), so a surprising AD
+//! value can be diagnosed from the `--trace` stream instead of a
+//! debugger.
 
 use crate::injectors::Injector;
 use crate::metrics::{absolute_degradation, is_toxic};
+use crate::runner::CellSeed;
 use pipa_ia::ClearBoxAdvisor;
+use pipa_obs::{CellCtx, Event, TraceOutputs};
 use pipa_sim::{Database, IndexConfig, Workload};
 use serde::Serialize;
 
 /// Harness options.
+#[deprecated(since = "0.1.0", note = "use the `StressTest` builder")]
 #[derive(Debug, Clone, Copy)]
 pub struct StressConfig {
     /// Injection-workload size `N̂`.
@@ -19,6 +28,7 @@ pub struct StressConfig {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for StressConfig {
     fn default() -> Self {
         StressConfig {
@@ -54,10 +64,175 @@ pub struct StressOutcome {
     pub seed: u64,
 }
 
-/// Execute one full stress test against an already-constructed advisor.
+/// One full stress test, configured fluently:
+///
+/// ```no_run
+/// use pipa_core::{harness::StressTest, injectors::TpInjector, runner::CellSeed};
+/// use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+/// use pipa_workload::Benchmark;
+///
+/// let db = Benchmark::TpcH.database(1.0, None);
+/// let normal = pipa_core::experiment::normal_workload(
+///     &pipa_core::experiment::CellConfig::quick(Benchmark::TpcH),
+///     7,
+/// );
+/// let seed = CellSeed::derive(0, 0);
+/// let mut advisor =
+///     AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Quick, seed.get());
+/// let mut injector = TpInjector::new(Benchmark::TpcH.default_templates());
+/// let outcome = StressTest::new(&db, &normal)
+///     .injection_size(18)
+///     .actual_cost(false)
+///     .seed(seed)
+///     .run(advisor.as_mut(), &mut injector);
+/// println!("AD = {:.3}", outcome.ad);
+/// ```
 ///
 /// The advisor is (re)trained from scratch on the normal workload first,
 /// so the same advisor instance can be reused across runs.
+///
+/// Defaults mirror the paper's main experiment: injection size 18,
+/// actual-cost measurement, seed 0.
+pub struct StressTest<'a> {
+    db: &'a Database,
+    normal: &'a Workload,
+    injection_size: usize,
+    use_actual_cost: bool,
+    seed: CellSeed,
+    outputs: Option<&'a TraceOutputs>,
+}
+
+impl<'a> StressTest<'a> {
+    /// A stress test over a database and target (normal) workload.
+    pub fn new(db: &'a Database, normal: &'a Workload) -> Self {
+        StressTest {
+            db,
+            normal,
+            injection_size: 18,
+            use_actual_cost: true,
+            seed: CellSeed::raw(0),
+            outputs: None,
+        }
+    }
+
+    /// Injection-workload size `N̂` (default 18).
+    pub fn injection_size(mut self, n: usize) -> Self {
+        self.injection_size = n;
+        self
+    }
+
+    /// Measure final costs with the executor (`true`, default; falls
+    /// back to estimates when no data is materialized) or with the
+    /// analytical model (`false`).
+    pub fn actual_cost(mut self, on: bool) -> Self {
+        self.use_actual_cost = on;
+        self
+    }
+
+    /// The cell seed (propagated to the injector and the outcome).
+    pub fn seed(mut self, seed: CellSeed) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach observability outputs for a *standalone* run: the test
+    /// records into a fresh cell scope and flushes it here on
+    /// completion. Inside a traced grid ([`crate::experiment::run_grid_traced`])
+    /// the grid's own recording scope is already active and takes
+    /// precedence — cell ordering stays with the runner.
+    pub fn sink(mut self, outputs: &'a TraceOutputs) -> Self {
+        self.outputs = Some(outputs);
+        self
+    }
+
+    /// Execute: train on `W`, measure the baseline, build `Ŵ` (the
+    /// injector may probe the trained victim), retrain on `{W, Ŵ}`,
+    /// re-measure on `W`.
+    pub fn run(
+        &self,
+        advisor: &mut dyn ClearBoxAdvisor,
+        injector: &mut dyn Injector,
+    ) -> StressOutcome {
+        match self.outputs {
+            Some(out) if out.active() && !pipa_obs::is_recording() => {
+                let ctx = CellCtx::new(self.seed.get())
+                    .field("advisor", advisor.name())
+                    .field("injector", injector.name());
+                let (outcome, trace) = pipa_obs::record_cell(true, ctx, || {
+                    self.execute(advisor, injector)
+                });
+                out.write_cell(&trace);
+                out.flush();
+                outcome
+            }
+            _ => self.execute(advisor, injector),
+        }
+    }
+
+    fn execute(
+        &self,
+        advisor: &mut dyn ClearBoxAdvisor,
+        injector: &mut dyn Injector,
+    ) -> StressOutcome {
+        // Green flow: train on W, establish the performance baseline.
+        pipa_obs::phase("train");
+        advisor.train(self.db, self.normal);
+
+        pipa_obs::phase("baseline");
+        let clean_cfg = advisor.recommend(self.db, self.normal);
+        let baseline_cost = self.workload_cost(&clean_cfg);
+
+        // Red flow: build Ŵ. The probing/injecting stages re-declare
+        // their own phases ("probe", "inject") as they run; injectors
+        // that neither probe nor filter (TP, FSM) stay in this one.
+        pipa_obs::phase("inject");
+        let injection = injector.build(advisor, self.db, self.injection_size, self.seed.get());
+
+        pipa_obs::phase("retrain");
+        let training = self.normal.union(&injection);
+        advisor.retrain(self.db, &training);
+
+        pipa_obs::phase("measure");
+        let poisoned_cfg = advisor.recommend(self.db, self.normal);
+        let poisoned_cost = self.workload_cost(&poisoned_cfg);
+
+        let outcome = StressOutcome {
+            advisor: advisor.name(),
+            injector: injector.name().to_string(),
+            baseline_cost,
+            poisoned_cost,
+            ad: absolute_degradation(poisoned_cost, baseline_cost),
+            toxic: is_toxic(poisoned_cost, baseline_cost),
+            baseline_indexes: index_names(self.db, &clean_cfg),
+            poisoned_indexes: index_names(self.db, &poisoned_cfg),
+            injection_size: injection.len(),
+            seed: self.seed.get(),
+        };
+        if pipa_obs::is_recording() {
+            pipa_obs::emit(
+                Event::new("stress_outcome")
+                    .field("baseline_cost", outcome.baseline_cost)
+                    .field("poisoned_cost", outcome.poisoned_cost)
+                    .field("ad", outcome.ad)
+                    .field("toxic", outcome.toxic)
+                    .field("injection_size", outcome.injection_size),
+            );
+        }
+        outcome
+    }
+
+    fn workload_cost(&self, cfg: &IndexConfig) -> f64 {
+        if self.use_actual_cost {
+            self.db.actual_workload_cost(self.normal, cfg)
+        } else {
+            self.db.estimated_workload_cost(self.normal, cfg)
+        }
+    }
+}
+
+/// Execute one full stress test against an already-constructed advisor.
+#[deprecated(since = "0.1.0", note = "use the `StressTest` builder")]
+#[allow(deprecated)]
 pub fn run_stress_test(
     advisor: &mut dyn ClearBoxAdvisor,
     injector: &mut dyn Injector,
@@ -65,39 +240,11 @@ pub fn run_stress_test(
     normal: &Workload,
     cfg: &StressConfig,
 ) -> StressOutcome {
-    // Green flow: train on W, establish the performance baseline.
-    advisor.train(db, normal);
-    let clean_cfg = advisor.recommend(db, normal);
-    let baseline_cost = workload_cost(db, normal, &clean_cfg, cfg.use_actual_cost);
-
-    // Red flow: build Ŵ (the injector may probe the trained victim),
-    // retrain on {W, Ŵ}, re-measure on W.
-    let injection = injector.build(advisor, db, cfg.injection_size, cfg.seed);
-    let training = normal.union(&injection);
-    advisor.retrain(db, &training);
-    let poisoned_cfg = advisor.recommend(db, normal);
-    let poisoned_cost = workload_cost(db, normal, &poisoned_cfg, cfg.use_actual_cost);
-
-    StressOutcome {
-        advisor: advisor.name(),
-        injector: injector.name().to_string(),
-        baseline_cost,
-        poisoned_cost,
-        ad: absolute_degradation(poisoned_cost, baseline_cost),
-        toxic: is_toxic(poisoned_cost, baseline_cost),
-        baseline_indexes: index_names(db, &clean_cfg),
-        poisoned_indexes: index_names(db, &poisoned_cfg),
-        injection_size: injection.len(),
-        seed: cfg.seed,
-    }
-}
-
-fn workload_cost(db: &Database, w: &Workload, cfg: &IndexConfig, actual: bool) -> f64 {
-    if actual {
-        db.actual_workload_cost(w, cfg)
-    } else {
-        db.estimated_workload_cost(w, cfg)
-    }
+    StressTest::new(db, normal)
+        .injection_size(cfg.injection_size)
+        .actual_cost(cfg.use_actual_cost)
+        .seed(CellSeed::raw(cfg.seed))
+        .run(advisor, injector)
 }
 
 fn index_names(db: &Database, cfg: &IndexConfig) -> Vec<String> {
@@ -109,7 +256,8 @@ mod tests {
     use super::*;
     use crate::injectors::{TargetedInjector, TpInjector};
     use crate::probe::ProbeConfig;
-    use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
+    use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+    use pipa_obs::MemorySink;
     use pipa_qgen::StGenerator;
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
@@ -128,18 +276,13 @@ mod tests {
     #[test]
     fn stress_test_produces_consistent_outcome() {
         let (db, w) = setup();
-        let mut ia = build_clear_box(
-            AdvisorKind::DbaBandit(TrajectoryMode::Best),
-            SpeedPreset::Test,
-            1,
-        );
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let cfg = StressConfig {
-            injection_size: 6,
-            use_actual_cost: false,
-            seed: 1,
-        };
-        let out = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        let out = StressTest::new(&db, &w)
+            .injection_size(6)
+            .actual_cost(false)
+            .seed(CellSeed::raw(1))
+            .run(ia.as_mut(), &mut inj);
         assert!(out.baseline_cost > 0.0);
         assert!(out.poisoned_cost > 0.0);
         let expect_ad = (out.poisoned_cost - out.baseline_cost) / out.baseline_cost;
@@ -147,6 +290,7 @@ mod tests {
         assert_eq!(out.toxic, out.ad > 0.0);
         assert_eq!(out.advisor, "DBAbandit-b");
         assert_eq!(out.injector, "TP");
+        assert_eq!(out.seed, 1);
         assert!(!out.baseline_indexes.is_empty());
     }
 
@@ -155,23 +299,18 @@ mod tests {
         // The core claim in miniature: a PIPA injection degrades a
         // learned advisor.
         let (db, w) = setup();
-        let mut ia = build_clear_box(
-            AdvisorKind::DbaBandit(TrajectoryMode::Best),
-            SpeedPreset::Test,
-            2,
-        );
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 2);
         let mut inj = TargetedInjector::pipa(Box::new(StGenerator::new(2)));
         inj.probe_cfg = ProbeConfig {
             epochs: 4,
             queries_per_epoch: 6,
             ..Default::default()
         };
-        let cfg = StressConfig {
-            injection_size: 18,
-            use_actual_cost: false,
-            seed: 2,
-        };
-        let out = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        let out = StressTest::new(&db, &w)
+            .injection_size(18)
+            .actual_cost(false)
+            .seed(CellSeed::raw(2))
+            .run(ia.as_mut(), &mut inj);
         assert!(
             out.ad > -0.05,
             "PIPA should not substantially help the victim: AD {}",
@@ -182,20 +321,73 @@ mod tests {
     #[test]
     fn reusing_the_advisor_across_runs_is_safe() {
         let (db, w) = setup();
-        let mut ia = build_clear_box(
-            AdvisorKind::DbaBandit(TrajectoryMode::Best),
-            SpeedPreset::Test,
-            3,
-        );
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 3);
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let cfg = StressConfig {
-            injection_size: 4,
-            use_actual_cost: false,
-            seed: 3,
-        };
-        let a = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
-        let b = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        let test = StressTest::new(&db, &w)
+            .injection_size(4)
+            .actual_cost(false)
+            .seed(CellSeed::raw(3));
+        let a = test.run(ia.as_mut(), &mut inj);
+        let b = test.run(ia.as_mut(), &mut inj);
         // Baselines agree because `train` resets the advisor.
         assert!((a.baseline_cost - b.baseline_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_builder() {
+        let (db, w) = setup();
+        let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
+        let cfg = StressConfig {
+            injection_size: 6,
+            use_actual_cost: false,
+            seed: 1,
+        };
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
+        let old = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
+        let new = StressTest::new(&db, &w)
+            .injection_size(6)
+            .actual_cost(false)
+            .seed(CellSeed::raw(1))
+            .run(ia.as_mut(), &mut inj);
+        assert_eq!(old.baseline_cost, new.baseline_cost);
+        assert_eq!(old.poisoned_cost, new.poisoned_cost);
+        assert_eq!(old.seed, new.seed);
+    }
+
+    #[test]
+    fn builder_sink_captures_a_standalone_run() {
+        let (db, w) = setup();
+        let trace = MemorySink::new();
+        let out = TraceOutputs::with_sinks(Some(Box::new(trace.clone())), None);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 4);
+        let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
+        let outcome = StressTest::new(&db, &w)
+            .injection_size(4)
+            .actual_cost(false)
+            .seed(CellSeed::raw(4))
+            .sink(&out)
+            .run(ia.as_mut(), &mut inj);
+        let lines = trace.lines();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let keys = pipa_obs::json::top_level_keys(line).expect("valid JSON");
+            assert!(keys.contains(&"event".to_string()), "{line}");
+            assert!(keys.contains(&"cell_seed".to_string()), "{line}");
+            assert!(keys.contains(&"phase".to_string()), "{line}");
+        }
+        // Phases appear in stage order; the outcome event closes the run.
+        let phases: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"phase_start\""))
+            .collect();
+        assert!(phases.len() >= 5, "expected the five stages: {phases:?}");
+        let last_event = lines
+            .iter()
+            .rfind(|l| l.contains("\"event\":\"stress_outcome\""))
+            .expect("outcome event present");
+        assert!(last_event.contains("\"ad\":"));
+        assert!(outcome.ad.is_finite());
     }
 }

@@ -68,6 +68,7 @@ pub fn inject(
     segments: &Segments,
     cfg: &InjectConfig,
 ) -> InjectResult {
+    pipa_obs::phase("inject");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x1286);
     let mut w = Workload::new();
     let mut rejected = 0usize;
@@ -119,6 +120,15 @@ pub fn inject(
         } else {
             rejected += 1;
         }
+    }
+    if pipa_obs::is_recording() {
+        pipa_obs::emit(
+            pipa_obs::Event::new("inject_done")
+                .field("accepted", w.len())
+                .field("rejected", rejected)
+                .field("columns_covered", covered.len())
+                .field("attempts", attempts),
+        );
     }
     InjectResult {
         workload: w,

@@ -9,33 +9,40 @@
 //!   line-4 "mid beats top" filter);
 //! * [`injectors`] — PIPA plus the TP / FSM / I-R / I-L / P-C baselines;
 //! * [`metrics`] — AD / RD / toxicity (Definitions 2.3–2.5);
-//! * [`harness`] — train → baseline → inject → retrain → measure;
+//! * [`harness`] — the [`harness::StressTest`] builder: train → baseline
+//!   → inject → retrain → measure;
 //! * [`defense`] — retraining canaries and provenance screening (the
 //!   mitigations the paper's insights point DBAs at);
 //! * [`experiment`] — shared plumbing for the per-figure binaries,
 //!   including the [`experiment::GridSpec`] advisor × injector × run
 //!   grid API;
 //! * [`runner`] — deterministic parallel cell execution ([`par_map`],
-//!   SplitMix64 seed derivation);
+//!   [`runner::CellSeed`] SplitMix64 seed derivation);
 //! * [`report`] — console tables and JSON artifacts.
+//!
+//! Every stage reports through the `pipa-obs` observability layer
+//! (`--trace` / `--metrics-out` on the experiment binaries); with no
+//! sink attached the instrumentation reduces to one atomic load per
+//! call site.
 //!
 //! ## Quick start
 //!
 //! ```no_run
-//! use pipa_core::{experiment::*, metrics::Stats};
+//! use pipa_core::{experiment::*, metrics::Stats, runner::CellSeed};
 //! use pipa_ia::{AdvisorKind, TrajectoryMode};
 //! use pipa_workload::Benchmark;
 //!
 //! let cfg = CellConfig::quick(Benchmark::TpcH);
 //! let db = build_db(&cfg);
-//! let normal = normal_workload(&cfg, 0);
+//! let seed = CellSeed::derive(0, 0);
+//! let normal = normal_workload(&cfg, seed.get());
 //! let out = run_cell(
 //!     &db,
 //!     &normal,
 //!     AdvisorKind::Dqn(TrajectoryMode::Best),
 //!     InjectorKind::Pipa,
 //!     &cfg,
-//!     0,
+//!     seed,
 //! );
 //! println!("AD = {:.3} (toxic: {})", out.ad, out.toxic);
 //! ```
@@ -54,11 +61,15 @@ pub mod report;
 pub mod runner;
 
 pub use defense::{CanaryGuard, ProvenanceFilter};
-pub use experiment::{run_grid, CellConfig, GenBackend, GridCell, GridSpec, InjectorKind};
-pub use harness::{run_stress_test, StressConfig, StressOutcome};
+pub use experiment::{
+    run_grid, run_grid_traced, CellConfig, GenBackend, GridCell, GridSpec, InjectorKind,
+};
+pub use harness::{StressOutcome, StressTest};
+#[allow(deprecated)]
+pub use harness::{run_stress_test, StressConfig};
 pub use inject::{inject, InjectConfig, InjectResult};
 pub use injectors::{Injector, TargetedInjector, TpInjector};
 pub use metrics::{absolute_degradation, is_toxic, relative_degradation, Stats};
 pub use preference::{segment, IndexingPreference, SegmentConfig, Segments};
 pub use probe::{probe, ProbeConfig, ProbeResult};
-pub use runner::{default_jobs, derive_seed, par_map};
+pub use runner::{default_jobs, derive_seed, par_map, par_map_traced, CellSeed};

@@ -95,6 +95,7 @@ pub fn probe(
     generator: &mut dyn QueryGenerator,
     cfg: &ProbeConfig,
 ) -> ProbeResult {
+    pipa_obs::phase("probe");
     let l = db.schema().num_columns();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9806);
     let mut mu = vec![1.0 / l as f64; l];
@@ -178,14 +179,17 @@ pub fn probe(
         let total: f64 = mu.iter().sum();
         if total <= 0.0 {
             // Everything retired: stop early.
-            best_trace.push(current_best(&k_sum));
+            let best = current_best(&k_sum);
+            best_trace.push(best);
+            emit_epoch(p, pw.len(), benefit, best);
             return finish(db, k_sum, mu, p, best_trace, &zero_probes, dead_threshold);
         }
         for m in &mut mu {
             *m /= total;
         }
-        best_trace.push(current_best(&k_sum));
-        let _ = p;
+        let best = current_best(&k_sum);
+        best_trace.push(best);
+        emit_epoch(p, pw.len(), benefit, best);
     }
 
     let epochs_run = best_trace.len();
@@ -198,6 +202,20 @@ pub fn probe(
         &zero_probes,
         dead_threshold,
     )
+}
+
+/// One `probe_epoch` trace event: the epoch index, probing-workload
+/// size, observed benefit, and the currently top-ranked column.
+fn emit_epoch(epoch: usize, queries: usize, benefit: f64, best: ColumnId) {
+    if pipa_obs::is_recording() {
+        pipa_obs::emit(
+            pipa_obs::Event::new("probe_epoch")
+                .field("epoch", epoch)
+                .field("queries", queries)
+                .field("benefit", benefit)
+                .field("best_col", u64::from(best.0)),
+        );
+    }
 }
 
 fn finish(

@@ -18,6 +18,7 @@
 //! bit-identical artifacts — verified by `tests/determinism.rs` and
 //! documented in `DESIGN.md` ("Determinism guarantees").
 
+use pipa_obs::{record_cell, timer, CellCtx, TraceOutputs};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -34,6 +35,49 @@ pub fn derive_seed(root: u64, stream: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A cell's RNG seed, as a newtype so call sites can't silently fall
+/// back to hand-rolled `seed + i` arithmetic (which correlates adjacent
+/// streams — see [`derive_seed`]).
+///
+/// Produced by [`CellSeed::derive`] (the grid runner's scheme) or, for
+/// the rare call site that really wants a verbatim root seed,
+/// [`CellSeed::raw`]. The wrapped value is what reaches workload
+/// generation, the injector, and the `seed` field of result artifacts —
+/// `CellSeed::derive(root, run)` yields the exact same numbers as the
+/// pre-newtype `derive_seed(root, run)` plumbing, so existing golden
+/// artifacts remain valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellSeed(u64);
+
+impl CellSeed {
+    /// Derive the seed for `stream` (usually the run index) from a root.
+    pub fn derive(root: u64, stream: u64) -> Self {
+        CellSeed(derive_seed(root, stream))
+    }
+
+    /// Wrap a verbatim seed (no derivation).
+    pub fn raw(seed: u64) -> Self {
+        CellSeed(seed)
+    }
+
+    /// The seed value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CellSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<CellSeed> for u64 {
+    fn from(s: CellSeed) -> u64 {
+        s.0
+    }
 }
 
 /// The worker count a `--jobs 0` / unspecified request resolves to:
@@ -102,9 +146,50 @@ where
         .collect()
 }
 
+/// [`par_map`] with per-cell observability: each item runs inside a
+/// `pipa-obs` recording scope (context from `ctx`, which must include
+/// the cell's seed identity) wrapped in a `"cell"` wall-clock span, and
+/// the buffered cell traces are flushed to `out` **in input order** —
+/// never in completion order. That ordering rule is what keeps the trace
+/// file byte-identical across `--jobs` settings while the cells
+/// themselves run on whatever thread claims them.
+///
+/// With no sink attached (`out.active() == false`) this is exactly
+/// [`par_map`]: recording is skipped, not buffered-and-dropped.
+pub fn par_map_traced<T, U, F, C>(
+    jobs: usize,
+    items: Vec<T>,
+    out: &TraceOutputs,
+    ctx: C,
+    f: F,
+) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    C: Fn(usize, &T) -> CellCtx + Sync,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let active = out.active();
+    let results = par_map(jobs, items, |i, item| {
+        let cell_ctx = ctx(i, &item);
+        record_cell(active, cell_ctx, || {
+            let _cell_span = timer("cell");
+            f(i, item)
+        })
+    });
+    results
+        .into_iter()
+        .map(|(value, trace)| {
+            out.write_cell(&trace);
+            value
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_obs::MemorySink;
 
     #[test]
     fn par_map_preserves_input_order() {
@@ -150,5 +235,46 @@ mod tests {
         // SplitMix64 of seed 0, first output (reference value from the
         // published algorithm): 0xE220A8397B1DCDAF.
         assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn cell_seed_preserves_the_derivation_scheme() {
+        assert_eq!(CellSeed::derive(0, 0).get(), derive_seed(0, 0));
+        assert_eq!(CellSeed::derive(99, 3).get(), derive_seed(99, 3));
+        assert_eq!(CellSeed::raw(42).get(), 42);
+        assert_eq!(u64::from(CellSeed::raw(7)), 7);
+        assert_eq!(CellSeed::raw(7).to_string(), "7");
+    }
+
+    #[test]
+    fn par_map_traced_flushes_in_input_order() {
+        let trace = MemorySink::new();
+        let out = TraceOutputs::with_sinks(Some(Box::new(trace.clone())), None);
+        let results = par_map_traced(
+            4,
+            (0u64..8).collect(),
+            &out,
+            |_, &x| CellCtx::new(x),
+            |_, x| {
+                pipa_obs::emit(pipa_obs::Event::new("item").field("x", x));
+                x * 2
+            },
+        );
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        let lines = trace.lines();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"cell_seed\":{i}")),
+                "line {i} out of order: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_traced_without_sinks_matches_par_map() {
+        let out = TraceOutputs::disabled();
+        let a = par_map_traced(4, vec![1, 2, 3], &out, |_, _| CellCtx::new(0), |_, x| x * 3);
+        assert_eq!(a, vec![3, 6, 9]);
     }
 }

@@ -3,8 +3,9 @@
 //! `results/*.json` artifacts take).
 
 use pipa_core::experiment::{build_db, CellConfig, GridSpec, InjectorKind};
-use pipa_core::run_grid;
+use pipa_core::{run_grid, run_grid_traced, CellSeed};
 use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+use pipa_obs::{MemorySink, TraceOutputs};
 use pipa_workload::Benchmark;
 
 fn small_spec() -> (CellConfig, GridSpec) {
@@ -95,5 +96,71 @@ fn seeds_pair_cells_within_a_run() {
     assert_eq!(cells[1].seed, cells[3].seed);
     // Different runs → different seeds.
     assert_ne!(cells[0].seed, cells[1].seed);
-    assert_eq!(cells[0].seed, pipa_core::derive_seed(99, 0));
+    assert_eq!(cells[0].seed, CellSeed::derive(99, 0));
+    assert_eq!(cells[0].seed.get(), pipa_core::derive_seed(99, 0));
+}
+
+/// The PR-2 golden-trace guarantee: with a trace sink attached, the JSONL
+/// event stream is byte-identical between `--jobs 1` and `--jobs 4`, and
+/// the outcomes match the untraced run (observing a cell never perturbs
+/// it).
+#[test]
+fn trace_stream_is_bit_identical_across_job_counts() {
+    let (cfg, spec) = small_spec();
+
+    let traced = |jobs: usize| {
+        let db = build_db(&cfg);
+        let sink = MemorySink::new();
+        let out = TraceOutputs::with_sinks(Some(Box::new(sink.clone())), None);
+        let results = run_grid_traced(&db, &cfg, &spec, jobs, &out);
+        (results, sink.contents())
+    };
+    let (serial, serial_trace) = traced(1);
+    let (parallel, parallel_trace) = traced(4);
+
+    assert!(!serial_trace.is_empty(), "trace must capture events");
+    assert_eq!(
+        serial_trace, parallel_trace,
+        "--jobs 1 and --jobs 4 traces must be byte-identical"
+    );
+    // Every cell contributes its phase walk and outcome.
+    assert_eq!(
+        serial_trace.matches("\"event\":\"stress_outcome\"").count(),
+        spec.len()
+    );
+    for line in serial_trace.lines() {
+        let keys = pipa_obs::json::top_level_keys(line).expect("valid JSON line");
+        for req in ["event", "cell_seed", "phase"] {
+            assert!(keys.iter().any(|k| k == req), "missing {req} in {line}");
+        }
+    }
+
+    // Tracing does not perturb the experiment itself.
+    let untraced = {
+        let db = build_db(&cfg);
+        run_grid(&db, &cfg, &spec, 1)
+    };
+    let ads = |rs: &[(pipa_core::GridCell, pipa_core::StressOutcome)]| -> Vec<f64> {
+        rs.iter().map(|(_, o)| o.ad).collect()
+    };
+    assert_eq!(ads(&serial), ads(&parallel));
+    assert_eq!(ads(&serial), ads(&untraced));
+}
+
+/// With no sink attached the recorder never switches on: the traced entry
+/// point degrades to exactly the plain one.
+#[test]
+fn disabled_outputs_record_nothing_and_match_the_plain_path() {
+    let (cfg, spec) = small_spec();
+    assert!(!pipa_obs::is_recording());
+    let db = build_db(&cfg);
+    let disabled = TraceOutputs::disabled();
+    let via_traced = run_grid_traced(&db, &cfg, &spec, 2, &disabled);
+    assert!(!pipa_obs::is_recording());
+    let plain = run_grid(&db, &cfg, &spec, 2);
+    for ((a, x), (b, y)) in via_traced.iter().zip(&plain) {
+        assert_eq!(a, b);
+        assert_eq!(x.ad, y.ad);
+        assert_eq!(x.baseline_cost, y.baseline_cost);
+    }
 }

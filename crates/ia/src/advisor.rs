@@ -90,8 +90,10 @@ pub enum AdvisorKind {
 }
 
 impl AdvisorKind {
-    /// The seven advisor variants of the paper's main experiment.
-    pub fn all_seven() -> Vec<AdvisorKind> {
+    /// The advisor variants of the paper's main experiment (seven: the
+    /// `-b`/`-m` trajectory modes of DQN, DRLindex and DBABandit, plus
+    /// SWIRL).
+    pub fn all() -> Vec<AdvisorKind> {
         use TrajectoryMode::*;
         vec![
             AdvisorKind::Dqn(Best),
@@ -102,6 +104,12 @@ impl AdvisorKind {
             AdvisorKind::DbaBandit(MeanLast(10)),
             AdvisorKind::Swirl,
         ]
+    }
+
+    /// Deprecated name for [`AdvisorKind::all`].
+    #[deprecated(since = "0.1.0", note = "renamed to `AdvisorKind::all()`")]
+    pub fn all_seven() -> Vec<AdvisorKind> {
+        Self::all()
     }
 
     /// Display name matching the paper's tables.
@@ -121,7 +129,7 @@ mod tests {
 
     #[test]
     fn seven_variants_with_paper_labels() {
-        let all = AdvisorKind::all_seven();
+        let all = AdvisorKind::all();
         assert_eq!(all.len(), 7);
         let labels: Vec<String> = all.iter().map(|a| a.label()).collect();
         assert_eq!(
@@ -136,6 +144,12 @@ mod tests {
                 "SWIRL"
             ]
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn all_seven_alias_matches_all() {
+        assert_eq!(AdvisorKind::all_seven(), AdvisorKind::all());
     }
 
     #[test]

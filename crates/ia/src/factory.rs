@@ -9,6 +9,7 @@ use crate::advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor};
 use crate::bandit::{BanditAdvisor, BanditConfig};
 use crate::dqn::{DqnAdvisor, DqnConfig};
 use crate::drlindex::{DrlIndexAdvisor, DrlIndexConfig};
+use crate::instrument::Instrumented;
 use crate::swirl::{SwirlAdvisor, SwirlConfig};
 
 /// How much compute to spend on training/trials.
@@ -75,14 +76,30 @@ impl SpeedPreset {
     }
 }
 
-/// Build an advisor by kind.
-pub fn build_advisor(kind: AdvisorKind, preset: SpeedPreset, seed: u64) -> Box<dyn IndexAdvisor> {
-    match kind {
-        AdvisorKind::Dqn(m) => Box::new(DqnAdvisor::new(m, preset.dqn(seed))),
-        AdvisorKind::DrlIndex(m) => Box::new(DrlIndexAdvisor::new(m, preset.drl(seed))),
-        AdvisorKind::DbaBandit(m) => Box::new(BanditAdvisor::new(m, preset.bandit(seed))),
-        AdvisorKind::Swirl => Box::new(SwirlAdvisor::new(preset.swirl(seed))),
+impl AdvisorKind {
+    /// Construct this advisor variant — *the* advisor constructor, used
+    /// by the factory functions and the experiment binaries alike. Every
+    /// advisor comes wrapped in the [`Instrumented`] observability
+    /// decorator (transparent when nothing records).
+    pub fn build(self, preset: SpeedPreset, seed: u64) -> Box<dyn ClearBoxAdvisor> {
+        match self {
+            AdvisorKind::Dqn(m) => Box::new(Instrumented::new(DqnAdvisor::new(m, preset.dqn(seed)))),
+            AdvisorKind::DrlIndex(m) => {
+                Box::new(Instrumented::new(DrlIndexAdvisor::new(m, preset.drl(seed))))
+            }
+            AdvisorKind::DbaBandit(m) => {
+                Box::new(Instrumented::new(BanditAdvisor::new(m, preset.bandit(seed))))
+            }
+            AdvisorKind::Swirl => Box::new(Instrumented::new(SwirlAdvisor::new(preset.swirl(seed)))),
+        }
     }
+}
+
+/// Build an advisor by kind (opaque-box surface only). Delegates to
+/// [`AdvisorKind::build`] via a thin adapter: `Box<dyn ClearBoxAdvisor>`
+/// does not unsize to `Box<dyn IndexAdvisor>`, so the box is re-wrapped.
+pub fn build_advisor(kind: AdvisorKind, preset: SpeedPreset, seed: u64) -> Box<dyn IndexAdvisor> {
+    Box::new(OpaqueOnly(kind.build(preset, seed)))
 }
 
 /// Build an advisor with clear-box introspection (for the P-C baseline).
@@ -91,11 +108,33 @@ pub fn build_clear_box(
     preset: SpeedPreset,
     seed: u64,
 ) -> Box<dyn ClearBoxAdvisor> {
-    match kind {
-        AdvisorKind::Dqn(m) => Box::new(DqnAdvisor::new(m, preset.dqn(seed))),
-        AdvisorKind::DrlIndex(m) => Box::new(DrlIndexAdvisor::new(m, preset.drl(seed))),
-        AdvisorKind::DbaBandit(m) => Box::new(BanditAdvisor::new(m, preset.bandit(seed))),
-        AdvisorKind::Swirl => Box::new(SwirlAdvisor::new(preset.swirl(seed))),
+    kind.build(preset, seed)
+}
+
+/// Adapter hiding the clear-box surface behind `dyn IndexAdvisor`.
+struct OpaqueOnly(Box<dyn ClearBoxAdvisor>);
+
+impl IndexAdvisor for OpaqueOnly {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn train(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) {
+        self.0.train(db, w);
+    }
+    fn retrain(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) {
+        self.0.retrain(db, w);
+    }
+    fn recommend(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) -> pipa_sim::IndexConfig {
+        self.0.recommend(db, w)
+    }
+    fn budget(&self) -> usize {
+        self.0.budget()
+    }
+    fn is_trial_based(&self) -> bool {
+        self.0.is_trial_based()
+    }
+    fn reward_trace(&self) -> &[f64] {
+        self.0.reward_trace()
     }
 }
 
@@ -105,7 +144,7 @@ mod tests {
 
     #[test]
     fn every_kind_constructs() {
-        for kind in AdvisorKind::all_seven() {
+        for kind in AdvisorKind::all() {
             let ia = build_advisor(kind, SpeedPreset::Test, 1);
             assert_eq!(ia.name(), kind.label());
             assert_eq!(ia.budget(), 4);
@@ -113,8 +152,16 @@ mod tests {
     }
 
     #[test]
+    fn kind_build_is_the_factory() {
+        for kind in AdvisorKind::all() {
+            let ia = kind.build(SpeedPreset::Test, 1);
+            assert_eq!(ia.name(), kind.label());
+        }
+    }
+
+    #[test]
     fn trial_basedness_matches_paper() {
-        for kind in AdvisorKind::all_seven() {
+        for kind in AdvisorKind::all() {
             let ia = build_advisor(kind, SpeedPreset::Test, 1);
             let expect = kind != AdvisorKind::Swirl;
             assert_eq!(ia.is_trial_based(), expect, "{}", ia.name());

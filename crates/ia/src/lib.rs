@@ -29,6 +29,7 @@ pub mod env;
 pub mod factory;
 pub mod features;
 pub mod heuristic;
+pub mod instrument;
 pub mod swirl;
 
 pub use advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
@@ -38,4 +39,5 @@ pub use drlindex::{DrlIndexAdvisor, DrlIndexConfig};
 pub use env::IndexEnv;
 pub use factory::{build_advisor, build_clear_box, SpeedPreset};
 pub use heuristic::{AutoAdminGreedy, DropHeuristic};
+pub use instrument::Instrumented;
 pub use swirl::{SwirlAdvisor, SwirlConfig};

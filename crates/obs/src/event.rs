@@ -1,0 +1,227 @@
+//! Events and their deterministic JSON rendering.
+
+use std::fmt::Write as _;
+
+/// A field value. Floats render via Rust's shortest-roundtrip `Display`
+/// (deterministic for equal bit patterns); non-finite floats render as
+/// `null` because JSON has no NaN/Infinity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// A sequence of floats (reward traces).
+    F64Seq(Vec<f64>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::F64Seq(v)
+    }
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => render_f64(*v, out),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => render_str(s, out),
+            Value::F64Seq(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_f64(*v, out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn render_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One observability event: a name plus ordered `(key, value)` fields.
+///
+/// Field order is the insertion order, so a given construction sequence
+/// always renders the same bytes. The per-line envelope (`event`,
+/// `cell_seed`, context, `phase`) is added at render time by the
+/// recorder.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub(crate) name: &'static str,
+    pub(crate) fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Render one JSONL line: `event` first, then the context fields
+    /// (which include `cell_seed`), then `phase`, then this event's own
+    /// fields.
+    pub fn render(&self, ctx: &[(&'static str, Value)], phase: &str) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":");
+        render_str(self.name, &mut out);
+        for (k, v) in ctx {
+            out.push(',');
+            render_str(k, &mut out);
+            out.push(':');
+            v.render(&mut out);
+        }
+        out.push_str(",\"phase\":");
+        render_str(phase, &mut out);
+        for (k, v) in &self.fields {
+            out.push(',');
+            render_str(k, &mut out);
+            out.push(':');
+            v.render(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_envelope_then_fields() {
+        let ev = Event::new("probe_epoch")
+            .field("epoch", 3u64)
+            .field("benefit", 0.25)
+            .field("label", "I-L");
+        let line = ev.render(&[("cell_seed", Value::U64(42))], "probe");
+        assert_eq!(
+            line,
+            "{\"event\":\"probe_epoch\",\"cell_seed\":42,\"phase\":\"probe\",\
+             \"epoch\":3,\"benefit\":0.25,\"label\":\"I-L\"}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nan() {
+        let ev = Event::new("e")
+            .field("s", "a\"b\\c\nd")
+            .field("x", f64::NAN)
+            .field("xs", vec![1.0, f64::INFINITY]);
+        let line = ev.render(&[], "p");
+        assert!(line.contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert!(line.contains("\"x\":null"));
+        assert!(line.contains("\"xs\":[1,null]"));
+    }
+
+    #[test]
+    fn integer_valued_floats_render_as_json_numbers() {
+        let ev = Event::new("e").field("v", 2.0);
+        assert!(ev.render(&[], "p").contains("\"v\":2"));
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let ev = Event::new("e").field("a", 1u64).field("b", 0.1 + 0.2);
+        let ctx = [("cell_seed", Value::U64(7)), ("run", Value::U64(0))];
+        assert_eq!(ev.render(&ctx, "train"), ev.render(&ctx, "train"));
+    }
+}

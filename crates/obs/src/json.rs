@@ -1,0 +1,311 @@
+//! A minimal validating JSON parser for trace lines.
+//!
+//! The vendored `serde_json` shim only *serializes* (the build container
+//! has no crates-io access), so trace validation — the `trace_lint`
+//! binary and the CI smoke step — needs its own parser. This is a strict
+//! recursive-descent implementation of the JSON grammar, specialized to
+//! the one question the lint asks: *is this line a syntactically valid
+//! JSON object, and what are its top-level keys?*
+
+/// Parse `line` as a JSON object and return its top-level keys in
+/// document order. Errors describe the first syntax violation with a
+/// byte offset.
+pub fn top_level_keys(line: &str) -> Result<Vec<String>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let keys = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(keys)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self
+            .peek()
+            .ok_or_else(|| format!("unexpected end of input at offset {}", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let at = self.pos;
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected '{}' at offset {at}, found '{}'",
+                want as char, got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'{')?;
+        let mut keys = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            keys.push(self.string()?);
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(keys),
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found '{}'",
+                        self.pos - 1,
+                        other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.object()?;
+                Ok(())
+            }
+            Some(b'[') => self.array(),
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected '{}' at offset {}",
+                other as char, self.pos
+            )),
+            None => Err(format!("unexpected end of input at offset {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found '{}'",
+                        self.pos - 1,
+                        other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            let d = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            code = code * 16 + d;
+                        }
+                        // Lone surrogates are replaced, not rejected: the
+                        // lint cares about structure, not codepoints.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(format!(
+                            "invalid escape '\\{}' at offset {}",
+                            other as char,
+                            self.pos - 1
+                        ))
+                    }
+                },
+                b if b < 0x20 => {
+                    return Err(format!(
+                        "unescaped control byte 0x{b:02x} at offset {}",
+                        self.pos - 1
+                    ))
+                }
+                b => {
+                    // Re-assemble UTF-8 continuation bytes; the input is a
+                    // &str so the sequence is already valid.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    if self.pos > self.bytes.len() {
+                        return Err(format!("truncated UTF-8 at offset {start}"));
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| format!("invalid UTF-8 at offset {start}"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(format!("expected digits at offset {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(format!("expected fraction digits at offset {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(format!("expected exponent digits at offset {}", self.pos));
+            }
+        }
+        // Leading zeros like "01" violate the grammar.
+        let text = &self.bytes[start..self.pos];
+        let unsigned = if text[0] == b'-' { &text[1..] } else { text };
+        if unsigned.len() > 1 && unsigned[0] == b'0' && unsigned[1].is_ascii_digit() {
+            return Err(format!("leading zero in number at offset {start}"));
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(format!("expected '{word}' at offset {}", self.pos))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_rendered_events() {
+        let line = crate::Event::new("probe_epoch")
+            .field("epoch", 3u64)
+            .field("benefit", -0.25e-3)
+            .field("trace", vec![1.0, 2.5])
+            .field("note", "a\"b\\c")
+            .render(&[("cell_seed", crate::Value::U64(42))], "probe");
+        let keys = top_level_keys(&line).expect("valid");
+        assert_eq!(
+            keys,
+            vec!["event", "cell_seed", "phase", "epoch", "benefit", "trace", "note"]
+        );
+    }
+
+    #[test]
+    fn accepts_nested_structures() {
+        let keys =
+            top_level_keys(r#"{"a":{"b":[1,2,{"c":null}]},"d":true,"e":false}"#).expect("valid");
+        assert_eq!(keys, vec!["a", "d", "e"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}x",
+            "[1,2]",
+            r#"{"a":}"#,
+            r#"{"a":01}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":"unterminated}"#,
+            r#"{"a":nul}"#,
+            r#"{"a":1e}"#,
+            "{\"a\":\"ctrl\u{1}\"}",
+        ] {
+            assert!(top_level_keys(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_unicode_and_escapes() {
+        let keys = top_level_keys(r#"{"k":"μ=0.5 →  é"}"#).expect("valid");
+        assert_eq!(keys, vec!["k"]);
+    }
+}

@@ -37,6 +37,13 @@ pub struct Fingerprint {
     b: u64,
 }
 
+impl Fingerprint {
+    /// The fingerprint as one 128-bit value (observability keys).
+    pub fn to_u128(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
 /// Incremental FNV-1a × 2 hasher over canonical byte encodings.
 struct Fnv2 {
     a: u64,

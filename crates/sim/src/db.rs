@@ -88,10 +88,11 @@ impl Database {
     /// bit-for-bit, so caching never changes results.
     pub fn estimated_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
         let cf = fingerprint_config(cfg);
-        self.whatif_cache
-            .get_or_compute(fingerprint_query(q), cf, || {
-                self.model.query_cost(self.catalog(), q, cfg)
-            })
+        let qf = fingerprint_query(q);
+        record_whatif(qf, cf);
+        self.whatif_cache.get_or_compute(qf, cf, || {
+            self.model.query_cost(self.catalog(), q, cfg)
+        })
     }
 
     /// Estimated cost of a workload (frequency-weighted sum of memoized
@@ -100,12 +101,12 @@ impl Database {
         let cf = fingerprint_config(cfg);
         w.iter()
             .map(|wq| {
+                let qf = fingerprint_query(&wq.query);
+                record_whatif(qf, cf);
                 wq.frequency as f64
-                    * self
-                        .whatif_cache
-                        .get_or_compute(fingerprint_query(&wq.query), cf, || {
-                            self.model.query_cost(self.catalog(), &wq.query, cfg)
-                        })
+                    * self.whatif_cache.get_or_compute(qf, cf, || {
+                        self.model.query_cost(self.catalog(), &wq.query, cfg)
+                    })
             })
             .sum()
     }
@@ -314,6 +315,16 @@ impl DatabaseBuilder {
             scale: self.scale,
         }
     }
+}
+
+/// Observability taps for one what-if lookup. The raw lookup count plus
+/// the number of *distinct* `(query, config)` pairs give each recorded
+/// cell its own memoizable-repeat-rate, independent of which thread
+/// happened to warm the process-global [`CostCache`] first — so the
+/// deterministic trace channel never sees scheduling effects.
+fn record_whatif(qf: crate::cost::cache::Fingerprint, cf: crate::cost::cache::Fingerprint) {
+    pipa_obs::count("whatif_lookups", 1);
+    pipa_obs::count_unique("whatif_distinct", qf.to_u128() ^ cf.to_u128().rotate_left(64));
 }
 
 /// Default column statistics derived from types alone: keys (`*_id`,

@@ -139,6 +139,10 @@ impl<'a> Executor<'a> {
         physical: &HashMap<Index, PhysicalIndex>,
     ) -> f64 {
         let st = self.execute(q, cfg, physical);
+        pipa_obs::count("exec_queries", 1);
+        pipa_obs::count("exec_seq_pages", st.seq_pages);
+        pipa_obs::count("exec_random_pages", st.random_pages);
+        pipa_obs::count("exec_tuples", st.tuples);
         let mut cost = st.cost(&self.params);
         let rows = st.rows_out as f64;
         if !q.aggregates.is_empty() || !q.group_by.is_empty() {

@@ -9,6 +9,7 @@
 //! ```
 
 use pipa::core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
+use pipa::core::CellSeed;
 use pipa::ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
 use pipa::workload::Benchmark;
 
@@ -38,7 +39,7 @@ fn main() {
         AdvisorKind::Dqn(TrajectoryMode::Best),
         InjectorKind::Pipa,
         &cfg,
-        11,
+        CellSeed::raw(11),
     );
 
     println!("\n--- stress-test outcome ---");

@@ -13,6 +13,7 @@
 
 use pipa::core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
 use pipa::core::metrics::Stats;
+use pipa::core::CellSeed;
 use pipa::ia::{AdvisorKind, SpeedPreset};
 use pipa::workload::Benchmark;
 
@@ -30,12 +31,13 @@ fn main() {
     println!("{}", "-".repeat(68));
 
     let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
-    for kind in AdvisorKind::all_seven() {
+    for kind in AdvisorKind::all() {
         let mut benefits = Vec::new();
         let mut ads = Vec::new();
         for run in 0..runs {
-            let normal = normal_workload(&cfg, 1000 + run);
-            let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, 1000 + run);
+            let seed = CellSeed::derive(1000, run);
+            let normal = normal_workload(&cfg, seed.get());
+            let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, seed);
             // Clean benefit: how much the advisor's baseline config
             // improves the workload over no indexes.
             let base = db.estimated_workload_cost(&normal, &pipa::sim::IndexConfig::empty());

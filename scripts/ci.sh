@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, tests, rustdoc (warnings denied), clippy
-# (warnings denied). Run before every push; scripts/run_all.sh assumes
-# this is green. All steps are offline (vendored path dependencies).
+# (warnings denied), and a trace smoke test. Run before every push;
+# scripts/run_all.sh assumes this is green. All steps are offline
+# (vendored path dependencies).
 #
 # Gates target the pipa packages, not the vendored shims: the vendored
 # crates keep upstream names, so their own test harnesses (e.g. serde's
@@ -10,12 +11,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PKGS=(-p pipa -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
+PKGS=(-p pipa -p pipa-obs -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
 
 echo "== cargo build --release =="
 cargo build --release "${PKGS[@]}"
 
 echo "== cargo test -q =="
+# Deprecation warnings outside the #[allow(deprecated)] shims fail the
+# clippy gate below; the test gate checks behavior only.
 cargo test -q "${PKGS[@]}"
 
 echo "== cargo doc (RUSTDOCFLAGS=-D warnings) =="
@@ -23,5 +26,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKGS[@]}"
 
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --all-targets -q "${PKGS[@]}" -- -D warnings
+
+echo "== trace smoke test =="
+# One tiny traced experiment, then validate that every emitted line is a
+# JSON object carrying the contract keys (event, cell_seed, phase).
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run --release -q -p pipa-bench --bin fig1_motivation -- \
+    --test --runs 1 --jobs 2 \
+    --trace "$TRACE_DIR/trace.jsonl" --metrics-out "$TRACE_DIR/metrics.jsonl" \
+    --out "$TRACE_DIR" >/dev/null
+cargo run --release -q -p pipa-bench --bin trace_lint -- \
+    "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/metrics.jsonl"
 
 echo "CI green."

@@ -2,9 +2,10 @@
 //! paper's definitional invariants.
 
 use pipa::core::experiment::{build_db, normal_workload, run_cell, CellConfig, InjectorKind};
-use pipa::core::harness::{run_stress_test, StressConfig};
+use pipa::core::harness::StressTest;
 use pipa::core::injectors::TpInjector;
 use pipa::core::metrics::absolute_degradation;
+use pipa::core::CellSeed;
 use pipa::ia::{
     build_clear_box, AdvisorKind, AutoAdminGreedy, IndexAdvisor, SpeedPreset, TrajectoryMode,
 };
@@ -23,8 +24,8 @@ fn every_advisor_survives_the_full_pipeline() {
     let cfg = test_cfg();
     let db = build_db(&cfg);
     let normal = normal_workload(&cfg, 11);
-    for kind in AdvisorKind::all_seven() {
-        let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, 11);
+    for kind in AdvisorKind::all() {
+        let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, CellSeed::raw(11));
         assert!(out.baseline_cost > 0.0, "{}", kind.label());
         assert!(out.poisoned_cost > 0.0, "{}", kind.label());
         assert!(!out.baseline_indexes.is_empty(), "{}", kind.label());
@@ -75,17 +76,11 @@ fn heuristic_advisors_have_zero_ad_by_construction() {
 
     let mut advisor = HeuristicClearBox(AutoAdminGreedy::new(4));
     let mut injector = TpInjector::new(Benchmark::TpcH.default_templates());
-    let out = run_stress_test(
-        &mut advisor,
-        &mut injector,
-        &db,
-        &normal,
-        &StressConfig {
-            injection_size: 8,
-            use_actual_cost: false,
-            seed: 13,
-        },
-    );
+    let out = StressTest::new(&db, &normal)
+        .injection_size(8)
+        .actual_cost(false)
+        .seed(CellSeed::raw(13))
+        .run(&mut advisor, &mut injector);
     assert!(
         out.ad.abs() < 1e-12,
         "heuristic AD must be exactly zero, got {}",
@@ -107,7 +102,7 @@ fn injection_workloads_are_extraneous() {
     );
     advisor.train(&db, &normal);
     for kind in InjectorKind::all() {
-        let mut injector = pipa::core::experiment::make_injector(kind, &cfg, 17);
+        let mut injector = pipa::core::experiment::make_injector(kind, &cfg, CellSeed::raw(17));
         let w = injector.build(advisor.as_mut(), &db, 8, 17);
         assert!(
             w.is_disjoint_from(&normal),
@@ -129,7 +124,7 @@ fn stress_outcome_serializes_to_json() {
         AdvisorKind::DbaBandit(TrajectoryMode::Best),
         InjectorKind::Fsm,
         &cfg,
-        19,
+        CellSeed::raw(19),
     );
     let json = serde_json::to_string(&out).expect("serializable");
     assert!(json.contains("\"advisor\""));
@@ -152,7 +147,7 @@ fn tpcds_pipeline_works_too() {
         AdvisorKind::DbaBandit(TrajectoryMode::Best),
         InjectorKind::Pipa,
         &cfg,
-        23,
+        CellSeed::raw(23),
     );
     assert!(out.baseline_cost > 0.0);
     assert!(out.ad.is_finite());
@@ -199,7 +194,7 @@ fn actual_cost_measurement_path_works() {
         AdvisorKind::DbaBandit(TrajectoryMode::Best),
         InjectorKind::Fsm,
         &cfg,
-        29,
+        CellSeed::raw(29),
     );
     assert!(out.baseline_cost > 0.0);
     assert!(out.ad.is_finite());
