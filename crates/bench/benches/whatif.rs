@@ -1,0 +1,243 @@
+//! Advisor-hot-path what-if throughput: the benefit matrix versus the
+//! scalar full recompute it replaced.
+//!
+//! Cells (each measured cold — matrix and cost cache cleared inside
+//! every iteration, so no state survives from the previous sample):
+//!
+//! * `whatif/greedy_single_*` — AutoAdmin greedy candidate scoring over
+//!   a single-table workload: the shape of PIPA's probing and injection
+//!   phases (generated toxic queries are single-table by construction),
+//!   and the cell where every evaluation is matrix-answerable;
+//! * `whatif/greedy_mixed_*` — the same loop over a normal TPC-H
+//!   template workload (~80 % join-shaped): joins take the full-model
+//!   fallback in both variants, so this bounds the *worst-case* win;
+//! * `whatif/train_single_*` — DQN training (`Test` preset) on the
+//!   single-table workload: every env step re-costs the workload under
+//!   the episode's grown configuration.
+//!
+//! The `_scalar` variants disable the matrix (`set_whatif_matrix_enabled
+//! (false)`), routing every evaluation through the full analytical
+//! model; `_matrix` variants answer decomposable queries from the
+//! per-(query, index) benefit matrix. The differential suite
+//! (`tests/whatif_differential.rs`) proves both return bit-identical
+//! costs, so this is a pure speed comparison.
+//!
+//! A custom `main` (the `[[bench]]` is `harness = false`) re-reads the
+//! criterion JSON lines and writes `results/BENCH_whatif.json` with the
+//! speedups and the matrix/delta/full-fallback counter rates.
+
+use criterion::Criterion;
+use pipa_ia::{
+    build_advisor, AdvisorKind, AutoAdminGreedy, IndexAdvisor, SpeedPreset, TrajectoryMode,
+};
+use pipa_sim::{Aggregate, ColumnId, Database, Predicate, QueryBuilder, Workload};
+use pipa_workload::{Benchmark, WorkloadGenerator};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+
+#[derive(Serialize)]
+struct Medians {
+    greedy_single_scalar: Option<f64>,
+    greedy_single_matrix: Option<f64>,
+    greedy_mixed_scalar: Option<f64>,
+    greedy_mixed_matrix: Option<f64>,
+    train_single_scalar: Option<f64>,
+    train_single_matrix: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct MatrixCounters {
+    matrix_evals: u64,
+    full_fallbacks: u64,
+    delta_evals: u64,
+    matrix_rate: f64,
+    fallback_rate: f64,
+    entries: usize,
+}
+
+#[derive(Serialize)]
+struct BenchArtifact {
+    id: String,
+    description: String,
+    single_workload_queries: usize,
+    mixed_workload_queries: usize,
+    greedy_budget: usize,
+    median_ns: Medians,
+    greedy_single_speedup: Option<f64>,
+    greedy_mixed_speedup: Option<f64>,
+    train_single_speedup: Option<f64>,
+    matrix_single: MatrixCounters,
+    matrix_mixed: MatrixCounters,
+}
+
+/// A single-table workload in the image of PIPA's probing/injection
+/// phases: range/point predicates spread over many indexable columns,
+/// so greedy scoring has a wide candidate set.
+fn single_table_workload(db: &Database, n: usize) -> Workload {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let ncols = db.schema().num_columns() as u32;
+    let mut w = Workload::new();
+    for i in 0..n {
+        let anchor = ColumnId((i as u32 * 7) % ncols);
+        let table = db.schema().column(anchor).table;
+        let cols: Vec<ColumnId> = (0..ncols)
+            .map(ColumnId)
+            .filter(|&c| db.schema().column(c).table == table)
+            .collect();
+        let mut b = QueryBuilder::new();
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let col = cols[rng.gen_range(0..cols.len())];
+            let lo: f64 = rng.gen_range(0.0..0.6);
+            b = b.filter(db.schema(), Predicate::between(col, lo, lo + 0.3));
+        }
+        let q = b
+            .aggregate(Aggregate::CountStar)
+            .build(db.schema())
+            .unwrap();
+        w.push(q, rng.gen_range(1..=5));
+    }
+    w
+}
+
+/// Pull `median_ns` out of the criterion JSON line for `id` (the
+/// vendored serde_json is serialize-only; the line format is fixed).
+fn median_of(lines: &str, id: &str) -> Option<f64> {
+    let line = lines
+        .lines()
+        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
+}
+
+fn counters(db: &Database) -> MatrixCounters {
+    let stats = db.whatif_matrix_stats();
+    MatrixCounters {
+        matrix_evals: stats.matrix_evals,
+        full_fallbacks: stats.full_fallbacks,
+        delta_evals: stats.delta_evals,
+        matrix_rate: stats.matrix_rate(),
+        fallback_rate: stats.fallback_rate(),
+        entries: stats.entries,
+    }
+}
+
+fn main() {
+    let json_path = std::env::temp_dir().join("pipa_whatif_bench.jsonl");
+    let _ = std::fs::remove_file(&json_path);
+    std::env::set_var("CRITERION_JSON", &json_path);
+
+    let db = Benchmark::TpcH.database(1.0, None);
+    let single = single_table_workload(&db, 24);
+    let g = WorkloadGenerator::new(
+        Benchmark::TpcH.schema(),
+        Benchmark::TpcH.default_templates(),
+    );
+    let mixed = g
+        .of_size(24, &mut rand_chacha::ChaCha8Rng::seed_from_u64(7))
+        .unwrap();
+    let budget = 4;
+    let mut c = Criterion::default().sample_size(10);
+
+    let bench_greedy = |c: &mut Criterion, name: &str, w: &Workload, matrix_on: bool| {
+        db.set_whatif_matrix_enabled(matrix_on);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                db.clear_whatif_matrix();
+                db.clear_whatif_cache();
+                let mut adv = AutoAdminGreedy::new(budget);
+                black_box(adv.recommend(&db, w))
+            })
+        });
+    };
+
+    // --- greedy candidate scoring, single-table (matrix-answerable) ---
+    bench_greedy(&mut c, "whatif/greedy_single_scalar", &single, false);
+    bench_greedy(&mut c, "whatif/greedy_single_matrix", &single, true);
+    let matrix_single = counters(&db);
+
+    // --- greedy candidate scoring, mixed/join-heavy (fallback-bound) --
+    bench_greedy(&mut c, "whatif/greedy_mixed_scalar", &mixed, false);
+    bench_greedy(&mut c, "whatif/greedy_mixed_matrix", &mixed, true);
+    let matrix_mixed = counters(&db);
+
+    // --- DQN training (env-step what-ifs), single-table ---------------
+    let bench_train = |c: &mut Criterion, name: &str, matrix_on: bool| {
+        db.set_whatif_matrix_enabled(matrix_on);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                db.clear_whatif_matrix();
+                db.clear_whatif_cache();
+                let mut adv = build_advisor(
+                    AdvisorKind::Dqn(TrajectoryMode::Best),
+                    SpeedPreset::Test,
+                    7,
+                );
+                adv.train(&db, &single);
+                black_box(adv.budget())
+            })
+        });
+    };
+    bench_train(&mut c, "whatif/train_single_scalar", false);
+    bench_train(&mut c, "whatif/train_single_matrix", true);
+    db.set_whatif_matrix_enabled(true);
+
+    let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
+    let med = |id: &str| median_of(&lines, id);
+    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
+        _ => None,
+    };
+    let medians = Medians {
+        greedy_single_scalar: med("whatif/greedy_single_scalar"),
+        greedy_single_matrix: med("whatif/greedy_single_matrix"),
+        greedy_mixed_scalar: med("whatif/greedy_mixed_scalar"),
+        greedy_mixed_matrix: med("whatif/greedy_mixed_matrix"),
+        train_single_scalar: med("whatif/train_single_scalar"),
+        train_single_matrix: med("whatif/train_single_matrix"),
+    };
+    let greedy_single_speedup = ratio(medians.greedy_single_scalar, medians.greedy_single_matrix);
+    let greedy_mixed_speedup = ratio(medians.greedy_mixed_scalar, medians.greedy_mixed_matrix);
+    let train_single_speedup = ratio(medians.train_single_scalar, medians.train_single_matrix);
+
+    for (label, s) in [
+        ("greedy single-table", greedy_single_speedup),
+        ("greedy mixed       ", greedy_mixed_speedup),
+        ("DQN train single   ", train_single_speedup),
+    ] {
+        if let Some(s) = s {
+            println!("{label}: matrix speedup {s:.2}x");
+        }
+    }
+    println!(
+        "single-table counters: {} matrix evals, {} fallbacks, {} deltas (matrix rate {:.3})",
+        matrix_single.matrix_evals,
+        matrix_single.full_fallbacks,
+        matrix_single.delta_evals,
+        matrix_single.matrix_rate,
+    );
+
+    let artifact = BenchArtifact {
+        id: "BENCH_whatif".to_string(),
+        description: "benefit-matrix what-if vs scalar recompute on advisor hot paths \
+                      (greedy candidate scoring and DQN training; cold per iteration; \
+                      single-table = probing/injection shape, mixed = join-heavy bound)"
+            .to_string(),
+        single_workload_queries: single.len(),
+        mixed_workload_queries: mixed.len(),
+        greedy_budget: budget,
+        median_ns: medians,
+        greedy_single_speedup,
+        greedy_mixed_speedup,
+        train_single_speedup,
+        matrix_single,
+        matrix_mixed,
+    };
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let out = dir.join("BENCH_whatif.json");
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(&out, serde_json::to_string_pretty(&artifact).unwrap()).is_ok()
+    {
+        eprintln!("[artifact] {}", out.display());
+    }
+}

@@ -15,30 +15,6 @@ use pipa_obs::{CellCtx, Event, TraceOutputs};
 use pipa_sim::{Database, IndexConfig, Workload};
 use serde::Serialize;
 
-/// Harness options.
-#[deprecated(since = "0.1.0", note = "use the `StressTest` builder")]
-#[derive(Debug, Clone, Copy)]
-pub struct StressConfig {
-    /// Injection-workload size `N̂`.
-    pub injection_size: usize,
-    /// Measure final costs with the executor when data is materialized
-    /// (`true`) or with the analytical model (`false`).
-    pub use_actual_cost: bool,
-    /// Run seed (propagated to the injector).
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for StressConfig {
-    fn default() -> Self {
-        StressConfig {
-            injection_size: 18,
-            use_actual_cost: true,
-            seed: 0,
-        }
-    }
-}
-
 /// One stress-test outcome.
 #[derive(Debug, Clone, Serialize)]
 pub struct StressOutcome {
@@ -225,26 +201,9 @@ impl<'a> StressTest<'a> {
         if self.use_actual_cost {
             self.db.actual_workload_cost(self.normal, cfg)
         } else {
-            self.db.estimated_workload_cost(self.normal, cfg)
+            self.db.matrix_workload_cost(self.normal, cfg)
         }
     }
-}
-
-/// Execute one full stress test against an already-constructed advisor.
-#[deprecated(since = "0.1.0", note = "use the `StressTest` builder")]
-#[allow(deprecated)]
-pub fn run_stress_test(
-    advisor: &mut dyn ClearBoxAdvisor,
-    injector: &mut dyn Injector,
-    db: &Database,
-    normal: &Workload,
-    cfg: &StressConfig,
-) -> StressOutcome {
-    StressTest::new(db, normal)
-        .injection_size(cfg.injection_size)
-        .actual_cost(cfg.use_actual_cost)
-        .seed(CellSeed::raw(cfg.seed))
-        .run(advisor, injector)
 }
 
 fn index_names(db: &Database, cfg: &IndexConfig) -> Vec<String> {
@@ -331,29 +290,6 @@ mod tests {
         let b = test.run(ia.as_mut(), &mut inj);
         // Baselines agree because `train` resets the advisor.
         assert!((a.baseline_cost - b.baseline_cost).abs() < 1e-6);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_builder() {
-        let (db, w) = setup();
-        let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let cfg = StressConfig {
-            injection_size: 6,
-            use_actual_cost: false,
-            seed: 1,
-        };
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
-        let old = run_stress_test(ia.as_mut(), &mut inj, &db, &w, &cfg);
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
-        let new = StressTest::new(&db, &w)
-            .injection_size(6)
-            .actual_cost(false)
-            .seed(CellSeed::raw(1))
-            .run(ia.as_mut(), &mut inj);
-        assert_eq!(old.baseline_cost, new.baseline_cost);
-        assert_eq!(old.poisoned_cost, new.poisoned_cost);
-        assert_eq!(old.seed, new.seed);
     }
 
     #[test]

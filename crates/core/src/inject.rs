@@ -146,11 +146,14 @@ pub fn passes_toxicity_filter(
     cols: &[ColumnId],
     top1: Option<ColumnId>,
 ) -> bool {
+    // Generated queries are single-table, so both sides of the
+    // comparison come from the same benefit-matrix row; join-shaped
+    // queries fall back to the full model inside `matrix_query_cost`.
     let mid_cfg: IndexConfig = cols.iter().map(|&c| Index::single(c)).collect();
-    let c_mid = db.estimated_query_cost(q, &mid_cfg);
+    let c_mid = db.matrix_query_cost(q, &mid_cfg);
     let c_top = match top1 {
-        Some(t) => db.estimated_query_cost(q, &IndexConfig::from_indexes([Index::single(t)])),
-        None => db.estimated_query_cost(q, &IndexConfig::empty()),
+        Some(t) => db.matrix_query_cost(q, &IndexConfig::from_indexes([Index::single(t)])),
+        None => db.matrix_query_cost(q, &IndexConfig::empty()),
     };
     c_mid < c_top
 }

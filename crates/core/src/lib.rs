@@ -65,8 +65,6 @@ pub use experiment::{
     run_grid, run_grid_traced, CellConfig, GenBackend, GridCell, GridSpec, InjectorKind,
 };
 pub use harness::{StressOutcome, StressTest};
-#[allow(deprecated)]
-pub use harness::{run_stress_test, StressConfig};
 pub use inject::{inject, InjectConfig, InjectResult};
 pub use injectors::{Injector, TargetedInjector, TpInjector};
 pub use metrics::{absolute_degradation, is_toxic, relative_degradation, Stats};

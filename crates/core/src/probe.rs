@@ -128,9 +128,12 @@ pub fn probe(
         targeted.dedup();
 
         // Observe the advisor's output on PW (opaque-box interaction).
+        // Both configs are costed in one matrix-backed batch: the benefit
+        // rows built here are the same ones the advisor's own candidate
+        // scoring warmed during `recommend`.
         let rec: IndexConfig = advisor.recommend(db, &pw);
-        let base = db.estimated_workload_cost(&pw, &IndexConfig::empty());
-        let with = db.estimated_workload_cost(&pw, &rec);
+        let costs = db.what_if_batch(&pw, &[IndexConfig::empty(), rec.clone()]);
+        let (base, with) = (costs[0], costs[1]);
         let benefit = if base > 0.0 {
             ((base - with) / base).max(0.0)
         } else {
@@ -264,8 +267,10 @@ pub fn indexability_prior(db: &Database) -> Vec<f64> {
                 .aggregate(Aggregate::CountStar)
                 .build(db.schema())
                 .expect("probe query");
-            let base = db.estimated_query_cost(&q, &IndexConfig::empty());
-            let with = db.estimated_query_cost(&q, &IndexConfig::from_indexes([Index::single(c)]));
+            // Single-table equality probes: answered from the benefit
+            // matrix (one row per column, shared with later phases).
+            let base = db.matrix_query_cost(&q, &IndexConfig::empty());
+            let with = db.matrix_query_cost(&q, &IndexConfig::from_indexes([Index::single(c)]));
             (base - with).max(0.0)
         })
         .collect()

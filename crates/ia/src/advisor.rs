@@ -106,12 +106,6 @@ impl AdvisorKind {
         ]
     }
 
-    /// Deprecated name for [`AdvisorKind::all`].
-    #[deprecated(since = "0.1.0", note = "renamed to `AdvisorKind::all()`")]
-    pub fn all_seven() -> Vec<AdvisorKind> {
-        Self::all()
-    }
-
     /// Display name matching the paper's tables.
     pub fn label(self) -> String {
         match self {
@@ -144,12 +138,6 @@ mod tests {
                 "SWIRL"
             ]
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn all_seven_alias_matches_all() {
-        assert_eq!(AdvisorKind::all_seven(), AdvisorKind::all());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Rewards are scaled by [`REWARD_SCALE`] so learning curves land in the
 //! 0–20 range the paper's Figure 8 plots.
 
-use pipa_sim::{ColumnId, Database, Index, IndexConfig, Workload};
+use pipa_sim::{ColumnId, Database, IncrementalEval, Index, IndexConfig, Workload};
 
 /// Reward multiplier (presentation only; affects no ordering).
 pub const REWARD_SCALE: f64 = 20.0;
@@ -34,6 +34,10 @@ pub struct Episode {
     pub taken: Vec<usize>,
     /// Cost of the workload under the current config.
     pub current_cost: f64,
+    /// Incremental what-if session tracking `config`: each step updates
+    /// one benefit-matrix cell per query instead of re-costing the whole
+    /// workload (bit-identical either way).
+    pub eval: IncrementalEval,
 }
 
 impl<'a> IndexEnv<'a> {
@@ -80,6 +84,7 @@ impl<'a> IndexEnv<'a> {
             config: IndexConfig::empty(),
             taken: Vec::new(),
             current_cost: self.base_cost,
+            eval: self.db.whatif_eval_begin(self.workload),
         }
     }
 
@@ -93,9 +98,12 @@ impl<'a> IndexEnv<'a> {
     pub fn step(&self, ep: &mut Episode, a: usize) -> f64 {
         debug_assert!(!ep.taken.contains(&a), "action repeated");
         let col = self.candidates[a];
-        ep.config.add(Index::single(col));
+        let idx = Index::single(col);
+        ep.config.add(idx.clone());
         ep.taken.push(a);
-        let new_cost = self.db.estimated_workload_cost(self.workload, &ep.config);
+        let new_cost = self
+            .db
+            .whatif_eval_add(self.workload, &mut ep.eval, &ep.config, &idx);
         let reward = if self.base_cost > 0.0 {
             (ep.current_cost - new_cost) / self.base_cost * REWARD_SCALE
         } else {
@@ -221,6 +229,26 @@ mod tests {
             env.episode_return(&random)
         );
         assert!(env.episode_return(&oracle) > 0.5);
+    }
+
+    #[test]
+    fn incremental_step_costs_match_full_recompute_bit_for_bit() {
+        let (db, w) = setup();
+        let cands = db.schema().indexable_columns();
+        let env = IndexEnv::new(&db, &w, cands, 5);
+        let mut ep = env.reset();
+        assert_eq!(
+            ep.current_cost.to_bits(),
+            db.estimated_workload_cost(&w, &IndexConfig::empty()).to_bits()
+        );
+        for a in [3, 9, 17, 25, 31] {
+            env.step(&mut ep, a);
+            assert_eq!(
+                ep.current_cost.to_bits(),
+                db.estimated_workload_cost(&w, &ep.config).to_bits(),
+                "incremental episode cost diverged after adding action {a}"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl IndexAdvisor for AutoAdminGreedy {
     fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
         let candidates = workload.candidate_columns();
         let mut cfg = IndexConfig::empty();
-        let mut current = db.estimated_workload_cost(workload, &cfg);
+        // Hold one incremental session open across the greedy rounds:
+        // each candidate trial is a single-index delta preview against
+        // the committed prefix (bit-identical to full re-costing).
+        let mut eval = db.whatif_eval_begin(workload);
+        let mut current = db.whatif_eval_total(workload, &eval);
         for _ in 0..self.budget {
             let mut best: Option<(f64, Index)> = None;
             for &c in &candidates {
@@ -50,14 +54,15 @@ impl IndexAdvisor for AutoAdminGreedy {
                 }
                 let mut trial = cfg.clone();
                 trial.add(idx.clone());
-                let cost = db.estimated_workload_cost(workload, &trial);
+                let cost = db.whatif_eval_preview_add(workload, &eval, &trial, &idx);
                 if cost < current && best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
                     best = Some((cost, idx));
                 }
             }
             match best {
                 Some((cost, idx)) => {
-                    cfg.add(idx);
+                    cfg.add(idx.clone());
+                    db.whatif_eval_add(workload, &mut eval, &cfg, &idx);
                     current = cost;
                 }
                 None => break,
@@ -104,12 +109,13 @@ impl IndexAdvisor for DropHeuristic {
             .map(Index::single)
             .collect();
         while cfg.len() > self.budget {
-            // Drop the index whose removal increases cost the least.
+            // Drop the index whose removal increases cost the least. Each
+            // trial is a single-index removal delta answered from the
+            // benefit matrix (bit-identical to full re-costing).
             let mut best: Option<(f64, Index)> = None;
             for idx in cfg.indexes().to_vec() {
-                let mut trial = cfg.clone();
-                trial.remove(&idx);
-                let cost = db.estimated_workload_cost(workload, &trial);
+                let cost =
+                    db.what_if_delta(workload, &cfg, &pipa_sim::ConfigDelta::Remove(idx.clone()));
                 if best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
                     best = Some((cost, idx));
                 }
@@ -174,6 +180,40 @@ mod tests {
         let cfg = ia.recommend(&db, &w);
         assert!(cfg.len() <= 4);
         assert!(db.workload_benefit(&w, &cfg) > 0.0);
+    }
+
+    #[test]
+    fn greedy_matches_a_scalar_full_recompute_reimplementation() {
+        // The incremental session inside `recommend` must reproduce the
+        // original full-re-costing greedy loop decision for decision.
+        let (db, w) = setup();
+        let incremental = AutoAdminGreedy::new(4).recommend(&db, &w);
+        let candidates = w.candidate_columns();
+        let mut scalar = IndexConfig::empty();
+        let mut current = db.estimated_workload_cost(&w, &scalar);
+        for _ in 0..4 {
+            let mut best: Option<(f64, Index)> = None;
+            for &c in &candidates {
+                let idx = Index::single(c);
+                if scalar.indexes().contains(&idx) {
+                    continue;
+                }
+                let mut trial = scalar.clone();
+                trial.add(idx.clone());
+                let cost = db.estimated_workload_cost(&w, &trial);
+                if cost < current && best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
+                    best = Some((cost, idx));
+                }
+            }
+            match best {
+                Some((cost, idx)) => {
+                    scalar.add(idx);
+                    current = cost;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(incremental, scalar);
     }
 
     #[test]

@@ -308,4 +308,91 @@ mod tests {
         let keys = top_level_keys(r#"{"k":"μ=0.5 →  é"}"#).expect("valid");
         assert_eq!(keys, vec!["k"]);
     }
+
+    #[test]
+    fn control_characters_round_trip_through_event_rendering() {
+        // The renderer must escape every C0 control so its output always
+        // re-parses; probe one field per control codepoint.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let line = crate::Event::new("edge")
+                .field("payload", format!("a{c}b"))
+                .render(&[], "test");
+            let keys = top_level_keys(&line)
+                .unwrap_or_else(|e| panic!("control 0x{code:02x} broke the line: {e}\n{line}"));
+            assert_eq!(keys, vec!["event", "phase", "payload"]);
+        }
+    }
+
+    #[test]
+    fn escaped_controls_and_raw_controls_differ() {
+        // Escaped forms are valid JSON…
+        for ok in [
+            r#"{"k":"\u0000"}"#,
+            r#"{"k":"\u001f"}"#,
+            r#"{"k":"\b\f\n\r\t"}"#,
+        ] {
+            assert!(top_level_keys(ok).is_ok(), "rejected {ok:?}");
+        }
+        // …raw control bytes are not, anywhere a string can appear.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let in_value = format!("{{\"k\":\"{c}\"}}");
+            let in_key = format!("{{\"{c}\":1}}");
+            assert!(top_level_keys(&in_value).is_err(), "accepted raw 0x{code:02x} in value");
+            assert!(top_level_keys(&in_key).is_err(), "accepted raw 0x{code:02x} in key");
+        }
+    }
+
+    #[test]
+    fn non_ascii_keys_and_values_parse_at_every_utf8_width() {
+        // 2-byte (é), 3-byte (→), and 4-byte (𝛼) sequences, in both key
+        // and value position.
+        let keys = top_level_keys(r#"{"é":"ok","→":2,"𝛼":"β γ 𝛿"}"#).expect("valid");
+        assert_eq!(keys, vec!["é", "→", "𝛼"]);
+        // \u escapes decode to the same key as the literal character.
+        let escaped = top_level_keys(r#"{"é":1}"#).expect("valid");
+        assert_eq!(escaped, vec!["é"]);
+    }
+
+    #[test]
+    fn empty_keys_are_legal_json() {
+        assert_eq!(top_level_keys(r#"{"":1}"#).expect("valid"), vec![""]);
+        assert_eq!(
+            top_level_keys(r#"{"":{"":[]},"x":""}"#).expect("valid"),
+            vec!["", "x"]
+        );
+    }
+
+    #[test]
+    fn validation_failures_report_an_offset() {
+        for (bad, why) in [
+            (r#"{"k":"\x"}"#, "invalid escape"),
+            (r#"{"k":"\u12"}"#, "truncated \\u"),
+            (r#"{"k":"\u12zz"}"#, "non-hex \\u digits"),
+            (r#"{"k" 1}"#, "missing colon"),
+            (r#"{k:1}"#, "unquoted key"),
+            (r#"{"k":1}{"#, "trailing object"),
+            (r#"{"k":+1}"#, "leading plus"),
+            (r#"{"k":.5}"#, "bare fraction"),
+            (r#"{"k":1.}"#, "empty fraction"),
+            (r#"{"k":[1,]}"#, "trailing array comma"),
+            (r#"{"k":tru}"#, "truncated literal"),
+            ("{\"k\":1}\u{0}", "trailing NUL"),
+        ] {
+            let err = top_level_keys(bad).expect_err(why);
+            assert!(
+                err.contains("offset"),
+                "{why}: error {err:?} lacks an offset"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_are_structurally_accepted() {
+        // The lint checks structure, not codepoints: \ud800 becomes
+        // U+FFFD rather than failing the whole trace line.
+        let keys = top_level_keys(r#"{"\ud800":"\udfff"}"#).expect("valid");
+        assert_eq!(keys, vec!["\u{fffd}"]);
+    }
 }

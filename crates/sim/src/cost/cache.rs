@@ -169,6 +169,18 @@ pub fn fingerprint_query(q: &Query) -> Fingerprint {
     h.finish()
 }
 
+/// Structural fingerprint of a single index (its column list). Keys the
+/// per-(query, index) benefit matrix the same way [`fingerprint_config`]
+/// keys the per-(query, config) cost cache.
+pub fn fingerprint_index(idx: &crate::index::Index) -> Fingerprint {
+    let mut h = Fnv2::new();
+    h.u32(idx.columns.len() as u32);
+    for c in &idx.columns {
+        h.u32(c.0);
+    }
+    h.finish()
+}
+
 /// Structural fingerprint of an index configuration (order-sensitive:
 /// the cost model is order-insensitive, so keying on insertion order
 /// only costs duplicate entries, never correctness).

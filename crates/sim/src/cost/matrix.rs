@@ -1,0 +1,661 @@
+//! Incremental what-if evaluation: the per-(query, index) benefit matrix.
+//!
+//! Every advisor action loop evaluates thousands of index configurations
+//! that differ by a single index. Full re-costing treats each
+//! configuration as opaque, paying `O(|W| · |I|)` model work per
+//! evaluation; the per-(query, config) [`super::CostCache`] removes exact
+//! repeats but still stores the combinatorial `(query, config)` space.
+//! This module exploits the cost model's structure instead:
+//!
+//! * For a **single-table query** the model's plan is
+//!   `surcharges(min(seq_scan, index_scan(i) for i in config))` where the
+//!   surcharges depend only on the (config-independent) filtered
+//!   cardinality. The per-index access costs are a *matrix* indexed by
+//!   `(query, index)` — `O(|W| · L)` entries, not `O(|W| · 2^L)` — and a
+//!   config cost is a running `min` over the row.
+//! * For a **join query** the access-path choice couples with join
+//!   planning (an index on the join key enables an index nested-loop
+//!   join whose cost depends on the outer cardinality), so decomposition
+//!   would change results. Those queries take the full-model fallback,
+//!   memoized by the [`super::CostCache`].
+//!
+//! Equality contract: matrix answers are **bit-identical** to the scalar
+//! model. Both paths call the same crate-internal `table_access` /
+//! `index_access_cost` / `apply_surcharges` helpers, the `min` runs over
+//! the same values in the same order, and "index not applicable" is
+//! encoded as `+∞` so the `e < best` comparison skips it exactly like the
+//! scalar path's `continue`. `tests/whatif_differential.rs` pins this
+//! with proptest-generated workloads and edit sequences.
+//!
+//! Concurrency mirrors [`super::CostCache`]: sharded `RwLock` maps,
+//! misses compute outside locks, racy inserts are idempotent because the
+//! model is pure.
+
+use super::cache::{fingerprint_index, Fingerprint};
+use super::model::{AnalyticalCostModel, TableAccess};
+use super::Catalog;
+use crate::index::{Index, IndexConfig};
+use crate::query::Query;
+use crate::schema::TableId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Shard count (power of two, same rationale as the cost cache).
+const SHARDS: usize = 16;
+
+/// How a query's cost depends on the index configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum QueryShape {
+    /// No tables: cost is 0 under every configuration.
+    Trivial,
+    /// Single table: cost decomposes into a per-index matrix row.
+    Decomposable {
+        /// The query's only table.
+        table: TableId,
+        /// Sequential-scan baseline (the row's "no index" entry).
+        seq_cost: f64,
+        /// Filtered output cardinality (surcharge input).
+        rows_out: f64,
+    },
+    /// Joins present: index choice interacts with join planning; only the
+    /// full model is correct.
+    JoinCoupled,
+}
+
+/// Counter snapshot of a [`BenefitMatrix`], as returned by
+/// [`BenefitMatrix::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixStats {
+    /// Per-query config evaluations answered from the matrix
+    /// (decomposable shape, including trivial queries).
+    pub matrix_evals: u64,
+    /// Per-query evaluations that fell back to the full model
+    /// (join-coupled shape).
+    pub full_fallbacks: u64,
+    /// Delta operations (`what_if_delta`, incremental-eval previews and
+    /// commits).
+    pub delta_evals: u64,
+    /// Matrix-cell lookups answered from the resident matrix.
+    pub entry_hits: u64,
+    /// Matrix-cell lookups that computed a fresh access cost.
+    pub entry_misses: u64,
+    /// `(query, index)` cells currently resident.
+    pub entries: usize,
+    /// Query shapes classified so far.
+    pub shapes: usize,
+}
+
+impl MatrixStats {
+    /// Full-model fallbacks as a fraction of all per-query evaluations
+    /// (0 when nothing was evaluated).
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.matrix_evals + self.full_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.full_fallbacks as f64 / total as f64
+        }
+    }
+
+    /// Matrix evaluations as a fraction of all per-query evaluations
+    /// (0 when nothing was evaluated).
+    pub fn matrix_rate(&self) -> f64 {
+        let total = self.matrix_evals + self.full_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.matrix_evals as f64 / total as f64
+        }
+    }
+}
+
+/// A single-index edit against a base configuration, for
+/// [`crate::db::Database::what_if_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigDelta {
+    /// Add this index to the base configuration.
+    Add(Index),
+    /// Remove this index from the base configuration.
+    Remove(Index),
+}
+
+impl ConfigDelta {
+    /// The edited configuration (`base ± index`).
+    pub fn apply(&self, base: &IndexConfig) -> IndexConfig {
+        let mut cfg = base.clone();
+        match self {
+            ConfigDelta::Add(idx) => {
+                cfg.add(idx.clone());
+            }
+            ConfigDelta::Remove(idx) => {
+                cfg.remove(idx);
+            }
+        }
+        cfg
+    }
+}
+
+/// Per-query state of an [`IncrementalEval`] session.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum QueryState {
+    /// No tables: cost pinned at 0.
+    Trivial,
+    /// Decomposable: the running `min` over applied matrix entries plus
+    /// the finalized (surcharged) per-query cost.
+    Raw {
+        /// The query's table (matrix-row key material).
+        table: TableId,
+        /// Filtered cardinality (surcharge input).
+        rows_out: f64,
+        /// `min(seq_cost, entries of the indexes applied so far)`.
+        raw: f64,
+        /// `apply_surcharges(raw)` — the per-query cost under the
+        /// session's current configuration.
+        cost: f64,
+    },
+    /// Join-coupled (or matrix disabled): full per-query cost under the
+    /// session's current configuration.
+    Full(f64),
+}
+
+impl QueryState {
+    /// The per-query cost under the session's current configuration.
+    pub(crate) fn cost(&self) -> f64 {
+        match *self {
+            QueryState::Trivial => 0.0,
+            QueryState::Raw { cost, .. } => cost,
+            QueryState::Full(c) => c,
+        }
+    }
+}
+
+/// Per-workload-entry evaluation state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EvalState {
+    /// Fingerprint of the entry's query (computed once per session).
+    pub(crate) qf: Fingerprint,
+    /// Current cost state.
+    pub(crate) kind: QueryState,
+}
+
+/// An incremental what-if evaluation session: per-query cost state for
+/// one workload under a configuration built up one index at a time.
+///
+/// Created by [`crate::db::Database::whatif_eval_begin`] (empty
+/// configuration), advanced by `whatif_eval_add`, previewed without
+/// commitment by `whatif_eval_preview_add`. Plain data (no borrows), so
+/// advisors can store one per episode. Totals are always recomputed as a
+/// fresh frequency-weighted sum in workload order — never maintained via
+/// `+= diff` — so they stay bit-identical to a scalar recompute.
+#[derive(Debug, Clone)]
+pub struct IncrementalEval {
+    /// One state per workload entry, in workload order.
+    pub(crate) states: Vec<EvalState>,
+}
+
+impl IncrementalEval {
+    /// Number of workload entries tracked.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the session tracks an empty workload.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// The per-(query, index) benefit matrix with shape classification and
+/// counters. Owned by [`crate::db::Database`] next to its
+/// [`super::CostCache`].
+pub struct BenefitMatrix {
+    /// Query fingerprint → shape (lazily classified).
+    shapes: RwLock<HashMap<Fingerprint, QueryShape>>,
+    /// `(query, index)` → raw access cost; `+∞` = index not applicable.
+    entries: Vec<RwLock<HashMap<(Fingerprint, Fingerprint), f64>>>,
+    enabled: AtomicBool,
+    matrix_evals: AtomicU64,
+    full_fallbacks: AtomicU64,
+    delta_evals: AtomicU64,
+    entry_hits: AtomicU64,
+    entry_misses: AtomicU64,
+}
+
+impl Default for BenefitMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BenefitMatrix {
+    /// An empty, enabled matrix.
+    pub fn new() -> Self {
+        BenefitMatrix {
+            shapes: RwLock::new(HashMap::new()),
+            entries: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            enabled: AtomicBool::new(true),
+            matrix_evals: AtomicU64::new(0),
+            full_fallbacks: AtomicU64::new(0),
+            delta_evals: AtomicU64::new(0),
+            entry_hits: AtomicU64::new(0),
+            entry_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable or disable the matrix (evaluations route to the full model
+    /// when disabled; resident cells are kept). Benchmarks use this to
+    /// measure the scalar path; results are identical either way.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the matrix is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop all cells and shapes and zero the counters.
+    pub fn clear(&self) {
+        self.shapes.write().expect("matrix shapes poisoned").clear();
+        for s in &self.entries {
+            s.write().expect("matrix shard poisoned").clear();
+        }
+        self.matrix_evals.store(0, Ordering::Relaxed);
+        self.full_fallbacks.store(0, Ordering::Relaxed);
+        self.delta_evals.store(0, Ordering::Relaxed);
+        self.entry_hits.store(0, Ordering::Relaxed);
+        self.entry_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats {
+            matrix_evals: self.matrix_evals.load(Ordering::Relaxed),
+            full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
+            delta_evals: self.delta_evals.load(Ordering::Relaxed),
+            entry_hits: self.entry_hits.load(Ordering::Relaxed),
+            entry_misses: self.entry_misses.load(Ordering::Relaxed),
+            entries: self
+                .entries
+                .iter()
+                .map(|s| s.read().expect("matrix shard poisoned").len())
+                .sum(),
+            shapes: self.shapes.read().expect("matrix shapes poisoned").len(),
+        }
+    }
+
+    /// One per-query evaluation was answered from the matrix.
+    pub(crate) fn note_matrix_eval(&self) {
+        self.matrix_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One per-query evaluation fell back to the full model.
+    pub(crate) fn note_fallback(&self) {
+        self.full_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One delta operation was requested.
+    pub(crate) fn note_delta(&self) {
+        self.delta_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Classify `q` (memoized by fingerprint).
+    pub(crate) fn shape(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+    ) -> QueryShape {
+        if let Some(&s) = self
+            .shapes
+            .read()
+            .expect("matrix shapes poisoned")
+            .get(&qf)
+        {
+            return s;
+        }
+        let s = if q.tables.is_empty() {
+            QueryShape::Trivial
+        } else if q.tables.len() == 1 {
+            let acc = model.table_access(cat, q, q.tables[0]);
+            QueryShape::Decomposable {
+                table: acc.table,
+                seq_cost: acc.seq_cost,
+                rows_out: acc.rows_out,
+            }
+        } else {
+            QueryShape::JoinCoupled
+        };
+        self.shapes
+            .write()
+            .expect("matrix shapes poisoned")
+            .entry(qf)
+            .or_insert(s);
+        s
+    }
+
+    /// One matrix cell: the raw access cost of scanning the query's
+    /// table through `index` (`+∞` when the index is on another table or
+    /// unusable). `acc` is a lazily-built [`TableAccess`] shared across a
+    /// row's lookups so a cold row costs one `table_access` total.
+    fn cell<'q>(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        key: &QueryKey<'q>,
+        idxf: Fingerprint,
+        index: &Index,
+        acc: &mut Option<TableAccess<'q>>,
+    ) -> f64 {
+        let cell_key = (key.qf, idxf);
+        let shard = &self.entries[(key.qf.to_u128() as u64 ^ idxf.to_u128() as u64) as usize
+            & (SHARDS - 1)];
+        if let Some(&v) = shard.read().expect("matrix shard poisoned").get(&cell_key) {
+            self.entry_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.entry_misses.fetch_add(1, Ordering::Relaxed);
+        let a = acc.get_or_insert_with(|| model.table_access(cat, key.q, key.table));
+        let v = model
+            .index_access_cost(cat, a, index)
+            .unwrap_or(f64::INFINITY);
+        shard
+            .write()
+            .expect("matrix shard poisoned")
+            .entry(cell_key)
+            .or_insert(v);
+        v
+    }
+
+    /// `min(seq_cost, matrix row entries for the keyed indexes)` — the
+    /// raw (pre-surcharge) best access cost of a decomposable query.
+    /// Bit-identical to the scalar `best_access_path` because
+    /// inapplicable indexes are `+∞` and `+∞ < best` never fires, exactly
+    /// like the scalar path's `continue`.
+    pub(crate) fn best_raw(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        key: &QueryKey<'_>,
+        seq_cost: f64,
+        keyed: &[(Fingerprint, &Index)],
+    ) -> f64 {
+        let mut acc = None;
+        let mut best = seq_cost;
+        for &(idxf, index) in keyed {
+            let e = self.cell(model, cat, key, idxf, index, &mut acc);
+            if e < best {
+                best = e;
+            }
+        }
+        best
+    }
+
+    /// One matrix cell for a single index (the delta hot path).
+    pub(crate) fn index_cell(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        key: &QueryKey<'_>,
+        idxf: Fingerprint,
+        index: &Index,
+    ) -> f64 {
+        let mut acc = None;
+        self.cell(model, cat, key, idxf, index, &mut acc)
+    }
+}
+
+/// Identity of a decomposable query inside the matrix: the query, its
+/// structural fingerprint, and its single table.
+pub(crate) struct QueryKey<'q> {
+    pub(crate) q: &'q Query,
+    pub(crate) qf: Fingerprint,
+    pub(crate) table: TableId,
+}
+
+/// Fingerprint every index of a configuration once (hoisted out of the
+/// per-query loops).
+pub(crate) fn keyed_indexes(cfg: &IndexConfig) -> Vec<(Fingerprint, &Index)> {
+    cfg.indexes()
+        .iter()
+        .map(|i| (fingerprint_index(i), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cache::fingerprint_query;
+    use crate::cost::{CostModel, PAGE_SIZE};
+    use crate::predicate::Predicate;
+    use crate::query::QueryBuilder;
+    use crate::schema::{ColumnId, DataType, Schema};
+    use crate::stats::{ColumnStats, TableStats};
+
+    struct Fixture {
+        schema: Schema,
+        tstats: Vec<TableStats>,
+        cstats: Vec<ColumnStats>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut schema = Schema::new();
+            schema.add_table(
+                "fact",
+                500_000,
+                &[
+                    ("f_id", DataType::BigInt),
+                    ("f_dim", DataType::Int),
+                    ("f_price", DataType::Decimal),
+                ],
+            );
+            schema.add_table(
+                "dim",
+                1000,
+                &[("d_id", DataType::Int), ("d_cat", DataType::Int)],
+            );
+            let tstats = schema
+                .tables()
+                .iter()
+                .map(|t| {
+                    let rows = t.base_rows;
+                    let width = schema.row_width(t.id) as u64;
+                    TableStats {
+                        rows,
+                        pages: (rows * width).div_ceil(PAGE_SIZE).max(1),
+                    }
+                })
+                .collect();
+            let cstats = schema
+                .columns()
+                .iter()
+                .map(|c| {
+                    let rows = schema.table(c.table).base_rows;
+                    let ndv = match c.name.as_str() {
+                        "f_id" => rows,
+                        "f_dim" | "d_id" => 1000,
+                        "f_price" => 10_000,
+                        "d_cat" => 10,
+                        _ => unreachable!(),
+                    };
+                    ColumnStats::uniform(c.id, c.ty, ndv, 0, ndv as i64 - 1)
+                })
+                .collect();
+            Fixture {
+                schema,
+                tstats,
+                cstats,
+            }
+        }
+
+        fn cat(&self) -> Catalog<'_> {
+            Catalog {
+                schema: &self.schema,
+                table_stats: &self.tstats,
+                column_stats: &self.cstats,
+            }
+        }
+
+        fn col(&self, n: &str) -> ColumnId {
+            self.schema.column_id(n).unwrap()
+        }
+    }
+
+    fn eval_decomposable(
+        m: &BenefitMatrix,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        cfg: &IndexConfig,
+    ) -> f64 {
+        let qf = fingerprint_query(q);
+        match m.shape(model, cat, q, qf) {
+            QueryShape::Decomposable {
+                table,
+                seq_cost,
+                rows_out,
+            } => {
+                let keyed = keyed_indexes(cfg);
+                let raw = m.best_raw(model, cat, &QueryKey { q, qf, table }, seq_cost, &keyed);
+                model.apply_surcharges(q, raw, rows_out)
+            }
+            s => panic!("expected decomposable shape, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn single_table_costs_match_the_scalar_model_bit_for_bit() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .filter(&fx.schema, Predicate::eq(fx.col("f_dim"), 0.4))
+            .filter(&fx.schema, Predicate::between(fx.col("f_price"), 0.1, 0.3))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let configs = [
+            IndexConfig::empty(),
+            IndexConfig::from_indexes([Index::single(fx.col("f_dim"))]),
+            IndexConfig::from_indexes([Index::single(fx.col("d_cat"))]),
+            IndexConfig::from_indexes([
+                Index::single(fx.col("f_price")),
+                Index::single(fx.col("f_dim")),
+                Index::multi(&fx.schema, vec![fx.col("f_dim"), fx.col("f_price")]).unwrap(),
+            ]),
+        ];
+        for cfg in &configs {
+            let scalar = model.query_cost(fx.cat(), &q, cfg);
+            // Cold then warm: both must be bit-identical to the scalar path.
+            let cold = eval_decomposable(&m, &model, fx.cat(), &q, cfg);
+            let warm = eval_decomposable(&m, &model, fx.cat(), &q, cfg);
+            assert_eq!(scalar.to_bits(), cold.to_bits());
+            assert_eq!(scalar.to_bits(), warm.to_bits());
+        }
+        let s = m.stats();
+        assert!(s.entry_hits > 0, "warm pass must hit resident cells");
+        assert!(s.entries > 0 && s.shapes == 1);
+    }
+
+    #[test]
+    fn join_queries_classify_as_join_coupled() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .join(&fx.schema, fx.col("f_dim"), fx.col("d_id"))
+            .filter(&fx.schema, Predicate::eq(fx.col("d_id"), 0.5))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let qf = fingerprint_query(&q);
+        assert_eq!(
+            m.shape(&model, fx.cat(), &q, qf),
+            QueryShape::JoinCoupled
+        );
+    }
+
+    #[test]
+    fn inapplicable_index_is_infinity_and_never_wins() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .filter(&fx.schema, Predicate::eq(fx.col("f_id"), 0.5))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let qf = fingerprint_query(&q);
+        let other = Index::single(fx.col("d_cat"));
+        let cell = m.index_cell(
+            &model,
+            fx.cat(),
+            &QueryKey {
+                q: &q,
+                qf,
+                table: q.tables[0],
+            },
+            fingerprint_index(&other),
+            &other,
+        );
+        assert!(cell.is_infinite());
+        let with = eval_decomposable(
+            &m,
+            &model,
+            fx.cat(),
+            &q,
+            &IndexConfig::from_indexes([other]),
+        );
+        let base = model.query_cost(fx.cat(), &q, &IndexConfig::empty());
+        assert_eq!(with.to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn clear_resets_cells_shapes_and_counters() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .filter(&fx.schema, Predicate::eq(fx.col("f_id"), 0.5))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let cfg = IndexConfig::from_indexes([Index::single(fx.col("f_id"))]);
+        let _ = eval_decomposable(&m, &model, fx.cat(), &q, &cfg);
+        m.note_matrix_eval();
+        m.note_delta();
+        m.clear();
+        let s = m.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.shapes, 0);
+        assert_eq!((s.matrix_evals, s.delta_evals, s.entry_misses), (0, 0, 0));
+        assert_eq!(s.fallback_rate(), 0.0);
+    }
+
+    #[test]
+    fn config_delta_applies_both_directions() {
+        let fx = Fixture::new();
+        let a = Index::single(fx.col("f_id"));
+        let b = Index::single(fx.col("f_dim"));
+        let base = IndexConfig::from_indexes([a.clone()]);
+        let added = ConfigDelta::Add(b.clone()).apply(&base);
+        assert_eq!(added.len(), 2);
+        let removed = ConfigDelta::Remove(a).apply(&added);
+        assert_eq!(removed.indexes(), &[b]);
+    }
+
+    #[test]
+    fn stats_rates_partition_evaluations() {
+        let m = BenefitMatrix::new();
+        for _ in 0..3 {
+            m.note_matrix_eval();
+        }
+        m.note_fallback();
+        let s = m.stats();
+        assert!((s.matrix_rate() - 0.75).abs() < 1e-12);
+        assert!((s.fallback_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -7,9 +7,11 @@
 //! `c(W, d, I)` requests to PostgreSQL's hypothetical-index extension.
 
 pub mod cache;
+pub mod matrix;
 mod model;
 
 pub use cache::{CacheStats, CostCache};
+pub use matrix::{BenefitMatrix, ConfigDelta, IncrementalEval, MatrixStats};
 pub use model::AnalyticalCostModel;
 
 use crate::index::IndexConfig;

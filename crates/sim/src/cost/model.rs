@@ -28,6 +28,31 @@ use crate::schema::{ColumnId, TableId};
 /// misses).
 const INDEX_ONLY_HEAP_FRACTION: f64 = 0.05;
 
+/// Config-independent access data for one table of a query: the
+/// predicates that land on it, the columns it must produce (for
+/// index-only detection), the sequential-scan baseline, and the filtered
+/// output cardinality.
+///
+/// Both the scalar path ([`AnalyticalCostModel::query_cost`]) and the
+/// incremental benefit matrix ([`super::matrix::BenefitMatrix`]) derive
+/// per-index access costs from this same struct via
+/// [`AnalyticalCostModel::index_access_cost`], which is what makes the
+/// two paths bit-identical: they execute the same float operations on
+/// the same inputs.
+#[derive(Debug, Clone)]
+pub(crate) struct TableAccess<'q> {
+    /// The table.
+    pub table: TableId,
+    /// Predicates of the query that filter this table.
+    pub preds: Vec<&'q Predicate>,
+    /// Referenced columns of this table.
+    pub referenced: Vec<ColumnId>,
+    /// Sequential-scan cost (the index-free baseline).
+    pub seq_cost: f64,
+    /// Filtered output cardinality.
+    pub rows_out: f64,
+}
+
 /// PostgreSQL-style analytical cost model.
 #[derive(Debug, Clone, Default)]
 pub struct AnalyticalCostModel {
@@ -140,6 +165,72 @@ impl AnalyticalCostModel {
             + p.cpu_operator_cost * tuples * n_resid as f64
     }
 
+    /// Config-independent access data for one table of the query (the
+    /// seq-scan baseline and everything [`Self::index_access_cost`]
+    /// needs to cost an index against it).
+    pub(crate) fn table_access<'q>(
+        &self,
+        cat: Catalog<'_>,
+        q: &'q Query,
+        table: TableId,
+    ) -> TableAccess<'q> {
+        let preds = q.predicates_on(cat.schema, table);
+        let sel_all = self.combined_selectivity(cat, &preds);
+        let rows_out = (cat.table(table).rows as f64 * sel_all).max(1.0);
+        let seq_cost = self.seq_scan_cost(cat, table, preds.len());
+        // Referenced columns of this table (for index-only detection).
+        let referenced: Vec<ColumnId> = q
+            .referenced_columns()
+            .into_iter()
+            .filter(|&c| cat.schema.table_of(c) == table)
+            .collect();
+        TableAccess {
+            table,
+            preds,
+            referenced,
+            seq_cost,
+            rows_out,
+        }
+    }
+
+    /// Cost of scanning `acc`'s table through `index`, or `None` when the
+    /// index lives on another table or its leading column has no sargable
+    /// predicate.
+    pub(crate) fn index_access_cost(
+        &self,
+        cat: Catalog<'_>,
+        acc: &TableAccess<'_>,
+        index: &Index,
+    ) -> Option<f64> {
+        if index.table(cat.schema) != acc.table {
+            return None;
+        }
+        let sel = self.index_match(cat, index, &acc.preds)?;
+        let covering = acc.referenced.iter().all(|c| index.columns.contains(c));
+        let n_resid = acc
+            .preds
+            .iter()
+            .filter(|p| !index.columns.contains(&p.col))
+            .count();
+        Some(self.index_scan_cost(cat, acc.table, index, sel, covering, n_resid))
+    }
+
+    /// Aggregation / grouping / sorting surcharges applied on top of the
+    /// join-tree cost. Depends only on `result_rows` (config-independent),
+    /// never on which access paths were chosen.
+    pub(crate) fn apply_surcharges(&self, q: &Query, mut total: f64, result_rows: f64) -> f64 {
+        let p = &self.params;
+        if !q.aggregates.is_empty() || !q.group_by.is_empty() {
+            total += p.cpu_operator_cost
+                * result_rows
+                * (q.aggregates.len() + q.group_by.len()).max(1) as f64;
+        }
+        if !q.order_by.is_empty() && result_rows > 1.0 {
+            total += 2.0 * p.cpu_operator_cost * result_rows * result_rows.log2().max(1.0);
+        }
+        total
+    }
+
     /// Best access path for a single table of the query. Returns
     /// `(cost, filtered_rows)`.
     fn best_access_path(
@@ -149,37 +240,17 @@ impl AnalyticalCostModel {
         table: TableId,
         cfg: &IndexConfig,
     ) -> (f64, f64) {
-        let preds = q.predicates_on(cat.schema, table);
-        let sel_all = self.combined_selectivity(cat, &preds);
-        let rows_out = (cat.table(table).rows as f64 * sel_all).max(1.0);
-        let mut best = self.seq_scan_cost(cat, table, preds.len());
-
-        // Referenced columns of this table (for index-only detection).
-        let referenced: Vec<ColumnId> = q
-            .referenced_columns()
-            .into_iter()
-            .filter(|&c| cat.schema.table_of(c) == table)
-            .collect();
-
+        let acc = self.table_access(cat, q, table);
+        let mut best = acc.seq_cost;
         for index in cfg.indexes() {
-            if index.table(cat.schema) != table {
-                continue;
-            }
-            let Some(sel) = self.index_match(cat, index, &preds) else {
+            let Some(cost) = self.index_access_cost(cat, &acc, index) else {
                 continue;
             };
-            let covering = referenced.iter().all(|c| index.columns.contains(c));
-            let matched_cols: Vec<ColumnId> = index.columns.clone();
-            let n_resid = preds
-                .iter()
-                .filter(|p| !matched_cols.contains(&p.col))
-                .count();
-            let cost = self.index_scan_cost(cat, table, index, sel, covering, n_resid);
             if cost < best {
                 best = cost;
             }
         }
-        (best, rows_out)
+        (best, acc.rows_out)
     }
 
     /// EXPLAIN-style access-path summary: for each table of the query,
@@ -196,30 +267,20 @@ impl AnalyticalCostModel {
             self.query_cost(cat, q, cfg)
         );
         for &t in &q.tables {
-            let preds = q.predicates_on(cat.schema, t);
-            let seq = self.seq_scan_cost(cat, t, preds.len());
-            let referenced: Vec<ColumnId> = q
-                .referenced_columns()
-                .into_iter()
-                .filter(|&c| cat.schema.table_of(c) == t)
-                .collect();
+            let acc = self.table_access(cat, q, t);
+            let seq = acc.seq_cost;
             let mut choice = format!("seq scan (cost {seq:.0})");
             let mut best = seq;
             for index in cfg.indexes() {
-                if index.table(cat.schema) != t {
-                    continue;
-                }
-                let Some(sel) = self.index_match(cat, index, &preds) else {
+                let Some(cost) = self.index_access_cost(cat, &acc, index) else {
                     continue;
                 };
-                let covering = referenced.iter().all(|c| index.columns.contains(c));
-                let n_resid = preds
-                    .iter()
-                    .filter(|p| !index.columns.contains(&p.col))
-                    .count();
-                let cost = self.index_scan_cost(cat, t, index, sel, covering, n_resid);
                 if cost < best {
                     best = cost;
+                    let sel = self
+                        .index_match(cat, index, &acc.preds)
+                        .expect("costed index matched");
+                    let covering = acc.referenced.iter().all(|c| index.columns.contains(c));
                     let kind = if covering { "index-only" } else { "index" };
                     choice = format!(
                         "{kind} scan via {} (sel {sel:.4}, cost {cost:.0})",
@@ -358,15 +419,7 @@ impl CostModel for AnalyticalCostModel {
         }
 
         // Aggregation / grouping / sorting surcharges.
-        if !q.aggregates.is_empty() || !q.group_by.is_empty() {
-            total += p.cpu_operator_cost
-                * result_rows
-                * (q.aggregates.len() + q.group_by.len()).max(1) as f64;
-        }
-        if !q.order_by.is_empty() && result_rows > 1.0 {
-            total += 2.0 * p.cpu_operator_cost * result_rows * result_rows.log2().max(1.0);
-        }
-        total
+        self.apply_surcharges(q, total, result_rows)
     }
 }
 

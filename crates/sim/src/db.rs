@@ -2,8 +2,12 @@
 //! data, exposing exactly the interface the paper assumes of the DBMS:
 //! estimated costs via hypothetical indexes, and actual execution costs.
 
-use crate::cost::cache::{fingerprint_config, fingerprint_query};
-use crate::cost::{AnalyticalCostModel, CacheStats, Catalog, CostCache, CostModel, PAGE_SIZE};
+use crate::cost::cache::{fingerprint_config, fingerprint_index, fingerprint_query, Fingerprint};
+use crate::cost::matrix::{keyed_indexes, EvalState, QueryKey, QueryShape, QueryState};
+use crate::cost::{
+    AnalyticalCostModel, BenefitMatrix, CacheStats, Catalog, ConfigDelta, CostCache, CostModel,
+    IncrementalEval, MatrixStats, PAGE_SIZE,
+};
 use crate::datagen::generate_table;
 use crate::exec::Executor;
 use crate::index::{Index, IndexConfig};
@@ -26,6 +30,9 @@ pub struct Database {
     phys_cache: Mutex<HashMap<Index, PhysicalIndex>>,
     /// Memoized what-if costs; the model is pure so entries never go stale.
     whatif_cache: CostCache,
+    /// Per-(query, index) benefit matrix for incremental what-if
+    /// evaluation; join-coupled queries fall back to `whatif_cache`.
+    whatif_matrix: BenefitMatrix,
     scale: f64,
 }
 
@@ -125,6 +132,276 @@ impl Database {
     /// Drop all memoized what-if costs and zero the counters.
     pub fn clear_whatif_cache(&self) {
         self.whatif_cache.clear();
+    }
+
+    // ---- Incremental what-if evaluation (the benefit matrix) ----------
+
+    /// Matrix-backed `c(q, d, I)`. Single-table queries are answered from
+    /// the per-(query, index) benefit matrix (`surcharges(min(seq, row))`);
+    /// join queries — where index choice interacts with join planning —
+    /// and disabled-matrix calls fall back to the full model, memoized by
+    /// the what-if cache. Bit-identical to [`Self::estimated_query_cost`]
+    /// in every case (pinned by `tests/whatif_differential.rs`).
+    pub fn matrix_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+        if !self.whatif_matrix.is_enabled() {
+            return self.estimated_query_cost(q, cfg);
+        }
+        let keyed = keyed_indexes(cfg);
+        self.matrix_query_cost_keyed(q, cfg, &keyed)
+    }
+
+    /// Matrix-backed `c(W, d, I)`: the same frequency-weighted sum in
+    /// workload order as [`Self::estimated_workload_cost`], with each
+    /// per-query term answered via [`Self::matrix_query_cost`] semantics.
+    pub fn matrix_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+        if !self.whatif_matrix.is_enabled() {
+            return self.estimated_workload_cost(w, cfg);
+        }
+        let keyed = keyed_indexes(cfg);
+        w.iter()
+            .map(|wq| wq.frequency as f64 * self.matrix_query_cost_keyed(&wq.query, cfg, &keyed))
+            .sum()
+    }
+
+    /// Workload costs for a batch of configurations, answered from the
+    /// benefit matrix. The matrix rows are shared across the batch, so
+    /// `n` configurations over the same workload cost one model
+    /// evaluation per *distinct* `(query, index)` pair instead of `n`
+    /// full workload re-costings.
+    pub fn what_if_batch(&self, w: &Workload, configs: &[IndexConfig]) -> Vec<f64> {
+        configs
+            .iter()
+            .map(|cfg| self.matrix_workload_cost(w, cfg))
+            .collect()
+    }
+
+    /// Workload cost of `base ± index` (one [`ConfigDelta`]), answered
+    /// from the benefit matrix. For the advisor hot loop that holds a
+    /// session open across many edits, prefer [`Self::whatif_eval_begin`]
+    /// / [`Self::whatif_eval_add`], which touch one matrix cell per query
+    /// per edit.
+    pub fn what_if_delta(&self, w: &Workload, base: &IndexConfig, delta: &ConfigDelta) -> f64 {
+        self.whatif_matrix.note_delta();
+        pipa_obs::count("whatif_delta", 1);
+        let cfg = delta.apply(base);
+        self.matrix_workload_cost(w, &cfg)
+    }
+
+    /// Start an incremental evaluation session for `w` at the empty
+    /// configuration. The session holds plain per-query state (no
+    /// borrows), so advisors can keep one per episode. Toggling the
+    /// matrix enable flag mid-session invalidates open sessions.
+    pub fn whatif_eval_begin(&self, w: &Workload) -> IncrementalEval {
+        let empty = IndexConfig::empty();
+        let states = w
+            .iter()
+            .map(|wq| {
+                let q = &wq.query;
+                let qf = fingerprint_query(q);
+                let kind = if !self.whatif_matrix.is_enabled() {
+                    QueryState::Full(self.estimated_query_cost(q, &empty))
+                } else {
+                    match self.whatif_matrix.shape(&self.model, self.catalog(), q, qf) {
+                        QueryShape::Trivial => {
+                            self.whatif_matrix.note_matrix_eval();
+                            pipa_obs::count("whatif_matrix", 1);
+                            QueryState::Trivial
+                        }
+                        QueryShape::Decomposable {
+                            table,
+                            seq_cost,
+                            rows_out,
+                        } => {
+                            self.whatif_matrix.note_matrix_eval();
+                            pipa_obs::count("whatif_matrix", 1);
+                            QueryState::Raw {
+                                table,
+                                rows_out,
+                                raw: seq_cost,
+                                cost: self.model.apply_surcharges(q, seq_cost, rows_out),
+                            }
+                        }
+                        QueryShape::JoinCoupled => {
+                            self.whatif_matrix.note_fallback();
+                            pipa_obs::count("whatif_full_fallback", 1);
+                            QueryState::Full(self.estimated_query_cost(q, &empty))
+                        }
+                    }
+                };
+                EvalState { qf, kind }
+            })
+            .collect();
+        IncrementalEval { states }
+    }
+
+    /// Current total workload cost of a session: a fresh
+    /// frequency-weighted sum in workload order (never maintained via
+    /// `+= diff`, which would accumulate float error and break
+    /// bit-equality with a scalar recompute).
+    pub fn whatif_eval_total(&self, w: &Workload, eval: &IncrementalEval) -> f64 {
+        debug_assert_eq!(w.len(), eval.len(), "session built for another workload");
+        w.iter()
+            .zip(&eval.states)
+            .map(|(wq, st)| wq.frequency as f64 * st.kind.cost())
+            .sum()
+    }
+
+    /// Total workload cost of `session config + idx` without committing:
+    /// one matrix-cell probe per decomposable query. `cfg_after` must be
+    /// the session's configuration with `idx` added (join-coupled entries
+    /// re-cost against it in full, through the what-if cache).
+    pub fn whatif_eval_preview_add(
+        &self,
+        w: &Workload,
+        eval: &IncrementalEval,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> f64 {
+        self.whatif_matrix.note_delta();
+        pipa_obs::count("whatif_delta", 1);
+        debug_assert_eq!(w.len(), eval.len(), "session built for another workload");
+        let idxf = fingerprint_index(idx);
+        w.iter()
+            .zip(&eval.states)
+            .map(|(wq, st)| {
+                wq.frequency as f64
+                    * match st.kind {
+                        QueryState::Trivial => 0.0,
+                        QueryState::Raw {
+                            table,
+                            rows_out,
+                            raw,
+                            ..
+                        } => {
+                            let e = self.whatif_matrix.index_cell(
+                                &self.model,
+                                self.catalog(),
+                                &QueryKey {
+                                    q: &wq.query,
+                                    qf: st.qf,
+                                    table,
+                                },
+                                idxf,
+                                idx,
+                            );
+                            let raw2 = if e < raw { e } else { raw };
+                            self.model.apply_surcharges(&wq.query, raw2, rows_out)
+                        }
+                        QueryState::Full(_) => self.estimated_query_cost(&wq.query, cfg_after),
+                    }
+            })
+            .sum()
+    }
+
+    /// Commit `idx` into the session's configuration and return the new
+    /// total. `cfg_after` must be the session's configuration with `idx`
+    /// already added.
+    pub fn whatif_eval_add(
+        &self,
+        w: &Workload,
+        eval: &mut IncrementalEval,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> f64 {
+        self.whatif_matrix.note_delta();
+        pipa_obs::count("whatif_delta", 1);
+        debug_assert_eq!(w.len(), eval.len(), "session built for another workload");
+        let idxf = fingerprint_index(idx);
+        for (wq, st) in w.iter().zip(&mut eval.states) {
+            match st.kind {
+                QueryState::Trivial => {}
+                QueryState::Raw {
+                    table,
+                    rows_out,
+                    raw,
+                    ..
+                } => {
+                    let e = self.whatif_matrix.index_cell(
+                        &self.model,
+                        self.catalog(),
+                        &QueryKey {
+                            q: &wq.query,
+                            qf: st.qf,
+                            table,
+                        },
+                        idxf,
+                        idx,
+                    );
+                    let raw2 = if e < raw { e } else { raw };
+                    st.kind = QueryState::Raw {
+                        table,
+                        rows_out,
+                        raw: raw2,
+                        cost: self.model.apply_surcharges(&wq.query, raw2, rows_out),
+                    };
+                }
+                QueryState::Full(_) => {
+                    st.kind = QueryState::Full(self.estimated_query_cost(&wq.query, cfg_after));
+                }
+            }
+        }
+        self.whatif_eval_total(w, eval)
+    }
+
+    /// Counter snapshot of the benefit matrix.
+    pub fn whatif_matrix_stats(&self) -> MatrixStats {
+        self.whatif_matrix.stats()
+    }
+
+    /// Enable or disable the benefit matrix (evaluations route to the
+    /// full model when disabled; results are identical either way).
+    /// Benchmarks use this to measure the scalar path.
+    pub fn set_whatif_matrix_enabled(&self, on: bool) {
+        self.whatif_matrix.set_enabled(on);
+    }
+
+    /// Whether the benefit matrix is enabled.
+    pub fn whatif_matrix_enabled(&self) -> bool {
+        self.whatif_matrix.is_enabled()
+    }
+
+    /// Drop all matrix cells and shapes and zero its counters.
+    pub fn clear_whatif_matrix(&self) {
+        self.whatif_matrix.clear();
+    }
+
+    /// Per-query evaluation through the matrix with the config's index
+    /// fingerprints hoisted out of the per-query loop.
+    fn matrix_query_cost_keyed(
+        &self,
+        q: &Query,
+        cfg: &IndexConfig,
+        keyed: &[(Fingerprint, &Index)],
+    ) -> f64 {
+        let qf = fingerprint_query(q);
+        match self.whatif_matrix.shape(&self.model, self.catalog(), q, qf) {
+            QueryShape::Trivial => {
+                self.whatif_matrix.note_matrix_eval();
+                pipa_obs::count("whatif_matrix", 1);
+                0.0
+            }
+            QueryShape::Decomposable {
+                table,
+                seq_cost,
+                rows_out,
+            } => {
+                self.whatif_matrix.note_matrix_eval();
+                pipa_obs::count("whatif_matrix", 1);
+                let raw = self.whatif_matrix.best_raw(
+                    &self.model,
+                    self.catalog(),
+                    &QueryKey { q, qf, table },
+                    seq_cost,
+                    keyed,
+                );
+                self.model.apply_surcharges(q, raw, rows_out)
+            }
+            QueryShape::JoinCoupled => {
+                self.whatif_matrix.note_fallback();
+                pipa_obs::count("whatif_full_fallback", 1);
+                self.estimated_query_cost(q, cfg)
+            }
+        }
     }
 
     /// Relative cost reduction of `cfg` vs no indexes for one query.
@@ -312,6 +589,7 @@ impl DatabaseBuilder {
             storage,
             phys_cache: Mutex::new(HashMap::new()),
             whatif_cache: CostCache::new(),
+            whatif_matrix: BenefitMatrix::new(),
             scale: self.scale,
         }
     }

@@ -38,7 +38,10 @@ pub mod storage;
 pub mod value;
 pub mod workload;
 
-pub use cost::{AnalyticalCostModel, CacheStats, CostCache, CostModel, CostParams, WhatIf};
+pub use cost::{
+    AnalyticalCostModel, BenefitMatrix, CacheStats, ConfigDelta, CostCache, CostModel, CostParams,
+    IncrementalEval, MatrixStats, WhatIf,
+};
 pub use db::{Database, DatabaseBuilder};
 pub use error::{SimError, SimResult};
 pub use index::{Index, IndexConfig};

@@ -17,9 +17,16 @@ echo "== cargo build --release =="
 cargo build --release "${PKGS[@]}"
 
 echo "== cargo test -q =="
-# Deprecation warnings outside the #[allow(deprecated)] shims fail the
-# clippy gate below; the test gate checks behavior only.
 cargo test -q "${PKGS[@]}"
+
+echo "== what-if differential suite =="
+# Bit-equality of the benefit matrix / delta / batch paths against the
+# scalar full recompute (also part of the test gate above; re-run
+# explicitly so a failure is named in CI output).
+cargo test -q -p pipa --test whatif_differential
+
+echo "== results artifact schema =="
+cargo test -q -p pipa --test results_schema
 
 echo "== cargo doc (RUSTDOCFLAGS=-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKGS[@]}"

@@ -1,0 +1,91 @@
+//! Schema regression over the committed experiment artifacts.
+//!
+//! Every `results/*.json` must stay a strictly valid JSON object (parsed
+//! by the same validator `trace_lint` uses — `pipa_obs::json`), carry an
+//! `id` matching its file name and a human-readable `description`, and —
+//! for the figure/table artifacts — the `params`/`results` envelope the
+//! plotting scripts consume. A hand-edit that breaks any of this fails
+//! `cargo test` instead of a downstream notebook.
+
+use pipa_obs::json::top_level_keys;
+use std::fs;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/results"))
+}
+
+fn artifacts() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(results_dir())
+        .expect("results/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_results_artifact_is_strict_json_with_id_and_description() {
+    let files = artifacts();
+    assert!(!files.is_empty(), "no artifacts under results/");
+    for path in &files {
+        let text = fs::read_to_string(path).unwrap();
+        let keys = top_level_keys(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid JSON: {e}", path.display()));
+        for required in ["id", "description"] {
+            assert!(
+                keys.iter().any(|k| k == required),
+                "{}: missing top-level {required:?} (has {keys:?})",
+                path.display()
+            );
+        }
+        // The id must match the file name so artifacts can't silently
+        // swap identities when copied around.
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert!(
+            text.contains(&format!("\"id\": \"{stem}\""))
+                || text.contains(&format!("\"id\":\"{stem}\"")),
+            "{}: id does not match file stem {stem:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn figure_and_table_artifacts_carry_params_and_results() {
+    for path in artifacts() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !(name.starts_with("fig") || name.starts_with("table") || name.starts_with("ablation")) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let keys = top_level_keys(&text).unwrap();
+        for required in ["params", "results"] {
+            assert!(
+                keys.iter().any(|k| k == required),
+                "{name}: figure/table artifact missing {required:?} (has {keys:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_artifacts_have_no_duplicate_keys() {
+    // BENCH_* files are written by the criterion harness glue; a bad
+    // merge could duplicate keys without breaking the parser, so check
+    // explicitly at every artifact's top level.
+    for path in artifacts() {
+        let text = fs::read_to_string(&path).unwrap();
+        let keys = top_level_keys(&text).unwrap();
+        let mut seen = keys.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            keys.len(),
+            "{}: duplicate top-level keys in {keys:?}",
+            path.display()
+        );
+    }
+}

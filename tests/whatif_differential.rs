@@ -1,0 +1,361 @@
+//! Differential suite for the incremental what-if engine (proptest).
+//!
+//! The benefit matrix, `what_if_batch`, `what_if_delta` and the
+//! incremental eval sessions must be **bit-identical** (`f64::to_bits`)
+//! to a scalar full recompute through `estimated_workload_cost` — on
+//! proptest-generated TPC-H/TPC-DS workloads, under arbitrary
+//! index-config edit sequences, and on both cache-cold and cache-warm
+//! paths. Any divergence, even in the last ulp, is a bug: advisors make
+//! strict `<` comparisons on these numbers, so "close enough" can flip
+//! a recommendation.
+
+use pipa::sim::{
+    Aggregate, ColumnId, ConfigDelta, Database, Index, IndexConfig, Predicate, Query, QueryBuilder,
+    Workload,
+};
+use pipa::workload::{Benchmark, TemplateSpec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tpch() -> Database {
+    Benchmark::TpcH.database(1.0, None)
+}
+
+/// A scalar-reference database: matrix off, what-if cache off. Every
+/// call walks the full analytical model from scratch (the "cold scalar
+/// recompute" all incremental paths are measured against).
+fn scalar_reference(bench: Benchmark) -> Database {
+    let db = bench.database(1.0, None);
+    db.set_whatif_matrix_enabled(false);
+    db.set_whatif_cache_enabled(false);
+    db
+}
+
+// ---- generators -----------------------------------------------------------
+
+/// Raw spec for one workload query: either a proptest-built single-table
+/// query (exercises the Decomposable matrix path) or a benchmark
+/// template instantiation (join templates exercise the JoinCoupled full
+/// fallback).
+#[derive(Debug, Clone)]
+enum QSpec {
+    Single {
+        anchor: u32,
+        preds: Vec<(u32, u8, f64, f64)>,
+    },
+    Template {
+        idx: usize,
+        seed: u64,
+    },
+}
+
+fn arb_qspec(ncols: u32) -> impl Strategy<Value = QSpec> {
+    // The vendored mini-proptest has no `prop_oneof!`; encode the 3:1
+    // single-table / template choice as a drawn discriminant instead.
+    (
+        0u8..4,
+        0..ncols,
+        proptest::collection::vec((0..ncols, 0..4u8, 0.0f64..1.0, 0.0f64..1.0), 1..3),
+        0usize..8,
+        0u64..1_000,
+    )
+        .prop_map(|(choice, anchor, preds, idx, seed)| {
+            if choice < 3 {
+                QSpec::Single { anchor, preds }
+            } else {
+                QSpec::Template { idx, seed }
+            }
+        })
+}
+
+fn mk_pred(col: ColumnId, kind: u8, a: f64, b: f64) -> Predicate {
+    match kind {
+        0 => Predicate::eq(col, a),
+        1 => Predicate::le(col, a),
+        2 => Predicate::ge(col, a),
+        _ => Predicate::between(col, a.min(b), a.max(b)),
+    }
+}
+
+fn build_query(db: &Database, templates: &[TemplateSpec], spec: &QSpec) -> Query {
+    let schema = db.schema();
+    match spec {
+        QSpec::Single { anchor, preds } => {
+            // Snap every predicate column onto the anchor's table so the
+            // query stays single-table (joins are covered by templates).
+            let table = schema.column(ColumnId(*anchor)).table;
+            let cols: Vec<ColumnId> = (0..schema.num_columns() as u32)
+                .map(ColumnId)
+                .filter(|&c| schema.column(c).table == table)
+                .collect();
+            let mut b = QueryBuilder::new();
+            for &(c, kind, x, y) in preds {
+                let col = cols[c as usize % cols.len()];
+                b = b.filter(schema, mk_pred(col, kind, x, y));
+            }
+            b.aggregate(Aggregate::CountStar).build(schema).unwrap()
+        }
+        QSpec::Template { idx, seed } => {
+            let t = &templates[idx % templates.len()];
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            t.instantiate(schema, &mut rng).unwrap()
+        }
+    }
+}
+
+fn build_workload(db: &Database, templates: &[TemplateSpec], specs: &[(QSpec, u32)]) -> Workload {
+    let mut w = Workload::new();
+    for (spec, freq) in specs {
+        w.push(build_query(db, templates, spec), *freq);
+    }
+    w
+}
+
+/// Index spec: 1–3 column picks, snapped to one table and deduped.
+fn build_index(db: &Database, cols: &[u32]) -> Index {
+    let schema = db.schema();
+    let n = schema.num_columns() as u32;
+    let first = ColumnId(cols[0] % n);
+    let table = schema.column(first).table;
+    let mut snapped: Vec<ColumnId> = Vec::new();
+    for &c in cols {
+        let mut col = ColumnId(c % n);
+        if schema.column(col).table != table {
+            col = first;
+        }
+        if !snapped.contains(&col) {
+            snapped.push(col);
+        }
+    }
+    if snapped.len() == 1 {
+        Index::single(snapped[0])
+    } else {
+        Index::multi(schema, snapped).unwrap_or_else(|_| Index::single(first))
+    }
+}
+
+fn arb_index_cols() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..61, 1..4)
+}
+
+fn arb_workload_specs() -> impl Strategy<Value = Vec<(QSpec, u32)>> {
+    proptest::collection::vec((arb_qspec(61), 1u32..6), 1..5)
+}
+
+fn assert_bits(label: &str, reference: f64, got: f64) {
+    assert_eq!(
+        reference.to_bits(),
+        got.to_bits(),
+        "{label}: scalar {reference} != incremental {got}"
+    );
+}
+
+// ---- properties -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `what_if_batch` / `matrix_workload_cost` ≡ scalar recompute, on
+    /// the first (matrix-cold) call and again once every cell is warm.
+    #[test]
+    fn batch_matches_scalar_bitwise_cold_and_warm(
+        specs in arb_workload_specs(),
+        cfg_cols in proptest::collection::vec(arb_index_cols(), 1..4),
+    ) {
+        let scalar = scalar_reference(Benchmark::TpcH);
+        let db = tpch();
+        let templates = Benchmark::TpcH.default_templates();
+        let w = build_workload(&db, &templates, &specs);
+        let configs: Vec<IndexConfig> = cfg_cols
+            .iter()
+            .map(|cols| IndexConfig::from_indexes([build_index(&db, cols)]))
+            .collect();
+
+        let reference: Vec<f64> = configs
+            .iter()
+            .map(|c| scalar.estimated_workload_cost(&w, c))
+            .collect();
+        let cold = db.what_if_batch(&w, &configs);
+        let warm = db.what_if_batch(&w, &configs);
+        for (i, r) in reference.iter().enumerate() {
+            assert_bits("batch cold", *r, cold[i]);
+            assert_bits("batch warm", *r, warm[i]);
+        }
+    }
+
+    /// `what_if_delta` over an arbitrary add/remove edit sequence ≡
+    /// scalar recompute of each edited configuration.
+    #[test]
+    fn delta_edit_sequences_match_scalar_bitwise(
+        specs in arb_workload_specs(),
+        edits in proptest::collection::vec(
+            ((0u8..2).prop_map(|b| b == 1), arb_index_cols()),
+            1..6,
+        ),
+    ) {
+        let scalar = scalar_reference(Benchmark::TpcH);
+        let db = tpch();
+        let templates = Benchmark::TpcH.default_templates();
+        let w = build_workload(&db, &templates, &specs);
+
+        let mut cfg = IndexConfig::empty();
+        for (add, cols) in &edits {
+            let idx = build_index(&db, cols);
+            let delta = if *add {
+                ConfigDelta::Add(idx)
+            } else {
+                ConfigDelta::Remove(idx)
+            };
+            let after = delta.apply(&cfg);
+            let incremental = db.what_if_delta(&w, &cfg, &delta);
+            let reference = scalar.estimated_workload_cost(&w, &after);
+            assert_bits("delta", reference, incremental);
+            cfg = after;
+        }
+    }
+
+    /// A full eval session — begin, then a chain of preview+commit adds —
+    /// tracks the scalar recompute bit-for-bit at every step, and the
+    /// non-mutating preview always equals the committed total.
+    #[test]
+    fn eval_sessions_match_scalar_bitwise(
+        specs in arb_workload_specs(),
+        adds in proptest::collection::vec(arb_index_cols(), 1..5),
+    ) {
+        let scalar = scalar_reference(Benchmark::TpcH);
+        let db = tpch();
+        let templates = Benchmark::TpcH.default_templates();
+        let w = build_workload(&db, &templates, &specs);
+
+        let mut eval = db.whatif_eval_begin(&w);
+        let mut cfg = IndexConfig::empty();
+        assert_bits(
+            "session begin",
+            scalar.estimated_workload_cost(&w, &cfg),
+            db.whatif_eval_total(&w, &eval),
+        );
+        for cols in &adds {
+            let idx = build_index(&db, cols);
+            let mut after = cfg.clone();
+            after.add(idx.clone());
+            let preview = db.whatif_eval_preview_add(&w, &eval, &after, &idx);
+            let committed = db.whatif_eval_add(&w, &mut eval, &after, &idx);
+            let reference = scalar.estimated_workload_cost(&w, &after);
+            assert_bits("session preview", reference, preview);
+            assert_bits("session commit", reference, committed);
+            cfg = after;
+        }
+    }
+
+    /// The what-if cache must be value-transparent: the matrix path with
+    /// the cache cold, warm, and disabled all agree with the scalar
+    /// reference on join-heavy (full-fallback) workloads.
+    #[test]
+    fn cache_cold_and_warm_paths_agree(
+        tmpl in 0usize..8,
+        seed in 0u64..500,
+        cols in arb_index_cols(),
+    ) {
+        let scalar = scalar_reference(Benchmark::TpcH);
+        let db = tpch();
+        let templates = Benchmark::TpcH.default_templates();
+        let q = templates[tmpl % templates.len()]
+            .instantiate(db.schema(), &mut ChaCha8Rng::seed_from_u64(seed))
+            .unwrap();
+        let w = Workload::from_queries([(q, 3)]);
+        let cfg = IndexConfig::from_indexes([build_index(&db, &cols)]);
+
+        let reference = scalar.estimated_workload_cost(&w, &cfg);
+        let cold = db.matrix_workload_cost(&w, &cfg); // cache+matrix cold
+        let warm = db.matrix_workload_cost(&w, &cfg); // both warm
+        db.set_whatif_cache_enabled(false);
+        let uncached = db.matrix_workload_cost(&w, &cfg);
+        db.set_whatif_cache_enabled(true);
+        assert_bits("fallback cold", reference, cold);
+        assert_bits("fallback warm", reference, warm);
+        assert_bits("fallback uncached", reference, uncached);
+    }
+}
+
+// ---- deterministic cross-benchmark sweeps ---------------------------------
+
+/// Every default template of both benchmarks, instantiated at several
+/// seeds, under single- and multi-column configs: matrix ≡ scalar,
+/// cold and warm.
+#[test]
+fn all_templates_of_both_benchmarks_match_scalar() {
+    for bench in [Benchmark::TpcH, Benchmark::TpcDs] {
+        let scalar = scalar_reference(bench);
+        let db = bench.database(1.0, None);
+        let templates = bench.default_templates();
+        let mut w = Workload::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for t in &templates {
+            for _ in 0..2 {
+                w.push(t.instantiate(db.schema(), &mut rng).unwrap(), 2);
+            }
+        }
+        // TPC-DS default templates are all join-shaped; add single-table
+        // queries so the sweep drives the Decomposable path on both
+        // benchmarks, not just the full fallback.
+        for c in (0..db.schema().num_columns() as u32).step_by(17) {
+            let q = QueryBuilder::new()
+                .filter(db.schema(), Predicate::le(ColumnId(c), 0.4))
+                .aggregate(Aggregate::CountStar)
+                .build(db.schema())
+                .unwrap();
+            w.push(q, 1);
+        }
+        // One config per candidate column (the advisor's action space),
+        // answered as a batch, twice (cold then warm).
+        let configs: Vec<IndexConfig> = w
+            .candidate_columns()
+            .into_iter()
+            .take(12)
+            .map(|c| IndexConfig::from_indexes([Index::single(c)]))
+            .collect();
+        let reference: Vec<f64> = configs
+            .iter()
+            .map(|c| scalar.estimated_workload_cost(&w, c))
+            .collect();
+        for pass in ["cold", "warm"] {
+            let got = db.what_if_batch(&w, &configs);
+            for (i, r) in reference.iter().enumerate() {
+                assert_eq!(
+                    r.to_bits(),
+                    got[i].to_bits(),
+                    "{bench:?} {pass} config {i}: {r} != {}",
+                    got[i]
+                );
+            }
+        }
+        let stats = db.whatif_matrix_stats();
+        assert!(stats.matrix_evals > 0, "{bench:?}: no matrix evals");
+        assert!(stats.full_fallbacks > 0, "{bench:?}: no join fallbacks");
+    }
+}
+
+/// Disabling the matrix must not change values — only the route taken.
+#[test]
+fn disabled_matrix_routes_to_identical_values() {
+    let db = tpch();
+    let templates = Benchmark::TpcH.default_templates();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut w = Workload::new();
+    for t in templates.iter().take(6) {
+        w.push(t.instantiate(db.schema(), &mut rng).unwrap(), 1);
+    }
+    let cfg = IndexConfig::from_indexes([Index::single(ColumnId(5))]);
+    let enabled = db.matrix_workload_cost(&w, &cfg);
+    db.set_whatif_matrix_enabled(false);
+    let disabled = db.matrix_workload_cost(&w, &cfg);
+    let delta_disabled = db.what_if_delta(
+        &w,
+        &IndexConfig::empty(),
+        &ConfigDelta::Add(Index::single(ColumnId(5))),
+    );
+    db.set_whatif_matrix_enabled(true);
+    assert_eq!(enabled.to_bits(), disabled.to_bits());
+    assert_eq!(enabled.to_bits(), delta_disabled.to_bits());
+}
