@@ -113,6 +113,10 @@ pub struct DqnAdvisor {
     store: Option<ParamStore>,
     qnet: Option<Mlp>,
     target_snap: Vec<f32>,
+    /// Materialized target network, rebuilt lazily when `target_snap`
+    /// changes. Replaces the previous clone-the-whole-store-per-
+    /// transition target evaluation, which dominated `learn_step`.
+    target_store: Option<ParamStore>,
     candidates: Vec<ColumnId>,
     replay: VecDeque<Transition>,
     rng: ChaCha8Rng,
@@ -131,6 +135,7 @@ impl DqnAdvisor {
             store: None,
             qnet: None,
             target_snap: Vec::new(),
+            target_store: None,
             candidates: Vec::new(),
             replay: VecDeque::new(),
             rng,
@@ -156,6 +161,7 @@ impl DqnAdvisor {
             &mut rng,
         );
         self.target_snap = store.snapshot();
+        self.target_store = None;
         self.store = Some(store);
         self.qnet = Some(qnet);
     }
@@ -169,13 +175,6 @@ impl DqnAdvisor {
     fn q_values(&self, store: &ParamStore, state: &[f32]) -> Vec<f32> {
         let qnet = self.qnet.as_ref().expect("net built");
         qnet.infer(store, &Tensor::row(state.to_vec())).data
-    }
-
-    fn q_values_snapshot(&self, snap: &[f32], state: &[f32]) -> Vec<f32> {
-        // Evaluate the target network by temporarily restoring its weights.
-        let mut store = self.store.as_ref().expect("store").clone();
-        store.restore(snap);
-        self.q_values(&store, state)
     }
 
     /// Run trajectories with learning. Returns per-trajectory returns and
@@ -198,6 +197,9 @@ impl DqnAdvisor {
         let mut best_config = IndexConfig::empty();
         let mut best_snap = self.store.as_ref().expect("store").snapshot();
         let mut recent: VecDeque<Vec<f32>> = VecDeque::new();
+        // One tape for the whole run: action selection and learn steps
+        // recycle the same activation/gradient buffers.
+        let mut tape = Tape::new();
 
         for traj in 0..n {
             let eps = if eps_schedule {
@@ -213,7 +215,10 @@ impl DqnAdvisor {
                 let action = if self.rng.gen::<f64>() < eps {
                     valid[self.rng.gen_range(0..valid.len())]
                 } else {
-                    let q = self.q_values(self.store.as_ref().expect("store"), &state);
+                    let qnet = self.qnet.as_ref().expect("net");
+                    let store = self.store.as_ref().expect("store");
+                    let qv = qnet.forward_reuse(&mut tape, store, Tensor::row(state.clone()));
+                    let q = &tape.value(qv).data;
                     *valid
                         .iter()
                         .max_by(|&&a, &&b| {
@@ -241,7 +246,7 @@ impl DqnAdvisor {
                 if self.replay.len() > self.cfg.replay_capacity {
                     self.replay.pop_front();
                 }
-                self.learn_step(&mut opt);
+                self.learn_step(&mut opt, &mut tape);
             }
             let ret = env.episode_return(&ep);
             returns.push(ret);
@@ -256,35 +261,70 @@ impl DqnAdvisor {
             }
             if (traj + 1) % self.cfg.target_sync == 0 {
                 self.target_snap = self.store.as_ref().expect("store").snapshot();
+                self.target_store = None;
             }
         }
         (returns, best_return, best_config, best_snap, recent)
     }
 
-    fn learn_step(&mut self, opt: &mut Adam) {
+    fn learn_step(&mut self, opt: &mut Adam, tape: &mut Tape) {
         if self.replay.len() < self.cfg.batch_size {
             return;
         }
-        // Sample a minibatch.
+        // Sample a minibatch (rng draw order matches the old
+        // per-transition implementation exactly).
         let mut batch = Vec::with_capacity(self.cfg.batch_size);
         for _ in 0..self.cfg.batch_size {
             let i = self.rng.gen_range(0..self.replay.len());
             batch.push(self.replay[i].clone());
         }
-        // Targets from the target network.
+        // Targets from the target network: every non-terminal next-state
+        // goes through ONE batched forward pass. Row r of a batched
+        // matmul runs the same per-element accumulation chain as a
+        // single-row forward, so the targets are bit-identical to the
+        // old one-row-per-transition evaluation.
+        let need: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !(t.done || t.next_valid.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut maxq = vec![0.0f32; batch.len()];
+        if !need.is_empty() {
+            if self.target_store.is_none() {
+                let mut ts = self.store.as_ref().expect("store").clone();
+                ts.restore(&self.target_snap);
+                self.target_store = Some(ts);
+            }
+            let target_store = self.target_store.as_ref().expect("target store");
+            let qnet = self.qnet.as_ref().expect("net");
+            let w = batch[need[0]].next_state.len();
+            let mut next_rows = Vec::with_capacity(need.len() * w);
+            for &i in &need {
+                next_rows.extend_from_slice(&batch[i].next_state);
+            }
+            let qv = qnet.forward_reuse(
+                tape,
+                target_store,
+                Tensor::from_vec(need.len(), w, next_rows),
+            );
+            let qn = tape.value(qv);
+            for (r, &i) in need.iter().enumerate() {
+                let row = qn.row_slice(r);
+                maxq[i] = batch[i]
+                    .next_valid
+                    .iter()
+                    .map(|&c| row[c])
+                    .fold(f32::NEG_INFINITY, f32::max);
+            }
+        }
         let mut rows = Vec::with_capacity(batch.len());
         let mut targets = Vec::with_capacity(batch.len());
         for (r, t) in batch.iter().enumerate() {
             let y = if t.done || t.next_valid.is_empty() {
                 t.reward
             } else {
-                let qn = self.q_values_snapshot(&self.target_snap, &t.next_state);
-                let maxq = t
-                    .next_valid
-                    .iter()
-                    .map(|&c| qn[c])
-                    .fold(f32::NEG_INFINITY, f32::max);
-                t.reward + self.cfg.gamma * maxq
+                t.reward + self.cfg.gamma * maxq[r]
             };
             rows.extend_from_slice(&t.state);
             targets.push((r, t.action, y));
@@ -292,13 +332,13 @@ impl DqnAdvisor {
         let store = self.store.as_mut().expect("store");
         let qnet = self.qnet.as_ref().expect("net");
         store.zero_grads();
-        let mut tape = Tape::new();
+        tape.reset();
         let x = tape.constant(Tensor::from_vec(
             batch.len(),
             rows.len() / batch.len(),
             rows,
         ));
-        let q = qnet.forward(&mut tape, store, x);
+        let q = qnet.forward(tape, store, x);
         let loss = tape.mse_selected(q, &targets);
         tape.backward(loss, store);
         opt.step(store);
@@ -345,6 +385,7 @@ impl IndexAdvisor for DqnAdvisor {
             }
         }
         self.target_snap = self.store.as_ref().expect("store").snapshot();
+        self.target_store = None;
     }
 
     fn retrain(&mut self, db: &Database, workload: &Workload) {
@@ -376,6 +417,7 @@ impl IndexAdvisor for DqnAdvisor {
             }
         }
         self.target_snap = self.store.as_ref().expect("store").snapshot();
+        self.target_store = None;
     }
 
     fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {

@@ -186,6 +186,9 @@ impl DrlIndexAdvisor {
         let mut best_config = IndexConfig::empty();
         let mut best_snap = self.store.as_ref().expect("store").snapshot();
         let mut recent: VecDeque<Vec<f32>> = VecDeque::new();
+        // One tape for the whole run: action selection and learn steps
+        // recycle the same activation/gradient buffers.
+        let mut tape = Tape::new();
 
         for traj in 0..n {
             let eps = if eps_schedule {
@@ -202,15 +205,10 @@ impl DrlIndexAdvisor {
                 let action = if self.rng.gen::<f64>() < eps {
                     valid[self.rng.gen_range(0..valid.len())]
                 } else {
-                    let q = self
-                        .qnet
-                        .as_ref()
-                        .expect("net")
-                        .infer(
-                            self.store.as_ref().expect("store"),
-                            &Tensor::row(state.clone()),
-                        )
-                        .data;
+                    let qnet = self.qnet.as_ref().expect("net");
+                    let store = self.store.as_ref().expect("store");
+                    let qv = qnet.forward_reuse(&mut tape, store, Tensor::row(state.clone()));
+                    let q = &tape.value(qv).data;
                     *valid
                         .iter()
                         .max_by(|&&a, &&b| {
@@ -239,7 +237,7 @@ impl DrlIndexAdvisor {
                 if self.replay.len() > 4096 {
                     self.replay.pop_front();
                 }
-                self.learn_step(&mut opt);
+                self.learn_step(&mut opt, &mut tape);
             }
             let ret = env.episode_return(&ep);
             returns.push(ret);
@@ -256,7 +254,7 @@ impl DrlIndexAdvisor {
         (returns, best_config, best_snap, recent)
     }
 
-    fn learn_step(&mut self, opt: &mut Adam) {
+    fn learn_step(&mut self, opt: &mut Adam, tape: &mut Tape) {
         if self.replay.len() < self.cfg.batch_size {
             return;
         }
@@ -265,23 +263,45 @@ impl DrlIndexAdvisor {
             let i = self.rng.gen_range(0..self.replay.len());
             batch.push(self.replay[i].clone());
         }
+        // Bootstrap targets (DRLindex uses the online net — no target
+        // network): every non-terminal next-state goes through ONE
+        // batched forward pass. Each row of a batched matmul runs the
+        // same accumulation chain as a single-row forward, so the
+        // targets are bit-identical to per-transition inference.
         let store_ref = self.store.as_ref().expect("store");
         let qnet = self.qnet.as_ref().expect("net");
+        let need: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !(t.done || t.next_valid.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut maxq = vec![0.0f32; batch.len()];
+        if !need.is_empty() {
+            let w = batch[need[0]].next_state.len();
+            let mut next_rows = Vec::with_capacity(need.len() * w);
+            for &i in &need {
+                next_rows.extend_from_slice(&batch[i].next_state);
+            }
+            let qv =
+                qnet.forward_reuse(tape, store_ref, Tensor::from_vec(need.len(), w, next_rows));
+            let qn = tape.value(qv);
+            for (r, &i) in need.iter().enumerate() {
+                let row = qn.row_slice(r);
+                maxq[i] = batch[i]
+                    .next_valid
+                    .iter()
+                    .map(|&c| row[c])
+                    .fold(f32::NEG_INFINITY, f32::max);
+            }
+        }
         let mut rows = Vec::new();
         let mut targets = Vec::with_capacity(batch.len());
         for (r, t) in batch.iter().enumerate() {
             let y = if t.done || t.next_valid.is_empty() {
                 t.reward
             } else {
-                let qn = qnet
-                    .infer(store_ref, &Tensor::row(t.next_state.clone()))
-                    .data;
-                let maxq = t
-                    .next_valid
-                    .iter()
-                    .map(|&c| qn[c])
-                    .fold(f32::NEG_INFINITY, f32::max);
-                t.reward + self.cfg.gamma * maxq
+                t.reward + self.cfg.gamma * maxq[r]
             };
             rows.extend_from_slice(&t.state);
             targets.push((r, t.action, y));
@@ -289,13 +309,13 @@ impl DrlIndexAdvisor {
         let width = rows.len() / batch.len();
         let store = self.store.as_mut().expect("store");
         store.zero_grads();
-        let mut tape = Tape::new();
+        tape.reset();
         let x = tape.constant(Tensor::from_vec(batch.len(), width, rows));
         let q = self
             .qnet
             .as_ref()
             .expect("net")
-            .forward(&mut tape, store, x);
+            .forward(tape, store, x);
         let loss = tape.mse_selected(q, &targets);
         tape.backward(loss, store);
         opt.step(store);

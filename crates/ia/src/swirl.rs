@@ -131,14 +131,22 @@ impl SwirlAdvisor {
         s
     }
 
-    /// Masked action probabilities for a state.
-    fn masked_probs(&self, store: &ParamStore, state: &[f32], taken: &[usize]) -> Vec<f64> {
-        let logits = self
-            .policy
-            .as_ref()
-            .expect("net")
-            .infer(store, &Tensor::row(state.to_vec()))
-            .data;
+    /// Masked action probabilities for a state. The forward pass runs on
+    /// the caller's tape so consecutive calls recycle activation buffers
+    /// (bit-identical to a fresh-tape `infer`).
+    fn masked_probs(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        state: &[f32],
+        taken: &[usize],
+    ) -> Vec<f64> {
+        let lv = self.policy.as_ref().expect("net").forward_reuse(
+            tape,
+            store,
+            Tensor::row(state.to_vec()),
+        );
+        let logits = &tape.value(lv).data;
         let mut masked: Vec<f64> = logits
             .iter()
             .enumerate()
@@ -198,6 +206,9 @@ impl SwirlAdvisor {
         let env = IndexEnv::new(db, workload, all.clone(), self.cfg.budget);
         let mut opt = Adam::new(self.cfg.lr);
         self.reward_trace.clear();
+        // One tape for the whole run: action sampling and policy updates
+        // recycle the same activation/gradient buffers.
+        let mut tape = Tape::new();
 
         let mut batch: Vec<(Vec<f32>, usize, f64, f64)> = Vec::new();
         let mut episodes_in_batch = 0usize;
@@ -212,7 +223,12 @@ impl SwirlAdvisor {
                     .iter()
                     .map(|c| c.0 as usize)
                     .collect();
-                let probs = self.masked_probs(self.store.as_ref().expect("store"), &state, &taken);
+                let probs = self.masked_probs(
+                    &mut tape,
+                    self.store.as_ref().expect("store"),
+                    &state,
+                    &taken,
+                );
                 let col_idx = self.sample_from(&probs);
                 let action = all
                     .iter()
@@ -240,16 +256,21 @@ impl SwirlAdvisor {
             }
             episodes_in_batch += 1;
             if episodes_in_batch >= self.cfg.batch_episodes {
-                self.update_policy(&mut opt, &mut batch);
+                self.update_policy(&mut opt, &mut batch, &mut tape);
                 episodes_in_batch = 0;
             }
         }
         if !batch.is_empty() {
-            self.update_policy(&mut opt, &mut batch);
+            self.update_policy(&mut opt, &mut batch, &mut tape);
         }
     }
 
-    fn update_policy(&mut self, opt: &mut Adam, batch: &mut Vec<(Vec<f32>, usize, f64, f64)>) {
+    fn update_policy(
+        &mut self,
+        opt: &mut Adam,
+        batch: &mut Vec<(Vec<f32>, usize, f64, f64)>,
+        tape: &mut Tape,
+    ) {
         if batch.is_empty() {
             return;
         }
@@ -266,12 +287,12 @@ impl SwirlAdvisor {
             let store = self.store.as_mut().expect("store");
             store.zero_grads();
             let policy = self.policy.as_ref().expect("net");
-            let mut tape = Tape::new();
+            tape.reset();
             // One big forward over the batch.
             let width = batch[0].0.len();
             let rows: Vec<f32> = batch.iter().flat_map(|b| b.0.iter().copied()).collect();
             let x = tape.constant(Tensor::from_vec(batch.len(), width, rows));
-            let logits = policy.forward(&mut tape, store, x);
+            let logits = policy.forward(tape, store, x);
             let probs = tape.softmax_rows(logits);
             // PPO clipped surrogate via a weighted log-likelihood: weight
             // each (state, action) by the clipped advantage ratio factor.
@@ -313,6 +334,7 @@ impl SwirlAdvisor {
         let env = IndexEnv::new(db, workload, all.clone(), self.cfg.budget);
         let store = self.store.as_ref().expect("trained");
         let mut ep = env.reset();
+        let mut tape = Tape::new();
         while !env.done(&ep) {
             let state = self.state_vec(db, &wfeat, &ep.config);
             let taken: Vec<usize> = ep
@@ -321,7 +343,7 @@ impl SwirlAdvisor {
                 .iter()
                 .map(|c| c.0 as usize)
                 .collect();
-            let probs = self.masked_probs(store, &state, &taken);
+            let probs = self.masked_probs(&mut tape, store, &state, &taken);
             let Some((col_idx, _)) = probs
                 .iter()
                 .enumerate()

@@ -44,6 +44,17 @@ impl Linear {
         let h = tape.matmul(x, w);
         tape.add_bias(h, b)
     }
+
+    /// The weight parameter id (tape-less inference paths read the
+    /// store value directly, e.g. to pre-pack it).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id.
+    pub fn bias_id(&self) -> ParamId {
+        self.b
+    }
 }
 
 /// Token embedding table.
@@ -107,6 +118,16 @@ impl LayerNorm {
         let g = tape.param(store, self.gamma);
         let b = tape.param(store, self.beta);
         tape.layer_norm(x, g, b, 1e-5)
+    }
+
+    /// The gain parameter id.
+    pub fn gamma_id(&self) -> ParamId {
+        self.gamma
+    }
+
+    /// The bias parameter id.
+    pub fn beta_id(&self) -> ParamId {
+        self.beta
     }
 }
 

@@ -5,6 +5,11 @@
 //!
 //! * [`tensor`] — dense 2-D `f32` tensors with the handful of kernels the
 //!   models use (matmul, transpose-matmul, row softmax, ...);
+//! * [`kernels`] — cache-blocked / row-parallel matmul implementations
+//!   that are **bit-identical** to the naive loops (see the module docs
+//!   for the equality argument), selectable via [`kernels::set_kernel_mode`];
+//! * [`pool`] — a buffer pool the tape uses to recycle forward/gradient
+//!   allocations across steps;
 //! * [`tape`] — reverse-mode autodiff over a per-forward-pass tape;
 //! * [`layers`] — parameter containers (linear, embedding, layer norm)
 //!   over a [`params::ParamStore`];
@@ -19,18 +24,22 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod layers;
 pub mod mlp;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 pub mod transformer;
 
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode, KernelStats, PackedB};
 pub use layers::{Embedding, LayerNorm, Linear};
 pub use mlp::Mlp;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use pool::BufferPool;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;
-pub use transformer::{Seq2SeqTransformer, TransformerConfig};
+pub use transformer::{DecodeSession, Seq2SeqTransformer, TransformerConfig};

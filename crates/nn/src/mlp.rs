@@ -75,6 +75,17 @@ impl Mlp {
         let y = self.forward(&mut tape, store, xv);
         tape.value(y).clone()
     }
+
+    /// Inference on a caller-held tape: resets it (recycling the
+    /// previous step's buffers through the tape pool) and runs the
+    /// forward pass. Bit-identical to [`Mlp::infer`]; hot loops use
+    /// this to stop reallocating activations on every call. The
+    /// returned [`Var`]'s value lives until the next reset.
+    pub fn forward_reuse(&self, tape: &mut Tape, store: &ParamStore, x: Tensor) -> Var {
+        tape.reset();
+        let xv = tape.constant(x);
+        self.forward(tape, store, xv)
+    }
 }
 
 #[cfg(test)]

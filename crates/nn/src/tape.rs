@@ -7,18 +7,41 @@
 //!
 //! The tape is rebuilt every forward pass (define-by-run), which keeps
 //! control flow (sampling, masking, variable-length sequences) trivial.
+//! Rebuilding no longer means reallocating: the tape owns a
+//! [`BufferPool`], and [`Tape::reset`] retires every node's backing
+//! `Vec<f32>` into it, so the next forward pass (and the gradient
+//! tensors of the next backward pass) reuse the previous step's
+//! allocations. Training loops hold one tape and call `reset` instead
+//! of constructing a fresh `Tape` per step.
+//!
+//! Identity gradients (`add`, `add_const`, the `a` side of `add_bias`)
+//! are expressed as [`Grad::PassThrough`] rather than `g.clone()`:
+//! backward moves or borrows the upstream gradient instead of copying
+//! it once per trivial op.
 
 // Index-based loops in these kernels mirror the maths they implement.
 #![allow(clippy::needless_range_loop)]
 
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
+use crate::pool::BufferPool;
 use crate::tensor::Tensor;
 
 /// Handle to a tape node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
-type BackFn = Box<dyn Fn(&Tensor, &[&Tensor]) -> Vec<Tensor>>;
+/// A parent gradient produced by a backward closure.
+pub enum Grad {
+    /// An owned gradient tensor.
+    Tensor(Tensor),
+    /// The parent's gradient is exactly the output gradient (identity
+    /// Jacobian). Backward accumulates or moves the upstream gradient
+    /// without materializing a copy.
+    PassThrough,
+}
+
+type BackFn = Box<dyn Fn(&Tensor, &[&Tensor], &mut BufferPool) -> Vec<Grad>>;
 
 struct Node {
     value: Tensor,
@@ -31,12 +54,28 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     /// Fresh tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clear all nodes, retiring their buffers into the pool so the
+    /// next forward pass reuses them. Values previously returned by
+    /// [`Tape::value`] must be cloned out before calling this.
+    pub fn reset(&mut self) {
+        let Tape { nodes, pool } = self;
+        for node in nodes.drain(..) {
+            pool.put(node.value.data);
+        }
+    }
+
+    /// Buffers currently retired in the tape's pool (telemetry/tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.retired()
     }
 
     fn push(
@@ -55,9 +94,12 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
-    /// Leaf for a model parameter (value copied from the store).
+    /// Leaf for a model parameter (value copied from the store into a
+    /// pooled buffer).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), vec![], None, Some(id))
+        let v = store.value(id);
+        let t = Tensor::from_vec(v.rows, v.cols, self.pool.take_copy(&v.data));
+        self.push(t, vec![], None, Some(id))
     }
 
     /// Leaf for a constant input (no gradient flows into it).
@@ -72,13 +114,17 @@ impl Tape {
 
     /// `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let out = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let Tape { nodes, pool } = &mut *self;
+        let out = kernels::matmul_pooled(&nodes[a.0].value, &nodes[b.0].value, pool);
         self.push(
             out,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps| {
+            Some(Box::new(|g, ps, pool| {
                 let (a, b) = (ps[0], ps[1]);
-                vec![g.matmul_t(b), a.t_matmul(g)]
+                vec![
+                    Grad::Tensor(kernels::matmul_t_pooled(g, b, pool)),
+                    Grad::Tensor(kernels::t_matmul_pooled(a, g, pool)),
+                ]
             })),
             None,
         )
@@ -86,14 +132,18 @@ impl Tape {
 
     /// `a @ b^T`.
     pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
-        let out = self.nodes[a.0].value.matmul_t(&self.nodes[b.0].value);
+        let Tape { nodes, pool } = &mut *self;
+        let out = kernels::matmul_t_pooled(&nodes[a.0].value, &nodes[b.0].value, pool);
         self.push(
             out,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps| {
+            Some(Box::new(|g, ps, pool| {
                 let (a, b) = (ps[0], ps[1]);
                 // out = a b^T : da = g b ; db = g^T a
-                vec![g.matmul(b), g.t_matmul(a)]
+                vec![
+                    Grad::Tensor(kernels::matmul_pooled(g, b, pool)),
+                    Grad::Tensor(kernels::t_matmul_pooled(g, a, pool)),
+                ]
             })),
             None,
         )
@@ -101,54 +151,90 @@ impl Tape {
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let out = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let Tape { nodes, pool } = &mut *self;
+        let (ta, tb) = (&nodes[a.0].value, &nodes[b.0].value);
+        assert_eq!((ta.rows, ta.cols), (tb.rows, tb.cols));
+        let mut data = pool.take_zeroed(ta.len());
+        for ((d, &x), &y) in data.iter_mut().zip(&ta.data).zip(&tb.data) {
+            *d = x + y;
+        }
+        let out = Tensor::from_vec(ta.rows, ta.cols, data);
         self.push(
             out,
             vec![a.0, b.0],
-            Some(Box::new(|g, _| vec![g.clone(), g.clone()])),
+            Some(Box::new(|_, _, _| {
+                vec![Grad::PassThrough, Grad::PassThrough]
+            })),
             None,
         )
     }
 
     /// Add a `(1, n)` bias row to every row of `a`.
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
-        let out = self.nodes[a.0]
-            .value
-            .add_row_broadcast(&self.nodes[bias.0].value);
+        let Tape { nodes, pool } = &mut *self;
+        let (ta, tb) = (&nodes[a.0].value, &nodes[bias.0].value);
+        assert_eq!(tb.rows, 1);
+        assert_eq!(tb.cols, ta.cols);
+        let mut data = pool.take_copy(&ta.data);
+        for r in 0..ta.rows {
+            let row = &mut data[r * ta.cols..(r + 1) * ta.cols];
+            for (o, &b) in row.iter_mut().zip(&tb.data) {
+                *o += b;
+            }
+        }
+        let out = Tensor::from_vec(ta.rows, ta.cols, data);
         self.push(
             out,
             vec![a.0, bias.0],
-            Some(Box::new(|g, _| vec![g.clone(), g.sum_rows()])),
+            Some(Box::new(|g, _, _| {
+                vec![Grad::PassThrough, Grad::Tensor(g.sum_rows())]
+            })),
             None,
         )
     }
 
     /// Scale by a constant.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let out = self.nodes[a.0].value.scale(k);
+        let Tape { nodes, pool } = &mut *self;
+        let ta = &nodes[a.0].value;
+        let mut data = pool.take_copy(&ta.data);
+        for v in data.iter_mut() {
+            *v *= k;
+        }
+        let out = Tensor::from_vec(ta.rows, ta.cols, data);
         self.push(
             out,
             vec![a.0],
-            Some(Box::new(move |g, _| vec![g.scale(k)])),
+            Some(Box::new(move |g, _, pool| {
+                let mut data = pool.take_copy(&g.data);
+                for v in data.iter_mut() {
+                    *v *= k;
+                }
+                vec![Grad::Tensor(Tensor::from_vec(g.rows, g.cols, data))]
+            })),
             None,
         )
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let Tape { nodes, pool } = &mut *self;
+        let ta = &nodes[a.0].value;
+        let mut data = pool.take_copy(&ta.data);
+        for v in data.iter_mut() {
+            *v = v.max(0.0);
+        }
+        let out = Tensor::from_vec(ta.rows, ta.cols, data);
         self.push(
             out,
             vec![a.0],
-            Some(Box::new(|g, ps| {
+            Some(Box::new(|g, ps, pool| {
                 let x = ps[0];
-                let data = g
-                    .data
-                    .iter()
-                    .zip(&x.data)
-                    .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
-                    .collect();
-                vec![Tensor::from_vec(g.rows, g.cols, data)]
+                let mut data = pool.take_zeroed(g.len());
+                for ((d, &gv), &xv) in data.iter_mut().zip(&g.data).zip(&x.data) {
+                    *d = if xv > 0.0 { gv } else { 0.0 };
+                }
+                vec![Grad::Tensor(Tensor::from_vec(g.rows, g.cols, data))]
             })),
             None,
         )
@@ -161,14 +247,12 @@ impl Tape {
         self.push(
             out,
             vec![a.0],
-            Some(Box::new(move |g, _| {
-                let data = g
-                    .data
-                    .iter()
-                    .zip(&cached.data)
-                    .map(|(&gv, &y)| gv * (1.0 - y * y))
-                    .collect();
-                vec![Tensor::from_vec(g.rows, g.cols, data)]
+            Some(Box::new(move |g, _, pool| {
+                let mut data = pool.take_zeroed(g.len());
+                for ((d, &gv), &y) in data.iter_mut().zip(&g.data).zip(&cached.data) {
+                    *d = gv * (1.0 - y * y);
+                }
+                vec![Grad::Tensor(Tensor::from_vec(g.rows, g.cols, data))]
             })),
             None,
         )
@@ -181,9 +265,9 @@ impl Tape {
         self.push(
             out,
             vec![a.0],
-            Some(Box::new(move |g, _| {
+            Some(Box::new(move |g, _, pool| {
                 // dL/dx_i = y_i (g_i - Σ_j g_j y_j) per row.
-                let mut dx = Tensor::zeros(g.rows, g.cols);
+                let mut dx = Tensor::from_vec(g.rows, g.cols, pool.take_zeroed(g.len()));
                 for r in 0..g.rows {
                     let y = cached.row_slice(r);
                     let gr = g.row_slice(r);
@@ -193,7 +277,7 @@ impl Tape {
                         *d = yv * (gv - dot);
                     }
                 }
-                vec![dx]
+                vec![Grad::Tensor(dx)]
             })),
             None,
         )
@@ -201,8 +285,20 @@ impl Tape {
 
     /// Add a constant tensor (e.g. an attention mask of `-inf`/0).
     pub fn add_const(&mut self, a: Var, c: Tensor) -> Var {
-        let out = self.nodes[a.0].value.add(&c);
-        self.push(out, vec![a.0], Some(Box::new(|g, _| vec![g.clone()])), None)
+        let Tape { nodes, pool } = &mut *self;
+        let ta = &nodes[a.0].value;
+        assert_eq!((ta.rows, ta.cols), (c.rows, c.cols));
+        let mut data = pool.take_zeroed(ta.len());
+        for ((d, &x), &y) in data.iter_mut().zip(&ta.data).zip(&c.data) {
+            *d = x + y;
+        }
+        let out = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(|_, _, _| vec![Grad::PassThrough])),
+            None,
+        )
     }
 
     /// Row-wise layer normalization with learned gain/bias (`(1, n)`).
@@ -210,32 +306,17 @@ impl Tape {
         let x = &self.nodes[a.0].value;
         let g = &self.nodes[gamma.0].value;
         let b = &self.nodes[beta.0].value;
-        let n = x.cols;
-        let mut out = Tensor::zeros(x.rows, n);
-        let mut xhat = Tensor::zeros(x.rows, n);
-        let mut inv_std = vec![0.0f32; x.rows];
-        for r in 0..x.rows {
-            let row = x.row_slice(r);
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            inv_std[r] = inv;
-            for c in 0..n {
-                let xh = (row[c] - mean) * inv;
-                xhat.data[r * n + c] = xh;
-                out.data[r * n + c] = xh * g.data[c] + b.data[c];
-            }
-        }
+        let (out, xhat, inv_std) = kernels::layer_norm_forward(x, g, b, eps);
         let gamma_val = g.clone();
         self.push(
             out,
             vec![a.0, gamma.0, beta.0],
-            Some(Box::new(move |gout, _| {
+            Some(Box::new(move |gout, _, pool| {
                 let rows = gout.rows;
                 let n = gout.cols;
-                let mut dx = Tensor::zeros(rows, n);
-                let mut dgamma = Tensor::zeros(1, n);
-                let mut dbeta = Tensor::zeros(1, n);
+                let mut dx = Tensor::from_vec(rows, n, pool.take_zeroed(rows * n));
+                let mut dgamma = Tensor::from_vec(1, n, pool.take_zeroed(n));
+                let mut dbeta = Tensor::from_vec(1, n, pool.take_zeroed(n));
                 for r in 0..rows {
                     let go = gout.row_slice(r);
                     let xh = xhat.row_slice(r);
@@ -255,7 +336,7 @@ impl Tape {
                         dbeta.data[c] += go[c];
                     }
                 }
-                vec![dx, dgamma, dbeta]
+                vec![Grad::Tensor(dx), Grad::Tensor(dgamma), Grad::Tensor(dbeta)]
             })),
             None,
         )
@@ -263,19 +344,21 @@ impl Tape {
 
     /// Embedding lookup: rows of `weight` selected by `ids`.
     pub fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
-        let w = &self.nodes[weight.0].value;
+        let Tape { nodes, pool } = &mut *self;
+        let w = &nodes[weight.0].value;
         let dim = w.cols;
-        let mut out = Tensor::zeros(ids.len(), dim);
+        let mut data = pool.take_zeroed(ids.len() * dim);
         for (r, &id) in ids.iter().enumerate() {
-            out.data[r * dim..(r + 1) * dim].copy_from_slice(&w.data[id * dim..(id + 1) * dim]);
+            data[r * dim..(r + 1) * dim].copy_from_slice(&w.data[id * dim..(id + 1) * dim]);
         }
+        let out = Tensor::from_vec(ids.len(), dim, data);
         let ids_owned: Vec<usize> = ids.to_vec();
         let (wrows, wcols) = (w.rows, w.cols);
         self.push(
             out,
             vec![weight.0],
-            Some(Box::new(move |g, _| {
-                let mut dw = Tensor::zeros(wrows, wcols);
+            Some(Box::new(move |g, _, pool| {
+                let mut dw = Tensor::from_vec(wrows, wcols, pool.take_zeroed(wrows * wcols));
                 for (r, &id) in ids_owned.iter().enumerate() {
                     let src = &g.data[r * wcols..(r + 1) * wcols];
                     let dst = &mut dw.data[id * wcols..(id + 1) * wcols];
@@ -283,7 +366,7 @@ impl Tape {
                         *d += s;
                     }
                 }
-                vec![dw]
+                vec![Grad::Tensor(dw)]
             })),
             None,
         )
@@ -309,7 +392,7 @@ impl Tape {
         self.push(
             Tensor::from_vec(1, 1, vec![loss]),
             vec![logits.0],
-            Some(Box::new(move |g, ps| {
+            Some(Box::new(move |g, ps, _| {
                 let scale = g.data[0] / wsum;
                 let probs = ps[0].softmax_rows();
                 let mut dl = probs;
@@ -324,7 +407,7 @@ impl Tape {
                         *v *= w * scale;
                     }
                 }
-                vec![dl]
+                vec![Grad::Tensor(dl)]
             })),
             None,
         )
@@ -346,14 +429,14 @@ impl Tape {
         self.push(
             Tensor::from_vec(1, 1, vec![loss]),
             vec![pred.0],
-            Some(Box::new(move |g, ps| {
+            Some(Box::new(move |g, ps, pool| {
                 let p = ps[0];
-                let mut dp = Tensor::zeros(p.rows, p.cols);
+                let mut dp = Tensor::from_vec(p.rows, p.cols, pool.take_zeroed(p.len()));
                 let scale = 2.0 * g.data[0] / n;
                 for &(r, c, t) in &targets_owned {
                     dp.data[r * p.cols + c] += scale * (p.get(r, c) - t);
                 }
-                vec![dp]
+                vec![Grad::Tensor(dp)]
             })),
             None,
         )
@@ -378,14 +461,14 @@ impl Tape {
         self.push(
             Tensor::from_vec(1, 1, vec![loss]),
             vec![probs.0],
-            Some(Box::new(move |g, ps| {
+            Some(Box::new(move |g, ps, pool| {
                 let p = ps[0];
-                let mut dp = Tensor::zeros(p.rows, p.cols);
+                let mut dp = Tensor::from_vec(p.rows, p.cols, pool.take_zeroed(p.len()));
                 let scale = g.data[0] / n;
                 for (r, (&t, &w)) in targets_owned.iter().zip(&weights_owned).enumerate() {
                     dp.data[r * p.cols + t] = -w * scale / p.get(r, t).max(1e-8);
                 }
-                vec![dp]
+                vec![Grad::Tensor(dp)]
             })),
             None,
         )
@@ -394,59 +477,102 @@ impl Tape {
     /// Concatenate two tensors along columns (`(m,a)` ++ `(m,b)` →
     /// `(m,a+b)`).
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let Tape { nodes, pool } = &mut *self;
+        let (ta, tb) = (&nodes[a.0].value, &nodes[b.0].value);
         assert_eq!(ta.rows, tb.rows);
         let (m, ca, cb) = (ta.rows, ta.cols, tb.cols);
-        let mut out = Tensor::zeros(m, ca + cb);
+        let mut data = pool.take_zeroed(m * (ca + cb));
         for r in 0..m {
-            out.data[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(ta.row_slice(r));
-            out.data[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(tb.row_slice(r));
+            data[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(ta.row_slice(r));
+            data[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(tb.row_slice(r));
         }
+        let out = Tensor::from_vec(m, ca + cb, data);
         self.push(
             out,
             vec![a.0, b.0],
-            Some(Box::new(move |g, _| {
-                let mut da = Tensor::zeros(m, ca);
-                let mut db = Tensor::zeros(m, cb);
+            Some(Box::new(move |g, _, pool| {
+                let mut da = Tensor::from_vec(m, ca, pool.take_zeroed(m * ca));
+                let mut db = Tensor::from_vec(m, cb, pool.take_zeroed(m * cb));
                 for r in 0..m {
                     da.data[r * ca..(r + 1) * ca]
                         .copy_from_slice(&g.data[r * (ca + cb)..r * (ca + cb) + ca]);
                     db.data[r * cb..(r + 1) * cb]
                         .copy_from_slice(&g.data[r * (ca + cb) + ca..(r + 1) * (ca + cb)]);
                 }
-                vec![da, db]
+                vec![Grad::Tensor(da), Grad::Tensor(db)]
             })),
             None,
         )
     }
 
     /// Run backpropagation from `loss` (must be `(1,1)`), accumulating
-    /// parameter gradients into `store`.
-    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+    /// parameter gradients into `store`. Consumed gradient buffers are
+    /// retired into the tape's pool for reuse by the next step.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        let Tape { nodes, pool } = self;
+        assert_eq!(nodes[loss.0].value.len(), 1, "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = Vec::new();
+        grads.resize_with(nodes.len(), || None);
         grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
-        for i in (0..self.nodes.len()).rev() {
+        // Scratch reused across nodes for the pass-through parent list.
+        let mut pass_parents: Vec<usize> = Vec::new();
+        for i in (0..nodes.len()).rev() {
             let Some(g) = grads[i].take() else { continue };
-            let node = &self.nodes[i];
+            let node = &nodes[i];
             if let Some(pid) = node.param {
                 store.accumulate_grad(pid, &g);
             }
+            let mut g_opt = Some(g);
             if let Some(back) = &node.back {
                 let parent_vals: Vec<&Tensor> =
-                    node.parents.iter().map(|&p| &self.nodes[p].value).collect();
-                let pgrads = back(&g, &parent_vals);
+                    node.parents.iter().map(|&p| &nodes[p].value).collect();
+                let g = g_opt.as_ref().expect("gradient present");
+                let pgrads = back(g, &parent_vals, pool);
                 debug_assert_eq!(pgrads.len(), node.parents.len());
+                // Owned tensor gradients first; identity pass-throughs
+                // second so the upstream gradient can be moved into the
+                // last empty slot instead of copied. Within a node, two
+                // contributions hit the same slot only for duplicate
+                // parents (e.g. `add(a, a)`), and those are always the
+                // same `Grad` kind, so accumulation order is unchanged.
+                pass_parents.clear();
                 for (&p, pg) in node.parents.iter().zip(pgrads) {
+                    match pg {
+                        Grad::Tensor(pg) => match &mut grads[p] {
+                            Some(existing) => {
+                                for (a, &b) in existing.data.iter_mut().zip(&pg.data) {
+                                    *a += b;
+                                }
+                                pool.put(pg.data);
+                            }
+                            slot => *slot = Some(pg),
+                        },
+                        Grad::PassThrough => pass_parents.push(p),
+                    }
+                }
+                let npass = pass_parents.len();
+                for (k, &p) in pass_parents.iter().enumerate() {
                     match &mut grads[p] {
                         Some(existing) => {
-                            for (a, &b) in existing.data.iter_mut().zip(&pg.data) {
+                            let g = g_opt.as_ref().expect("gradient present");
+                            for (a, &b) in existing.data.iter_mut().zip(&g.data) {
                                 *a += b;
                             }
                         }
-                        slot => *slot = Some(pg),
+                        slot => {
+                            if k + 1 == npass {
+                                *slot = g_opt.take();
+                            } else {
+                                let g = g_opt.as_ref().expect("gradient present");
+                                let copy = pool.take_copy(&g.data);
+                                *slot = Some(Tensor::from_vec(g.rows, g.cols, copy));
+                            }
+                        }
                     }
                 }
+            }
+            if let Some(g) = g_opt.take() {
+                pool.put(g.data);
             }
         }
     }
@@ -671,5 +797,41 @@ mod tests {
         let sq = tape.matmul(w, w); // w^2 as (1,1)@(1,1)
         tape.backward(sq, &mut store);
         assert!((store.grad(id).data[0] - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn passthrough_duplicate_parent_accumulates_twice() {
+        // add(a, a) routes two identity pass-throughs into one slot:
+        // d(2a)/da = 2.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(1, 1, vec![1.5]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let doubled = tape.add(w, w);
+        tape.backward(doubled, &mut store);
+        assert!((store.grad(id).data[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_retires_buffers_and_reuses_them() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(4, 4, vec![0.25; 16]));
+        let mut tape = Tape::new();
+        let mut last = None;
+        for _ in 0..3 {
+            tape.reset();
+            let w = tape.param(&store, id);
+            let x = tape.constant(Tensor::full(2, 4, 1.0));
+            let h = tape.matmul(x, w);
+            let loss = tape.mse_selected(h, &[(0, 0, 0.0)]);
+            store.zero_grads();
+            tape.backward(loss, &mut store);
+            let g = store.grad(id).clone();
+            if let Some(prev) = &last {
+                assert_eq!(prev, &g, "pooled steps must be bit-identical");
+            }
+            last = Some(g);
+        }
+        assert!(tape.pooled_buffers() > 0, "reset should retire buffers");
     }
 }

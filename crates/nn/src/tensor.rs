@@ -84,61 +84,26 @@ impl Tensor {
     }
 
     /// `self @ other` — `(m,k) @ (k,n) -> (m,n)`.
+    ///
+    /// Dispatches on the process-global [`crate::kernels::kernel_mode`],
+    /// downgraded to naive for few-output-row or sparse-A products
+    /// (packing can't amortize / zero-skip wins); every mode is
+    /// bit-identical (see the [`crate::kernels`] docs).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        let mode = crate::kernels::auto_mode_skip(self, self.rows, crate::kernels::kernel_mode());
+        crate::kernels::matmul_with_mode(self, other, mode)
     }
 
     /// `self @ other^T` — `(m,k) @ (n,k)^T -> (m,n)`.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                out.data[i * n + j] = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-            }
-        }
-        out
+        let mode = crate::kernels::auto_mode_mt(self.rows, crate::kernels::kernel_mode());
+        crate::kernels::matmul_t_with_mode(self, other, mode)
     }
 
     /// `self^T @ other` — `(k,m)^T @ (k,n) -> (m,n)`.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &other.data[p * n..(p + 1) * n];
-            for i in 0..m {
-                let a = arow[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        let mode = crate::kernels::auto_mode_skip(self, self.cols, crate::kernels::kernel_mode());
+        crate::kernels::t_matmul_with_mode(self, other, mode)
     }
 
     /// Transposed copy.

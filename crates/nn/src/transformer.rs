@@ -8,6 +8,7 @@
 //! replaced by a plain linear head (simpler, equally effective at this
 //! scale).
 
+use crate::kernels::{self, PackedB};
 use crate::layers::{Embedding, LayerNorm, Linear};
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
@@ -306,11 +307,226 @@ impl Seq2SeqTransformer {
     }
 
     /// Inference: logits for the *next* token after `tgt`, given `src`.
+    ///
+    /// Reference path: reruns the full encoder–decoder forward. The
+    /// KV-cached [`DecodeSession`] produces bit-identical logits in
+    /// `O(len)` per token instead of `O(len²)`; this stays as the
+    /// ground truth the differential suite compares against.
     pub fn next_token_logits(&self, store: &ParamStore, src: &[usize], tgt: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let logits = self.forward(&mut tape, store, src, tgt);
         let v = tape.value(logits);
         v.row_slice(v.rows - 1).to_vec()
+    }
+
+    /// Start a KV-cached incremental decode against `src`.
+    ///
+    /// Runs the encoder once, precomputes every cross-attention K/V,
+    /// and packs all decoder weight matrices ([`PackedB`]) so each
+    /// generated token reuses them. Feed target tokens through
+    /// [`Seq2SeqTransformer::session_advance`]; the logits are
+    /// bit-identical to [`Seq2SeqTransformer::next_token_logits`] at
+    /// the same positions (the argument is spelled out in the
+    /// [`crate::kernels`] docs and checked by the differential suite).
+    pub fn start_session(&self, store: &ParamStore, src: &[usize]) -> DecodeSession {
+        let mut tape = Tape::new();
+        let enc_var = self.encode(&mut tape, store, src);
+        let enc = tape.value(enc_var).clone();
+        let layers = self
+            .dec_layers
+            .iter()
+            .map(|layer| {
+                let self_heads = layer
+                    .self_attn
+                    .heads
+                    .iter()
+                    .map(|h| SelfHeadCache {
+                        wq: PackedB::pack(store.value(h.wq)),
+                        wk: PackedB::pack(store.value(h.wk)),
+                        wv: PackedB::pack(store.value(h.wv)),
+                        k: Tensor::zeros(0, layer.self_attn.dk),
+                        v: Tensor::zeros(0, layer.self_attn.dk),
+                    })
+                    .collect();
+                let cross_heads = layer
+                    .cross_attn
+                    .heads
+                    .iter()
+                    .map(|h| CrossHeadCache {
+                        wq: PackedB::pack(store.value(h.wq)),
+                        k: enc.matmul(store.value(h.wk)),
+                        v: enc.matmul(store.value(h.wv)),
+                    })
+                    .collect();
+                SessionLayer {
+                    self_heads,
+                    cross_heads,
+                    self_wo: PackedB::pack(store.value(layer.self_attn.wo.weight_id())),
+                    cross_wo: PackedB::pack(store.value(layer.cross_attn.wo.weight_id())),
+                    ff_l1: PackedB::pack(store.value(layer.ff.l1.weight_id())),
+                    ff_l2: PackedB::pack(store.value(layer.ff.l2.weight_id())),
+                }
+            })
+            .collect();
+        DecodeSession {
+            layers,
+            head: PackedB::pack(store.value(self.head.weight_id())),
+            len: 0,
+        }
+    }
+
+    /// Advance an incremental decode by `tokens` (the next target ids),
+    /// returning their logits `(tokens.len(), vocab)`.
+    ///
+    /// The first call primes the session with the BOS/conditioning
+    /// prefix in one batched step; subsequent calls typically pass one
+    /// token. Row `r` of the result is bit-identical to row `base + r`
+    /// of the full `decode` over the concatenated target:
+    /// masked-future attention entries underflow to exactly `+0.0`
+    /// after softmax and are skipped by the `matmul` zero-skip, so
+    /// truncating them is exact, and the session applies the same
+    /// additive 0 / −1e9 mask as [`causal_mask`] for the visible block.
+    pub fn session_advance(
+        &self,
+        store: &ParamStore,
+        sess: &mut DecodeSession,
+        tokens: &[usize],
+    ) -> Tensor {
+        let base = sess.len;
+        let p_rows = tokens.len();
+        let d = self.config.d_model;
+        // Embedding: token row + clamped-position row, as in `embed`.
+        let tok_w = store.value(self.tok_emb.weight());
+        let pos_w = store.value(self.pos_emb.weight());
+        let mut x = Tensor::zeros(p_rows, d);
+        for (r, &id) in tokens.iter().enumerate() {
+            let pos = (base + r).min(self.config.max_len - 1);
+            for c in 0..d {
+                x.data[r * d + c] = tok_w.data[id * d + c] + pos_w.data[pos * d + c];
+            }
+        }
+        // Intra-block causal mask against the grown cache: row r
+        // (global position base + r) sees columns 0..=base+r.
+        let total = base + p_rows;
+        let mut mask = Tensor::zeros(p_rows, total);
+        for r in 0..p_rows {
+            for c in (base + r + 1)..total {
+                mask.data[r * total + c] = -1e9;
+            }
+        }
+        for (layer, sl) in self.dec_layers.iter().zip(&mut sess.layers) {
+            // Causal self-attention over the K/V caches.
+            let scale = 1.0 / (layer.self_attn.dk as f32).sqrt();
+            let dk = layer.self_attn.dk;
+            let mut cat = Tensor::zeros(p_rows, d);
+            for (hi, hc) in sl.self_heads.iter_mut().enumerate() {
+                let q = kernels::matmul_prepacked(&x, &hc.wq);
+                let k_new = kernels::matmul_prepacked(&x, &hc.wk);
+                let v_new = kernels::matmul_prepacked(&x, &hc.wv);
+                hc.k.data.extend_from_slice(&k_new.data);
+                hc.k.rows += p_rows;
+                hc.v.data.extend_from_slice(&v_new.data);
+                hc.v.rows += p_rows;
+                let scores = q.matmul_t(&hc.k).scale(scale).add(&mask);
+                let out = scores.softmax_rows().matmul(&hc.v);
+                for r in 0..p_rows {
+                    cat.data[r * d + hi * dk..r * d + (hi + 1) * dk]
+                        .copy_from_slice(out.row_slice(r));
+                }
+            }
+            let a = kernels::matmul_prepacked(&cat, &sl.self_wo)
+                .add_row_broadcast(store.value(layer.self_attn.wo.bias_id()));
+            let h = ln_rows(store, &layer.ln1, &x.add(&a));
+            // Cross-attention against the precomputed encoder K/V.
+            let scale = 1.0 / (layer.cross_attn.dk as f32).sqrt();
+            let dk = layer.cross_attn.dk;
+            let mut cat = Tensor::zeros(p_rows, d);
+            for (hi, hc) in sl.cross_heads.iter().enumerate() {
+                let q = kernels::matmul_prepacked(&h, &hc.wq);
+                let scores = q.matmul_t(&hc.k).scale(scale);
+                let out = scores.softmax_rows().matmul(&hc.v);
+                for r in 0..p_rows {
+                    cat.data[r * d + hi * dk..r * d + (hi + 1) * dk]
+                        .copy_from_slice(out.row_slice(r));
+                }
+            }
+            let c = kernels::matmul_prepacked(&cat, &sl.cross_wo)
+                .add_row_broadcast(store.value(layer.cross_attn.wo.bias_id()));
+            let h = ln_rows(store, &layer.ln2, &h.add(&c));
+            // Feed-forward.
+            let f1 = kernels::matmul_prepacked(&h, &sl.ff_l1)
+                .add_row_broadcast(store.value(layer.ff.l1.bias_id()));
+            let f = kernels::matmul_prepacked(&f1.map(|v| v.max(0.0)), &sl.ff_l2)
+                .add_row_broadcast(store.value(layer.ff.l2.bias_id()));
+            x = ln_rows(store, &layer.ln3, &h.add(&f));
+        }
+        sess.len = total;
+        kernels::matmul_prepacked(&x, &sess.head)
+            .add_row_broadcast(store.value(self.head.bias_id()))
+    }
+}
+
+/// Layer-norm a block of rows through the shared forward (same float
+/// ops as the tape path).
+fn ln_rows(store: &ParamStore, ln: &LayerNorm, x: &Tensor) -> Tensor {
+    kernels::layer_norm_forward(
+        x,
+        store.value(ln.gamma_id()),
+        store.value(ln.beta_id()),
+        1e-5,
+    )
+    .0
+}
+
+/// Per-head causal self-attention state plus packed projections.
+struct SelfHeadCache {
+    wq: PackedB,
+    wk: PackedB,
+    wv: PackedB,
+    k: Tensor,
+    v: Tensor,
+}
+
+/// Per-head cross-attention state: the encoder-side K/V never change
+/// during a decode, so they are computed once.
+struct CrossHeadCache {
+    wq: PackedB,
+    k: Tensor,
+    v: Tensor,
+}
+
+struct SessionLayer {
+    self_heads: Vec<SelfHeadCache>,
+    cross_heads: Vec<CrossHeadCache>,
+    self_wo: PackedB,
+    cross_wo: PackedB,
+    ff_l1: PackedB,
+    ff_l2: PackedB,
+}
+
+/// KV-cached incremental decode state for one `(weights, src)` pair.
+///
+/// Created by [`Seq2SeqTransformer::start_session`]; holds the
+/// precomputed cross-attention K/V, the growing self-attention K/V
+/// caches, and one packed copy of every decoder weight matrix. Each
+/// [`Seq2SeqTransformer::session_advance`] call costs `O(len)` in the
+/// target length instead of the full forward's `O(len²)`, with
+/// bit-identical logits.
+pub struct DecodeSession {
+    layers: Vec<SessionLayer>,
+    head: PackedB,
+    len: usize,
+}
+
+impl DecodeSession {
+    /// Target positions decoded so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first [`Seq2SeqTransformer::session_advance`].
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -464,6 +680,35 @@ mod tests {
             }
         }
         assert!(checked > 40, "checked {checked} scalars");
+    }
+
+    #[test]
+    fn decode_session_matches_full_forward_bitwise() {
+        let (store, model) = tiny();
+        let src = [1usize, 2, 3, 4];
+        let prefix = [0usize, 7];
+        let mut sess = model.start_session(&store, &src);
+        let primed = model.session_advance(&store, &mut sess, &prefix);
+        assert_eq!((primed.rows, primed.cols), (2, 12));
+        let bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let full = model.next_token_logits(&store, &src, &prefix);
+        assert_eq!(
+            bits(primed.row_slice(1)),
+            bits(&full),
+            "primed session logits drifted from full forward"
+        );
+        let mut tgt = prefix.to_vec();
+        for &tok in &[5usize, 9, 2, 11] {
+            tgt.push(tok);
+            let step = model.session_advance(&store, &mut sess, &[tok]);
+            let full = model.next_token_logits(&store, &src, &tgt);
+            assert_eq!(
+                bits(step.row_slice(0)),
+                bits(&full),
+                "session logits drifted at len {}",
+                tgt.len()
+            );
+        }
     }
 
     #[test]

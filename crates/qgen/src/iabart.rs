@@ -142,6 +142,9 @@ impl Iabart {
 
     fn train_task(&mut self, corpus: &[Sample], task: Task) {
         let mut opt = Adam::new(self.cfg.lr);
+        // One tape per task: each sample's forward/backward recycles the
+        // previous sample's activation and gradient buffers.
+        let mut tape = Tape::new();
         for _ in 0..self.cfg.epochs_per_task {
             let mut order: Vec<usize> = (0..corpus.len()).collect();
             // Seeded shuffle.
@@ -158,7 +161,7 @@ impl Iabart {
                     .chain(s.tokens[..s.tokens.len() - 1].iter().copied())
                     .collect();
                 self.store.zero_grads();
-                let mut tape = Tape::new();
+                tape.reset();
                 let logits = self.model.forward(&mut tape, &self.store, &src, &tgt_in);
                 let loss = tape.cross_entropy(logits, &s.tokens, &loss_weights);
                 epoch_loss += tape.value(loss).data[0];
@@ -218,12 +221,19 @@ impl Iabart {
         let mut done = false;
         // Decoder context mirrors training: the shift-in <cls> followed by
         // the known conditioning prefix (everything before the query) —
-        // the decoder generates the query with I and R in context.
-        let mut tgt: Vec<usize> = std::iter::once(CLS)
+        // the decoder generates the query with I and R in context. The
+        // KV-cached session is primed with the prefix in one batched
+        // step; each sampled token then advances the cache by a single
+        // row, bit-identical to re-running the full decoder (so the
+        // sampling rng stream — and every generated query — is unchanged).
+        let tgt: Vec<usize> = std::iter::once(CLS)
             .chain(prefix[..q_start].iter().copied())
             .collect();
+        let mut sess = self.model.start_session(&self.store, &src);
+        let primed = self.model.session_advance(&self.store, &mut sess, &tgt);
+        let mut logits: Vec<f32> = primed.row_slice(primed.rows - 1).to_vec();
 
-        for _ in 0..self.cfg.max_decode_len {
+        for step in 0..self.cfg.max_decode_len {
             // Allowed continuations from the FSM + prefix state. A partial
             // that already spells a complete candidate word can *also*
             // commit and continue (or end) — deferred commits make words
@@ -265,10 +275,8 @@ impl Iabart {
             // Rank allowed tokens by model probability (§3.3: "search the
             // decoder in a top-down manner to adopt the first token that
             // matches a candidate state").
-            let logits = self.model.next_token_logits(&self.store, &src, &tgt);
             let pick = sample_allowed(&logits, &allowed, self.cfg.temperature, &mut self.rng);
             let (tok, cont) = allowed[pick];
-            tgt.push(tok);
             match cont {
                 Continuation::EndQuery => {
                     done = true;
@@ -309,6 +317,10 @@ impl Iabart {
                         partial.clear();
                     }
                 }
+            }
+            if step + 1 < self.cfg.max_decode_len {
+                let out = self.model.session_advance(&self.store, &mut sess, &[tok]);
+                logits = out.row_slice(out.rows - 1).to_vec();
             }
         }
         if !done || !partial.is_empty() || !fsm.can_end() {

@@ -25,8 +25,20 @@ echo "== what-if differential suite =="
 # explicitly so a failure is named in CI output).
 cargo test -q -p pipa --test whatif_differential
 
+echo "== NN kernel differential suite =="
+# Bit-equality (f32::to_bits) of the blocked / blocked+parallel matmul
+# kernels against the naive reference loops, plus train-step parameter
+# equality across kernel modes and tape reuse.
+cargo test -q -p pipa --test nn_kernel_differential
+
 echo "== results artifact schema =="
 cargo test -q -p pipa --test results_schema
+
+echo "== NN bench smoke =="
+# Tiny-dimension pass through the nn bench harness (asserts the decode
+# session's bitwise equality against the per-token path on the way);
+# smoke mode skips the committed artifact.
+NN_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench nn >/dev/null
 
 echo "== cargo doc (RUSTDOCFLAGS=-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKGS[@]}"

@@ -12,9 +12,12 @@
 //!   SWIRL) plus heuristic baselines;
 //! * [`qgen`] — query generators (FSM, templates, IABART);
 //! * [`core`] — PIPA itself: probing, injecting, AD/RD metrics, and the
-//!   stress-test harness.
+//!   stress-test harness;
+//! * [`obs`] — zero-dependency observability (event channels, timers,
+//!   per-cell recording).
 
 pub use pipa_core as core;
+pub use pipa_obs as obs;
 pub use pipa_ia as ia;
 pub use pipa_nn as nn;
 pub use pipa_qgen as qgen;

@@ -70,6 +70,83 @@ fn figure_and_table_artifacts_carry_params_and_results() {
     }
 }
 
+/// Extract the numeric value following `"key":` anywhere in the file
+/// (the obs validator only exposes top-level keys, and the workspace
+/// deliberately has no full JSON value parser).
+fn num_field(text: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let rest = text
+        .split(&needle)
+        .nth(1)
+        .unwrap_or_else(|| panic!("missing field {key:?}"))
+        .trim_start();
+    let lit: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .collect();
+    lit.parse()
+        .unwrap_or_else(|_| panic!("field {key:?} is not a number (got {lit:?})"))
+}
+
+#[test]
+fn bench_nn_artifact_meets_the_kernel_acceptance_floor() {
+    let path = results_dir().join("BENCH_nn.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_nn.json is committed");
+    let keys = top_level_keys(&text).unwrap();
+    for required in [
+        "threads",
+        "matmul_dims",
+        "mlp_batch",
+        "decode_tokens",
+        "median_ns",
+        "matmul_blocked_speedup",
+        "matmul_parallel_speedup",
+        "matmul_t_speedup",
+        "mlp_train_speedup",
+        "decode_speedup",
+        "kernel_counters",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "BENCH_nn.json: missing top-level {required:?} (has {keys:?})"
+        );
+    }
+    // Every cell the speedups are derived from must be present and
+    // positive, so a partial bench run can't produce a plausible file.
+    for cell in [
+        "matmul_naive",
+        "matmul_blocked",
+        "matmul_parallel",
+        "matmul_t_naive",
+        "matmul_t_blocked",
+        "mlp_train_naive",
+        "mlp_train_fast",
+        "decode_naive",
+        "decode_fast",
+    ] {
+        let ns = num_field(&text, cell);
+        assert!(ns.is_finite() && ns > 0.0, "median_ns.{cell} = {ns}");
+    }
+    for sp in [
+        "matmul_blocked_speedup",
+        "matmul_parallel_speedup",
+        "matmul_t_speedup",
+    ] {
+        let v = num_field(&text, sp);
+        assert!(v.is_finite() && v > 1.0, "{sp} = {v} should exceed 1.0");
+    }
+    // Acceptance floor from the kernel PR: the end-to-end hot paths
+    // (replay train step, decoder token step) must hold at least 2x.
+    for sp in ["mlp_train_speedup", "decode_speedup"] {
+        let v = num_field(&text, sp);
+        assert!(v.is_finite() && v >= 2.0, "{sp} = {v} should be >= 2.0");
+    }
+    for counter in ["matmuls", "flops", "buf_reuses"] {
+        let v = num_field(&text, counter);
+        assert!(v > 0.0, "kernel_counters.{counter} = {v} should be > 0");
+    }
+}
+
 #[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
