@@ -83,7 +83,7 @@ fn main() {
     let db = build_db(&cfg);
     let mut c = Criterion::default().sample_size(10);
 
-    db.set_whatif_cache_enabled(false);
+    db.database().set_whatif_cache_enabled(false);
     c.bench_function("runner/serial_uncached", |b| {
         b.iter(|| black_box(run_grid(&db, &cfg, &spec, 1)))
     });
@@ -91,14 +91,14 @@ fn main() {
         b.iter(|| black_box(run_grid(&db, &cfg, &spec, 4)))
     });
 
-    db.set_whatif_cache_enabled(true);
-    db.clear_whatif_cache();
+    db.database().set_whatif_cache_enabled(true);
+    db.database().clear_whatif_cache();
     let _ = run_grid(&db, &cfg, &spec, 1); // warm the cache
-    let warm_stats = db.whatif_cache_stats();
+    let warm_stats = db.database().whatif_cache_stats();
     c.bench_function("runner/serial_cached_warm", |b| {
         b.iter(|| black_box(run_grid(&db, &cfg, &spec, 1)))
     });
-    let final_stats = db.whatif_cache_stats();
+    let final_stats = db.database().whatif_cache_stats();
 
     let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
     let serial = median_of(&lines, "runner/serial_uncached");

@@ -13,29 +13,39 @@ use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
 fn bench_cost_model(c: &mut Criterion) {
-    let db = Benchmark::TpcH.database(1.0, None);
+    let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let gen = WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
     );
     let w = gen.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-    let ship = db.schema().column_id("l_shipdate").unwrap();
+    let ship = cost.database().schema().column_id("l_shipdate").unwrap();
     let cfg = IndexConfig::from_indexes([Index::single(ship)]);
     let q = w.entries()[2].query.clone();
 
     c.bench_function("cost/query_estimate", |b| {
-        b.iter(|| black_box(db.estimated_query_cost(black_box(&q), black_box(&cfg))))
+        b.iter(|| {
+            black_box(
+                cost.database()
+                    .estimated_query_cost(black_box(&q), black_box(&cfg)),
+            )
+        })
     });
     c.bench_function("cost/workload_estimate_18q", |b| {
-        b.iter(|| black_box(db.estimated_workload_cost(black_box(&w), black_box(&cfg))))
+        b.iter(|| {
+            black_box(
+                cost.database()
+                    .estimated_workload_cost(black_box(&w), black_box(&cfg)),
+            )
+        })
     });
     c.bench_function("cost/single_column_benefit", |b| {
-        b.iter(|| black_box(single_column_benefit(&db, &w, ship)))
+        b.iter(|| black_box(single_column_benefit(&cost, &w, ship).expect("benefit")))
     });
 }
 
 fn bench_whatif_greedy(c: &mut Criterion) {
-    let db = Benchmark::TpcH.database(1.0, None);
+    let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let gen = WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -46,7 +56,7 @@ fn bench_whatif_greedy(c: &mut Criterion) {
             || pipa_ia::AutoAdminGreedy::new(4),
             |mut ia| {
                 use pipa_ia::IndexAdvisor;
-                black_box(ia.recommend(&db, &w))
+                black_box(ia.recommend(&cost, &w).expect("recommend"))
             },
             BatchSize::SmallInput,
         )
@@ -103,7 +113,7 @@ fn bench_nn(c: &mut Criterion) {
 fn bench_probing_epoch(c: &mut Criterion) {
     use pipa_core::probe::{probe, ProbeConfig};
     use pipa_ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
-    let db = Benchmark::TpcH.database(1.0, None);
+    let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let gen = WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -114,7 +124,7 @@ fn bench_probing_epoch(c: &mut Criterion) {
         SpeedPreset::Test,
         7,
     );
-    advisor.train(&db, &w);
+    advisor.train(&cost, &w).expect("train");
     c.bench_function("pipa/probe_2_epochs", |b| {
         b.iter_batched(
             || pipa_qgen::StGenerator::new(7),
@@ -127,7 +137,7 @@ fn bench_probing_epoch(c: &mut Criterion) {
                 fn up(a: &mut dyn pipa_ia::ClearBoxAdvisor) -> &mut dyn pipa_ia::IndexAdvisor {
                     a
                 }
-                black_box(probe(up(advisor.as_mut()), &db, &mut g, &cfg))
+                black_box(probe(up(advisor.as_mut()), &cost, &mut g, &cfg).expect("probe"))
             },
             BatchSize::SmallInput,
         )

@@ -27,10 +27,11 @@
 //! speedups and the matrix/delta/full-fallback counter rates.
 
 use criterion::Criterion;
+use pipa_cost::CostBackend;
 use pipa_ia::{
     build_advisor, AdvisorKind, AutoAdminGreedy, IndexAdvisor, SpeedPreset, TrajectoryMode,
 };
-use pipa_sim::{Aggregate, ColumnId, Database, Predicate, QueryBuilder, Workload};
+use pipa_sim::{Aggregate, ColumnId, Database, Index, IndexConfig, Predicate, QueryBuilder, Workload};
 use pipa_workload::{Benchmark, WorkloadGenerator};
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -44,6 +45,8 @@ struct Medians {
     greedy_mixed_matrix: Option<f64>,
     train_single_scalar: Option<f64>,
     train_single_matrix: Option<f64>,
+    dispatch_direct: Option<f64>,
+    dispatch_trait: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -67,6 +70,10 @@ struct BenchArtifact {
     greedy_single_speedup: Option<f64>,
     greedy_mixed_speedup: Option<f64>,
     train_single_speedup: Option<f64>,
+    /// `dispatch_trait / dispatch_direct`: the cost of routing every
+    /// what-if through `&dyn CostBackend` instead of calling the
+    /// simulator directly. The boundary-lint budget allows ≤ 1.05.
+    trait_dispatch_overhead: Option<f64>,
     matrix_single: MatrixCounters,
     matrix_mixed: MatrixCounters,
 }
@@ -127,8 +134,8 @@ fn main() {
     let _ = std::fs::remove_file(&json_path);
     std::env::set_var("CRITERION_JSON", &json_path);
 
-    let db = Benchmark::TpcH.database(1.0, None);
-    let single = single_table_workload(&db, 24);
+    let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let single = single_table_workload(cost.database(), 24);
     let g = WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -140,13 +147,13 @@ fn main() {
     let mut c = Criterion::default().sample_size(10);
 
     let bench_greedy = |c: &mut Criterion, name: &str, w: &Workload, matrix_on: bool| {
-        db.set_whatif_matrix_enabled(matrix_on);
+        cost.database().set_whatif_matrix_enabled(matrix_on);
         c.bench_function(name, |b| {
             b.iter(|| {
-                db.clear_whatif_matrix();
-                db.clear_whatif_cache();
+                cost.database().clear_whatif_matrix();
+                cost.database().clear_whatif_cache();
                 let mut adv = AutoAdminGreedy::new(budget);
-                black_box(adv.recommend(&db, w))
+                black_box(adv.recommend(&cost, w).expect("greedy recommend"))
             })
         });
     };
@@ -154,33 +161,67 @@ fn main() {
     // --- greedy candidate scoring, single-table (matrix-answerable) ---
     bench_greedy(&mut c, "whatif/greedy_single_scalar", &single, false);
     bench_greedy(&mut c, "whatif/greedy_single_matrix", &single, true);
-    let matrix_single = counters(&db);
+    let matrix_single = counters(cost.database());
 
     // --- greedy candidate scoring, mixed/join-heavy (fallback-bound) --
     bench_greedy(&mut c, "whatif/greedy_mixed_scalar", &mixed, false);
     bench_greedy(&mut c, "whatif/greedy_mixed_matrix", &mixed, true);
-    let matrix_mixed = counters(&db);
+    let matrix_mixed = counters(cost.database());
 
     // --- DQN training (env-step what-ifs), single-table ---------------
     let bench_train = |c: &mut Criterion, name: &str, matrix_on: bool| {
-        db.set_whatif_matrix_enabled(matrix_on);
+        cost.database().set_whatif_matrix_enabled(matrix_on);
         c.bench_function(name, |b| {
             b.iter(|| {
-                db.clear_whatif_matrix();
-                db.clear_whatif_cache();
+                cost.database().clear_whatif_matrix();
+                cost.database().clear_whatif_cache();
                 let mut adv = build_advisor(
                     AdvisorKind::Dqn(TrajectoryMode::Best),
                     SpeedPreset::Test,
                     7,
                 );
-                adv.train(&db, &single);
+                adv.train(&cost, &single).expect("train");
                 black_box(adv.budget())
             })
         });
     };
     bench_train(&mut c, "whatif/train_single_scalar", false);
     bench_train(&mut c, "whatif/train_single_matrix", true);
-    db.set_whatif_matrix_enabled(true);
+    cost.database().set_whatif_matrix_enabled(true);
+
+    // --- trait-dispatch overhead: identical scalar work, direct call vs
+    // `&dyn CostBackend` virtual call. Cache and matrix stay off so each
+    // evaluation pays the full analytical model — the object-safe seam
+    // must disappear into that work.
+    cost.database().set_whatif_matrix_enabled(false);
+    cost.database().set_whatif_cache_enabled(false);
+    let dispatch_cfgs: Vec<IndexConfig> = single
+        .candidate_columns()
+        .into_iter()
+        .take(4)
+        .map(|col| IndexConfig::from_indexes([Index::single(col)]))
+        .collect();
+    c.bench_function("whatif/dispatch_direct", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cfg in &dispatch_cfgs {
+                acc += cost.database().estimated_workload_cost(&single, cfg);
+            }
+            black_box(acc)
+        })
+    });
+    let dyn_cost: &dyn CostBackend = &cost;
+    c.bench_function("whatif/dispatch_trait", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cfg in &dispatch_cfgs {
+                acc += dyn_cost.workload_cost(&single, cfg).expect("workload cost");
+            }
+            black_box(acc)
+        })
+    });
+    cost.database().set_whatif_matrix_enabled(true);
+    cost.database().set_whatif_cache_enabled(true);
 
     let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
     let med = |id: &str| median_of(&lines, id);
@@ -195,10 +236,13 @@ fn main() {
         greedy_mixed_matrix: med("whatif/greedy_mixed_matrix"),
         train_single_scalar: med("whatif/train_single_scalar"),
         train_single_matrix: med("whatif/train_single_matrix"),
+        dispatch_direct: med("whatif/dispatch_direct"),
+        dispatch_trait: med("whatif/dispatch_trait"),
     };
     let greedy_single_speedup = ratio(medians.greedy_single_scalar, medians.greedy_single_matrix);
     let greedy_mixed_speedup = ratio(medians.greedy_mixed_scalar, medians.greedy_mixed_matrix);
     let train_single_speedup = ratio(medians.train_single_scalar, medians.train_single_matrix);
+    let trait_dispatch_overhead = ratio(medians.dispatch_trait, medians.dispatch_direct);
 
     for (label, s) in [
         ("greedy single-table", greedy_single_speedup),
@@ -208,6 +252,9 @@ fn main() {
         if let Some(s) = s {
             println!("{label}: matrix speedup {s:.2}x");
         }
+    }
+    if let Some(o) = trait_dispatch_overhead {
+        println!("trait dispatch overhead    : {o:.3}x (budget 1.05x)");
     }
     println!(
         "single-table counters: {} matrix evals, {} fallbacks, {} deltas (matrix rate {:.3})",
@@ -230,6 +277,7 @@ fn main() {
         greedy_single_speedup,
         greedy_mixed_speedup,
         train_single_speedup,
+        trait_dispatch_overhead,
         matrix_single,
         matrix_mixed,
     };

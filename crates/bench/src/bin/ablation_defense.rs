@@ -13,6 +13,7 @@
 
 use pipa_bench::cli::ExpArgs;
 use pipa_core::defense::{stress_with_canary, ProvenanceFilter};
+use pipa_cost::CostBackend;
 use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKind};
 use pipa_core::metrics::{absolute_degradation, Stats};
 use pipa_core::par_map_traced;
@@ -76,6 +77,7 @@ fn main() {
                     &cfg,
                     seed,
                 )
+                .expect("stress test against the simulator backend")
                 .ad
             },
         );
@@ -114,6 +116,7 @@ fn main() {
                         tol,
                         seed.get(),
                     )
+                    .expect("stress test against the simulator backend")
                 },
             );
             let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();
@@ -143,22 +146,23 @@ fn main() {
                 let seed = args.cell_seed(run);
                 let normal = normal_workload(&cfg, seed.get());
                 let mut advisor = victim.build(cfg.preset, seed.get());
-                advisor.train(&db, &normal);
-                let clean = advisor.recommend(&db, &normal);
-                let baseline = db.actual_workload_cost(&normal, &clean);
+                advisor.train(&db, &normal).expect("train");
+                let clean = advisor.recommend(&db, &normal).expect("recommend");
+                let baseline = db.executed_workload_cost(&normal, &clean).expect("cost");
                 let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
-                let injection =
-                    injector.build(advisor.as_mut(), &db, cfg.injection_size, seed.get());
+                let injection = injector
+                    .build(advisor.as_mut(), &db, cfg.injection_size, seed.get())
+                    .expect("injection build");
                 let training = normal.union(&injection);
                 let (screened, dropped) = ProvenanceFilter::default().screen(
                     &normal,
                     &training,
-                    db.schema().num_columns(),
+                    db.database().schema().num_columns(),
                 );
-                advisor.retrain(&db, &screened);
-                let poisoned = advisor.recommend(&db, &normal);
-                let cost = db.actual_workload_cost(&normal, &poisoned);
-                (absolute_degradation(cost, baseline), dropped)
+                advisor.retrain(&db, &screened).expect("retrain");
+                let poisoned = advisor.recommend(&db, &normal).expect("recommend");
+                let final_cost = db.executed_workload_cost(&normal, &poisoned).expect("cost");
+                (absolute_degradation(final_cost, baseline), dropped)
             },
         );
         let ads: Vec<f64> = outs.iter().map(|(ad, _)| *ad).collect();

@@ -38,7 +38,7 @@ struct Variant {
 fn run_variant(
     args: &ExpArgs,
     cfg: &pipa_core::CellConfig,
-    db: &pipa_sim::Database,
+    db: &pipa_cost::SimBackend,
     out: &TraceOutputs,
     backend: &GenBackend,
     variant: Variant,
@@ -79,6 +79,7 @@ fn run_variant(
                 .actual_cost(cfg.materialize.is_some())
                 .seed(seed)
                 .run(advisor.as_mut(), &mut injector)
+                .expect("stress test against the simulator backend")
                 .ad
         },
     );

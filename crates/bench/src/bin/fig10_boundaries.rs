@@ -34,7 +34,7 @@ struct Point {
 fn run_with_segment(
     args: &ExpArgs,
     cfg: &pipa_core::CellConfig,
-    db: &pipa_sim::Database,
+    cost: &pipa_cost::SimBackend,
     out: &TraceOutputs,
     panel: &'static str,
     x: f64,
@@ -65,11 +65,12 @@ fn run_with_segment(
                 ..Default::default()
             };
             injector.segment_cfg = seg;
-            StressTest::new(db, &normal)
+            StressTest::new(cost, &normal)
                 .injection_size(cfg.injection_size)
                 .actual_cost(cfg.materialize.is_some())
                 .seed(seed)
                 .run(advisor.as_mut(), &mut injector)
+                .expect("stress test against the simulator backend")
                 .ad
         },
     );
@@ -79,8 +80,8 @@ fn run_with_segment(
 fn main() {
     let args = ExpArgs::parse(5);
     let cfg = args.cell_config();
-    let db = build_db(&cfg);
-    let l = db.schema().num_columns() as f64;
+    let cost = build_db(&cfg);
+    let l = cost.database().schema().num_columns() as f64;
     let out = args.trace_outputs();
     let mut points = Vec::new();
 
@@ -91,7 +92,7 @@ fn main() {
         let s = run_with_segment(
             &args,
             &cfg,
-            &db,
+            &cost,
             &out,
             "a",
             start as f64,
@@ -123,7 +124,7 @@ fn main() {
         let s = run_with_segment(
             &args,
             &cfg,
-            &db,
+            &cost,
             &out,
             "b",
             frac,
@@ -152,7 +153,7 @@ fn main() {
          dilute the target segment."
     );
 
-    args.finish_trace(&out, &db);
+    args.finish_trace(&out, &cost);
     let artifact = ExperimentArtifact {
         id: "fig10_boundaries".to_string(),
         description: "Target-segment boundary sweeps".to_string(),

@@ -76,7 +76,8 @@ fn main() {
                 InjectorKind::Pipa,
                 &epoch_cfgs[pi],
                 seed,
-            );
+            )
+            .expect("stress test against the simulator backend");
             (victim, pi, out.ad)
         },
     );

@@ -49,7 +49,7 @@ fn main() {
     let cfg = args.cell_config();
     let db = build_db(&cfg);
     let victim = AdvisorKind::Dqn(TrajectoryMode::Best);
-    let l = db.schema().num_columns();
+    let l = db.database().schema().num_columns();
 
     // Panel (a): α sweep via full stress tests.
     println!("Figure 12(a) — AD vs α (victim DQN-b, {} runs)", args.runs);
@@ -83,7 +83,8 @@ fn main() {
                 .injection_size(cfg.injection_size)
                 .actual_cost(cfg.materialize.is_some())
                 .seed(seed)
-                .run(advisor.as_mut(), &mut injector);
+                .run(advisor.as_mut(), &mut injector)
+                .expect("stress test against the simulator backend");
             (ai, out.ad)
         },
     );
@@ -133,7 +134,7 @@ fn main() {
             let seed = args.cell_seed(run);
             let normal = normal_workload(&cfg, seed.get());
             let mut advisor = victim.build(cfg.preset, seed.get());
-            advisor.train(&db, &normal);
+            advisor.train(&db, &normal).expect("train");
             let reference = {
                 let mut gen = cfg.backend.generator(seed.get());
                 let pcfg = ProbeConfig {
@@ -143,7 +144,7 @@ fn main() {
                     seed: seed.get(),
                     ..Default::default()
                 };
-                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
+                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg).expect("probe")
             };
             let res = {
                 let mut gen = cfg.backend.generator(seed.get());
@@ -154,7 +155,7 @@ fn main() {
                     seed: seed.get(),
                     ..Default::default()
                 };
-                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg)
+                probe(advisor.as_mut(), &db, gen.as_mut(), &pcfg).expect("probe")
             };
             // Convergence: epochs until the running best column stops
             // changing.
@@ -168,8 +169,8 @@ fn main() {
             // Error rate: fraction of columns assigned to a different
             // segment than the reference.
             let seg_cfg = SegmentConfig::default();
-            let seg_a = segment(&res.preference, db.schema(), &seg_cfg);
-            let seg_b = segment(&reference.preference, db.schema(), &seg_cfg);
+            let seg_a = segment(&res.preference, db.database().schema(), &seg_cfg);
+            let seg_b = segment(&reference.preference, db.database().schema(), &seg_cfg);
             let seg_of = |segs: &pipa_core::Segments, c: pipa_sim::ColumnId| {
                 if segs.top.contains(&c) {
                     0
@@ -180,6 +181,7 @@ fn main() {
                 }
             };
             let mismatches = db
+                .database()
                 .schema()
                 .indexable_columns()
                 .into_iter()

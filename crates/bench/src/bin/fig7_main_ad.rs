@@ -51,7 +51,8 @@ fn main() {
         args.seed,
     );
     let out = args.trace_outputs();
-    let outcomes = run_grid_traced(&db, &cfg, &spec, args.jobs, &out);
+    let outcomes = run_grid_traced(&db, &cfg, &spec, args.jobs, &out)
+        .expect("stress test against the simulator backend");
     args.finish_trace(&out, &db);
 
     let mut cells: Vec<Cell> = Vec::new();

@@ -80,19 +80,22 @@ fn main() {
                 .field("injector", injector_kind.label())
         },
         |_, (panel, kind, injector_kind)| {
+        let engine = pipa_cost::CostEngine::new(&db);
         let mut advisor = kind.build(cfg.preset, args.seed);
-        advisor.train(&db, &normal);
-        let clean = advisor.recommend(&db, &normal);
-        let clean_benefit = db.workload_benefit(&normal, &clean);
+        advisor.train(&db, &normal).expect("train");
+        let clean = advisor.recommend(&db, &normal).expect("recommend");
+        let clean_benefit = engine.workload_benefit(&normal, &clean).expect("benefit");
         let mut injector = make_injector(injector_kind, &cfg, CellSeed::raw(args.seed));
-        let inj = injector.build(advisor.as_mut(), &db, cfg.injection_size, args.seed);
-        advisor.retrain(&db, &normal.union(&inj));
-        let poisoned = advisor.recommend(&db, &normal);
-        let poisoned_benefit = db.workload_benefit(&normal, &poisoned);
+        let inj = injector
+            .build(advisor.as_mut(), &db, cfg.injection_size, args.seed)
+            .expect("injection build");
+        advisor.retrain(&db, &normal.union(&inj)).expect("retrain");
+        let poisoned = advisor.recommend(&db, &normal).expect("recommend");
+        let poisoned_benefit = engine.workload_benefit(&normal, &poisoned).expect("benefit");
         let retrained_benefit = (panel == "d").then(|| {
-            advisor.retrain(&db, &normal);
-            let recovered = advisor.recommend(&db, &normal);
-            db.workload_benefit(&normal, &recovered)
+            advisor.retrain(&db, &normal).expect("retrain");
+            let recovered = advisor.recommend(&db, &normal).expect("recommend");
+            engine.workload_benefit(&normal, &recovered).expect("benefit")
         });
         Curve {
             panel: panel.to_string(),

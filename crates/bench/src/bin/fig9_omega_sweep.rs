@@ -84,7 +84,8 @@ fn main() {
                 InjectorKind::Pipa,
                 &omega_cfgs[oi],
                 seed,
-            );
+            )
+            .expect("stress test against the simulator backend");
             (advisor, oi, out.ad)
         },
     );

@@ -79,7 +79,8 @@ fn main() {
         |_, (advisor, oi, inj, run)| {
             let seed = args.cell_seed(run);
             let normal = normal_workload(&cfg, seed.get());
-            let out = run_cell(&db, &normal, advisor, inj, &omega_cfgs[oi], seed);
+            let out = run_cell(&db, &normal, advisor, inj, &omega_cfgs[oi], seed)
+                .expect("stress test against the simulator backend");
             (advisor, oi, inj, out.ad)
         },
     );

@@ -18,7 +18,7 @@ use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_obs::CellCtx;
 use pipa_ia::SpeedPreset;
 use pipa_qgen::{
-    build_corpus, evaluate_generator, DtGenerator, FsmGenerator, GenQuality, Iabart, IabartConfig,
+    build_corpus, evaluate_generator, DtGenerator, FsmGenerator, Iabart, IabartConfig,
     IabartGenerator, LlmLikeGenerator, ProgressiveTasks, QueryGenerator, StGenerator,
 };
 use rand::SeedableRng;
@@ -36,7 +36,7 @@ struct Row {
 
 fn main() {
     let args = ExpArgs::parse(200);
-    let db = args.benchmark.database(args.scale, None);
+    let db = pipa_cost::SimBackend::new(args.benchmark.database(args.scale, None));
     let n_tests = args.runs;
     let k_targets = 3; // the paper randomly selects three indexes
 
@@ -46,11 +46,11 @@ fn main() {
     };
     eprintln!("[table3] corpus {corpus_size}, {epochs} epochs/task, {n_tests} test queries");
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0x7ab1e3);
-    let corpus = build_corpus(&db, corpus_size, &mut rng);
+    let corpus = build_corpus(&db, corpus_size, &mut rng).expect("corpus generation");
 
     let train_variant = |tasks: ProgressiveTasks| -> IabartGenerator {
         let mut model = Iabart::new(
-            db.schema().clone(),
+            db.database().schema().clone(),
             IabartConfig {
                 epochs_per_task: epochs,
                 tasks,
@@ -108,7 +108,8 @@ fn main() {
             })),
             _ => Box::new(train_variant(ProgressiveTasks::default())),
         };
-        evaluate_generator_dyn(gen.as_mut(), &db, n_tests, k_targets, &mut rng)
+        evaluate_generator(gen.as_mut(), &db, n_tests, k_targets, &mut rng)
+            .expect("generator evaluation")
         },
     );
     args.finish_trace(&trace_out, &db);
@@ -160,27 +161,4 @@ fn main() {
     }
 }
 
-/// `evaluate_generator` over a trait object.
-fn evaluate_generator_dyn(
-    gen: &mut dyn QueryGenerator,
-    db: &pipa_sim::Database,
-    n: usize,
-    k: usize,
-    rng: &mut ChaCha8Rng,
-) -> GenQuality {
-    struct Wrap<'a>(&'a mut dyn QueryGenerator);
-    impl QueryGenerator for Wrap<'_> {
-        fn name(&self) -> &str {
-            self.0.name()
-        }
-        fn generate(
-            &mut self,
-            db: &pipa_sim::Database,
-            targets: &[pipa_sim::ColumnId],
-            reward: f64,
-        ) -> Option<pipa_sim::Query> {
-            self.0.generate(db, targets, reward)
-        }
-    }
-    evaluate_generator(&mut Wrap(gen), db, n, k, rng)
-}
+

@@ -128,9 +128,10 @@ impl ExpArgs {
             cfg.materialize = Some((self.seed ^ 0xda7a, 200_000));
         }
         if self.use_iabart {
-            let db = self.benchmark.database(self.scale, None);
+            let cost = pipa_cost::SimBackend::new(self.benchmark.database(self.scale, None));
             eprintln!("[setup] training IABART generator (one-time)...");
-            cfg.backend = GenBackend::train_iabart(&db, 1500, self.seed);
+            cfg.backend = GenBackend::train_iabart(&cost, 1500, self.seed)
+                .expect("IABART corpus generation against the simulator backend");
         }
         cfg
     }
@@ -153,9 +154,9 @@ impl ExpArgs {
     /// statistics to the metrics channel (they are scheduling-dependent
     /// under `--jobs > 1`, so they never go to the trace channel) and
     /// flush both sinks.
-    pub fn finish_trace(&self, out: &TraceOutputs, db: &pipa_sim::Database) {
+    pub fn finish_trace(&self, out: &TraceOutputs, cost: &pipa_cost::SimBackend) {
         if out.active() {
-            let stats = db.whatif_cache_stats();
+            let stats = cost.database().whatif_cache_stats();
             out.global_metric(
                 pipa_obs::Event::new("whatif_cache")
                     .field("hits", stats.hits)

@@ -14,8 +14,9 @@
 //!   workload's (PIPA's injections must touch mid-ranked columns the
 //!   normal workload rarely touches — that is also their fingerprint).
 
+use pipa_cost::{CostBackend, CostResult};
 use pipa_ia::ClearBoxAdvisor;
-use pipa_sim::{Database, IndexConfig, Workload};
+use pipa_sim::{IndexConfig, Workload};
 
 /// Retraining canary: accept an update only if the canary workload does
 /// not regress.
@@ -52,22 +53,22 @@ impl CanaryGuard {
     pub fn retrain_guarded(
         &self,
         advisor: &mut dyn ClearBoxAdvisor,
-        db: &Database,
+        cost: &dyn CostBackend,
         training: &Workload,
         canary: &Workload,
-    ) -> GuardedOutcome {
-        let before_cfg = advisor.recommend(db, canary);
-        let cost_before = db.actual_workload_cost(canary, &before_cfg);
-        advisor.retrain(db, training);
-        let after_cfg = advisor.recommend(db, canary);
-        let cost_after = db.actual_workload_cost(canary, &after_cfg);
+    ) -> CostResult<GuardedOutcome> {
+        let before_cfg = advisor.recommend(cost, canary)?;
+        let cost_before = cost.executed_workload_cost(canary, &before_cfg)?;
+        advisor.retrain(cost, training)?;
+        let after_cfg = advisor.recommend(cost, canary)?;
+        let cost_after = cost.executed_workload_cost(canary, &after_cfg)?;
         let rolled_back = cost_after > cost_before * (1.0 + self.tolerance);
-        GuardedOutcome {
+        Ok(GuardedOutcome {
             cost_before,
             cost_after,
             rolled_back,
             final_config: if rolled_back { before_cfg } else { after_cfg },
-        }
+        })
     }
 }
 
@@ -122,24 +123,24 @@ impl ProvenanceFilter {
 pub fn stress_with_canary(
     advisor: &mut dyn ClearBoxAdvisor,
     injector: &mut dyn crate::injectors::Injector,
-    db: &Database,
+    cost: &dyn CostBackend,
     normal: &Workload,
     injection_size: usize,
     tolerance: f64,
     seed: u64,
-) -> (f64, bool) {
-    advisor.train(db, normal);
-    let clean_cfg = advisor.recommend(db, normal);
-    let baseline = db.actual_workload_cost(normal, &clean_cfg);
-    let injection = injector.build(advisor, db, injection_size, seed);
+) -> CostResult<(f64, bool)> {
+    advisor.train(cost, normal)?;
+    let clean_cfg = advisor.recommend(cost, normal)?;
+    let baseline = cost.executed_workload_cost(normal, &clean_cfg)?;
+    let injection = injector.build(advisor, cost, injection_size, seed)?;
     let training = normal.union(&injection);
     let guard = CanaryGuard::new(tolerance);
-    let outcome = guard.retrain_guarded(advisor, db, &training, normal);
-    let final_cost = db.actual_workload_cost(normal, &outcome.final_config);
-    (
+    let outcome = guard.retrain_guarded(advisor, cost, &training, normal)?;
+    let final_cost = cost.executed_workload_cost(normal, &outcome.final_config)?;
+    Ok((
         crate::metrics::absolute_degradation(final_cost, baseline),
         outcome.rolled_back,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -160,7 +161,7 @@ mod tests {
     #[test]
     fn canary_guard_bounds_degradation() {
         let cfg = cfg();
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let normal = normal_workload(&cfg, 51);
         let mut advisor = build_clear_box(
             AdvisorKind::DbaBandit(TrajectoryMode::Best),
@@ -171,12 +172,13 @@ mod tests {
         let (ad, _) = stress_with_canary(
             advisor.as_mut(),
             injector.as_mut(),
-            &db,
+            &cost,
             &normal,
             cfg.injection_size,
             0.02,
             51,
-        );
+        )
+        .unwrap();
         // The guard caps the deployed regression at roughly the tolerance.
         assert!(ad <= 0.05, "guarded AD {ad} exceeds the tolerance band");
     }
@@ -184,19 +186,20 @@ mod tests {
     #[test]
     fn provenance_filter_drops_extraneous_queries() {
         let cfg = cfg();
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let normal = normal_workload(&cfg, 53);
         let mut advisor = build_clear_box(
             AdvisorKind::DbaBandit(TrajectoryMode::Best),
             SpeedPreset::Test,
             53,
         );
-        advisor.train(&db, &normal);
+        advisor.train(&cost, &normal).unwrap();
         let mut injector = make_injector(InjectorKind::Pipa, &cfg, crate::runner::CellSeed::raw(53));
-        let injection = injector.build(advisor.as_mut(), &db, 10, 53);
+        let injection = injector.build(advisor.as_mut(), &cost, 10, 53).unwrap();
         let training = normal.union(&injection);
         let filter = ProvenanceFilter::default();
-        let (screened, dropped) = filter.screen(&normal, &training, db.schema().num_columns());
+        let num_columns = cost.database().schema().num_columns();
+        let (screened, dropped) = filter.screen(&normal, &training, num_columns);
         // The normal queries always survive their own profile.
         assert!(screened.len() >= normal.len());
         // A PIPA injection targets mid-ranked columns the normal workload
@@ -214,18 +217,19 @@ mod tests {
         // workload; a provenance filter must not starve retraining of
         // legitimate drift.
         let cfg = cfg();
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let normal = normal_workload(&cfg, 57);
         let mut advisor = build_clear_box(
             AdvisorKind::DbaBandit(TrajectoryMode::Best),
             SpeedPreset::Test,
             57,
         );
-        advisor.train(&db, &normal);
+        advisor.train(&cost, &normal).unwrap();
         let mut injector = make_injector(InjectorKind::Tp, &cfg, crate::runner::CellSeed::raw(57));
-        let injection = injector.build(advisor.as_mut(), &db, 10, 57);
+        let injection = injector.build(advisor.as_mut(), &cost, 10, 57).unwrap();
         let filter = ProvenanceFilter::default();
-        let (_, dropped) = filter.screen(&normal, &injection, db.schema().num_columns());
+        let num_columns = cost.database().schema().num_columns();
+        let (_, dropped) = filter.screen(&normal, &injection, num_columns);
         assert!(
             dropped <= injection.len() / 3,
             "benign template queries over-filtered: {dropped}/{}",

@@ -6,10 +6,11 @@ use crate::harness::{StressOutcome, StressTest};
 use crate::injectors::{Injector, TargetedInjector, TpInjector};
 use crate::probe::ProbeConfig;
 use crate::runner::{par_map_traced, CellSeed};
+use pipa_cost::{CostBackend, CostResult, SimBackend};
 use pipa_ia::{AdvisorKind, SpeedPreset};
 use pipa_obs::{CellCtx, TraceOutputs};
 use pipa_qgen::{build_corpus, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator};
-use pipa_sim::{Database, Workload};
+use pipa_sim::Workload;
 use pipa_workload::{generator::WorkloadGenerator, Benchmark};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -24,19 +25,19 @@ pub enum GenBackend {
 }
 
 impl GenBackend {
-    /// Train an IABART backend for a database.
-    pub fn train_iabart(db: &Database, corpus_size: usize, seed: u64) -> Self {
+    /// Train an IABART backend against a cost backend.
+    pub fn train_iabart(cost: &dyn CostBackend, corpus_size: usize, seed: u64) -> CostResult<Self> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00c0_7215);
-        let corpus = build_corpus(db, corpus_size, &mut rng);
+        let corpus = build_corpus(cost, corpus_size, &mut rng)?;
         let mut model = Iabart::new(
-            db.schema().clone(),
+            cost.catalog().schema.clone(),
             IabartConfig {
                 seed,
                 ..IabartConfig::default()
             },
         );
         model.train(&corpus);
-        GenBackend::Iabart(Box::new(model))
+        Ok(GenBackend::Iabart(Box::new(model)))
     }
 
     /// Instantiate a generator from this backend.
@@ -134,9 +135,9 @@ impl CellConfig {
     }
 }
 
-/// Build the database for a cell.
-pub fn build_db(cfg: &CellConfig) -> Database {
-    cfg.benchmark.database(cfg.scale, cfg.materialize)
+/// Build the simulator-backed cost backend for a cell.
+pub fn build_db(cfg: &CellConfig) -> SimBackend {
+    SimBackend::new(cfg.benchmark.database(cfg.scale, cfg.materialize))
 }
 
 /// Fresh normal workload for one run.
@@ -175,16 +176,16 @@ pub fn make_injector(kind: InjectorKind, cfg: &CellConfig, seed: CellSeed) -> Bo
 
 /// Run one (advisor, injector) cell once.
 pub fn run_cell(
-    db: &Database,
+    cost: &dyn CostBackend,
     normal: &Workload,
     advisor_kind: AdvisorKind,
     injector_kind: InjectorKind,
     cfg: &CellConfig,
     seed: CellSeed,
-) -> StressOutcome {
+) -> CostResult<StressOutcome> {
     let mut advisor = advisor_kind.build(cfg.preset, seed.get());
     let mut injector = make_injector(injector_kind, cfg, seed);
-    StressTest::new(db, normal)
+    StressTest::new(cost, normal)
         .injection_size(cfg.injection_size)
         .actual_cost(cfg.materialize.is_some())
         .seed(seed)
@@ -283,12 +284,12 @@ impl GridSpec {
 /// keys. `run_grid(.., 1)` and `run_grid(.., N)` therefore produce
 /// identical results — see `DESIGN.md` ("Determinism guarantees").
 pub fn run_grid(
-    db: &Database,
+    cost: &dyn CostBackend,
     cfg: &CellConfig,
     spec: &GridSpec,
     jobs: usize,
-) -> Vec<(GridCell, StressOutcome)> {
-    run_grid_traced(db, cfg, spec, jobs, &TraceOutputs::disabled())
+) -> CostResult<Vec<(GridCell, StressOutcome)>> {
+    run_grid_traced(cost, cfg, spec, jobs, &TraceOutputs::disabled())
 }
 
 /// [`run_grid`] with per-cell observability: each cell records into its
@@ -297,12 +298,12 @@ pub fn run_grid(
 /// [`GridSpec::cells`] order — so the trace stream, like the results, is
 /// byte-identical across `--jobs` settings.
 pub fn run_grid_traced(
-    db: &Database,
+    cost: &dyn CostBackend,
     cfg: &CellConfig,
     spec: &GridSpec,
     jobs: usize,
     out: &TraceOutputs,
-) -> Vec<(GridCell, StressOutcome)> {
+) -> CostResult<Vec<(GridCell, StressOutcome)>> {
     let results = par_map_traced(
         jobs,
         spec.cells(),
@@ -315,12 +316,12 @@ pub fn run_grid_traced(
         },
         |_, cell| {
             let normal = normal_workload(cfg, cell.seed.get());
-            let outcome = run_cell(db, &normal, cell.advisor, cell.injector, cfg, cell.seed);
-            (cell, outcome)
+            run_cell(cost, &normal, cell.advisor, cell.injector, cfg, cell.seed)
+                .map(|outcome| (cell, outcome))
         },
     );
     out.flush();
-    results
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -346,16 +347,17 @@ mod tests {
         cfg.preset = SpeedPreset::Test;
         cfg.probe_epochs = 3;
         cfg.injection_size = 6;
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let normal = normal_workload(&cfg, 1);
         let out = run_cell(
-            &db,
+            &cost,
             &normal,
             AdvisorKind::DbaBandit(TrajectoryMode::Best),
             InjectorKind::Pipa,
             &cfg,
             CellSeed::raw(1),
-        );
+        )
+        .unwrap();
         assert_eq!(out.injector, "PIPA");
         assert!(out.baseline_cost > 0.0);
     }
@@ -366,7 +368,7 @@ mod tests {
         cfg.preset = SpeedPreset::Test;
         cfg.probe_epochs = 2;
         cfg.injection_size = 4;
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let spec = GridSpec::new(
             vec![AdvisorKind::DbaBandit(TrajectoryMode::Best)],
             vec![InjectorKind::Tp],
@@ -375,7 +377,7 @@ mod tests {
         );
         let sink = pipa_obs::MemorySink::new();
         let out = TraceOutputs::with_sinks(Some(Box::new(sink.clone())), None);
-        let results = run_grid_traced(&db, &cfg, &spec, 1, &out);
+        let results = run_grid_traced(&cost, &cfg, &spec, 1, &out).unwrap();
         assert_eq!(results.len(), 1);
         let lines = sink.lines();
         assert!(!lines.is_empty());
@@ -394,9 +396,9 @@ mod tests {
     #[test]
     fn st_backend_generates() {
         let cfg = CellConfig::quick(Benchmark::TpcH);
-        let db = build_db(&cfg);
+        let cost = build_db(&cfg);
         let mut g = cfg.backend.generator(3);
-        let cols = vec![db.schema().column_id("l_shipdate").unwrap()];
-        assert!(g.generate(&db, &cols, 0.5).is_some());
+        let cols = vec![cost.database().schema().column_id("l_shipdate").unwrap()];
+        assert!(g.generate(&cost, &cols, 0.5).unwrap().is_some());
     }
 }

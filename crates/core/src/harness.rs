@@ -10,9 +10,10 @@
 use crate::injectors::Injector;
 use crate::metrics::{absolute_degradation, is_toxic};
 use crate::runner::CellSeed;
+use pipa_cost::{CostBackend, CostEngine, CostResult};
 use pipa_ia::ClearBoxAdvisor;
 use pipa_obs::{CellCtx, Event, TraceOutputs};
-use pipa_sim::{Database, IndexConfig, Workload};
+use pipa_sim::{IndexConfig, Workload};
 use serde::Serialize;
 
 /// One stress-test outcome.
@@ -47,7 +48,7 @@ pub struct StressOutcome {
 /// use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
 /// use pipa_workload::Benchmark;
 ///
-/// let db = Benchmark::TpcH.database(1.0, None);
+/// let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
 /// let normal = pipa_core::experiment::normal_workload(
 ///     &pipa_core::experiment::CellConfig::quick(Benchmark::TpcH),
 ///     7,
@@ -56,11 +57,12 @@ pub struct StressOutcome {
 /// let mut advisor =
 ///     AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Quick, seed.get());
 /// let mut injector = TpInjector::new(Benchmark::TpcH.default_templates());
-/// let outcome = StressTest::new(&db, &normal)
+/// let outcome = StressTest::new(&cost, &normal)
 ///     .injection_size(18)
 ///     .actual_cost(false)
 ///     .seed(seed)
-///     .run(advisor.as_mut(), &mut injector);
+///     .run(advisor.as_mut(), &mut injector)
+///     .expect("cost backend");
 /// println!("AD = {:.3}", outcome.ad);
 /// ```
 ///
@@ -70,7 +72,7 @@ pub struct StressOutcome {
 /// Defaults mirror the paper's main experiment: injection size 18,
 /// actual-cost measurement, seed 0.
 pub struct StressTest<'a> {
-    db: &'a Database,
+    cost: &'a dyn CostBackend,
     normal: &'a Workload,
     injection_size: usize,
     use_actual_cost: bool,
@@ -79,10 +81,10 @@ pub struct StressTest<'a> {
 }
 
 impl<'a> StressTest<'a> {
-    /// A stress test over a database and target (normal) workload.
-    pub fn new(db: &'a Database, normal: &'a Workload) -> Self {
+    /// A stress test over a cost backend and target (normal) workload.
+    pub fn new(cost: &'a dyn CostBackend, normal: &'a Workload) -> Self {
         StressTest {
-            db,
+            cost,
             normal,
             injection_size: 18,
             use_actual_cost: true,
@@ -128,7 +130,7 @@ impl<'a> StressTest<'a> {
         &self,
         advisor: &mut dyn ClearBoxAdvisor,
         injector: &mut dyn Injector,
-    ) -> StressOutcome {
+    ) -> CostResult<StressOutcome> {
         match self.outputs {
             Some(out) if out.active() && !pipa_obs::is_recording() => {
                 let ctx = CellCtx::new(self.seed.get())
@@ -149,28 +151,28 @@ impl<'a> StressTest<'a> {
         &self,
         advisor: &mut dyn ClearBoxAdvisor,
         injector: &mut dyn Injector,
-    ) -> StressOutcome {
+    ) -> CostResult<StressOutcome> {
         // Green flow: train on W, establish the performance baseline.
         pipa_obs::phase("train");
-        advisor.train(self.db, self.normal);
+        advisor.train(self.cost, self.normal)?;
 
         pipa_obs::phase("baseline");
-        let clean_cfg = advisor.recommend(self.db, self.normal);
-        let baseline_cost = self.workload_cost(&clean_cfg);
+        let clean_cfg = advisor.recommend(self.cost, self.normal)?;
+        let baseline_cost = self.workload_cost(&clean_cfg)?;
 
         // Red flow: build Ŵ. The probing/injecting stages re-declare
         // their own phases ("probe", "inject") as they run; injectors
         // that neither probe nor filter (TP, FSM) stay in this one.
         pipa_obs::phase("inject");
-        let injection = injector.build(advisor, self.db, self.injection_size, self.seed.get());
+        let injection = injector.build(advisor, self.cost, self.injection_size, self.seed.get())?;
 
         pipa_obs::phase("retrain");
         let training = self.normal.union(&injection);
-        advisor.retrain(self.db, &training);
+        advisor.retrain(self.cost, &training)?;
 
         pipa_obs::phase("measure");
-        let poisoned_cfg = advisor.recommend(self.db, self.normal);
-        let poisoned_cost = self.workload_cost(&poisoned_cfg);
+        let poisoned_cfg = advisor.recommend(self.cost, self.normal)?;
+        let poisoned_cost = self.workload_cost(&poisoned_cfg)?;
 
         let outcome = StressOutcome {
             advisor: advisor.name(),
@@ -179,8 +181,8 @@ impl<'a> StressTest<'a> {
             poisoned_cost,
             ad: absolute_degradation(poisoned_cost, baseline_cost),
             toxic: is_toxic(poisoned_cost, baseline_cost),
-            baseline_indexes: index_names(self.db, &clean_cfg),
-            poisoned_indexes: index_names(self.db, &poisoned_cfg),
+            baseline_indexes: index_names(self.cost, &clean_cfg),
+            poisoned_indexes: index_names(self.cost, &poisoned_cfg),
             injection_size: injection.len(),
             seed: self.seed.get(),
         };
@@ -194,20 +196,17 @@ impl<'a> StressTest<'a> {
                     .field("injection_size", outcome.injection_size),
             );
         }
-        outcome
+        Ok(outcome)
     }
 
-    fn workload_cost(&self, cfg: &IndexConfig) -> f64 {
-        if self.use_actual_cost {
-            self.db.actual_workload_cost(self.normal, cfg)
-        } else {
-            self.db.matrix_workload_cost(self.normal, cfg)
-        }
+    fn workload_cost(&self, cfg: &IndexConfig) -> CostResult<f64> {
+        CostEngine::new(self.cost).measured_workload_cost(self.normal, cfg, self.use_actual_cost)
     }
 }
 
-fn index_names(db: &Database, cfg: &IndexConfig) -> Vec<String> {
-    cfg.indexes().iter().map(|i| i.name(db.schema())).collect()
+fn index_names(cost: &dyn CostBackend, cfg: &IndexConfig) -> Vec<String> {
+    let schema = cost.catalog().schema;
+    cfg.indexes().iter().map(|i| i.name(schema)).collect()
 }
 
 #[cfg(test)]
@@ -222,26 +221,27 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup() -> (Database, Workload) {
-        let db = Benchmark::TpcH.database(1.0, None);
+    fn setup() -> (pipa_cost::SimBackend, Workload) {
+        let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-        (db, w)
+        (cost, w)
     }
 
     #[test]
     fn stress_test_produces_consistent_outcome() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let out = StressTest::new(&db, &w)
+        let out = StressTest::new(&cost, &w)
             .injection_size(6)
             .actual_cost(false)
             .seed(CellSeed::raw(1))
-            .run(ia.as_mut(), &mut inj);
+            .run(ia.as_mut(), &mut inj)
+            .unwrap();
         assert!(out.baseline_cost > 0.0);
         assert!(out.poisoned_cost > 0.0);
         let expect_ad = (out.poisoned_cost - out.baseline_cost) / out.baseline_cost;
@@ -257,7 +257,7 @@ mod tests {
     fn pipa_attack_on_bandit_is_toxic() {
         // The core claim in miniature: a PIPA injection degrades a
         // learned advisor.
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 2);
         let mut inj = TargetedInjector::pipa(Box::new(StGenerator::new(2)));
         inj.probe_cfg = ProbeConfig {
@@ -265,11 +265,12 @@ mod tests {
             queries_per_epoch: 6,
             ..Default::default()
         };
-        let out = StressTest::new(&db, &w)
+        let out = StressTest::new(&cost, &w)
             .injection_size(18)
             .actual_cost(false)
             .seed(CellSeed::raw(2))
-            .run(ia.as_mut(), &mut inj);
+            .run(ia.as_mut(), &mut inj)
+            .unwrap();
         assert!(
             out.ad > -0.05,
             "PIPA should not substantially help the victim: AD {}",
@@ -279,32 +280,33 @@ mod tests {
 
     #[test]
     fn reusing_the_advisor_across_runs_is_safe() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 3);
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let test = StressTest::new(&db, &w)
+        let test = StressTest::new(&cost, &w)
             .injection_size(4)
             .actual_cost(false)
             .seed(CellSeed::raw(3));
-        let a = test.run(ia.as_mut(), &mut inj);
-        let b = test.run(ia.as_mut(), &mut inj);
+        let a = test.run(ia.as_mut(), &mut inj).unwrap();
+        let b = test.run(ia.as_mut(), &mut inj).unwrap();
         // Baselines agree because `train` resets the advisor.
         assert!((a.baseline_cost - b.baseline_cost).abs() < 1e-6);
     }
 
     #[test]
     fn builder_sink_captures_a_standalone_run() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let trace = MemorySink::new();
         let out = TraceOutputs::with_sinks(Some(Box::new(trace.clone())), None);
         let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 4);
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let outcome = StressTest::new(&db, &w)
+        let outcome = StressTest::new(&cost, &w)
             .injection_size(4)
             .actual_cost(false)
             .seed(CellSeed::raw(4))
             .sink(&out)
-            .run(ia.as_mut(), &mut inj);
+            .run(ia.as_mut(), &mut inj)
+            .unwrap();
         let lines = trace.lines();
         assert!(!lines.is_empty());
         for line in &lines {

@@ -7,8 +7,9 @@
 //! advisors in a local optimum and directly degrading one-off advisors.
 
 use crate::preference::Segments;
+use pipa_cost::{CostBackend, CostResult};
 use pipa_qgen::QueryGenerator;
-use pipa_sim::{ColumnId, Database, Index, IndexConfig, Query, Workload};
+use pipa_sim::{ColumnId, Index, IndexConfig, Query, Workload};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -63,11 +64,11 @@ pub struct InjectResult {
 /// Algorithm 2: build the toxic injection workload from the estimated
 /// segments.
 pub fn inject(
-    db: &Database,
+    cost: &dyn CostBackend,
     generator: &mut dyn QueryGenerator,
     segments: &Segments,
     cfg: &InjectConfig,
-) -> InjectResult {
+) -> CostResult<InjectResult> {
     pipa_obs::phase("inject");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x1286);
     let mut w = Workload::new();
@@ -81,11 +82,11 @@ pub fn inject(
         &segments.mid
     };
     if mid.is_empty() {
-        return InjectResult {
+        return Ok(InjectResult {
             workload: w,
             rejected,
             columns_covered: 0,
-        };
+        });
     }
 
     let max_attempts = cfg.workload_size * cfg.max_attempts_factor;
@@ -96,12 +97,12 @@ pub fn inject(
         let k = cfg.columns_per_query.min(mid.len()).max(1);
         let cols: Vec<ColumnId> = mid.choose_multiple(&mut rng, k).copied().collect();
         // Line 3: generate a query optimized by those columns.
-        let Some(q) = generator.generate(db, &cols, cfg.target_reward) else {
+        let Some(q) = generator.generate(cost, &cols, cfg.target_reward)? else {
             rejected += 1;
             continue;
         };
         // Line 4: accept only if the mid columns beat the top index.
-        if cfg.skip_toxicity_filter || passes_toxicity_filter(db, &q, &cols, top1) {
+        if cfg.skip_toxicity_filter || passes_toxicity_filter(cost, &q, &cols, top1)? {
             for c in q.filter_columns() {
                 if mid.contains(&c) && !covered.contains(&c) {
                     covered.push(c);
@@ -130,32 +131,32 @@ pub fn inject(
                 .field("attempts", attempts),
         );
     }
-    InjectResult {
+    Ok(InjectResult {
         workload: w,
         rejected,
         columns_covered: covered.len(),
-    }
+    })
 }
 
 /// The paper's line-4 condition: `c(q̂, d, {c}) < c(q̂, d, l_1)` — the
 /// sampled mid columns must optimize the query strictly better than the
 /// victim's top-ranked index does.
 pub fn passes_toxicity_filter(
-    db: &Database,
+    cost: &dyn CostBackend,
     q: &Query,
     cols: &[ColumnId],
     top1: Option<ColumnId>,
-) -> bool {
-    // Generated queries are single-table, so both sides of the
-    // comparison come from the same benefit-matrix row; join-shaped
-    // queries fall back to the full model inside `matrix_query_cost`.
+) -> CostResult<bool> {
+    // Generated queries are single-table, so under the simulator backend
+    // both sides of the comparison come from the same benefit-matrix row;
+    // join-shaped queries fall back to the full model.
     let mid_cfg: IndexConfig = cols.iter().map(|&c| Index::single(c)).collect();
-    let c_mid = db.matrix_query_cost(q, &mid_cfg);
+    let c_mid = cost.query_cost(q, &mid_cfg)?;
     let c_top = match top1 {
-        Some(t) => db.matrix_query_cost(q, &IndexConfig::from_indexes([Index::single(t)])),
-        None => db.matrix_query_cost(q, &IndexConfig::empty()),
+        Some(t) => cost.query_cost(q, &IndexConfig::from_indexes([Index::single(t)]))?,
+        None => cost.query_cost(q, &IndexConfig::empty())?,
     };
-    c_mid < c_top
+    Ok(c_mid < c_top)
 }
 
 #[cfg(test)]
@@ -165,28 +166,28 @@ mod tests {
     use pipa_qgen::StGenerator;
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Segments) {
-        let db = Benchmark::TpcH.database(1.0, None);
+    fn setup() -> (pipa_cost::SimBackend, Segments) {
+        let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         use rand::SeedableRng;
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-        let pref = oracle_preference(&db, &w);
-        let seg = segment(&pref, db.schema(), &SegmentConfig::default());
-        (db, seg)
+        let pref = oracle_preference(&cost, &w).unwrap();
+        let seg = segment(&pref, cost.database().schema(), &SegmentConfig::default());
+        (cost, seg)
     }
 
     #[test]
     fn injection_fills_workload_with_mid_targeting_queries() {
-        let (db, seg) = setup();
+        let (cost, seg) = setup();
         let mut generator = StGenerator::new(5);
         let cfg = InjectConfig {
             workload_size: 10,
             ..Default::default()
         };
-        let res = inject(&db, &mut generator, &seg, &cfg);
+        let res = inject(&cost, &mut generator, &seg, &cfg).unwrap();
         assert!(
             res.workload.len() >= 7,
             "accepted {} of 10 (rejected {})",
@@ -204,55 +205,59 @@ mod tests {
 
     #[test]
     fn toxicity_filter_rejects_top_optimized_queries() {
-        let (db, seg) = setup();
+        let (cost, seg) = setup();
+        let schema = cost.database().schema();
         let top1 = seg.top[0];
         // A query filtered on the top column is optimized by it.
         let q = pipa_sim::QueryBuilder::new()
-            .filter(db.schema(), pipa_sim::Predicate::eq(top1, 0.3))
+            .filter(schema, pipa_sim::Predicate::eq(top1, 0.3))
             .aggregate(pipa_sim::Aggregate::CountStar)
-            .build(db.schema())
+            .build(schema)
             .unwrap();
         assert!(!passes_toxicity_filter(
-            &db,
+            &cost,
             &q,
             &seg.mid[..2.min(seg.mid.len())],
             Some(top1)
-        ));
+        )
+        .unwrap());
     }
 
     #[test]
     fn toxicity_filter_accepts_mid_optimized_queries() {
-        let (db, seg) = setup();
+        let (cost, seg) = setup();
+        let cat = cost.catalog();
         let selective: Vec<ColumnId> = seg
             .mid
             .iter()
             .copied()
-            .filter(|&c| db.column_stat(c).ndv > 100)
+            .filter(|&c| cat.column(c).ndv > 100)
             .collect();
         let Some(&first) = selective.first() else {
             return; // segmentation produced no selective mid columns
         };
         // Stay on one table so the probe query needs no join edges.
-        let table = db.schema().column(first).table;
+        let schema = cat.schema;
+        let table = schema.column(first).table;
         let mid: Vec<ColumnId> = selective
             .into_iter()
-            .filter(|&c| db.schema().column(c).table == table)
+            .filter(|&c| schema.column(c).table == table)
             .take(2)
             .collect();
         let mut b = pipa_sim::QueryBuilder::new();
         for &c in &mid {
-            b = b.filter(db.schema(), pipa_sim::Predicate::eq(c, 0.4));
+            b = b.filter(schema, pipa_sim::Predicate::eq(c, 0.4));
         }
         let q = b
             .aggregate(pipa_sim::Aggregate::CountStar)
-            .build(db.schema())
+            .build(schema)
             .unwrap();
-        assert!(passes_toxicity_filter(&db, &q, &mid, Some(seg.top[0])));
+        assert!(passes_toxicity_filter(&cost, &q, &mid, Some(seg.top[0])).unwrap());
     }
 
     #[test]
     fn injection_workload_is_disjoint_from_normal() {
-        let (db, seg) = setup();
+        let (cost, seg) = setup();
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
@@ -260,24 +265,25 @@ mod tests {
         let normal = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
         let mut generator = StGenerator::new(6);
         let res = inject(
-            &db,
+            &cost,
             &mut generator,
             &seg,
             &InjectConfig {
                 workload_size: 8,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(res.workload.is_disjoint_from(&normal), "Ŵ ∩ W = ∅");
     }
 
     #[test]
     fn empty_mid_segment_handled() {
-        let (db, mut seg) = setup();
+        let (cost, mut seg) = setup();
         seg.mid.clear();
         seg.low.clear();
         let mut generator = StGenerator::new(7);
-        let res = inject(&db, &mut generator, &seg, &InjectConfig::default());
+        let res = inject(&cost, &mut generator, &seg, &InjectConfig::default()).unwrap();
         assert!(res.workload.is_empty());
     }
 }

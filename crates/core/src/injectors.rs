@@ -12,9 +12,10 @@
 use crate::inject::{inject, InjectConfig};
 use crate::preference::{segment, IndexingPreference, SegmentConfig, Segments};
 use crate::probe::{probe, ProbeConfig};
+use pipa_cost::{CostBackend, CostResult};
 use pipa_ia::ClearBoxAdvisor;
 use pipa_qgen::QueryGenerator;
-use pipa_sim::{ColumnId, Database, Workload};
+use pipa_sim::{ColumnId, Workload};
 use pipa_workload::TemplateSpec;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -31,10 +32,10 @@ pub trait Injector {
     fn build(
         &mut self,
         advisor: &mut dyn ClearBoxAdvisor,
-        db: &Database,
+        cost: &dyn CostBackend,
         n: usize,
         seed: u64,
-    ) -> Workload;
+    ) -> CostResult<Workload>;
 }
 
 /// TP: fresh template instantiations with uniform random frequencies.
@@ -57,19 +58,20 @@ impl Injector for TpInjector {
     fn build(
         &mut self,
         _advisor: &mut dyn ClearBoxAdvisor,
-        db: &Database,
+        cost: &dyn CostBackend,
         n: usize,
         seed: u64,
-    ) -> Workload {
+    ) -> CostResult<Workload> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x79);
+        let schema = cost.catalog().schema;
         let mut w = Workload::new();
         for i in 0..n {
             let t = &self.templates[i % self.templates.len()];
-            if let Ok(q) = t.instantiate(db.schema(), &mut rng) {
+            if let Ok(q) = t.instantiate(schema, &mut rng) {
                 w.push(q, rng.gen_range(1..=10));
             }
         }
-        w
+        Ok(w)
     }
 }
 
@@ -145,16 +147,16 @@ impl TargetedInjector {
     fn probed_segments(
         &mut self,
         advisor: &mut dyn ClearBoxAdvisor,
-        db: &Database,
+        cost: &dyn CostBackend,
         seed: u64,
-    ) -> (IndexingPreference, Segments) {
+    ) -> CostResult<(IndexingPreference, Segments)> {
         let cfg = ProbeConfig {
             seed,
             ..self.probe_cfg
         };
-        let res = probe(as_index_advisor(advisor), db, self.generator.as_mut(), &cfg);
-        let seg = segment(&res.preference, db.schema(), &self.segment_cfg);
-        (res.preference, seg)
+        let res = probe(as_index_advisor(advisor), cost, self.generator.as_mut(), &cfg)?;
+        let seg = segment(&res.preference, cost.catalog().schema, &self.segment_cfg);
+        Ok((res.preference, seg))
     }
 }
 
@@ -171,10 +173,10 @@ impl Injector for TargetedInjector {
     fn build(
         &mut self,
         advisor: &mut dyn ClearBoxAdvisor,
-        db: &Database,
+        cost: &dyn CostBackend,
         n: usize,
         seed: u64,
-    ) -> Workload {
+    ) -> CostResult<Workload> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1417);
         let inj_cfg = InjectConfig {
             workload_size: n,
@@ -187,28 +189,28 @@ impl Injector for TargetedInjector {
                 let mut attempts = 0;
                 while w.len() < n && attempts < n * 6 {
                     attempts += 1;
-                    if let Some(q) = self.generator.generate(db, &[], 0.5) {
+                    if let Some(q) = self.generator.generate(cost, &[], 0.5)? {
                         w.push(q, 1);
                     }
                 }
-                w
+                Ok(w)
             }
             TargetPolicy::Random => {
-                let all = db.schema().indexable_columns();
+                let all = cost.catalog().schema.indexable_columns();
                 let k = inj_cfg.columns_per_query;
                 let mut w = Workload::new();
                 let mut attempts = 0;
                 while w.len() < n && attempts < n * 6 {
                     attempts += 1;
                     let cols: Vec<ColumnId> = all.choose_multiple(&mut rng, k).copied().collect();
-                    if let Some(q) = self.generator.generate(db, &cols, inj_cfg.target_reward) {
+                    if let Some(q) = self.generator.generate(cost, &cols, inj_cfg.target_reward)? {
                         w.push(q, rng.gen_range(1..=10));
                     }
                 }
-                w
+                Ok(w)
             }
             TargetPolicy::LowRanked => {
-                let (pref, _) = self.probed_segments(advisor, db, seed);
+                let (pref, _) = self.probed_segments(advisor, cost, seed)?;
                 let l = pref.ranking.len();
                 let low: Vec<ColumnId> = pref.ranking[l / 2..].to_vec();
                 let k = inj_cfg.columns_per_query.min(low.len()).max(1);
@@ -217,28 +219,28 @@ impl Injector for TargetedInjector {
                 while w.len() < n && attempts < n * 6 {
                     attempts += 1;
                     let cols: Vec<ColumnId> = low.choose_multiple(&mut rng, k).copied().collect();
-                    if let Some(q) = self.generator.generate(db, &cols, inj_cfg.target_reward) {
+                    if let Some(q) = self.generator.generate(cost, &cols, inj_cfg.target_reward)? {
                         w.push(q, rng.gen_range(1..=10));
                     }
                 }
-                w
+                Ok(w)
             }
             TargetPolicy::MidRankedProbed => {
-                let (_, seg) = self.probed_segments(advisor, db, seed);
-                inject(db, self.generator.as_mut(), &seg, &inj_cfg).workload
+                let (_, seg) = self.probed_segments(advisor, cost, seed)?;
+                Ok(inject(cost, self.generator.as_mut(), &seg, &inj_cfg)?.workload)
             }
             TargetPolicy::MidRankedClearBox => {
-                let prefs = advisor.column_preferences(db);
+                let prefs = advisor.column_preferences(cost);
                 let k_values: Vec<f64> = {
-                    let mut v = vec![0.0; db.schema().num_columns()];
+                    let mut v = vec![0.0; cost.catalog().schema.num_columns()];
                     for (c, p) in prefs {
                         v[c.0 as usize] = p.max(0.0);
                     }
                     v
                 };
-                let pref = crate::preference::preference_with_prior(db, k_values);
-                let seg = segment(&pref, db.schema(), &self.segment_cfg);
-                inject(db, self.generator.as_mut(), &seg, &inj_cfg).workload
+                let pref = crate::preference::preference_with_prior(cost, k_values)?;
+                let seg = segment(&pref, cost.catalog().schema, &self.segment_cfg);
+                Ok(inject(cost, self.generator.as_mut(), &seg, &inj_cfg)?.workload)
             }
         }
     }
@@ -251,8 +253,8 @@ mod tests {
     use pipa_qgen::StGenerator;
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload, Box<dyn ClearBoxAdvisor>) {
-        let db = Benchmark::TpcH.database(1.0, None);
+    fn setup() -> (pipa_cost::SimBackend, Workload, Box<dyn ClearBoxAdvisor>) {
+        let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
@@ -263,8 +265,8 @@ mod tests {
             SpeedPreset::Test,
             1,
         );
-        ia.train(&db, &w);
-        (db, w, ia)
+        ia.train(&cost, &w).unwrap();
+        (cost, w, ia)
     }
 
     fn fast_probe() -> ProbeConfig {
@@ -277,44 +279,44 @@ mod tests {
 
     #[test]
     fn tp_injector_uses_templates() {
-        let (db, _, mut ia) = setup();
+        let (cost, _, mut ia) = setup();
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
-        let w = inj.build(ia.as_mut(), &db, 12, 3);
+        let w = inj.build(ia.as_mut(), &cost, 12, 3).unwrap();
         assert_eq!(w.len(), 12);
         assert!(w.iter().all(|wq| wq.frequency >= 1));
     }
 
     #[test]
     fn fsm_injector_ignores_advisor() {
-        let (db, _, mut ia) = setup();
+        let (cost, _, mut ia) = setup();
         let mut inj = TargetedInjector::fsm(9);
-        let w = inj.build(ia.as_mut(), &db, 10, 3);
+        let w = inj.build(ia.as_mut(), &cost, 10, 3).unwrap();
         assert_eq!(w.len(), 10);
     }
 
     #[test]
     fn pipa_injector_avoids_top_column() {
-        let (db, _, mut ia) = setup();
+        let (cost, _, mut ia) = setup();
         let mut inj = TargetedInjector::pipa(Box::new(StGenerator::new(4)));
         inj.probe_cfg = fast_probe();
-        let w = inj.build(ia.as_mut(), &db, 8, 3);
+        let w = inj.build(ia.as_mut(), &cost, 8, 3).unwrap();
         assert!(!w.is_empty(), "pipa built an injection workload");
     }
 
     #[test]
     fn p_c_reads_clear_box() {
-        let (db, _, mut ia) = setup();
+        let (cost, _, mut ia) = setup();
         let mut inj = TargetedInjector::p_c(Box::new(StGenerator::new(5)));
-        let w = inj.build(ia.as_mut(), &db, 8, 3);
+        let w = inj.build(ia.as_mut(), &cost, 8, 3).unwrap();
         assert!(!w.is_empty());
     }
 
     #[test]
     fn i_l_targets_low_ranked() {
-        let (db, _, mut ia) = setup();
+        let (cost, _, mut ia) = setup();
         let mut inj = TargetedInjector::i_l(Box::new(StGenerator::new(6)));
         inj.probe_cfg = fast_probe();
-        let w = inj.build(ia.as_mut(), &db, 6, 3);
+        let w = inj.build(ia.as_mut(), &cost, 6, 3).unwrap();
         assert!(!w.is_empty());
     }
 

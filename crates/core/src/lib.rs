@@ -33,17 +33,18 @@
 //! use pipa_workload::Benchmark;
 //!
 //! let cfg = CellConfig::quick(Benchmark::TpcH);
-//! let db = build_db(&cfg);
+//! let cost = build_db(&cfg);
 //! let seed = CellSeed::derive(0, 0);
 //! let normal = normal_workload(&cfg, seed.get());
 //! let out = run_cell(
-//!     &db,
+//!     &cost,
 //!     &normal,
 //!     AdvisorKind::Dqn(TrajectoryMode::Best),
 //!     InjectorKind::Pipa,
 //!     &cfg,
 //!     seed,
-//! );
+//! )
+//! .expect("cost backend");
 //! println!("AD = {:.3} (toxic: {})", out.ad, out.toxic);
 //! ```
 

@@ -1,7 +1,8 @@
 //! Indexing preference: the ranking `k` over indexable columns (paper
 //! §4.1–4.2, Eq. 5–8) and its segmentation into top/mid/low ranks (§5).
 
-use pipa_sim::{ColumnId, Database, Schema};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, Schema};
 
 /// Estimated indexing preference: per-column expected contribution `K`
 /// and the derived ranking.
@@ -129,14 +130,17 @@ pub fn segment(pref: &IndexingPreference, schema: &Schema, cfg: &SegmentConfig) 
 /// the probing stage and the clear-box P-C baseline use this: internal
 /// advisor state only covers columns the advisor ever touched, and the
 /// tail ordering decides what "mid-ranked" means.
-pub fn preference_with_prior(db: &Database, mut k_values: Vec<f64>) -> IndexingPreference {
+pub fn preference_with_prior(
+    cost: &dyn CostBackend,
+    mut k_values: Vec<f64>,
+) -> CostResult<IndexingPreference> {
     let min_pos = k_values
         .iter()
         .copied()
         .filter(|&v| v > 0.0)
         .fold(f64::INFINITY, f64::min);
     if min_pos.is_finite() {
-        let prior = crate::probe::indexability_prior(db);
+        let prior = crate::probe::indexability_prior(cost)?;
         let prior_max = prior.iter().copied().fold(0.0f64, f64::max).max(1e-12);
         for (k, &p) in k_values.iter_mut().zip(&prior) {
             if *k <= 0.0 {
@@ -144,20 +148,21 @@ pub fn preference_with_prior(db: &Database, mut k_values: Vec<f64>) -> IndexingP
             }
         }
     }
-    IndexingPreference::from_k_values(k_values)
+    Ok(IndexingPreference::from_k_values(k_values))
 }
 
 /// True (oracle) preference from what-if benefits — used by tests and by
 /// the probing-accuracy analysis (Figure 12b's "error rate" compares
 /// estimated segments against a reference).
-pub fn oracle_preference(db: &Database, w: &pipa_sim::Workload) -> IndexingPreference {
-    let k_values: Vec<f64> = db
-        .schema()
-        .indexable_columns()
-        .into_iter()
-        .map(|c| pipa_ia::features::single_column_benefit(db, w, c))
-        .collect();
-    IndexingPreference::from_k_values(k_values)
+pub fn oracle_preference(
+    cost: &dyn CostBackend,
+    w: &pipa_sim::Workload,
+) -> CostResult<IndexingPreference> {
+    let mut k_values = Vec::new();
+    for c in cost.catalog().schema.indexable_columns() {
+        k_values.push(pipa_ia::features::single_column_benefit(cost, w, c)?);
+    }
+    Ok(IndexingPreference::from_k_values(k_values))
 }
 
 #[cfg(test)]
@@ -235,7 +240,7 @@ mod tests {
 
     #[test]
     fn oracle_preference_ranks_useful_columns_first() {
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
@@ -244,9 +249,9 @@ mod tests {
         let w = g
             .normal(&mut rand_chacha::ChaCha8Rng::seed_from_u64(1))
             .unwrap();
-        let pref = oracle_preference(&db, &w);
+        let pref = oracle_preference(&cost, &w).unwrap();
         let best = pref.best();
-        let name = &db.schema().column(best).name;
+        let name = &cost.database().schema().column(best).name;
         assert!(
             name.contains("date") || name.contains("key"),
             "plausible best column, got {name}"

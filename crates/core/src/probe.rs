@@ -18,9 +18,10 @@
 //!   observations move the distribution.
 
 use crate::preference::IndexingPreference;
+use pipa_cost::{CostBackend, CostResult};
 use pipa_ia::IndexAdvisor;
 use pipa_qgen::QueryGenerator;
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -91,12 +92,12 @@ pub struct ProbeResult {
 /// Run the probing stage (Algorithm 1).
 pub fn probe(
     advisor: &mut dyn IndexAdvisor,
-    db: &Database,
+    cost: &dyn CostBackend,
     generator: &mut dyn QueryGenerator,
     cfg: &ProbeConfig,
-) -> ProbeResult {
+) -> CostResult<ProbeResult> {
     pipa_obs::phase("probe");
-    let l = db.schema().num_columns();
+    let l = cost.catalog().schema.num_columns();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9806);
     let mut mu = vec![1.0 / l as f64; l];
     let mut k_sum = vec![0.0f64; l];
@@ -115,7 +116,7 @@ pub fn probe(
             if cols.is_empty() {
                 break;
             }
-            if let Some(q) = generator.generate(db, &cols, cfg.target_reward) {
+            if let Some(q) = generator.generate(cost, &cols, cfg.target_reward)? {
                 // Probing queries carry unit frequency (§6.5).
                 pw.push(q, 1);
                 targeted.extend(cols);
@@ -131,8 +132,8 @@ pub fn probe(
         // Both configs are costed in one matrix-backed batch: the benefit
         // rows built here are the same ones the advisor's own candidate
         // scoring warmed during `recommend`.
-        let rec: IndexConfig = advisor.recommend(db, &pw);
-        let costs = db.what_if_batch(&pw, &[IndexConfig::empty(), rec.clone()]);
+        let rec: IndexConfig = advisor.recommend(cost, &pw)?;
+        let costs = cost.batch_workload_cost(&pw, &[IndexConfig::empty(), rec.clone()])?;
         let (base, with) = (costs[0], costs[1]);
         let benefit = if base > 0.0 {
             ((base - with) / base).max(0.0)
@@ -185,7 +186,7 @@ pub fn probe(
             let best = current_best(&k_sum);
             best_trace.push(best);
             emit_epoch(p, pw.len(), benefit, best);
-            return finish(db, k_sum, mu, p, best_trace, &zero_probes, dead_threshold);
+            return finish(cost, k_sum, mu, p, best_trace, &zero_probes, dead_threshold);
         }
         for m in &mut mu {
             *m /= total;
@@ -197,7 +198,7 @@ pub fn probe(
 
     let epochs_run = best_trace.len();
     finish(
-        db,
+        cost,
         k_sum,
         mu,
         epochs_run,
@@ -222,14 +223,14 @@ fn emit_epoch(epoch: usize, queries: usize, benefit: f64, best: ColumnId) {
 }
 
 fn finish(
-    db: &Database,
+    cost: &dyn CostBackend,
     mut k_sum: Vec<f64>,
     mu: Vec<f64>,
     epochs_run: usize,
     best_trace: Vec<ColumnId>,
     zero_probes: &[u32],
     dead_threshold: u32,
-) -> ProbeResult {
+) -> CostResult<ProbeResult> {
     // Normalize K by epochs (Eq. 8's 1/P factor; ordering-invariant).
     if epochs_run > 0 {
         for k in &mut k_sum {
@@ -243,37 +244,38 @@ fn finish(
     // columns are plausible indexes. This breaks the K = 0 ties the way
     // the paper's denser probing does, instead of by column id.
     let retired = zero_probes.iter().filter(|&&z| z >= dead_threshold).count();
-    ProbeResult {
-        preference: crate::preference::preference_with_prior(db, k_sum),
+    Ok(ProbeResult {
+        preference: crate::preference::preference_with_prior(cost, k_sum)?,
         mu,
         epochs_run,
         best_trace,
         retired,
-    }
+    })
 }
 
 /// Evaluator-side indexability of each column: the what-if benefit of a
 /// single-column index for an equality probe on that column, weighted by
 /// the table's absolute scan cost (expensive tables matter more to a
 /// training set).
-pub fn indexability_prior(db: &Database) -> Vec<f64> {
+pub fn indexability_prior(cost: &dyn CostBackend) -> CostResult<Vec<f64>> {
     use pipa_sim::{Aggregate, Index, Predicate, QueryBuilder};
-    db.schema()
-        .indexable_columns()
-        .into_iter()
-        .map(|c| {
-            let q = QueryBuilder::new()
-                .filter(db.schema(), Predicate::eq(c, 0.5))
-                .aggregate(Aggregate::CountStar)
-                .build(db.schema())
-                .expect("probe query");
-            // Single-table equality probes: answered from the benefit
-            // matrix (one row per column, shared with later phases).
-            let base = db.matrix_query_cost(&q, &IndexConfig::empty());
-            let with = db.matrix_query_cost(&q, &IndexConfig::from_indexes([Index::single(c)]));
-            (base - with).max(0.0)
-        })
-        .collect()
+    let schema = cost.catalog().schema;
+    let cols = schema.indexable_columns();
+    let mut out = Vec::with_capacity(cols.len());
+    for c in cols {
+        let q = QueryBuilder::new()
+            .filter(schema, Predicate::eq(c, 0.5))
+            .aggregate(Aggregate::CountStar)
+            .build(schema)
+            .expect("probe query");
+        // Single-table equality probes: the simulator backend answers
+        // them from the benefit matrix (one row per column, shared with
+        // later phases).
+        let base = cost.query_cost(&q, &IndexConfig::empty())?;
+        let with = cost.query_cost(&q, &IndexConfig::from_indexes([Index::single(c)]))?;
+        out.push((base - with).max(0.0));
+    }
+    Ok(out)
 }
 
 fn current_best(k_sum: &[f64]) -> ColumnId {
@@ -317,14 +319,14 @@ mod tests {
     use pipa_qgen::StGenerator;
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (pipa_cost::SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-        (db, w)
+        (pipa_cost::SimBackend::new(db), w)
     }
 
     #[test]
@@ -347,7 +349,7 @@ mod tests {
     fn probing_a_greedy_advisor_finds_its_preferences() {
         // AutoAdmin recommends purely by what-if benefit, so probing it
         // must surface genuinely selective columns at the top.
-        let (db, _) = setup();
+        let (cost, _) = setup();
         let mut advisor = AutoAdminGreedy::new(4);
         let mut generator = StGenerator::new(3);
         let cfg = ProbeConfig {
@@ -355,7 +357,7 @@ mod tests {
             queries_per_epoch: 6,
             ..Default::default()
         };
-        let res = probe(&mut advisor, &db, &mut generator, &cfg);
+        let res = probe(&mut advisor, &cost, &mut generator, &cfg).unwrap();
         assert!(res.epochs_run >= 1);
         assert!(res.preference.num_positive() >= 3, "saw some columns");
         // The top column must have actually been rewarded.
@@ -365,7 +367,7 @@ mod tests {
 
     #[test]
     fn probing_is_deterministic_under_seed() {
-        let (db, _) = setup();
+        let (cost, _) = setup();
         let run = |seed| {
             let mut advisor = AutoAdminGreedy::new(4);
             let mut generator = StGenerator::new(77);
@@ -375,7 +377,8 @@ mod tests {
                 seed,
                 ..Default::default()
             };
-            probe(&mut advisor, &db, &mut generator, &cfg)
+            probe(&mut advisor, &cost, &mut generator, &cfg)
+                .unwrap()
                 .preference
                 .ranking
         };
@@ -399,20 +402,20 @@ mod tests {
     #[test]
     fn probing_respects_learned_advisors_too() {
         // Smoke test against a learned advisor (opaque-box path).
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut advisor = pipa_ia::build_advisor(
             pipa_ia::AdvisorKind::DbaBandit(pipa_ia::TrajectoryMode::Best),
             SpeedPreset::Test,
             1,
         );
-        advisor.train(&db, &w);
+        advisor.train(&cost, &w).unwrap();
         let mut generator = StGenerator::new(4);
         let cfg = ProbeConfig {
             epochs: 3,
             queries_per_epoch: 4,
             ..Default::default()
         };
-        let res = probe(advisor.as_mut(), &db, &mut generator, &cfg);
+        let res = probe(advisor.as_mut(), &cost, &mut generator, &cfg).unwrap();
         assert_eq!(res.mu.len(), 61);
         assert!(res.epochs_run >= 1);
     }

@@ -33,11 +33,11 @@ fn parallel_grid_is_bit_identical_to_serial() {
     // Fresh database per mode so the what-if caches start cold in both.
     let serial = {
         let db = build_db(&cfg);
-        run_grid(&db, &cfg, &spec, 1)
+        run_grid(&db, &cfg, &spec, 1).unwrap()
     };
     let parallel = {
         let db = build_db(&cfg);
-        run_grid(&db, &cfg, &spec, 4)
+        run_grid(&db, &cfg, &spec, 4).unwrap()
     };
 
     let ser = |rs: &[(pipa_core::GridCell, pipa_core::StressOutcome)]| {
@@ -64,8 +64,8 @@ fn parallel_grid_is_bit_identical_to_serial() {
 fn grid_reruns_reproduce_and_caching_is_observable() {
     let (cfg, spec) = small_spec();
     let db = build_db(&cfg);
-    let first = run_grid(&db, &cfg, &spec, 2);
-    let stats = db.whatif_cache_stats();
+    let first = run_grid(&db, &cfg, &spec, 2).unwrap();
+    let stats = db.database().whatif_cache_stats();
     assert!(
         stats.hits > 0,
         "a grid re-issues what-if probes; hits: {stats:?}"
@@ -73,13 +73,13 @@ fn grid_reruns_reproduce_and_caching_is_observable() {
 
     // Re-running the same grid on the now-warm database changes nothing:
     // cached costs are bit-identical to computed ones.
-    let second = run_grid(&db, &cfg, &spec, 2);
+    let second = run_grid(&db, &cfg, &spec, 2).unwrap();
     let ads =
         |rs: &[(pipa_core::GridCell, pipa_core::StressOutcome)]| -> Vec<f64> {
             rs.iter().map(|(_, o)| o.ad).collect()
         };
     assert_eq!(ads(&first), ads(&second));
-    assert!(db.whatif_cache_stats().hits > stats.hits);
+    assert!(db.database().whatif_cache_stats().hits > stats.hits);
 }
 
 #[test]
@@ -112,7 +112,7 @@ fn trace_stream_is_bit_identical_across_job_counts() {
         let db = build_db(&cfg);
         let sink = MemorySink::new();
         let out = TraceOutputs::with_sinks(Some(Box::new(sink.clone())), None);
-        let results = run_grid_traced(&db, &cfg, &spec, jobs, &out);
+        let results = run_grid_traced(&db, &cfg, &spec, jobs, &out).unwrap();
         (results, sink.contents())
     };
     let (serial, serial_trace) = traced(1);
@@ -138,7 +138,7 @@ fn trace_stream_is_bit_identical_across_job_counts() {
     // Tracing does not perturb the experiment itself.
     let untraced = {
         let db = build_db(&cfg);
-        run_grid(&db, &cfg, &spec, 1)
+        run_grid(&db, &cfg, &spec, 1).unwrap()
     };
     let ads = |rs: &[(pipa_core::GridCell, pipa_core::StressOutcome)]| -> Vec<f64> {
         rs.iter().map(|(_, o)| o.ad).collect()
@@ -155,9 +155,9 @@ fn disabled_outputs_record_nothing_and_match_the_plain_path() {
     assert!(!pipa_obs::is_recording());
     let db = build_db(&cfg);
     let disabled = TraceOutputs::disabled();
-    let via_traced = run_grid_traced(&db, &cfg, &spec, 2, &disabled);
+    let via_traced = run_grid_traced(&db, &cfg, &spec, 2, &disabled).unwrap();
     assert!(!pipa_obs::is_recording());
-    let plain = run_grid(&db, &cfg, &spec, 2);
+    let plain = run_grid(&db, &cfg, &spec, 2).unwrap();
     for ((a, x), (b, y)) in via_traced.iter().zip(&plain) {
         assert_eq!(a, b);
         assert_eq!(x.ad, y.ad);

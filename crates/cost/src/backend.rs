@@ -1,0 +1,216 @@
+//! The object-safe [`CostBackend`] trait and its type-erased session
+//! handle.
+
+use crate::error::{CostError, CostResult};
+use pipa_sim::cost::{Catalog, ConfigDelta};
+use pipa_sim::{Index, IndexConfig, Query, Workload};
+use std::any::Any;
+
+/// Backend-private state of an incremental evaluation session, boxed and
+/// type-erased so [`CostSession`] stays a plain value consumers can store
+/// (and clone) without naming the backend's concrete state type.
+trait SessionState: Any + Send {
+    fn clone_box(&self) -> Box<dyn SessionState>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any + Send + Clone> SessionState for T {
+    fn clone_box(&self) -> Box<dyn SessionState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An incremental what-if evaluation session, created by
+/// [`CostBackend::session_begin`] and advanced by `session_add`.
+///
+/// The handle is opaque: consumers store it (advisors keep one per
+/// episode), clone it (episodes are `Clone`), and hand it back to the
+/// backend that created it. Handing it to a different backend yields
+/// [`CostError::SessionMismatch`], not a panic.
+pub struct CostSession(Box<dyn SessionState>);
+
+impl CostSession {
+    /// Wrap backend-private session state. Only backends call this.
+    pub fn new<T: Any + Send + Clone>(state: T) -> Self {
+        CostSession(Box::new(state))
+    }
+
+    /// Borrow the state as `T`, if this session was created with `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_any().downcast_ref()
+    }
+
+    /// Mutably borrow the state as `T`.
+    pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.0.as_any_mut().downcast_mut()
+    }
+}
+
+impl Clone for CostSession {
+    fn clone(&self) -> Self {
+        CostSession(self.0.clone_box())
+    }
+}
+
+impl std::fmt::Debug for CostSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CostSession(..)")
+    }
+}
+
+/// The cost oracle every PIPA component consumes: `c(q, d, I)` /
+/// `c(W, d, I)` with batched, delta, and session-based evaluation, a
+/// hypothetical-index lifecycle, and executed (actual) costs where the
+/// backend has data.
+///
+/// The trait is **object-safe** — consumers hold `&dyn CostBackend` — and
+/// total: every method returns [`CostResult`] instead of panicking.
+/// Method names are deliberately distinct from the concrete
+/// `pipa_sim::Database` entry points (`estimated_*`, `what_if_*`,
+/// `whatif_eval_*`, `actual_*`) so the CI boundary lint can forbid direct
+/// simulator calls in consumer crates by name.
+///
+/// # Contract
+///
+/// * Costs are deterministic pure functions of `(catalog, query,
+///   config)`: repeated calls return the same `f64` bit-for-bit.
+/// * `workload_cost` is the frequency-weighted sum, in workload order,
+///   of the per-query `query_cost` values — backends must preserve this
+///   decomposition so tapes recorded per-query replay composite calls
+///   exactly (see `RecordReplayBackend` and
+///   `tests/cost_backend_differential.rs`).
+/// * Sessions begin at the empty configuration; `cfg_after` arguments
+///   must equal the session's configuration with `idx` added, exactly as
+///   in the `Database` session API this trait abstracts.
+pub trait CostBackend: Send + Sync {
+    /// Short stable name (used in errors, traces, and result artifacts).
+    fn name(&self) -> &'static str;
+
+    /// Read-only catalog view: schema plus table/column statistics.
+    /// Advisors use this for feature extraction and candidate
+    /// enumeration; it is the only non-cost surface consumers need.
+    fn catalog(&self) -> Catalog<'_>;
+
+    /// `c(q, d, I)`: estimated cost of one query under a hypothetical
+    /// index configuration.
+    fn query_cost(&self, q: &Query, cfg: &IndexConfig) -> CostResult<f64>;
+
+    /// `c(W, d, I)`: frequency-weighted workload cost.
+    fn workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> CostResult<f64>;
+
+    /// Workload costs for a batch of configurations (the probing stage's
+    /// bulk what-if call). Backends with shared per-query state answer
+    /// this cheaper than `configs.len()` independent workload costings.
+    fn batch_workload_cost(&self, w: &Workload, configs: &[IndexConfig]) -> CostResult<Vec<f64>> {
+        configs.iter().map(|cfg| self.workload_cost(w, cfg)).collect()
+    }
+
+    /// Workload cost of `base ± index` (one [`ConfigDelta`]).
+    fn delta_workload_cost(
+        &self,
+        w: &Workload,
+        base: &IndexConfig,
+        delta: &ConfigDelta,
+    ) -> CostResult<f64> {
+        let cfg = delta.apply(base);
+        self.workload_cost(w, &cfg)
+    }
+
+    /// Start an incremental evaluation session for `w` at the empty
+    /// configuration.
+    fn session_begin(&self, w: &Workload) -> CostResult<CostSession>;
+
+    /// Current total workload cost of a session.
+    fn session_total(&self, w: &Workload, session: &CostSession) -> CostResult<f64>;
+
+    /// Total workload cost of `session config + idx` without committing.
+    /// `cfg_after` must be the session's configuration with `idx` added.
+    fn session_preview_add(
+        &self,
+        w: &Workload,
+        session: &CostSession,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> CostResult<f64>;
+
+    /// Commit `idx` into the session's configuration and return the new
+    /// total. `cfg_after` must be the session's configuration with `idx`
+    /// already added.
+    fn session_add(
+        &self,
+        w: &Workload,
+        session: &mut CostSession,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> CostResult<f64>;
+
+    /// Whether this backend can produce executed (actual) costs that are
+    /// independent of its estimates.
+    fn supports_execution(&self) -> bool {
+        false
+    }
+
+    /// Executed (actual) cost of one query. Backends without execution
+    /// fall back to the estimate, mirroring `Database::actual_query_cost`.
+    fn executed_query_cost(&self, q: &Query, cfg: &IndexConfig) -> CostResult<f64> {
+        self.query_cost(q, cfg)
+    }
+
+    /// Executed (actual) cost of a workload, frequency-weighted.
+    fn executed_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> CostResult<f64> {
+        self.workload_cost(w, cfg)
+    }
+
+    /// Render a query to SQL using the backend's statistics.
+    fn render_sql(&self, q: &Query) -> CostResult<String> {
+        let cat = self.catalog();
+        Ok(q.render_sql(cat.schema, |c| cat.column(c)))
+    }
+
+    /// EXPLAIN-style access-path summary, where the backend has a plan
+    /// model to describe.
+    fn explain(&self, _q: &Query, _cfg: &IndexConfig) -> CostResult<String> {
+        Err(CostError::Unsupported {
+            backend: self.name(),
+            op: "explain",
+        })
+    }
+
+    // ---- Hypothetical-index lifecycle --------------------------------
+    //
+    // The paper's what-if interface (HypoPG-style): create/drop
+    // hypothetical indexes on the backend, then cost queries against the
+    // accumulated set without naming it at every call site.
+
+    /// Create a hypothetical index.
+    fn hypo_create(&self, idx: &Index) -> CostResult<()>;
+
+    /// Drop a previously created hypothetical index (dropping an index
+    /// that was never created is a no-op, as in HypoPG).
+    fn hypo_drop(&self, idx: &Index) -> CostResult<()>;
+
+    /// Drop all hypothetical indexes.
+    fn hypo_clear(&self) -> CostResult<()>;
+
+    /// The current hypothetical configuration.
+    fn hypo_config(&self) -> CostResult<IndexConfig>;
+
+    /// `c(q, d, H)` under the current hypothetical configuration.
+    fn hypo_query_cost(&self, q: &Query) -> CostResult<f64> {
+        let cfg = self.hypo_config()?;
+        self.query_cost(q, &cfg)
+    }
+
+    /// `c(W, d, H)` under the current hypothetical configuration.
+    fn hypo_workload_cost(&self, w: &Workload) -> CostResult<f64> {
+        let cfg = self.hypo_config()?;
+        self.workload_cost(w, &cfg)
+    }
+}

@@ -1,0 +1,112 @@
+//! Typed errors for cost-backend operations.
+
+use pipa_sim::SimError;
+use std::fmt;
+
+/// Convenience alias used throughout the cost seam and its consumers.
+pub type CostResult<T> = Result<T, CostError>;
+
+/// An error raised by a [`crate::CostBackend`] operation.
+///
+/// The pre-seam code panicked on these conditions (poisoned locks,
+/// incomplete storage); the trait surfaces them as values so advisors,
+/// injectors, and the harness can propagate instead of aborting a whole
+/// experiment grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostError {
+    /// The underlying simulator substrate failed.
+    Sim(SimError),
+    /// A session handle was passed to a backend (or workload) it was not
+    /// created by/for.
+    SessionMismatch {
+        /// Name of the backend that rejected the session.
+        backend: &'static str,
+    },
+    /// A replay backend had no tape entry for the requested
+    /// `(query, config)` pair.
+    ReplayMiss {
+        /// 128-bit structural fingerprint of the query.
+        query: u128,
+        /// 128-bit structural fingerprint of the index configuration.
+        config: u128,
+        /// Whether the miss was on the executed-cost tape (vs estimated).
+        executed: bool,
+    },
+    /// The backend does not support the requested operation.
+    Unsupported {
+        /// Name of the backend.
+        backend: &'static str,
+        /// The unsupported operation.
+        op: &'static str,
+    },
+    /// Reading or parsing a tape failed.
+    Io(String),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::Sim(e) => write!(f, "simulator error: {e}"),
+            CostError::SessionMismatch { backend } => {
+                write!(f, "cost session does not belong to backend `{backend}`")
+            }
+            CostError::ReplayMiss {
+                query,
+                config,
+                executed,
+            } => write!(
+                f,
+                "replay tape miss ({} cost): query {query:032x} under config {config:032x}",
+                if *executed { "executed" } else { "estimated" }
+            ),
+            CostError::Unsupported { backend, op } => {
+                write!(f, "backend `{backend}` does not support {op}")
+            }
+            CostError::Io(m) => write!(f, "tape i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CostError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CostError {
+    fn from(e: SimError) -> Self {
+        CostError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = CostError::from(SimError::NoData);
+        assert!(e.to_string().contains("no materialized data"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = CostError::ReplayMiss {
+            query: 0xab,
+            config: 1,
+            executed: false,
+        };
+        assert!(m.to_string().contains("estimated"));
+        assert!(m.to_string().contains("000000000000000000000000000000ab"));
+        let u = CostError::Unsupported {
+            backend: "replay",
+            op: "explain",
+        };
+        assert!(u.to_string().contains("replay"));
+        assert!(
+            CostError::SessionMismatch { backend: "sim" }
+                .to_string()
+                .contains("sim")
+        );
+    }
+}

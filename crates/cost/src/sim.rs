@@ -1,0 +1,178 @@
+//! [`SimBackend`]: the in-memory simulator behind the seam.
+
+use crate::backend::{CostBackend, CostSession};
+use crate::error::{CostError, CostResult};
+use pipa_sim::cost::{Catalog, ConfigDelta};
+use pipa_sim::{Database, IncrementalEval, Index, IndexConfig, Query, Workload};
+use std::sync::Mutex;
+
+/// The analytic-simulator cost backend.
+///
+/// Owns a [`pipa_sim::Database`] and routes every trait call through its
+/// existing machinery — benefit matrix, sharded what-if cache, executor —
+/// so trait-object dispatch is **bit-identical** to direct `Database`
+/// calls (pinned by `tests/cost_backend_differential.rs`). The wrapper
+/// adds only the hypothetical-index set, which the `Database` itself
+/// never tracked.
+pub struct SimBackend {
+    db: Database,
+    hypo: Mutex<IndexConfig>,
+}
+
+impl SimBackend {
+    /// Wrap a database.
+    pub fn new(db: Database) -> Self {
+        SimBackend {
+            db,
+            hypo: Mutex::new(IndexConfig::empty()),
+        }
+    }
+
+    /// The wrapped database (schema/statistics access, cache and matrix
+    /// toggles for benchmarks).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Unwrap into the database.
+    pub fn into_inner(self) -> Database {
+        self.db
+    }
+
+    /// Downcast a session handle, or report whose session it isn't.
+    fn eval<'s>(&self, session: &'s CostSession, w: &Workload) -> CostResult<&'s IncrementalEval> {
+        let eval: &IncrementalEval = session
+            .downcast_ref()
+            .ok_or(CostError::SessionMismatch { backend: "sim" })?;
+        if eval.len() != w.len() {
+            return Err(CostError::SessionMismatch { backend: "sim" });
+        }
+        Ok(eval)
+    }
+}
+
+impl From<Database> for SimBackend {
+    fn from(db: Database) -> Self {
+        SimBackend::new(db)
+    }
+}
+
+impl CostBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn catalog(&self) -> Catalog<'_> {
+        self.db.catalog()
+    }
+
+    fn query_cost(&self, q: &Query, cfg: &IndexConfig) -> CostResult<f64> {
+        Ok(self.db.estimated_query_cost(q, cfg))
+    }
+
+    fn workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> CostResult<f64> {
+        Ok(self.db.estimated_workload_cost(w, cfg))
+    }
+
+    fn batch_workload_cost(&self, w: &Workload, configs: &[IndexConfig]) -> CostResult<Vec<f64>> {
+        Ok(self.db.what_if_batch(w, configs))
+    }
+
+    fn delta_workload_cost(
+        &self,
+        w: &Workload,
+        base: &IndexConfig,
+        delta: &ConfigDelta,
+    ) -> CostResult<f64> {
+        Ok(self.db.what_if_delta(w, base, delta))
+    }
+
+    fn session_begin(&self, w: &Workload) -> CostResult<CostSession> {
+        Ok(CostSession::new(self.db.whatif_eval_begin(w)))
+    }
+
+    fn session_total(&self, w: &Workload, session: &CostSession) -> CostResult<f64> {
+        let eval = self.eval(session, w)?;
+        Ok(self.db.whatif_eval_total(w, eval))
+    }
+
+    fn session_preview_add(
+        &self,
+        w: &Workload,
+        session: &CostSession,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> CostResult<f64> {
+        let eval = self.eval(session, w)?;
+        Ok(self.db.whatif_eval_preview_add(w, eval, cfg_after, idx))
+    }
+
+    fn session_add(
+        &self,
+        w: &Workload,
+        session: &mut CostSession,
+        cfg_after: &IndexConfig,
+        idx: &Index,
+    ) -> CostResult<f64> {
+        self.eval(session, w)?;
+        let eval: &mut IncrementalEval = session
+            .downcast_mut()
+            .ok_or(CostError::SessionMismatch { backend: "sim" })?;
+        Ok(self.db.whatif_eval_add(w, eval, cfg_after, idx))
+    }
+
+    fn supports_execution(&self) -> bool {
+        self.db.has_data()
+    }
+
+    fn executed_query_cost(&self, q: &Query, cfg: &IndexConfig) -> CostResult<f64> {
+        Ok(self.db.actual_query_cost(q, cfg)?)
+    }
+
+    fn executed_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> CostResult<f64> {
+        Ok(self.db.actual_workload_cost(w, cfg)?)
+    }
+
+    fn render_sql(&self, q: &Query) -> CostResult<String> {
+        Ok(self.db.render_sql(q))
+    }
+
+    fn explain(&self, q: &Query, cfg: &IndexConfig) -> CostResult<String> {
+        Ok(self.db.explain(q, cfg))
+    }
+
+    fn hypo_create(&self, idx: &Index) -> CostResult<()> {
+        let mut hypo = self
+            .hypo
+            .lock()
+            .map_err(|_| CostError::Sim(pipa_sim::SimError::Poisoned("hypothetical index set")))?;
+        hypo.add(idx.clone());
+        Ok(())
+    }
+
+    fn hypo_drop(&self, idx: &Index) -> CostResult<()> {
+        let mut hypo = self
+            .hypo
+            .lock()
+            .map_err(|_| CostError::Sim(pipa_sim::SimError::Poisoned("hypothetical index set")))?;
+        hypo.remove(idx);
+        Ok(())
+    }
+
+    fn hypo_clear(&self) -> CostResult<()> {
+        let mut hypo = self
+            .hypo
+            .lock()
+            .map_err(|_| CostError::Sim(pipa_sim::SimError::Poisoned("hypothetical index set")))?;
+        *hypo = IndexConfig::empty();
+        Ok(())
+    }
+
+    fn hypo_config(&self) -> CostResult<IndexConfig> {
+        let hypo = self
+            .hypo
+            .lock()
+            .map_err(|_| CostError::Sim(pipa_sim::SimError::Poisoned("hypothetical index set")))?;
+        Ok(hypo.clone())
+    }
+}

@@ -9,7 +9,8 @@
 //! paper's P-C baseline (§6.2), which reads the victim's actual internal
 //! column preferences to build a near-optimal comparison attack.
 
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 
 /// Trajectory-selection variant (paper §6.1): `-b` keeps the best
 /// trajectory's parameters, `-m` keeps the average parameters of the last
@@ -39,17 +40,17 @@ pub trait IndexAdvisor {
 
     /// Train from scratch on a workload (the paper's initial training on
     /// the target workload `W`).
-    fn train(&mut self, db: &Database, workload: &Workload);
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()>;
 
     /// Update on a new training workload *without* resetting parameters
     /// (the paper's re-training on `{W, Ŵ}`; learned advisors fine-tune,
     /// heuristics ignore this).
-    fn retrain(&mut self, db: &Database, workload: &Workload);
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()>;
 
     /// Recommend an index configuration for a workload. Trial-based
     /// advisors run trial trajectories here; one-off advisors predict
     /// directly.
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig;
+    fn recommend(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<IndexConfig>;
 
     /// Index-count budget `B`.
     fn budget(&self) -> usize;
@@ -70,7 +71,7 @@ pub trait IndexAdvisor {
 /// internal preference for each indexable column.
 pub trait ClearBoxAdvisor: IndexAdvisor {
     /// `(column, internal weight)` pairs, higher = more preferred.
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)>;
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)>;
 }
 
 /// Identifier for the advisors in the paper's evaluation.

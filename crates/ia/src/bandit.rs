@@ -16,7 +16,8 @@
 use crate::advisor::{ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
 use crate::env::{IndexEnv, REWARD_SCALE};
 use crate::features::single_column_benefit;
-use pipa_sim::{ColumnId, Database, Index, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, Index, IndexConfig, Workload};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -117,28 +118,33 @@ impl BanditAdvisor {
     }
 
     /// Context features of an arm for a workload.
-    fn arm_features(db: &Database, w: &Workload, col: ColumnId) -> [f64; FEAT_DIM] {
-        let l = db.schema().num_columns();
+    fn arm_features(
+        cost: &dyn CostBackend,
+        w: &Workload,
+        col: ColumnId,
+    ) -> CostResult<[f64; FEAT_DIM]> {
+        let cat = cost.catalog();
+        let l = cat.schema.num_columns();
         let freq = w.filter_column_frequencies(l);
         let total: f64 = freq.iter().sum::<f64>().max(1.0);
-        let st = db.column_stat(col);
-        let rows = db.table_stats()[db.schema().table_of(col).0 as usize].rows;
-        [
+        let st = cat.column(col);
+        let rows = cat.table_stats[cat.schema.table_of(col).0 as usize].rows;
+        Ok([
             freq[col.0 as usize] / total,
             // The benefit estimate dominates on purpose: C²UCB's context
             // in [26] is exactly the what-if benefit of the arm.
-            4.0 * single_column_benefit(db, w, col),
+            4.0 * single_column_benefit(cost, w, col)?,
             (st.ndv as f64).ln() / 40.0,
             (rows as f64).ln() / 40.0,
             0.25,
-        ]
+        ])
     }
 
     fn theta(&self) -> Vec<f64> {
         solve_ridge(&self.a_mat, &self.b_vec)
     }
 
-    fn regenerate_arms(&mut self, db: &Database, w: &Workload) {
+    fn regenerate_arms(&mut self, cost: &dyn CostBackend, w: &Workload) -> CostResult<()> {
         // Arm set: the workload's filter columns ordered by their what-if
         // benefit on that workload (DBA bandits derives candidates from
         // workload potentials), topped up with random columns for
@@ -147,12 +153,12 @@ impl BanditAdvisor {
         let mut scored: Vec<(f64, ColumnId)> = w
             .candidate_columns()
             .into_iter()
-            .map(|c| (single_column_benefit(db, w, c), c))
-            .collect();
+            .map(|c| single_column_benefit(cost, w, c).map(|b| (b, c)))
+            .collect::<CostResult<_>>()?;
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let keep = self.cfg.num_arms.saturating_sub(4).max(self.cfg.budget);
         let mut arms: Vec<ColumnId> = scored.into_iter().take(keep).map(|(_, c)| c).collect();
-        let all = db.schema().indexable_columns();
+        let all = cost.catalog().schema.indexable_columns();
         while arms.len() < self.cfg.num_arms.min(all.len()) {
             let c = *all.choose(&mut self.rng).expect("nonempty");
             if !arms.contains(&c) {
@@ -160,6 +166,7 @@ impl BanditAdvisor {
             }
         }
         self.arms = arms;
+        Ok(())
     }
 
     /// Score of one arm: its empirical reward mean when it has history
@@ -179,13 +186,13 @@ impl BanditAdvisor {
     /// One bandit round: select a super-arm by UCB, observe per-arm
     /// rewards, update per-arm statistics and the ridge prior. Returns
     /// (round return, config, all rewards ≈ 0?).
-    fn round(&mut self, db: &Database, w: &Workload) -> (f64, IndexConfig, bool) {
+    fn round(&mut self, cost: &dyn CostBackend, w: &Workload) -> CostResult<(f64, IndexConfig, bool)> {
         let theta = self.theta();
         let feats: Vec<[f64; FEAT_DIM]> = self
             .arms
             .iter()
-            .map(|&c| Self::arm_features(db, w, c))
-            .collect();
+            .map(|&c| Self::arm_features(cost, w, c))
+            .collect::<CostResult<_>>()?;
         let mut scored: Vec<(f64, usize)> = feats
             .iter()
             .enumerate()
@@ -200,11 +207,11 @@ impl BanditAdvisor {
 
         // Observe rewards: build the config incrementally, attributing the
         // marginal benefit to each arm (paper Eq. 7 attribution).
-        let env = IndexEnv::new(db, w, self.arms.clone(), self.cfg.budget);
-        let mut ep = env.reset();
+        let env = IndexEnv::new(cost, w, self.arms.clone(), self.cfg.budget)?;
+        let mut ep = env.reset()?;
         let mut all_small = true;
         for &i in &chosen {
-            let r = env.step(&mut ep, i) / REWARD_SCALE;
+            let r = env.step(&mut ep, i)? / REWARD_SCALE;
             if r > self.cfg.arm_update_threshold {
                 all_small = false;
             }
@@ -222,15 +229,15 @@ impl BanditAdvisor {
                 self.b_vec[a] += r * x[a];
             }
         }
-        (env.episode_return(&ep), ep.config, all_small)
+        Ok((env.episode_return(&ep), ep.config, all_small))
     }
 
-    fn run(&mut self, db: &Database, w: &Workload, rounds: usize) {
+    fn run(&mut self, cost: &dyn CostBackend, w: &Workload, rounds: usize) -> CostResult<()> {
         self.reward_trace.clear();
         self.theta_snaps.clear();
         self.best_round = (f64::NEG_INFINITY, IndexConfig::empty());
         for _ in 0..rounds {
-            let (ret, cfg, all_small) = self.round(db, w);
+            let (ret, cfg, all_small) = self.round(cost, w)?;
             self.reward_trace.push(ret);
             self.theta_snaps.push(self.theta());
             if ret > self.best_round.0 {
@@ -238,9 +245,10 @@ impl BanditAdvisor {
             }
             if all_small {
                 // Arm-update operation: every selected arm looked useless.
-                self.regenerate_arms(db, w);
+                self.regenerate_arms(cost, w)?;
             }
         }
+        Ok(())
     }
 
     /// The current reward-model weights (for the clear-box baseline).
@@ -254,7 +262,7 @@ impl IndexAdvisor for BanditAdvisor {
         format!("DBAbandit-{}", self.mode.suffix())
     }
 
-    fn train(&mut self, db: &Database, workload: &Workload) {
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         // Reset statistics (and the RNG: training from scratch is
         // deterministic per seed).
         self.rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x00ba_4d17);
@@ -265,24 +273,27 @@ impl IndexAdvisor for BanditAdvisor {
         self.b_vec = vec![0.0; FEAT_DIM];
         self.arm_stats.clear();
         self.total_pulls = 0;
-        self.regenerate_arms(db, workload);
-        self.run(db, workload, self.cfg.train_rounds);
+        self.regenerate_arms(cost, workload)?;
+        self.run(cost, workload, self.cfg.train_rounds)
     }
 
-    fn retrain(&mut self, db: &Database, workload: &Workload) {
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         if self.arms.is_empty() {
-            self.train(db, workload);
-            return;
+            return self.train(cost, workload);
         }
         // Keep ridge statistics; refresh the arm set from the new
         // training workload (arms the bandit never saw can now enter).
-        self.regenerate_arms(db, workload);
-        self.run(db, workload, self.cfg.train_rounds);
+        self.regenerate_arms(cost, workload)?;
+        self.run(cost, workload, self.cfg.train_rounds)
     }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
         if self.arms.is_empty() {
-            self.regenerate_arms(db, workload);
+            self.regenerate_arms(cost, workload)?;
         }
         // Trials: run rounds on a cloned state so inference is ephemeral.
         let saved = (
@@ -292,7 +303,7 @@ impl IndexAdvisor for BanditAdvisor {
             self.arm_stats.clone(),
             self.total_pulls,
         );
-        self.run(db, workload, self.cfg.trial_rounds);
+        self.run(cost, workload, self.cfg.trial_rounds)?;
         let result = match self.mode {
             TrajectoryMode::Best => self.best_round.1.clone(),
             TrajectoryMode::MeanLast(k) => {
@@ -312,16 +323,16 @@ impl IndexAdvisor for BanditAdvisor {
                     .arms
                     .iter()
                     .map(|&c| {
-                        let x = Self::arm_features(db, workload, c);
+                        let x = Self::arm_features(cost, workload, c)?;
                         let (sum, n) = self.arm_stats.get(&c).copied().unwrap_or((0.0, 0));
                         let mean = if n > 0 {
                             sum / f64::from(n)
                         } else {
                             theta.iter().zip(&x).map(|(&t, &xi)| t * xi).sum()
                         };
-                        (mean, c)
+                        Ok((mean, c))
                     })
-                    .collect();
+                    .collect::<CostResult<_>>()?;
                 scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                 scored
                     .into_iter()
@@ -335,7 +346,7 @@ impl IndexAdvisor for BanditAdvisor {
         self.arms = saved.2;
         self.arm_stats = saved.3;
         self.total_pulls = saved.4;
-        result
+        Ok(result)
     }
 
     fn budget(&self) -> usize {
@@ -352,10 +363,11 @@ impl IndexAdvisor for BanditAdvisor {
 }
 
 impl ClearBoxAdvisor for BanditAdvisor {
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)> {
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)> {
         // Preference = the arm's empirical reward mean; columns outside
         // the arm set (or never pulled) carry zero weight.
-        db.schema()
+        cost.catalog()
+            .schema
             .indexable_columns()
             .into_iter()
             .map(|c| {
@@ -430,16 +442,17 @@ fn solve_ridge(a: &[f64], b: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::{CostEngine, SimBackend};
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(3)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
@@ -481,25 +494,22 @@ mod tests {
 
     #[test]
     fn trains_and_recommends_useful_indexes() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = BanditAdvisor::new(TrajectoryMode::Best, BanditConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(!cfg.is_empty() && cfg.len() <= 4);
-        assert!(
-            db.workload_benefit(&w, &cfg) > 0.05,
-            "benefit {}",
-            db.workload_benefit(&w, &cfg)
-        );
+        let benefit = CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap();
+        assert!(benefit > 0.05, "benefit {benefit}");
     }
 
     #[test]
     fn converges_fast() {
         // DBABandit converges within its 20 rounds: late-round returns
         // should dominate the first round.
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = BanditAdvisor::new(TrajectoryMode::Best, BanditConfig::default());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let trace = ia.reward_trace().to_vec();
         let late: f64 = trace.iter().rev().take(5).sum::<f64>() / 5.0;
         let first = trace[0];
@@ -512,41 +522,42 @@ mod tests {
 
     #[test]
     fn arm_update_triggers_on_useless_arms() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
+        let schema = cost.database().schema();
         let mut ia = BanditAdvisor::new(TrajectoryMode::Best, BanditConfig::fast());
         // Force a useless arm set (comment columns have no predicates).
         ia.arms = vec![
-            db.schema().column_id("l_comment").unwrap(),
-            db.schema().column_id("o_comment").unwrap(),
-            db.schema().column_id("ps_comment").unwrap(),
-            db.schema().column_id("c_comment").unwrap(),
+            schema.column_id("l_comment").unwrap(),
+            schema.column_id("o_comment").unwrap(),
+            schema.column_id("ps_comment").unwrap(),
+            schema.column_id("c_comment").unwrap(),
         ];
         let before = ia.arms.clone();
-        let (_, _, all_small) = ia.round(&db, &w);
+        let (_, _, all_small) = ia.round(&cost, &w).unwrap();
         assert!(all_small, "useless arms must report near-zero rewards");
         if all_small {
-            ia.regenerate_arms(&db, &w);
+            ia.regenerate_arms(&cost, &w).unwrap();
         }
         assert_ne!(ia.arms, before, "arm set regenerated");
     }
 
     #[test]
     fn mean_mode_recommends() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = BanditAdvisor::new(TrajectoryMode::MeanLast(10), BanditConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert_eq!(cfg.len(), 4);
         assert_eq!(ia.name(), "DBAbandit-m");
     }
 
     #[test]
     fn recommend_restores_state() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = BanditAdvisor::new(TrajectoryMode::Best, BanditConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let a = ia.a_mat.clone();
-        let _ = ia.recommend(&db, &w);
+        let _ = ia.recommend(&cost, &w).unwrap();
         assert_eq!(ia.a_mat, a);
     }
 }

@@ -22,7 +22,8 @@ use crate::advisor::{ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
 use crate::env::IndexEnv;
 use crate::features::{column_frequency_features, config_bitmap, heuristic_candidates};
 use pipa_nn::{Adam, Mlp, Optimizer, ParamStore, Tape, Tensor};
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
@@ -145,8 +146,8 @@ impl DqnAdvisor {
         }
     }
 
-    fn ensure_net(&mut self, db: &Database) {
-        let l = db.schema().num_columns();
+    fn ensure_net(&mut self, cost: &dyn CostBackend) {
+        let l = cost.catalog().schema.num_columns();
         if self.qnet.is_some() && self.num_columns == l {
             return;
         }
@@ -166,9 +167,9 @@ impl DqnAdvisor {
         self.qnet = Some(qnet);
     }
 
-    fn state_vec(&self, db: &Database, wfeat: &[f32], cfg: &IndexConfig) -> Vec<f32> {
+    fn state_vec(&self, cost: &dyn CostBackend, wfeat: &[f32], cfg: &IndexConfig) -> Vec<f32> {
         let mut s = wfeat.to_vec();
-        s.extend(config_bitmap(db, cfg));
+        s.extend(config_bitmap(cost, cfg));
         s
     }
 
@@ -179,18 +180,19 @@ impl DqnAdvisor {
 
     /// Run trajectories with learning. Returns per-trajectory returns and
     /// the best (return, config, snapshot).
+    #[allow(clippy::type_complexity)]
     fn run_trajectories(
         &mut self,
-        db: &Database,
+        cost: &dyn CostBackend,
         workload: &Workload,
         n: usize,
         eps_schedule: bool,
         snapshots_window: usize,
         lr: f32,
-    ) -> (Vec<f64>, f64, IndexConfig, Vec<f32>, VecDeque<Vec<f32>>) {
-        let wfeat = column_frequency_features(db, workload);
+    ) -> CostResult<(Vec<f64>, f64, IndexConfig, Vec<f32>, VecDeque<Vec<f32>>)> {
+        let wfeat = column_frequency_features(cost, workload);
         self.last_workload_features = wfeat.clone();
-        let env = IndexEnv::new(db, workload, self.candidates.clone(), self.cfg.budget);
+        let env = IndexEnv::new(cost, workload, self.candidates.clone(), self.cfg.budget)?;
         let mut opt = Adam::new(lr);
         let mut returns = Vec::with_capacity(n);
         let mut best_return = f64::NEG_INFINITY;
@@ -208,9 +210,9 @@ impl DqnAdvisor {
             } else {
                 self.cfg.eps_end
             };
-            let mut ep = env.reset();
+            let mut ep = env.reset()?;
             while !env.done(&ep) {
-                let state = self.state_vec(db, &wfeat, &ep.config);
+                let state = self.state_vec(cost, &wfeat, &ep.config);
                 let valid = env.valid_actions(&ep);
                 let action = if self.rng.gen::<f64>() < eps {
                     valid[self.rng.gen_range(0..valid.len())]
@@ -228,8 +230,8 @@ impl DqnAdvisor {
                         })
                         .expect("nonempty valid set")
                 };
-                let reward = env.step(&mut ep, action) as f32;
-                let next_state = self.state_vec(db, &wfeat, &ep.config);
+                let reward = env.step(&mut ep, action)? as f32;
+                let next_state = self.state_vec(cost, &wfeat, &ep.config);
                 let done = env.done(&ep);
                 let next_valid = env.valid_actions(&ep);
                 self.replay.push_back(Transition {
@@ -264,7 +266,7 @@ impl DqnAdvisor {
                 self.target_store = None;
             }
         }
-        (returns, best_return, best_config, best_snap, recent)
+        Ok((returns, best_return, best_config, best_snap, recent))
     }
 
     fn learn_step(&mut self, opt: &mut Adam, tape: &mut Tape) {
@@ -356,13 +358,13 @@ impl IndexAdvisor for DqnAdvisor {
         format!("DQN-{}", self.mode.suffix())
     }
 
-    fn train(&mut self, db: &Database, workload: &Workload) {
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         self.store = None;
         self.qnet = None;
         self.replay.clear();
         self.rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x000d_9417);
-        self.ensure_net(db);
-        self.candidates = heuristic_candidates(db, workload, self.cfg.min_candidate_ndv);
+        self.ensure_net(cost);
+        self.candidates = heuristic_candidates(cost, workload, self.cfg.min_candidate_ndv);
         if self.candidates.is_empty() {
             self.candidates = workload.candidate_columns();
         }
@@ -372,7 +374,7 @@ impl IndexAdvisor for DqnAdvisor {
             TrajectoryMode::MeanLast(k) => k,
         };
         let (returns, _, _, best_snap, recent) =
-            self.run_trajectories(db, workload, n, true, window, self.cfg.lr);
+            self.run_trajectories(cost, workload, n, true, window, self.cfg.lr)?;
         self.reward_trace = returns;
         match self.mode {
             TrajectoryMode::Best => {
@@ -386,15 +388,15 @@ impl IndexAdvisor for DqnAdvisor {
         }
         self.target_snap = self.store.as_ref().expect("store").snapshot();
         self.target_store = None;
+        Ok(())
     }
 
-    fn retrain(&mut self, db: &Database, workload: &Workload) {
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         if self.store.is_none() {
-            self.train(db, workload);
-            return;
+            return self.train(cost, workload);
         }
         // Keep parameters; refresh candidates from the new training set.
-        self.candidates = heuristic_candidates(db, workload, self.cfg.min_candidate_ndv);
+        self.candidates = heuristic_candidates(cost, workload, self.cfg.min_candidate_ndv);
         if self.candidates.is_empty() {
             self.candidates = workload.candidate_columns();
         }
@@ -404,7 +406,7 @@ impl IndexAdvisor for DqnAdvisor {
             TrajectoryMode::MeanLast(k) => k,
         };
         let (returns, _, _, best_snap, recent) =
-            self.run_trajectories(db, workload, n, false, window, self.cfg.lr);
+            self.run_trajectories(cost, workload, n, false, window, self.cfg.lr)?;
         self.reward_trace = returns;
         match self.mode {
             TrajectoryMode::Best => {
@@ -418,10 +420,15 @@ impl IndexAdvisor for DqnAdvisor {
         }
         self.target_snap = self.store.as_ref().expect("store").snapshot();
         self.target_store = None;
+        Ok(())
     }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
-        self.ensure_net(db);
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
+        self.ensure_net(cost);
         if self.candidates.is_empty() {
             self.candidates = workload.candidate_columns();
         }
@@ -433,13 +440,13 @@ impl IndexAdvisor for DqnAdvisor {
             TrajectoryMode::MeanLast(k) => k,
         };
         let (returns, _, best_config, _, recent) = self.run_trajectories(
-            db,
+            cost,
             workload,
             self.cfg.trial_trajectories,
             false,
             window,
             self.cfg.lr * self.cfg.trial_lr_scale,
-        );
+        )?;
         self.reward_trace = returns;
         let result = match self.mode {
             TrajectoryMode::Best => best_config,
@@ -449,19 +456,20 @@ impl IndexAdvisor for DqnAdvisor {
                 let avg = ParamStore::average(&snaps);
                 let mut store = self.store.as_ref().expect("store").clone();
                 store.restore(&avg);
-                let wfeat = column_frequency_features(db, workload);
-                let env = IndexEnv::new(db, workload, self.candidates.clone(), self.cfg.budget);
+                let wfeat = column_frequency_features(cost, workload);
+                let env =
+                    IndexEnv::new(cost, workload, self.candidates.clone(), self.cfg.budget)?;
                 let ep = env.greedy_rollout(|ep, a| {
-                    let state = self.state_vec(db, &wfeat, &ep.config);
+                    let state = self.state_vec(cost, &wfeat, &ep.config);
                     let q = self.q_values(&store, &state);
                     f64::from(q[env.candidates[a].0 as usize])
-                });
+                })?;
                 ep.config
             }
         };
         self.store.as_mut().expect("store").restore(&saved);
         self.replay = saved_replay;
-        result
+        Ok(result)
     }
 
     fn budget(&self) -> usize {
@@ -478,18 +486,19 @@ impl IndexAdvisor for DqnAdvisor {
 }
 
 impl ClearBoxAdvisor for DqnAdvisor {
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)> {
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)> {
         let Some(store) = &self.store else {
             return Vec::new();
         };
         let wfeat = if self.last_workload_features.is_empty() {
-            vec![0.0; db.schema().num_columns()]
+            vec![0.0; cost.catalog().schema.num_columns()]
         } else {
             self.last_workload_features.clone()
         };
-        let state = self.state_vec(db, &wfeat, &IndexConfig::empty());
+        let state = self.state_vec(cost, &wfeat, &IndexConfig::empty());
         let q = self.q_values(store, &state);
-        db.schema()
+        cost.catalog()
+            .schema
             .indexable_columns()
             .into_iter()
             .map(|c| {
@@ -510,24 +519,25 @@ impl ClearBoxAdvisor for DqnAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::{CostEngine, SimBackend};
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn trains_and_recommends_within_budget() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::Best, DqnConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(cfg.len() <= 4 && !cfg.is_empty());
         assert_eq!(
             ia.reward_trace().len(),
@@ -537,56 +547,56 @@ mod tests {
 
     #[test]
     fn learned_config_beats_no_index() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::Best, DqnConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
-        let benefit = db.workload_benefit(&w, &cfg);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
+        let benefit = CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap();
         assert!(benefit > 0.05, "benefit {benefit}");
     }
 
     #[test]
     fn recommend_does_not_mutate_parameters() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::Best, DqnConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let snap = ia.store.as_ref().unwrap().snapshot();
-        let _ = ia.recommend(&db, &w);
+        let _ = ia.recommend(&cost, &w).unwrap();
         assert_eq!(ia.store.as_ref().unwrap().snapshot(), snap);
     }
 
     #[test]
     fn candidates_come_from_workload() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::Best, DqnConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let wcols = w.candidate_columns();
         assert!(ia.candidates.iter().all(|c| wcols.contains(c)));
         assert!(!ia.candidates.is_empty());
         // Join keys are candidates too (l_orderkey never appears in a
         // filter, only in joins).
-        let lok = db.schema().column_id("l_orderkey").unwrap();
+        let lok = cost.database().schema().column_id("l_orderkey").unwrap();
         assert!(ia.candidates.contains(&lok));
     }
 
     #[test]
     fn clear_box_preferences_are_sparse_outside_candidates() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::Best, DqnConfig::fast());
-        ia.train(&db, &w);
-        let prefs = ia.column_preferences(&db);
+        ia.train(&cost, &w).unwrap();
+        let prefs = ia.column_preferences(&cost);
         assert_eq!(prefs.len(), 61);
-        let comment = db.schema().column_id("l_comment").unwrap();
+        let comment = cost.database().schema().column_id("l_comment").unwrap();
         let pref = prefs.iter().find(|(c, _)| *c == comment).unwrap().1;
         assert_eq!(pref, 0.0, "non-candidate columns have zero weight");
     }
 
     #[test]
     fn mean_mode_recommends_too() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DqnAdvisor::new(TrajectoryMode::MeanLast(10), DqnConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(!cfg.is_empty());
         assert_eq!(ia.name(), "DQN-m");
     }

@@ -15,7 +15,8 @@ use crate::advisor::{ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
 use crate::env::IndexEnv;
 use crate::features::query_column_matrix;
 use pipa_nn::{Adam, Mlp, Optimizer, ParamStore, Tape, Tensor};
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
@@ -131,8 +132,8 @@ impl DrlIndexAdvisor {
         }
     }
 
-    fn ensure_net(&mut self, db: &Database) {
-        let l = db.schema().num_columns();
+    fn ensure_net(&mut self, cost: &dyn CostBackend) {
+        let l = cost.catalog().schema.num_columns();
         if self.qnet.is_some() && self.num_columns == l {
             return;
         }
@@ -151,9 +152,9 @@ impl DrlIndexAdvisor {
         self.qnet = Some(qnet);
     }
 
-    fn state_vec(&self, db: &Database, matrix: &[f32], cfg: &IndexConfig) -> Vec<f32> {
+    fn state_vec(&self, cost: &dyn CostBackend, matrix: &[f32], cfg: &IndexConfig) -> Vec<f32> {
         let mut s = matrix.to_vec();
-        s.extend(crate::features::config_bitmap(db, cfg));
+        s.extend(crate::features::config_bitmap(cost, cfg));
         s
     }
 
@@ -164,18 +165,19 @@ impl DrlIndexAdvisor {
         self.cfg.reward_scale * base_cost * (1.0 / new_cost.max(1.0) - 1.0 / prev_cost.max(1.0))
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_trajectories(
         &mut self,
-        db: &Database,
+        cost: &dyn CostBackend,
         workload: &Workload,
         n: usize,
         eps_schedule: bool,
         fixed_eps: f64,
         lr: f32,
-    ) -> (Vec<f64>, IndexConfig, Vec<f32>, VecDeque<Vec<f32>>) {
-        let matrix = query_column_matrix(db, workload, self.cfg.state_buckets);
+    ) -> CostResult<(Vec<f64>, IndexConfig, Vec<f32>, VecDeque<Vec<f32>>)> {
+        let matrix = query_column_matrix(cost, workload, self.cfg.state_buckets);
         self.last_state_matrix = matrix.clone();
-        let env = IndexEnv::new(db, workload, self.candidates.clone(), self.cfg.budget);
+        let env = IndexEnv::new(cost, workload, self.candidates.clone(), self.cfg.budget)?;
         let mut opt = Adam::new(lr);
         let window = match self.mode {
             TrajectoryMode::Best => 1,
@@ -197,10 +199,10 @@ impl DrlIndexAdvisor {
             } else {
                 fixed_eps
             };
-            let mut ep = env.reset();
+            let mut ep = env.reset()?;
             let mut prev_cost = env.base_cost();
             while !env.done(&ep) {
-                let state = self.state_vec(db, &matrix, &ep.config);
+                let state = self.state_vec(cost, &matrix, &ep.config);
                 let valid = env.valid_actions(&ep);
                 let action = if self.rng.gen::<f64>() < eps {
                     valid[self.rng.gen_range(0..valid.len())]
@@ -217,10 +219,10 @@ impl DrlIndexAdvisor {
                         })
                         .expect("nonempty")
                 };
-                env.step(&mut ep, action);
+                env.step(&mut ep, action)?;
                 let reward = self.step_reward(env.base_cost(), prev_cost, ep.current_cost) as f32;
                 prev_cost = ep.current_cost;
-                let next_state = self.state_vec(db, &matrix, &ep.config);
+                let next_state = self.state_vec(cost, &matrix, &ep.config);
                 let done = env.done(&ep);
                 self.replay.push_back(Transition {
                     state,
@@ -251,7 +253,7 @@ impl DrlIndexAdvisor {
                 recent.pop_front();
             }
         }
-        (returns, best_config, best_snap, recent)
+        Ok((returns, best_config, best_snap, recent))
     }
 
     fn learn_step(&mut self, opt: &mut Adam, tape: &mut Tape) {
@@ -340,60 +342,65 @@ impl IndexAdvisor for DrlIndexAdvisor {
         format!("DRLindex-{}", self.mode.suffix())
     }
 
-    fn train(&mut self, db: &Database, workload: &Workload) {
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         self.store = None;
         self.qnet = None;
         self.replay.clear();
         self.rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x0d12_71de);
-        self.ensure_net(db);
+        self.ensure_net(cost);
         // DRLindex considers every column referenced by the workload (no
         // NDV filter — the paper contrasts this with DQN's filtering).
         self.candidates = workload.candidate_columns();
         let (returns, _best_cfg, best_snap, recent) = self.run_trajectories(
-            db,
+            cost,
             workload,
             self.cfg.train_trajectories,
             true,
             self.cfg.eps_end,
             self.cfg.lr,
-        );
+        )?;
         self.reward_trace = returns;
         self.finish(best_snap, recent);
+        Ok(())
     }
 
-    fn retrain(&mut self, db: &Database, workload: &Workload) {
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         if self.store.is_none() {
-            self.train(db, workload);
-            return;
+            return self.train(cost, workload);
         }
         self.candidates = workload.candidate_columns();
         let (returns, _best_cfg, best_snap, recent) = self.run_trajectories(
-            db,
+            cost,
             workload,
             self.cfg.train_trajectories,
             false,
             self.cfg.eps_end,
             self.cfg.lr,
-        );
+        )?;
         self.reward_trace = returns;
         self.finish(best_snap, recent);
+        Ok(())
     }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
-        self.ensure_net(db);
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
+        self.ensure_net(cost);
         if self.candidates.is_empty() {
             self.candidates = workload.candidate_columns();
         }
         let saved = self.store.as_ref().expect("store").snapshot();
         let saved_replay = self.replay.clone();
         let (returns, best_config, _best_snap, recent) = self.run_trajectories(
-            db,
+            cost,
             workload,
             self.cfg.trial_trajectories,
             false,
             self.cfg.trial_eps,
             self.cfg.lr * self.cfg.trial_lr_scale,
-        );
+        )?;
         self.reward_trace = returns;
         let result = match self.mode {
             TrajectoryMode::Best => best_config,
@@ -402,20 +409,21 @@ impl IndexAdvisor for DrlIndexAdvisor {
                 let avg = ParamStore::average(&snaps);
                 let mut store = self.store.as_ref().expect("store").clone();
                 store.restore(&avg);
-                let matrix = query_column_matrix(db, workload, self.cfg.state_buckets);
-                let env = IndexEnv::new(db, workload, self.candidates.clone(), self.cfg.budget);
+                let matrix = query_column_matrix(cost, workload, self.cfg.state_buckets);
+                let env =
+                    IndexEnv::new(cost, workload, self.candidates.clone(), self.cfg.budget)?;
                 let qnet = self.qnet.as_ref().expect("net");
                 let ep = env.greedy_rollout(|ep, a| {
-                    let state = self.state_vec(db, &matrix, &ep.config);
+                    let state = self.state_vec(cost, &matrix, &ep.config);
                     let q = qnet.infer(&store, &Tensor::row(state)).data;
                     f64::from(q[env.candidates[a].0 as usize])
-                });
+                })?;
                 ep.config
             }
         };
         self.store.as_mut().expect("store").restore(&saved);
         self.replay = saved_replay;
-        result
+        Ok(result)
     }
 
     fn budget(&self) -> usize {
@@ -432,24 +440,25 @@ impl IndexAdvisor for DrlIndexAdvisor {
 }
 
 impl ClearBoxAdvisor for DrlIndexAdvisor {
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)> {
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)> {
         let Some(store) = &self.store else {
             return Vec::new();
         };
-        let l = db.schema().num_columns();
+        let l = cost.catalog().schema.num_columns();
         let matrix = if self.last_state_matrix.is_empty() {
             vec![0.0; self.cfg.state_buckets * l]
         } else {
             self.last_state_matrix.clone()
         };
-        let state = self.state_vec(db, &matrix, &IndexConfig::empty());
+        let state = self.state_vec(cost, &matrix, &IndexConfig::empty());
         let q = self
             .qnet
             .as_ref()
             .expect("net")
             .infer(store, &Tensor::row(state))
             .data;
-        db.schema()
+        cost.catalog()
+            .schema
             .indexable_columns()
             .into_iter()
             .map(|c| (c, f64::from(q[c.0 as usize])))
@@ -460,26 +469,27 @@ impl ClearBoxAdvisor for DrlIndexAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::{CostEngine, SimBackend};
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(2)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn trains_and_recommends() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DrlIndexAdvisor::new(TrajectoryMode::Best, DrlIndexConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(!cfg.is_empty() && cfg.len() <= 4);
-        assert!(db.workload_benefit(&w, &cfg) > 0.0);
+        assert!(CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap() > 0.0);
     }
 
     #[test]
@@ -497,18 +507,18 @@ mod tests {
 
     #[test]
     fn candidates_unfiltered() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DrlIndexAdvisor::new(TrajectoryMode::Best, DrlIndexConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         assert_eq!(ia.candidates, w.candidate_columns());
     }
 
     #[test]
     fn clear_box_dense_preferences() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DrlIndexAdvisor::new(TrajectoryMode::MeanLast(10), DrlIndexConfig::fast());
-        ia.train(&db, &w);
-        let prefs = ia.column_preferences(&db);
+        ia.train(&cost, &w).unwrap();
+        let prefs = ia.column_preferences(&cost);
         // Dense: most entries nonzero (contrast with DQN's sparsity).
         let nonzero = prefs.iter().filter(|(_, p)| *p != 0.0).count();
         assert!(nonzero > 50, "dense prefs, got {nonzero}");

@@ -6,17 +6,23 @@
 //! of the workload, the quantity most learned IAs optimize (paper Eq. 7);
 //! DRLindex plugs in its own `1/cost` reward.
 //!
+//! Costs flow through the [`CostBackend`] seam: each step advances an
+//! opaque [`CostSession`], which the simulator backend maps onto its
+//! benefit-matrix incremental evaluator (bit-identical to re-costing the
+//! whole workload).
+//!
 //! Rewards are scaled by [`REWARD_SCALE`] so learning curves land in the
 //! 0–20 range the paper's Figure 8 plots.
 
-use pipa_sim::{ColumnId, Database, IncrementalEval, Index, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult, CostSession};
+use pipa_sim::{ColumnId, Index, IndexConfig, Workload};
 
 /// Reward multiplier (presentation only; affects no ordering).
 pub const REWARD_SCALE: f64 = 20.0;
 
 /// The environment for one workload.
 pub struct IndexEnv<'a> {
-    db: &'a Database,
+    cost: &'a dyn CostBackend,
     workload: &'a Workload,
     /// Action space: candidate columns for single-column indexes.
     pub candidates: Vec<ColumnId>,
@@ -34,33 +40,33 @@ pub struct Episode {
     pub taken: Vec<usize>,
     /// Cost of the workload under the current config.
     pub current_cost: f64,
-    /// Incremental what-if session tracking `config`: each step updates
-    /// one benefit-matrix cell per query instead of re-costing the whole
-    /// workload (bit-identical either way).
-    pub eval: IncrementalEval,
+    /// Incremental what-if session tracking `config`; the backend decides
+    /// what state it carries (the simulator updates one benefit-matrix
+    /// cell per query per step).
+    pub session: CostSession,
 }
 
 impl<'a> IndexEnv<'a> {
     /// New environment over a candidate set.
     pub fn new(
-        db: &'a Database,
+        cost: &'a dyn CostBackend,
         workload: &'a Workload,
         candidates: Vec<ColumnId>,
         budget: usize,
-    ) -> Self {
-        let base_cost = db.estimated_workload_cost(workload, &IndexConfig::empty());
-        IndexEnv {
-            db,
+    ) -> CostResult<Self> {
+        let base_cost = cost.workload_cost(workload, &IndexConfig::empty())?;
+        Ok(IndexEnv {
+            cost,
             workload,
             candidates,
             budget,
             base_cost,
-        }
+        })
     }
 
-    /// The database.
-    pub fn db(&self) -> &Database {
-        self.db
+    /// The cost backend.
+    pub fn cost(&self) -> &'a dyn CostBackend {
+        self.cost
     }
 
     /// The workload.
@@ -79,13 +85,13 @@ impl<'a> IndexEnv<'a> {
     }
 
     /// Start an episode from the empty configuration.
-    pub fn reset(&self) -> Episode {
-        Episode {
+    pub fn reset(&self) -> CostResult<Episode> {
+        Ok(Episode {
             config: IndexConfig::empty(),
             taken: Vec::new(),
             current_cost: self.base_cost,
-            eval: self.db.whatif_eval_begin(self.workload),
-        }
+            session: self.cost.session_begin(self.workload)?,
+        })
     }
 
     /// Whether the episode is finished (budget used or no actions left).
@@ -95,22 +101,22 @@ impl<'a> IndexEnv<'a> {
 
     /// Apply action `a` (an index into `candidates`). Returns the step
     /// reward: the scaled relative cost reduction this index added.
-    pub fn step(&self, ep: &mut Episode, a: usize) -> f64 {
+    pub fn step(&self, ep: &mut Episode, a: usize) -> CostResult<f64> {
         debug_assert!(!ep.taken.contains(&a), "action repeated");
         let col = self.candidates[a];
         let idx = Index::single(col);
         ep.config.add(idx.clone());
         ep.taken.push(a);
         let new_cost = self
-            .db
-            .whatif_eval_add(self.workload, &mut ep.eval, &ep.config, &idx);
+            .cost
+            .session_add(self.workload, &mut ep.session, &ep.config, &idx)?;
         let reward = if self.base_cost > 0.0 {
             (ep.current_cost - new_cost) / self.base_cost * REWARD_SCALE
         } else {
             0.0
         };
         ep.current_cost = new_cost;
-        reward
+        Ok(reward)
     }
 
     /// Total scaled benefit of an episode's final configuration.
@@ -131,8 +137,11 @@ impl<'a> IndexEnv<'a> {
 
     /// Greedy rollout using a per-action scoring function; used for
     /// decoding a configuration from learned parameters.
-    pub fn greedy_rollout(&self, mut score: impl FnMut(&Episode, usize) -> f64) -> Episode {
-        let mut ep = self.reset();
+    pub fn greedy_rollout(
+        &self,
+        mut score: impl FnMut(&Episode, usize) -> f64,
+    ) -> CostResult<Episode> {
+        let mut ep = self.reset()?;
         while !self.done(&ep) {
             let Some(best) = self
                 .valid_actions(&ep)
@@ -141,39 +150,41 @@ impl<'a> IndexEnv<'a> {
             else {
                 break;
             };
-            self.step(&mut ep, best);
+            self.step(&mut ep, best)?;
         }
-        ep
+        Ok(ep)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::SimBackend;
+    use pipa_sim::Workload;
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn episode_runs_to_budget() {
-        let (db, w) = setup();
-        let cands = db.schema().indexable_columns();
-        let env = IndexEnv::new(&db, &w, cands, 4);
-        let mut ep = env.reset();
+        let (cost, w) = setup();
+        let cands = cost.database().schema().indexable_columns();
+        let env = IndexEnv::new(&cost, &w, cands, 4).unwrap();
+        let mut ep = env.reset().unwrap();
         let mut steps = 0;
         while !env.done(&ep) {
             let a = env.valid_actions(&ep)[0];
-            env.step(&mut ep, a);
+            env.step(&mut ep, a).unwrap();
             steps += 1;
         }
         assert_eq!(steps, 4);
@@ -182,45 +193,47 @@ mod tests {
 
     #[test]
     fn rewards_sum_to_episode_return() {
-        let (db, w) = setup();
-        let cands = db.schema().indexable_columns();
-        let env = IndexEnv::new(&db, &w, cands, 4);
-        let mut ep = env.reset();
+        let (cost, w) = setup();
+        let cands = cost.database().schema().indexable_columns();
+        let env = IndexEnv::new(&cost, &w, cands, 4).unwrap();
+        let mut ep = env.reset().unwrap();
         let mut total = 0.0;
         for a in [5, 10, 40, 50] {
-            total += env.step(&mut ep, a);
+            total += env.step(&mut ep, a).unwrap();
         }
         assert!((total - env.episode_return(&ep)).abs() < 1e-9);
     }
 
     #[test]
     fn useful_index_gives_positive_reward() {
-        let (db, w) = setup();
-        let ship = db.schema().column_id("l_shipdate").unwrap();
-        let comment = db.schema().column_id("l_comment").unwrap();
-        let env = IndexEnv::new(&db, &w, vec![ship, comment], 2);
-        let mut ep = env.reset();
-        let r_good = env.step(&mut ep, 0);
-        let r_useless = env.step(&mut ep, 1);
+        let (cost, w) = setup();
+        let ship = cost.database().schema().column_id("l_shipdate").unwrap();
+        let comment = cost.database().schema().column_id("l_comment").unwrap();
+        let env = IndexEnv::new(&cost, &w, vec![ship, comment], 2).unwrap();
+        let mut ep = env.reset().unwrap();
+        let r_good = env.step(&mut ep, 0).unwrap();
+        let r_useless = env.step(&mut ep, 1).unwrap();
         assert!(r_good > 0.0, "l_shipdate reward {r_good}");
         assert!(r_useless.abs() < 1e-9, "l_comment reward {r_useless}");
     }
 
     #[test]
     fn greedy_rollout_with_oracle_score_beats_random() {
-        let (db, w) = setup();
-        let cands = db.schema().indexable_columns();
-        let env = IndexEnv::new(&db, &w, cands.clone(), 4);
+        let (cost, w) = setup();
+        let cands = cost.database().schema().indexable_columns();
+        let env = IndexEnv::new(&cost, &w, cands.clone(), 4).unwrap();
         // Oracle: score by true marginal benefit.
-        let oracle = env.greedy_rollout(|ep, a| {
-            let mut cfg = ep.config.clone();
-            cfg.add(Index::single(env.candidates[a]));
-            -db.estimated_workload_cost(&w, &cfg)
-        });
+        let oracle = env
+            .greedy_rollout(|ep, a| {
+                let mut cfg = ep.config.clone();
+                cfg.add(Index::single(env.candidates[a]));
+                -cost.workload_cost(&w, &cfg).unwrap()
+            })
+            .unwrap();
         // Random: first four candidates.
-        let mut random = env.reset();
+        let mut random = env.reset().unwrap();
         for a in 0..4 {
-            env.step(&mut random, a);
+            env.step(&mut random, a).unwrap();
         }
         assert!(
             env.episode_return(&oracle) > env.episode_return(&random),
@@ -233,19 +246,19 @@ mod tests {
 
     #[test]
     fn incremental_step_costs_match_full_recompute_bit_for_bit() {
-        let (db, w) = setup();
-        let cands = db.schema().indexable_columns();
-        let env = IndexEnv::new(&db, &w, cands, 5);
-        let mut ep = env.reset();
+        let (cost, w) = setup();
+        let cands = cost.database().schema().indexable_columns();
+        let env = IndexEnv::new(&cost, &w, cands, 5).unwrap();
+        let mut ep = env.reset().unwrap();
         assert_eq!(
             ep.current_cost.to_bits(),
-            db.estimated_workload_cost(&w, &IndexConfig::empty()).to_bits()
+            cost.workload_cost(&w, &IndexConfig::empty()).unwrap().to_bits()
         );
         for a in [3, 9, 17, 25, 31] {
-            env.step(&mut ep, a);
+            env.step(&mut ep, a).unwrap();
             assert_eq!(
                 ep.current_cost.to_bits(),
-                db.estimated_workload_cost(&w, &ep.config).to_bits(),
+                cost.workload_cost(&w, &ep.config).unwrap().to_bits(),
                 "incremental episode cost diverged after adding action {a}"
             );
         }
@@ -253,17 +266,18 @@ mod tests {
 
     #[test]
     fn valid_actions_shrink() {
-        let (db, w) = setup();
-        let cands: Vec<ColumnId> = db
+        let (cost, w) = setup();
+        let cands: Vec<ColumnId> = cost
+            .database()
             .schema()
             .indexable_columns()
             .into_iter()
             .take(6)
             .collect();
-        let env = IndexEnv::new(&db, &w, cands, 3);
-        let mut ep = env.reset();
+        let env = IndexEnv::new(&cost, &w, cands, 3).unwrap();
+        let mut ep = env.reset().unwrap();
         assert_eq!(env.valid_actions(&ep).len(), 6);
-        env.step(&mut ep, 2);
+        env.step(&mut ep, 2).unwrap();
         let v = env.valid_actions(&ep);
         assert_eq!(v.len(), 5);
         assert!(!v.contains(&2));

@@ -118,14 +118,26 @@ impl IndexAdvisor for OpaqueOnly {
     fn name(&self) -> String {
         self.0.name()
     }
-    fn train(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) {
-        self.0.train(db, w);
+    fn train(
+        &mut self,
+        cost: &dyn pipa_cost::CostBackend,
+        w: &pipa_sim::Workload,
+    ) -> pipa_cost::CostResult<()> {
+        self.0.train(cost, w)
     }
-    fn retrain(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) {
-        self.0.retrain(db, w);
+    fn retrain(
+        &mut self,
+        cost: &dyn pipa_cost::CostBackend,
+        w: &pipa_sim::Workload,
+    ) -> pipa_cost::CostResult<()> {
+        self.0.retrain(cost, w)
     }
-    fn recommend(&mut self, db: &pipa_sim::Database, w: &pipa_sim::Workload) -> pipa_sim::IndexConfig {
-        self.0.recommend(db, w)
+    fn recommend(
+        &mut self,
+        cost: &dyn pipa_cost::CostBackend,
+        w: &pipa_sim::Workload,
+    ) -> pipa_cost::CostResult<pipa_sim::IndexConfig> {
+        self.0.recommend(cost, w)
     }
     fn budget(&self) -> usize {
         self.0.budget()

@@ -13,7 +13,8 @@
 //! the AD score is always zero") — a property the integration tests pin.
 
 use crate::advisor::IndexAdvisor;
-use pipa_sim::{Database, Index, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ConfigDelta, Index, IndexConfig, Workload};
 
 /// AutoAdmin-style greedy index selection.
 #[derive(Debug, Clone)]
@@ -33,18 +34,26 @@ impl IndexAdvisor for AutoAdminGreedy {
         "AutoAdmin".to_string()
     }
 
-    fn train(&mut self, _db: &Database, _workload: &Workload) {}
+    fn train(&mut self, _cost: &dyn CostBackend, _workload: &Workload) -> CostResult<()> {
+        Ok(())
+    }
 
-    fn retrain(&mut self, _db: &Database, _workload: &Workload) {}
+    fn retrain(&mut self, _cost: &dyn CostBackend, _workload: &Workload) -> CostResult<()> {
+        Ok(())
+    }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
         let candidates = workload.candidate_columns();
         let mut cfg = IndexConfig::empty();
         // Hold one incremental session open across the greedy rounds:
         // each candidate trial is a single-index delta preview against
         // the committed prefix (bit-identical to full re-costing).
-        let mut eval = db.whatif_eval_begin(workload);
-        let mut current = db.whatif_eval_total(workload, &eval);
+        let mut session = cost.session_begin(workload)?;
+        let mut current = cost.session_total(workload, &session)?;
         for _ in 0..self.budget {
             let mut best: Option<(f64, Index)> = None;
             for &c in &candidates {
@@ -54,21 +63,21 @@ impl IndexAdvisor for AutoAdminGreedy {
                 }
                 let mut trial = cfg.clone();
                 trial.add(idx.clone());
-                let cost = db.whatif_eval_preview_add(workload, &eval, &trial, &idx);
-                if cost < current && best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
-                    best = Some((cost, idx));
+                let trial_cost = cost.session_preview_add(workload, &session, &trial, &idx)?;
+                if trial_cost < current && best.as_ref().map(|b| trial_cost < b.0).unwrap_or(true) {
+                    best = Some((trial_cost, idx));
                 }
             }
             match best {
-                Some((cost, idx)) => {
+                Some((best_cost, idx)) => {
                     cfg.add(idx.clone());
-                    db.whatif_eval_add(workload, &mut eval, &cfg, &idx);
-                    current = cost;
+                    cost.session_add(workload, &mut session, &cfg, &idx)?;
+                    current = best_cost;
                 }
                 None => break,
             }
         }
-        cfg
+        Ok(cfg)
     }
 
     fn budget(&self) -> usize {
@@ -98,11 +107,19 @@ impl IndexAdvisor for DropHeuristic {
         "Drop".to_string()
     }
 
-    fn train(&mut self, _db: &Database, _workload: &Workload) {}
+    fn train(&mut self, _cost: &dyn CostBackend, _workload: &Workload) -> CostResult<()> {
+        Ok(())
+    }
 
-    fn retrain(&mut self, _db: &Database, _workload: &Workload) {}
+    fn retrain(&mut self, _cost: &dyn CostBackend, _workload: &Workload) -> CostResult<()> {
+        Ok(())
+    }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
         let mut cfg: IndexConfig = workload
             .candidate_columns()
             .into_iter()
@@ -114,16 +131,16 @@ impl IndexAdvisor for DropHeuristic {
             // benefit matrix (bit-identical to full re-costing).
             let mut best: Option<(f64, Index)> = None;
             for idx in cfg.indexes().to_vec() {
-                let cost =
-                    db.what_if_delta(workload, &cfg, &pipa_sim::ConfigDelta::Remove(idx.clone()));
-                if best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
-                    best = Some((cost, idx));
+                let trial_cost =
+                    cost.delta_workload_cost(workload, &cfg, &ConfigDelta::Remove(idx.clone()))?;
+                if best.as_ref().map(|b| trial_cost < b.0).unwrap_or(true) {
+                    best = Some((trial_cost, idx));
                 }
             }
             let (_, drop) = best.expect("nonempty config");
             cfg.remove(&drop);
         }
-        cfg
+        Ok(cfg)
     }
 
     fn budget(&self) -> usize {
@@ -138,59 +155,60 @@ impl IndexAdvisor for DropHeuristic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::{CostEngine, SimBackend};
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(5)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn greedy_respects_budget_and_helps() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = AutoAdminGreedy::new(4);
-        let cfg = ia.recommend(&db, &w);
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(cfg.len() <= 4 && !cfg.is_empty());
-        assert!(db.workload_benefit(&w, &cfg) > 0.1);
+        assert!(CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap() > 0.1);
     }
 
     #[test]
     fn greedy_is_deterministic_and_training_free() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = AutoAdminGreedy::new(4);
-        let before = ia.recommend(&db, &w);
+        let before = ia.recommend(&cost, &w).unwrap();
         // "Training" on anything changes nothing.
-        ia.train(&db, &w);
-        ia.retrain(&db, &w);
-        let after = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        ia.retrain(&cost, &w).unwrap();
+        let after = ia.recommend(&cost, &w).unwrap();
         assert_eq!(before, after);
     }
 
     #[test]
     fn drop_heuristic_respects_budget() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = DropHeuristic::new(4);
-        let cfg = ia.recommend(&db, &w);
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(cfg.len() <= 4);
-        assert!(db.workload_benefit(&w, &cfg) > 0.0);
+        assert!(CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap() > 0.0);
     }
 
     #[test]
     fn greedy_matches_a_scalar_full_recompute_reimplementation() {
         // The incremental session inside `recommend` must reproduce the
         // original full-re-costing greedy loop decision for decision.
-        let (db, w) = setup();
-        let incremental = AutoAdminGreedy::new(4).recommend(&db, &w);
+        let (cost, w) = setup();
+        let incremental = AutoAdminGreedy::new(4).recommend(&cost, &w).unwrap();
         let candidates = w.candidate_columns();
         let mut scalar = IndexConfig::empty();
-        let mut current = db.estimated_workload_cost(&w, &scalar);
+        let mut current = cost.workload_cost(&w, &scalar).unwrap();
         for _ in 0..4 {
             let mut best: Option<(f64, Index)> = None;
             for &c in &candidates {
@@ -200,15 +218,15 @@ mod tests {
                 }
                 let mut trial = scalar.clone();
                 trial.add(idx.clone());
-                let cost = db.estimated_workload_cost(&w, &trial);
-                if cost < current && best.as_ref().map(|b| cost < b.0).unwrap_or(true) {
-                    best = Some((cost, idx));
+                let trial_cost = cost.workload_cost(&w, &trial).unwrap();
+                if trial_cost < current && best.as_ref().map(|b| trial_cost < b.0).unwrap_or(true) {
+                    best = Some((trial_cost, idx));
                 }
             }
             match best {
-                Some((cost, idx)) => {
+                Some((best_cost, idx)) => {
                     scalar.add(idx);
-                    current = cost;
+                    current = best_cost;
                 }
                 None => break,
             }
@@ -220,11 +238,12 @@ mod tests {
     fn greedy_at_least_matches_drop() {
         // Greedy forward selection is usually at least as good as drop on
         // these workloads (both are upper-bounded by the same candidates).
-        let (db, w) = setup();
-        let g = AutoAdminGreedy::new(4).recommend(&db, &w);
-        let d = DropHeuristic::new(4).recommend(&db, &w);
-        let bg = db.workload_benefit(&w, &g);
-        let bd = db.workload_benefit(&w, &d);
+        let (cost, w) = setup();
+        let g = AutoAdminGreedy::new(4).recommend(&cost, &w).unwrap();
+        let d = DropHeuristic::new(4).recommend(&cost, &w).unwrap();
+        let engine = CostEngine::new(&cost);
+        let bg = engine.workload_benefit(&w, &g).unwrap();
+        let bd = engine.workload_benefit(&w, &d).unwrap();
         assert!(bg >= bd - 0.05, "greedy {bg} drop {bd}");
     }
 }

@@ -9,8 +9,9 @@
 //! and any heuristic — get identical telemetry for free.
 
 use crate::advisor::{ClearBoxAdvisor, IndexAdvisor};
+use pipa_cost::{CostBackend, CostResult};
 use pipa_obs::Event;
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 
 /// An advisor wrapper that emits `pipa-obs` events around the inner
 /// advisor's lifecycle calls. Transparent otherwise: same name, budget,
@@ -60,26 +61,32 @@ impl<A: IndexAdvisor> IndexAdvisor for Instrumented<A> {
         self.inner.name()
     }
 
-    fn train(&mut self, db: &Database, workload: &Workload) {
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         {
             let _span = pipa_obs::timer("advisor_train");
-            self.inner.train(db, workload);
+            self.inner.train(cost, workload)?;
         }
         self.emit_reward_trace("train");
+        Ok(())
     }
 
-    fn retrain(&mut self, db: &Database, workload: &Workload) {
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         {
             let _span = pipa_obs::timer("advisor_retrain");
-            self.inner.retrain(db, workload);
+            self.inner.retrain(cost, workload)?;
         }
         self.emit_reward_trace("retrain");
+        Ok(())
     }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
         let _span = pipa_obs::timer("advisor_recommend");
         pipa_obs::count("recommend_calls", 1);
-        self.inner.recommend(db, workload)
+        self.inner.recommend(cost, workload)
     }
 
     fn budget(&self) -> usize {
@@ -96,8 +103,8 @@ impl<A: IndexAdvisor> IndexAdvisor for Instrumented<A> {
 }
 
 impl<A: ClearBoxAdvisor> ClearBoxAdvisor for Instrumented<A> {
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)> {
-        self.inner.column_preferences(db)
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)> {
+        self.inner.column_preferences(cost)
     }
 }
 
@@ -105,11 +112,12 @@ impl<A: ClearBoxAdvisor> ClearBoxAdvisor for Instrumented<A> {
 mod tests {
     use super::*;
     use crate::heuristic::AutoAdminGreedy;
+    use pipa_cost::SimBackend;
     use pipa_obs::{record_cell, CellCtx};
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
@@ -118,29 +126,32 @@ mod tests {
         let w = g
             .normal(&mut rand_chacha::ChaCha8Rng::seed_from_u64(1))
             .unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn wrapper_is_transparent() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut plain = AutoAdminGreedy::new(4);
         let mut wrapped = Instrumented::new(AutoAdminGreedy::new(4));
-        plain.train(&db, &w);
-        wrapped.train(&db, &w);
+        plain.train(&cost, &w).unwrap();
+        wrapped.train(&cost, &w).unwrap();
         assert_eq!(plain.name(), wrapped.name());
         assert_eq!(plain.budget(), wrapped.budget());
         assert_eq!(plain.is_trial_based(), wrapped.is_trial_based());
-        assert_eq!(plain.recommend(&db, &w), wrapped.recommend(&db, &w));
+        assert_eq!(
+            plain.recommend(&cost, &w).unwrap(),
+            wrapped.recommend(&cost, &w).unwrap()
+        );
     }
 
     #[test]
     fn lifecycle_calls_produce_timings_when_recording() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let ((), trace) = record_cell(true, CellCtx::new(1), || {
             let mut ia = Instrumented::new(AutoAdminGreedy::new(4));
-            ia.train(&db, &w);
-            let _ = ia.recommend(&db, &w);
+            ia.train(&cost, &w).unwrap();
+            let _ = ia.recommend(&cost, &w).unwrap();
         });
         let timed: Vec<&String> = trace
             .metrics
@@ -160,14 +171,14 @@ mod tests {
 
     #[test]
     fn learned_advisor_reward_trace_reaches_the_trace_channel() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let ((), trace) = record_cell(true, CellCtx::new(2), || {
             let mut ia = crate::factory::build_clear_box(
                 crate::advisor::AdvisorKind::DbaBandit(crate::advisor::TrajectoryMode::Best),
                 crate::factory::SpeedPreset::Test,
                 7,
             );
-            ia.train(&db, &w);
+            ia.train(&cost, &w).unwrap();
         });
         let reward_lines: Vec<&String> = trace
             .trace

@@ -21,7 +21,8 @@ use crate::advisor::{ClearBoxAdvisor, IndexAdvisor};
 use crate::env::IndexEnv;
 use crate::features::{column_frequency_features, config_bitmap};
 use pipa_nn::{Adam, Mlp, Optimizer, ParamStore, Tape, Tensor};
-use pipa_sim::{ColumnId, Database, IndexConfig, Workload};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, IndexConfig, Workload};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -105,8 +106,8 @@ impl SwirlAdvisor {
         }
     }
 
-    fn ensure_net(&mut self, db: &Database) {
-        let l = db.schema().num_columns();
+    fn ensure_net(&mut self, cost: &dyn CostBackend) {
+        let l = cost.catalog().schema.num_columns();
         if self.policy.is_some() && self.num_columns == l {
             return;
         }
@@ -125,9 +126,9 @@ impl SwirlAdvisor {
         self.action_mask = vec![false; l];
     }
 
-    fn state_vec(&self, db: &Database, wfeat: &[f32], cfg: &IndexConfig) -> Vec<f32> {
+    fn state_vec(&self, cost: &dyn CostBackend, wfeat: &[f32], cfg: &IndexConfig) -> Vec<f32> {
         let mut s = wfeat.to_vec();
-        s.extend(config_bitmap(db, cfg));
+        s.extend(config_bitmap(cost, cfg));
         s
     }
 
@@ -197,13 +198,18 @@ impl SwirlAdvisor {
 
     /// PPO training on one workload. Episodes collect (state, action,
     /// advantage, old-prob) tuples; the clipped surrogate is maximized.
-    fn train_on(&mut self, db: &Database, workload: &Workload, episodes: usize) {
-        let wfeat = column_frequency_features(db, workload);
+    fn train_on(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+        episodes: usize,
+    ) -> CostResult<()> {
+        let wfeat = column_frequency_features(cost, workload);
         self.last_workload_features = wfeat.clone();
         // Action space: every indexable column, masked by the training
         // surface.
-        let all: Vec<ColumnId> = db.schema().indexable_columns();
-        let env = IndexEnv::new(db, workload, all.clone(), self.cfg.budget);
+        let all: Vec<ColumnId> = cost.catalog().schema.indexable_columns();
+        let env = IndexEnv::new(cost, workload, all.clone(), self.cfg.budget)?;
         let mut opt = Adam::new(self.cfg.lr);
         self.reward_trace.clear();
         // One tape for the whole run: action sampling and policy updates
@@ -213,10 +219,10 @@ impl SwirlAdvisor {
         let mut batch: Vec<(Vec<f32>, usize, f64, f64)> = Vec::new();
         let mut episodes_in_batch = 0usize;
         for _ in 0..episodes {
-            let mut ep = env.reset();
+            let mut ep = env.reset()?;
             let mut steps: Vec<(Vec<f32>, usize, f64, f64)> = Vec::new();
             while !env.done(&ep) {
-                let state = self.state_vec(db, &wfeat, &ep.config);
+                let state = self.state_vec(cost, &wfeat, &ep.config);
                 let taken: Vec<usize> = ep
                     .config
                     .leading_columns()
@@ -234,7 +240,7 @@ impl SwirlAdvisor {
                     .iter()
                     .position(|c| c.0 as usize == col_idx)
                     .expect("column exists");
-                let r = env.step(&mut ep, action);
+                let r = env.step(&mut ep, action)?;
                 steps.push((state, col_idx, r, probs[col_idx]));
             }
             let ret = env.episode_return(&ep);
@@ -263,6 +269,7 @@ impl SwirlAdvisor {
         if !batch.is_empty() {
             self.update_policy(&mut opt, &mut batch, &mut tape);
         }
+        Ok(())
     }
 
     fn update_policy(
@@ -328,15 +335,15 @@ impl SwirlAdvisor {
     }
 
     /// Greedy one-off decode for a workload (no sampling, no learning).
-    fn decode(&self, db: &Database, workload: &Workload) -> IndexConfig {
-        let wfeat = column_frequency_features(db, workload);
-        let all: Vec<ColumnId> = db.schema().indexable_columns();
-        let env = IndexEnv::new(db, workload, all.clone(), self.cfg.budget);
+    fn decode(&self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<IndexConfig> {
+        let wfeat = column_frequency_features(cost, workload);
+        let all: Vec<ColumnId> = cost.catalog().schema.indexable_columns();
+        let env = IndexEnv::new(cost, workload, all.clone(), self.cfg.budget)?;
         let store = self.store.as_ref().expect("trained");
-        let mut ep = env.reset();
+        let mut ep = env.reset()?;
         let mut tape = Tape::new();
         while !env.done(&ep) {
-            let state = self.state_vec(db, &wfeat, &ep.config);
+            let state = self.state_vec(cost, &wfeat, &ep.config);
             let taken: Vec<usize> = ep
                 .config
                 .leading_columns()
@@ -356,9 +363,9 @@ impl SwirlAdvisor {
                 .iter()
                 .position(|c| c.0 as usize == col_idx)
                 .expect("column exists");
-            env.step(&mut ep, action);
+            env.step(&mut ep, action)?;
         }
-        ep.config
+        Ok(ep.config)
     }
 
     /// The action mask (exposed for tests and the ω-sweep analysis).
@@ -372,36 +379,39 @@ impl IndexAdvisor for SwirlAdvisor {
         "SWIRL".to_string()
     }
 
-    fn train(&mut self, db: &Database, workload: &Workload) {
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         self.store = None;
         self.policy = None;
         self.rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x0053_1171);
-        self.ensure_net(db);
+        self.ensure_net(cost);
         // Build the invalid-action mask from the training surface
         // (filter and join columns — SWIRL's action space covers both).
-        self.action_mask = vec![false; db.schema().num_columns()];
+        self.action_mask = vec![false; cost.catalog().schema.num_columns()];
         for c in workload.candidate_columns() {
             self.action_mask[c.0 as usize] = true;
         }
-        self.train_on(db, workload, self.cfg.train_episodes);
+        self.train_on(cost, workload, self.cfg.train_episodes)
     }
 
-    fn retrain(&mut self, db: &Database, workload: &Workload) {
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
         if self.store.is_none() {
-            self.train(db, workload);
-            return;
+            return self.train(cost, workload);
         }
         // Extend the mask with the new training surface (newly seen
         // columns become valid actions; previously valid ones stay).
         for c in workload.candidate_columns() {
             self.action_mask[c.0 as usize] = true;
         }
-        self.train_on(db, workload, self.cfg.train_episodes);
+        self.train_on(cost, workload, self.cfg.train_episodes)
     }
 
-    fn recommend(&mut self, db: &Database, workload: &Workload) -> IndexConfig {
-        self.ensure_net(db);
-        self.decode(db, workload)
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
+        self.ensure_net(cost);
+        self.decode(cost, workload)
     }
 
     fn budget(&self) -> usize {
@@ -418,23 +428,24 @@ impl IndexAdvisor for SwirlAdvisor {
 }
 
 impl ClearBoxAdvisor for SwirlAdvisor {
-    fn column_preferences(&self, db: &Database) -> Vec<(ColumnId, f64)> {
+    fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)> {
         let Some(store) = &self.store else {
             return Vec::new();
         };
         let wfeat = if self.last_workload_features.is_empty() {
-            vec![0.0; db.schema().num_columns()]
+            vec![0.0; cost.catalog().schema.num_columns()]
         } else {
             self.last_workload_features.clone()
         };
-        let state = self.state_vec(db, &wfeat, &IndexConfig::empty());
+        let state = self.state_vec(cost, &wfeat, &IndexConfig::empty());
         let logits = self
             .policy
             .as_ref()
             .expect("net")
             .infer(store, &Tensor::row(state))
             .data;
-        db.schema()
+        cost.catalog()
+            .schema
             .indexable_columns()
             .into_iter()
             .map(|c| {
@@ -453,38 +464,39 @@ impl ClearBoxAdvisor for SwirlAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::{CostEngine, SimBackend};
     use pipa_workload::Benchmark;
 
-    fn setup() -> (Database, Workload) {
+    fn setup() -> (SimBackend, Workload) {
         let db = Benchmark::TpcH.database(1.0, None);
         let g = pipa_workload::generator::WorkloadGenerator::new(
             Benchmark::TpcH.schema(),
             Benchmark::TpcH.default_templates(),
         );
         let w = g.normal(&mut ChaCha8Rng::seed_from_u64(4)).unwrap();
-        (db, w)
+        (SimBackend::new(db), w)
     }
 
     #[test]
     fn trains_and_recommends_one_off() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = SwirlAdvisor::new(SwirlConfig::fast());
-        ia.train(&db, &w);
-        let cfg = ia.recommend(&db, &w);
+        ia.train(&cost, &w).unwrap();
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(!cfg.is_empty() && cfg.len() <= 4);
         assert!(!ia.is_trial_based());
-        assert!(db.workload_benefit(&w, &cfg) > 0.0);
+        assert!(CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap() > 0.0);
     }
 
     #[test]
     fn mask_blocks_unseen_columns() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = SwirlAdvisor::new(SwirlConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         // Comment columns never appear in predicates → masked.
-        let comment = db.schema().column_id("l_comment").unwrap();
+        let comment = cost.database().schema().column_id("l_comment").unwrap();
         assert!(!ia.action_mask()[comment.0 as usize]);
-        let cfg = ia.recommend(&db, &w);
+        let cfg = ia.recommend(&cost, &w).unwrap();
         assert!(cfg
             .leading_columns()
             .iter()
@@ -493,20 +505,21 @@ mod tests {
 
     #[test]
     fn retrain_extends_mask() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
+        let schema = cost.database().schema();
         let mut ia = SwirlAdvisor::new(SwirlConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let masked_before: usize = ia.action_mask().iter().filter(|&&m| m).count();
         // Retrain on a workload with one extra column.
-        let extra = db.schema().column_id("p_retailprice").unwrap();
+        let extra = schema.column_id("p_retailprice").unwrap();
         let mut w2 = w.clone();
         let q = pipa_sim::QueryBuilder::new()
-            .filter(db.schema(), pipa_sim::Predicate::eq(extra, 0.5))
+            .filter(schema, pipa_sim::Predicate::eq(extra, 0.5))
             .select(extra)
-            .build(db.schema())
+            .build(schema)
             .unwrap();
         w2.push(q, 1);
-        ia.retrain(&db, &w2);
+        ia.retrain(&cost, &w2).unwrap();
         let masked_after: usize = ia.action_mask().iter().filter(|&&m| m).count();
         assert!(masked_after > masked_before);
         assert!(ia.action_mask()[extra.0 as usize]);
@@ -514,9 +527,9 @@ mod tests {
 
     #[test]
     fn learning_improves_reward() {
-        let (db, w) = setup();
+        let (cost, w) = setup();
         let mut ia = SwirlAdvisor::new(SwirlConfig::fast());
-        ia.train(&db, &w);
+        ia.train(&cost, &w).unwrap();
         let trace = ia.reward_trace().to_vec();
         let early: f64 = trace.iter().take(10).sum::<f64>() / 10.0;
         let late: f64 = trace.iter().rev().take(10).sum::<f64>() / 10.0;

@@ -13,7 +13,8 @@
 
 use crate::fsm::QueryFsm;
 use crate::parser::parse_words;
-use pipa_sim::{Aggregate, ColumnId, Database, Predicate, Query, QueryBuilder};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{Aggregate, ColumnId, Predicate, Query, QueryBuilder, Schema};
 use pipa_workload::TemplateSpec;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -26,20 +27,26 @@ pub trait QueryGenerator {
     /// Short display name (paper table rows).
     fn name(&self) -> &str;
 
-    /// Generate one query aimed at the target columns/reward.
-    fn generate(&mut self, db: &Database, targets: &[ColumnId], reward: f64) -> Option<Query>;
+    /// Generate one query aimed at the target columns/reward. `Ok(None)`
+    /// means the generator declined or produced unparseable output (counts
+    /// against GAC); `Err` means the cost backend itself failed.
+    fn generate(
+        &mut self,
+        cost: &dyn CostBackend,
+        targets: &[ColumnId],
+        reward: f64,
+    ) -> CostResult<Option<Query>>;
 }
 
 /// Build an ST-style query: filters on exactly the target columns (those
 /// reachable through foreign-key joins from the first target's table),
 /// selective operators so the index is attractive.
 pub fn build_st_query<R: Rng + ?Sized>(
-    db: &Database,
+    schema: &Schema,
     targets: &[ColumnId],
     reward: f64,
     rng: &mut R,
 ) -> Option<Query> {
-    let schema = db.schema();
     let first = *targets.first()?;
     let mut b = QueryBuilder::new().table(schema.table_of(first));
     let mut in_scope = vec![schema.table_of(first)];
@@ -97,8 +104,13 @@ impl QueryGenerator for StGenerator {
         "ST"
     }
 
-    fn generate(&mut self, db: &Database, targets: &[ColumnId], reward: f64) -> Option<Query> {
-        build_st_query(db, targets, reward, &mut self.rng)
+    fn generate(
+        &mut self,
+        cost: &dyn CostBackend,
+        targets: &[ColumnId],
+        reward: f64,
+    ) -> CostResult<Option<Query>> {
+        Ok(build_st_query(cost.catalog().schema, targets, reward, &mut self.rng))
     }
 }
 
@@ -123,19 +135,26 @@ impl QueryGenerator for DtGenerator {
         "DT"
     }
 
-    fn generate(&mut self, db: &Database, targets: &[ColumnId], _reward: f64) -> Option<Query> {
-        let schema = db.schema();
+    fn generate(
+        &mut self,
+        cost: &dyn CostBackend,
+        targets: &[ColumnId],
+        _reward: f64,
+    ) -> CostResult<Option<Query>> {
+        let schema = cost.catalog().schema;
         let target_names: Vec<&str> = targets
             .iter()
             .map(|&c| schema.column(c).name.as_str())
             .collect();
-        let best = self.templates.iter().max_by_key(|t| {
+        let Some(best) = self.templates.iter().max_by_key(|t| {
             t.filter_column_names()
                 .iter()
                 .filter(|n| target_names.contains(n))
                 .count()
-        })?;
-        best.instantiate(schema, &mut self.rng).ok()
+        }) else {
+            return Ok(None);
+        };
+        Ok(best.instantiate(schema, &mut self.rng).ok())
     }
 }
 
@@ -159,9 +178,15 @@ impl QueryGenerator for FsmGenerator {
         "FSM"
     }
 
-    fn generate(&mut self, db: &Database, _targets: &[ColumnId], _reward: f64) -> Option<Query> {
-        let words = QueryFsm::generate(db.schema(), &mut self.rng, None);
-        parse_words(db.schema(), &words).ok()
+    fn generate(
+        &mut self,
+        cost: &dyn CostBackend,
+        _targets: &[ColumnId],
+        _reward: f64,
+    ) -> CostResult<Option<Query>> {
+        let schema = cost.catalog().schema;
+        let words = QueryFsm::generate(schema, &mut self.rng, None);
+        Ok(parse_words(schema, &words).ok())
     }
 }
 
@@ -202,11 +227,17 @@ impl QueryGenerator for LlmLikeGenerator {
         &self.name
     }
 
-    fn generate(&mut self, db: &Database, targets: &[ColumnId], reward: f64) -> Option<Query> {
+    fn generate(
+        &mut self,
+        cost: &dyn CostBackend,
+        targets: &[ColumnId],
+        reward: f64,
+    ) -> CostResult<Option<Query>> {
         if self.rng.gen::<f64>() < self.syntax_error_rate {
-            return None; // hallucinated / non-executable SQL
+            return Ok(None); // hallucinated / non-executable SQL
         }
-        let all = db.schema().indexable_columns();
+        let schema = cost.catalog().schema;
+        let all = schema.indexable_columns();
         let noisy: Vec<ColumnId> = targets
             .iter()
             .map(|&c| {
@@ -217,54 +248,56 @@ impl QueryGenerator for LlmLikeGenerator {
                 }
             })
             .collect();
-        build_st_query(db, &noisy, reward, &mut self.rng)
+        Ok(build_st_query(schema, &noisy, reward, &mut self.rng))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::SimBackend;
     use pipa_workload::Benchmark;
 
-    fn db() -> Database {
-        Benchmark::TpcH.database(1.0, None)
+    fn cost() -> SimBackend {
+        SimBackend::new(Benchmark::TpcH.database(1.0, None))
     }
 
-    fn targets(db: &Database) -> Vec<ColumnId> {
+    fn targets(cost: &SimBackend) -> Vec<ColumnId> {
+        let schema = cost.database().schema();
         vec![
-            db.schema().column_id("l_shipdate").unwrap(),
-            db.schema().column_id("o_orderdate").unwrap(),
+            schema.column_id("l_shipdate").unwrap(),
+            schema.column_id("o_orderdate").unwrap(),
         ]
     }
 
     #[test]
     fn st_filters_exactly_the_targets() {
-        let db = db();
-        let t = targets(&db);
+        let cost = cost();
+        let t = targets(&cost);
         let mut g = StGenerator::new(1);
-        let q = g.generate(&db, &t, 0.7).unwrap();
+        let q = g.generate(&cost, &t, 0.7).unwrap().unwrap();
         let fc = q.filter_columns();
         assert!(fc.iter().all(|c| t.contains(c)));
         assert!(!fc.is_empty());
-        assert!(q.validate(db.schema()).is_ok());
+        assert!(q.validate(cost.database().schema()).is_ok());
     }
 
     #[test]
     fn st_joins_across_tables() {
-        let db = db();
-        let t = targets(&db); // lineitem + orders → needs a join
+        let cost = cost();
+        let t = targets(&cost); // lineitem + orders → needs a join
         let mut g = StGenerator::new(2);
-        let q = g.generate(&db, &t, 0.5).unwrap();
+        let q = g.generate(&cost, &t, 0.5).unwrap().unwrap();
         assert_eq!(q.tables.len(), 2);
         assert_eq!(q.joins.len(), 1);
     }
 
     #[test]
     fn dt_picks_overlapping_template() {
-        let db = db();
+        let cost = cost();
         let mut g = DtGenerator::new(Benchmark::TpcH.default_templates(), 3);
-        let ship = db.schema().column_id("l_shipdate").unwrap();
-        let q = g.generate(&db, &[ship], 0.5).unwrap();
+        let ship = cost.database().schema().column_id("l_shipdate").unwrap();
+        let q = g.generate(&cost, &[ship], 0.5).unwrap().unwrap();
         assert!(
             q.filter_columns().contains(&ship),
             "template containing l_shipdate expected"
@@ -273,22 +306,22 @@ mod tests {
 
     #[test]
     fn fsm_generates_valid_ignoring_targets() {
-        let db = db();
+        let cost = cost();
         let mut g = FsmGenerator::new(4);
         for _ in 0..20 {
-            let q = g.generate(&db, &[], 0.0).unwrap();
-            assert!(q.validate(db.schema()).is_ok());
+            let q = g.generate(&cost, &[], 0.0).unwrap().unwrap();
+            assert!(q.validate(cost.database().schema()).is_ok());
         }
     }
 
     #[test]
     fn llm_like_has_calibrated_failure_rate() {
-        let db = db();
-        let t = targets(&db);
+        let cost = cost();
+        let t = targets(&cost);
         let mut g = LlmLikeGenerator::gpt35_like(5);
         let mut fails = 0;
         for _ in 0..200 {
-            if g.generate(&db, &t, 0.5).is_none() {
+            if g.generate(&cost, &t, 0.5).unwrap().is_none() {
                 fails += 1;
             }
         }

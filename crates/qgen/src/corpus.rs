@@ -11,7 +11,8 @@
 use crate::fsm::QueryFsm;
 use crate::parser::parse_words;
 use crate::token::{reward_to_bucket, Kw, Vocab, Word, CLS, EOS, SEP};
-use pipa_sim::{ColumnId, Database, Index, IndexConfig, Query};
+use pipa_cost::{CostBackend, CostEngine, CostResult};
+use pipa_sim::{ColumnId, Index, IndexConfig, Query};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
@@ -38,14 +39,18 @@ pub struct Sample {
 /// the paper uses for IAC is SWIRL, whose action space includes join
 /// keys — a naive generator can therefore be "out-advised" by a join-key
 /// index, which is exactly what IABART learns to avoid).
-pub fn label_indexes(db: &Database, q: &Query, budget: usize) -> Vec<ColumnId> {
+pub fn label_indexes(
+    cost: &dyn CostBackend,
+    q: &Query,
+    budget: usize,
+) -> CostResult<Vec<ColumnId>> {
     let mut candidates = q.filter_columns();
     candidates.extend(q.join_columns());
     candidates.sort_unstable();
     candidates.dedup();
     let mut cfg = IndexConfig::empty();
     let mut out = Vec::new();
-    let mut current = db.estimated_query_cost(q, &cfg);
+    let mut current = cost.query_cost(q, &cfg)?;
     for _ in 0..budget {
         let mut best: Option<(f64, ColumnId)> = None;
         for c in candidates.iter().copied() {
@@ -54,21 +59,21 @@ pub fn label_indexes(db: &Database, q: &Query, budget: usize) -> Vec<ColumnId> {
             }
             let mut trial = cfg.clone();
             trial.add(Index::single(c));
-            let cost = db.estimated_query_cost(q, &trial);
-            if cost < current * 0.999 && best.map(|b| cost < b.0).unwrap_or(true) {
-                best = Some((cost, c));
+            let trial_cost = cost.query_cost(q, &trial)?;
+            if trial_cost < current * 0.999 && best.map(|b| trial_cost < b.0).unwrap_or(true) {
+                best = Some((trial_cost, c));
             }
         }
         match best {
-            Some((cost, c)) => {
+            Some((best_cost, c)) => {
                 cfg.add(Index::single(c));
                 out.push(c);
-                current = cost;
+                current = best_cost;
             }
             None => break,
         }
     }
-    out
+    Ok(out)
 }
 
 /// Assemble the token sequence for `(query words, indexes, reward)`.
@@ -105,14 +110,19 @@ pub fn assemble_tokens(
 /// random column set so the corpus covers the column space evenly (the
 /// association IABART must learn is *column set → query*, so coverage of
 /// rarely-chosen columns matters).
-pub fn build_corpus<R: RngCore>(db: &Database, n: usize, rng: &mut R) -> Vec<Sample> {
-    let vocab = Vocab::build(db.schema());
-    let all_cols = db.schema().indexable_columns();
+pub fn build_corpus<R: RngCore>(
+    cost: &dyn CostBackend,
+    n: usize,
+    rng: &mut R,
+) -> CostResult<Vec<Sample>> {
+    let schema = cost.catalog().schema;
+    let vocab = Vocab::build(schema);
+    let all_cols = schema.indexable_columns();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let bias: Option<Vec<ColumnId>> = if rng.gen_bool(0.7) {
             let k = rng.gen_range(1..=3);
-            Some(crate::eval::sample_target_set(db, k, rng))
+            Some(crate::eval::sample_target_set(cost, k, rng)?)
         } else {
             let k = rng.gen_range(1..=3);
             if rng.gen_bool(0.5) {
@@ -121,11 +131,11 @@ pub fn build_corpus<R: RngCore>(db: &Database, n: usize, rng: &mut R) -> Vec<Sam
                 None
             }
         };
-        let words = QueryFsm::generate(db.schema(), rng, bias.as_deref());
-        let Ok(query) = parse_words(db.schema(), &words) else {
+        let words = QueryFsm::generate(schema, rng, bias.as_deref());
+        let Ok(query) = parse_words(schema, &words) else {
             continue;
         };
-        let indexes = label_indexes(db, &query, 3);
+        let indexes = label_indexes(cost, &query, 3)?;
         if indexes.is_empty() {
             // Unindexable query: keep a few (the model should see the
             // zero-reward association), but the corpus must be dominated
@@ -136,7 +146,9 @@ pub fn build_corpus<R: RngCore>(db: &Database, n: usize, rng: &mut R) -> Vec<Sam
             }
         }
         let cfg: IndexConfig = indexes.iter().map(|&c| Index::single(c)).collect();
-        let benefit = db.query_benefit(&query, &cfg).clamp(0.0, 1.0);
+        let benefit = CostEngine::new(cost)
+            .query_benefit(&query, &cfg)?
+            .clamp(0.0, 1.0);
         let rb = reward_to_bucket(benefit);
         let (tokens, q_span, idx_span) = assemble_tokens(&vocab, &words, &indexes, rb);
         out.push(Sample {
@@ -148,21 +160,26 @@ pub fn build_corpus<R: RngCore>(db: &Database, n: usize, rng: &mut R) -> Vec<Sam
             reward_bucket: rb,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipa_cost::SimBackend;
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
+    fn cost() -> SimBackend {
+        SimBackend::new(Benchmark::TpcH.database(1.0, None))
+    }
+
     #[test]
     fn corpus_samples_are_well_formed() {
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = cost();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let corpus = build_corpus(&db, 40, &mut rng);
+        let corpus = build_corpus(&cost, 40, &mut rng).unwrap();
         assert_eq!(corpus.len(), 40);
         for s in &corpus {
             assert_eq!(s.tokens[0], CLS);
@@ -176,8 +193,8 @@ mod tests {
 
     #[test]
     fn labels_prefer_selective_columns() {
-        let db = Benchmark::TpcH.database(1.0, None);
-        let schema = db.schema();
+        let cost = cost();
+        let schema = cost.database().schema();
         let key = schema.column_id("l_orderkey").unwrap();
         let flag = schema.column_id("l_returnflag").unwrap();
         let q = pipa_sim::QueryBuilder::new()
@@ -186,7 +203,7 @@ mod tests {
             .aggregate(pipa_sim::Aggregate::CountStar)
             .build(schema)
             .unwrap();
-        let labels = label_indexes(&db, &q, 2);
+        let labels = label_indexes(&cost, &q, 2).unwrap();
         assert_eq!(
             labels.first(),
             Some(&key),
@@ -196,9 +213,9 @@ mod tests {
 
     #[test]
     fn rewards_span_buckets() {
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = cost();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let corpus = build_corpus(&db, 60, &mut rng);
+        let corpus = build_corpus(&cost, 60, &mut rng).unwrap();
         let mut buckets: Vec<u8> = corpus.iter().map(|s| s.reward_bucket).collect();
         buckets.sort_unstable();
         buckets.dedup();
@@ -207,9 +224,9 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let db = Benchmark::TpcH.database(1.0, None);
-        let a = build_corpus(&db, 10, &mut ChaCha8Rng::seed_from_u64(7));
-        let b = build_corpus(&db, 10, &mut ChaCha8Rng::seed_from_u64(7));
+        let cost = cost();
+        let a = build_corpus(&cost, 10, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let b = build_corpus(&cost, 10, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.tokens, y.tokens);
         }

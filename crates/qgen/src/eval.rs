@@ -14,7 +14,8 @@
 
 use crate::baselines::QueryGenerator;
 use crate::corpus::label_indexes;
-use pipa_sim::{ColumnId, Database, Index, IndexConfig};
+use pipa_cost::{CostBackend, CostEngine, CostResult};
+use pipa_sim::{ColumnId, Index, IndexConfig};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 use std::collections::HashSet;
@@ -23,8 +24,12 @@ use std::collections::HashSet;
 /// FK neighbourhood, restricted to plausibly indexable columns
 /// (NDV ≥ 20). The paper "randomly select\[s\] three indexes" — indexes,
 /// not arbitrary columns, so unindexable text/flag columns are excluded.
-pub fn sample_target_set<R: RngCore>(db: &Database, k: usize, rng: &mut R) -> Vec<ColumnId> {
-    let schema = db.schema();
+pub fn sample_target_set<R: RngCore>(
+    cost: &dyn CostBackend,
+    k: usize,
+    rng: &mut R,
+) -> CostResult<Vec<ColumnId>> {
+    let schema = cost.catalog().schema;
     let tables = schema.tables();
     for _ in 0..64 {
         let anchor = &tables[rng.gen_range(0..tables.len())];
@@ -38,36 +43,48 @@ pub fn sample_target_set<R: RngCore>(db: &Database, k: usize, rng: &mut R) -> Ve
                 pool.extend(schema.columns_of(tf));
             }
         }
-        pool.retain(|&c| is_plausible_index(db, c));
-        pool.sort_unstable();
-        pool.dedup();
-        if pool.len() >= k {
-            return pool.choose_multiple(rng, k).copied().collect();
+        let mut plausible = Vec::with_capacity(pool.len());
+        for &c in &pool {
+            if is_plausible_index(cost, c)? {
+                plausible.push(c);
+            }
+        }
+        plausible.sort_unstable();
+        plausible.dedup();
+        if plausible.len() >= k {
+            return Ok(plausible.choose_multiple(rng, k).copied().collect());
         }
     }
     // Degenerate schema fallback: any indexable columns.
-    schema
-        .indexable_columns()
-        .into_iter()
-        .filter(|&c| is_plausible_index(db, c))
-        .take(k)
-        .collect()
+    let mut out = Vec::with_capacity(k);
+    for c in schema.indexable_columns() {
+        if out.len() >= k {
+            break;
+        }
+        if is_plausible_index(cost, c)? {
+            out.push(c);
+        }
+    }
+    Ok(out)
 }
 
 /// A column is a plausible index target when an equality probe on it
 /// benefits substantially from a single-column index (the same
 /// evaluator-side judgement the probing stage uses).
-pub fn is_plausible_index(db: &Database, c: ColumnId) -> bool {
+pub fn is_plausible_index(cost: &dyn CostBackend, c: ColumnId) -> CostResult<bool> {
     use pipa_sim::{Aggregate, Predicate, QueryBuilder};
-    if db.column_stat(c).ndv < 20 {
-        return false;
+    let cat = cost.catalog();
+    if cat.column(c).ndv < 20 {
+        return Ok(false);
     }
     let q = QueryBuilder::new()
-        .filter(db.schema(), Predicate::eq(c, 0.5))
+        .filter(cat.schema, Predicate::eq(c, 0.5))
         .aggregate(Aggregate::CountStar)
-        .build(db.schema())
+        .build(cat.schema)
         .expect("probe query");
-    db.query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)])) > 0.2
+    let benefit =
+        CostEngine::new(cost).query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)]))?;
+    Ok(benefit > 0.2)
 }
 
 /// Aggregate generation-quality metrics.
@@ -85,46 +102,47 @@ pub struct GenQuality {
 
 /// Evaluate a generator over `n` trials: each trial draws `k` random
 /// target columns and a reward threshold, then scores the output.
-pub fn evaluate_generator<G: QueryGenerator, R: RngCore>(
+pub fn evaluate_generator<G: QueryGenerator + ?Sized, R: RngCore>(
     gen: &mut G,
-    db: &Database,
+    cost: &dyn CostBackend,
     n: usize,
     k: usize,
     rng: &mut R,
-) -> GenQuality {
+) -> CostResult<GenQuality> {
+    let engine = CostEngine::new(cost);
     let mut correct = 0usize;
     let mut iac_sum = 0.0;
     let mut sq_err_sum = 0.0;
     let mut distinct_sum = 0.0;
     for _ in 0..n {
-        let targets: Vec<ColumnId> = sample_target_set(db, k, rng);
+        let targets: Vec<ColumnId> = sample_target_set(cost, k, rng)?;
         let reward = rng.gen_range(0.05..0.95);
-        let Some(q) = gen.generate(db, &targets, reward) else {
+        let Some(q) = gen.generate(cost, &targets, reward)? else {
             continue;
         };
-        if q.validate(db.schema()).is_err() {
+        if q.validate(cost.catalog().schema).is_err() {
             continue;
         }
         correct += 1;
         // IAC: overlap between the reference advisor's picks for q and
         // the requested targets.
-        let rec = label_indexes(db, &q, k);
+        let rec = label_indexes(cost, &q, k)?;
         let overlap = rec.iter().filter(|c| targets.contains(c)).count();
         iac_sum += overlap as f64 / k as f64;
         // RMSE: achieved benefit under recommended indexes vs requested.
         let cfg: IndexConfig = rec.into_iter().map(Index::single).collect();
-        let achieved = db.query_benefit(&q, &cfg).clamp(0.0, 1.0);
+        let achieved = engine.query_benefit(&q, &cfg)?.clamp(0.0, 1.0);
         sq_err_sum += (achieved - reward) * (achieved - reward);
         // Distinct: unique-token ratio of the rendered SQL.
-        distinct_sum += distinct_ratio(&db.render_sql(&q));
+        distinct_sum += distinct_ratio(&cost.render_sql(&q)?);
     }
     let c = correct.max(1) as f64;
-    GenQuality {
+    Ok(GenQuality {
         gac: correct as f64 / n.max(1) as f64,
         iac: iac_sum / c,
         rmse: (sq_err_sum / c).sqrt(),
         distinct: distinct_sum / c,
-    }
+    })
 }
 
 /// Ratio of unique whitespace tokens in a rendered SQL string.
@@ -141,15 +159,21 @@ pub fn distinct_ratio(sql: &str) -> f64 {
 mod tests {
     use super::*;
     use crate::baselines::{FsmGenerator, LlmLikeGenerator, StGenerator};
+    use pipa_cost::SimBackend;
     use pipa_workload::Benchmark;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
+    fn cost() -> SimBackend {
+        SimBackend::new(Benchmark::TpcH.database(1.0, None))
+    }
+
     #[test]
     fn st_has_perfect_gac_and_decent_iac() {
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = cost();
         let mut g = StGenerator::new(1);
-        let q = evaluate_generator(&mut g, &db, 60, 3, &mut ChaCha8Rng::seed_from_u64(2));
+        let q = evaluate_generator(&mut g, &cost, 60, 3, &mut ChaCha8Rng::seed_from_u64(2))
+            .unwrap();
         assert!((q.gac - 1.0).abs() < 1e-9, "ST GAC {}", q.gac);
         assert!(q.iac > 0.3, "ST IAC {}", q.iac);
         assert!(q.distinct > 0.0 && q.distinct <= 1.0);
@@ -157,12 +181,12 @@ mod tests {
 
     #[test]
     fn llm_like_gac_below_st() {
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = cost();
         let mut st = StGenerator::new(1);
         let mut llm = LlmLikeGenerator::gpt35_like(1);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let qs = evaluate_generator(&mut st, &db, 80, 3, &mut rng);
-        let ql = evaluate_generator(&mut llm, &db, 80, 3, &mut rng);
+        let qs = evaluate_generator(&mut st, &cost, 80, 3, &mut rng).unwrap();
+        let ql = evaluate_generator(&mut llm, &cost, 80, 3, &mut rng).unwrap();
         assert!(ql.gac < qs.gac, "LLM GAC {} < ST GAC {}", ql.gac, qs.gac);
         assert!(ql.iac < qs.iac + 0.05, "infidelity lowers IAC");
     }
@@ -170,9 +194,10 @@ mod tests {
     #[test]
     fn fsm_iac_is_low() {
         // Random queries rarely hit three requested columns.
-        let db = Benchmark::TpcH.database(1.0, None);
+        let cost = cost();
         let mut g = FsmGenerator::new(9);
-        let q = evaluate_generator(&mut g, &db, 60, 3, &mut ChaCha8Rng::seed_from_u64(4));
+        let q = evaluate_generator(&mut g, &cost, 60, 3, &mut ChaCha8Rng::seed_from_u64(4))
+            .unwrap();
         assert!(q.iac < 0.2, "FSM IAC {}", q.iac);
     }
 

@@ -17,7 +17,7 @@ use crate::fsm::QueryFsm;
 use crate::parser::parse_words;
 use crate::token::{reward_to_bucket, Vocab, Word, CLS, EOS, MASK};
 use pipa_nn::{Adam, Optimizer, ParamStore, Seq2SeqTransformer, Tape, TransformerConfig};
-use pipa_sim::{ColumnId, Database, Query, Schema, SimError, SimResult};
+use pipa_sim::{ColumnId, Query, Schema, SimError, SimResult};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -336,7 +336,6 @@ impl Iabart {
     /// decode-length overruns.
     pub fn generate_for_columns(
         &mut self,
-        _db: &Database,
         columns: &[ColumnId],
         reward: f64,
         retries: usize,
@@ -423,19 +422,20 @@ enum Continuation {
 mod tests {
     use super::*;
     use crate::corpus::build_corpus;
+    use pipa_cost::SimBackend;
     use pipa_workload::Benchmark;
 
-    fn small_trained() -> (Database, Iabart) {
-        let db = Benchmark::TpcH.database(1.0, None);
+    fn small_trained() -> (SimBackend, Iabart) {
+        let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let corpus = build_corpus(&db, 200, &mut rng);
+        let corpus = build_corpus(&cost, 200, &mut rng).unwrap();
         let cfg = IabartConfig {
             epochs_per_task: 3,
             ..IabartConfig::fast()
         };
-        let mut model = Iabart::new(db.schema().clone(), cfg);
+        let mut model = Iabart::new(cost.database().schema().clone(), cfg);
         model.train(&corpus);
-        (db, model)
+        (cost, model)
     }
 
     #[test]
@@ -465,8 +465,8 @@ mod tests {
 
     #[test]
     fn trained_model_targets_given_columns() {
-        let (db, mut model) = small_trained();
-        let target = db.schema().column_id("l_shipdate").unwrap();
+        let (cost, mut model) = small_trained();
+        let target = cost.database().schema().column_id("l_shipdate").unwrap();
         let mut hits = 0;
         for _ in 0..10 {
             if let Ok(q) = model.generate(&[target], 0.6) {
@@ -480,12 +480,13 @@ mod tests {
 
     #[test]
     fn generate_for_columns_retries() {
-        let (db, mut model) = small_trained();
+        let (cost, mut model) = small_trained();
+        let schema = cost.database().schema();
         let cols = vec![
-            db.schema().column_id("o_orderdate").unwrap(),
-            db.schema().column_id("o_totalprice").unwrap(),
+            schema.column_id("o_orderdate").unwrap(),
+            schema.column_id("o_totalprice").unwrap(),
         ];
-        let q = model.generate_for_columns(&db, &cols, 0.5, 5);
+        let q = model.generate_for_columns(&cols, 0.5, 5);
         assert!(q.is_some());
     }
 }

@@ -32,7 +32,8 @@ pub use iabart::{Iabart, IabartConfig, ProgressiveTasks};
 pub use parser::{encode_query, parse_words};
 pub use token::{Vocab, Word};
 
-use pipa_sim::{ColumnId, Database, Query};
+use pipa_cost::{CostBackend, CostResult};
+use pipa_sim::{ColumnId, Query};
 
 /// [`QueryGenerator`] adapter over a trained [`Iabart`], so the PIPA
 /// stages and the Table 3 evaluation can treat it like any competitor.
@@ -55,8 +56,14 @@ impl QueryGenerator for IabartGenerator {
         "IABART"
     }
 
-    fn generate(&mut self, db: &Database, targets: &[ColumnId], reward: f64) -> Option<Query> {
-        self.model
-            .generate_for_columns(db, targets, reward, self.retries)
+    fn generate(
+        &mut self,
+        _cost: &dyn CostBackend,
+        targets: &[ColumnId],
+        reward: f64,
+    ) -> CostResult<Option<Query>> {
+        Ok(self
+            .model
+            .generate_for_columns(targets, reward, self.retries))
     }
 }

@@ -9,6 +9,7 @@ use crate::cost::{
     IncrementalEval, MatrixStats, PAGE_SIZE,
 };
 use crate::datagen::generate_table;
+use crate::error::{SimError, SimResult};
 use crate::exec::Executor;
 use crate::index::{Index, IndexConfig};
 use crate::query::Query;
@@ -86,14 +87,41 @@ impl Database {
         self.storage.as_ref().is_some_and(|s| s.is_complete())
     }
 
-    /// Estimated cost of a query under a hypothetical configuration.
+    /// Estimated cost of a query under a hypothetical configuration:
+    /// `c(q, d, I)`, the single what-if entry point.
     ///
-    /// Memoized: the analytical model is a pure function of the catalog
-    /// (fixed after construction), so repeated what-if probes for the
-    /// same `(query, config)` pair are answered from a thread-safe cache
-    /// (see [`CostCache`]). Hits return the previously computed value
-    /// bit-for-bit, so caching never changes results.
+    /// Dispatch is internal: single-table queries are answered from the
+    /// per-(query, index) benefit matrix, join-coupled queries (and calls
+    /// with the matrix disabled) fall back to the full analytical model
+    /// memoized by the thread-safe [`CostCache`]. Both paths are
+    /// bit-identical (pinned by `tests/whatif_differential.rs`), so the
+    /// dispatch choice never changes results.
     pub fn estimated_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+        if !self.whatif_matrix.is_enabled() {
+            return self.scalar_query_cost(q, cfg);
+        }
+        let keyed = keyed_indexes(cfg);
+        self.matrix_query_cost_keyed(q, cfg, &keyed)
+    }
+
+    /// Estimated cost of a workload: the frequency-weighted sum, in
+    /// workload order, of [`Self::estimated_query_cost`] terms.
+    pub fn estimated_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+        if !self.whatif_matrix.is_enabled() {
+            return self.scalar_workload_cost(w, cfg);
+        }
+        let keyed = keyed_indexes(cfg);
+        w.iter()
+            .map(|wq| wq.frequency as f64 * self.matrix_query_cost_keyed(&wq.query, cfg, &keyed))
+            .sum()
+    }
+
+    /// The pre-matrix scalar path: full analytical model, memoized by the
+    /// what-if cache. This is the reference implementation the benefit
+    /// matrix must stay bit-identical to; it is public (but hidden) so
+    /// the differential test suite can compare against it directly.
+    #[doc(hidden)]
+    pub fn scalar_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
         let cf = fingerprint_config(cfg);
         let qf = fingerprint_query(q);
         record_whatif(qf, cf);
@@ -102,9 +130,11 @@ impl Database {
         })
     }
 
-    /// Estimated cost of a workload (frequency-weighted sum of memoized
-    /// per-query estimates).
-    pub fn estimated_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+    /// Scalar-path workload cost (frequency-weighted sum of memoized
+    /// per-query [`Self::scalar_query_cost`] terms). See
+    /// [`Self::scalar_query_cost`] for why this stays public.
+    #[doc(hidden)]
+    pub fn scalar_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
         let cf = fingerprint_config(cfg);
         w.iter()
             .map(|wq| {
@@ -136,33 +166,6 @@ impl Database {
 
     // ---- Incremental what-if evaluation (the benefit matrix) ----------
 
-    /// Matrix-backed `c(q, d, I)`. Single-table queries are answered from
-    /// the per-(query, index) benefit matrix (`surcharges(min(seq, row))`);
-    /// join queries — where index choice interacts with join planning —
-    /// and disabled-matrix calls fall back to the full model, memoized by
-    /// the what-if cache. Bit-identical to [`Self::estimated_query_cost`]
-    /// in every case (pinned by `tests/whatif_differential.rs`).
-    pub fn matrix_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
-        if !self.whatif_matrix.is_enabled() {
-            return self.estimated_query_cost(q, cfg);
-        }
-        let keyed = keyed_indexes(cfg);
-        self.matrix_query_cost_keyed(q, cfg, &keyed)
-    }
-
-    /// Matrix-backed `c(W, d, I)`: the same frequency-weighted sum in
-    /// workload order as [`Self::estimated_workload_cost`], with each
-    /// per-query term answered via [`Self::matrix_query_cost`] semantics.
-    pub fn matrix_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
-        if !self.whatif_matrix.is_enabled() {
-            return self.estimated_workload_cost(w, cfg);
-        }
-        let keyed = keyed_indexes(cfg);
-        w.iter()
-            .map(|wq| wq.frequency as f64 * self.matrix_query_cost_keyed(&wq.query, cfg, &keyed))
-            .sum()
-    }
-
     /// Workload costs for a batch of configurations, answered from the
     /// benefit matrix. The matrix rows are shared across the batch, so
     /// `n` configurations over the same workload cost one model
@@ -171,7 +174,7 @@ impl Database {
     pub fn what_if_batch(&self, w: &Workload, configs: &[IndexConfig]) -> Vec<f64> {
         configs
             .iter()
-            .map(|cfg| self.matrix_workload_cost(w, cfg))
+            .map(|cfg| self.estimated_workload_cost(w, cfg))
             .collect()
     }
 
@@ -184,7 +187,7 @@ impl Database {
         self.whatif_matrix.note_delta();
         pipa_obs::count("whatif_delta", 1);
         let cfg = delta.apply(base);
-        self.matrix_workload_cost(w, &cfg)
+        self.estimated_workload_cost(w, &cfg)
     }
 
     /// Start an incremental evaluation session for `w` at the empty
@@ -199,7 +202,7 @@ impl Database {
                 let q = &wq.query;
                 let qf = fingerprint_query(q);
                 let kind = if !self.whatif_matrix.is_enabled() {
-                    QueryState::Full(self.estimated_query_cost(q, &empty))
+                    QueryState::Full(self.scalar_query_cost(q, &empty))
                 } else {
                     match self.whatif_matrix.shape(&self.model, self.catalog(), q, qf) {
                         QueryShape::Trivial => {
@@ -224,7 +227,7 @@ impl Database {
                         QueryShape::JoinCoupled => {
                             self.whatif_matrix.note_fallback();
                             pipa_obs::count("whatif_full_fallback", 1);
-                            QueryState::Full(self.estimated_query_cost(q, &empty))
+                            QueryState::Full(self.scalar_query_cost(q, &empty))
                         }
                     }
                 };
@@ -287,7 +290,7 @@ impl Database {
                             let raw2 = if e < raw { e } else { raw };
                             self.model.apply_surcharges(&wq.query, raw2, rows_out)
                         }
-                        QueryState::Full(_) => self.estimated_query_cost(&wq.query, cfg_after),
+                        QueryState::Full(_) => self.scalar_query_cost(&wq.query, cfg_after),
                     }
             })
             .sum()
@@ -336,7 +339,7 @@ impl Database {
                     };
                 }
                 QueryState::Full(_) => {
-                    st.kind = QueryState::Full(self.estimated_query_cost(&wq.query, cfg_after));
+                    st.kind = QueryState::Full(self.scalar_query_cost(&wq.query, cfg_after));
                 }
             }
         }
@@ -399,62 +402,34 @@ impl Database {
             QueryShape::JoinCoupled => {
                 self.whatif_matrix.note_fallback();
                 pipa_obs::count("whatif_full_fallback", 1);
-                self.estimated_query_cost(q, cfg)
+                self.scalar_query_cost(q, cfg)
             }
         }
     }
 
-    /// Relative cost reduction of `cfg` vs no indexes for one query.
-    pub fn query_benefit(&self, q: &Query, cfg: &IndexConfig) -> f64 {
-        let base = self.estimated_query_cost(q, &IndexConfig::empty());
-        if base <= 0.0 {
-            return 0.0;
-        }
-        1.0 - self.estimated_query_cost(q, cfg) / base
-    }
-
-    /// Relative cost reduction of `cfg` vs no indexes for a workload.
-    pub fn workload_benefit(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
-        let base = self.estimated_workload_cost(w, &IndexConfig::empty());
-        if base <= 0.0 {
-            return 0.0;
-        }
-        1.0 - self.estimated_workload_cost(w, cfg) / base
-    }
-
     /// Actual (executed) cost of a query; falls back to the estimate when
     /// no data is materialized.
-    pub fn actual_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
+    pub fn actual_query_cost(&self, q: &Query, cfg: &IndexConfig) -> SimResult<f64> {
         let Some(storage) = &self.storage else {
-            return self.estimated_query_cost(q, cfg);
+            return Ok(self.estimated_query_cost(q, cfg));
         };
-        let phys = self.physical_for(cfg, storage);
+        let phys = self.physical_for(cfg, storage)?;
         let ex = Executor::new(self.catalog(), storage);
         ex.execute_cost(q, cfg, &phys)
     }
 
     /// Actual (executed) cost of a workload, frequency-weighted.
-    pub fn actual_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> f64 {
+    pub fn actual_workload_cost(&self, w: &Workload, cfg: &IndexConfig) -> SimResult<f64> {
         let Some(storage) = &self.storage else {
-            return self.estimated_workload_cost(w, cfg);
+            return Ok(self.estimated_workload_cost(w, cfg));
         };
-        let phys = self.physical_for(cfg, storage);
+        let phys = self.physical_for(cfg, storage)?;
         let ex = Executor::new(self.catalog(), storage);
-        w.iter()
-            .map(|wq| wq.frequency as f64 * ex.execute_cost(&wq.query, cfg, &phys))
-            .sum()
-    }
-
-    /// The single candidate index minimizing a query's estimated cost.
-    pub fn best_single_index(&self, q: &Query, candidates: &[Index]) -> Option<Index> {
-        candidates
-            .iter()
-            .map(|i| {
-                let cfg = IndexConfig::from_indexes([i.clone()]);
-                (self.estimated_query_cost(q, &cfg), i)
-            })
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .map(|(_, i)| i.clone())
+        let mut total = 0.0;
+        for wq in w.iter() {
+            total += wq.frequency as f64 * ex.execute_cost(&wq.query, cfg, &phys)?;
+        }
+        Ok(total)
     }
 
     /// EXPLAIN-style access-path summary of a query under a hypothetical
@@ -468,19 +443,30 @@ impl Database {
         q.render_sql(&self.schema, |c| &self.column_stats[c.0 as usize])
     }
 
-    fn physical_for(&self, cfg: &IndexConfig, storage: &Storage) -> HashMap<Index, PhysicalIndex> {
-        let mut cache = self.phys_cache.lock().expect("poisoned");
+    fn physical_for(
+        &self,
+        cfg: &IndexConfig,
+        storage: &Storage,
+    ) -> SimResult<HashMap<Index, PhysicalIndex>> {
+        let mut cache = self
+            .phys_cache
+            .lock()
+            .map_err(|_| SimError::Poisoned("physical index cache"))?;
         let mut out = HashMap::with_capacity(cfg.len());
         for idx in cfg.indexes() {
-            let phys = cache.entry(idx.clone()).or_insert_with(|| {
-                let data = storage
-                    .table(idx.table(&self.schema))
-                    .expect("complete storage");
-                PhysicalIndex::build(&self.schema, data, idx.clone())
-            });
+            let phys = match cache.entry(idx.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let t = idx.table(&self.schema);
+                    let data = storage
+                        .table(t)
+                        .ok_or_else(|| SimError::MissingData(self.schema.table(t).name.clone()))?;
+                    e.insert(PhysicalIndex::build(&self.schema, data, idx.clone()))
+                }
+            };
             out.insert(idx.clone(), phys.clone());
         }
-        out
+        Ok(out)
     }
 }
 
@@ -682,10 +668,12 @@ mod tests {
         )]);
         // actual falls back to estimated
         assert_eq!(
-            db.actual_query_cost(&q, &cfg),
+            db.actual_query_cost(&q, &cfg).unwrap(),
             db.estimated_query_cost(&q, &cfg)
         );
-        assert!(db.query_benefit(&q, &cfg) > 0.5);
+        let base = db.estimated_query_cost(&q, &IndexConfig::empty());
+        let benefit = 1.0 - db.estimated_query_cost(&q, &cfg) / base;
+        assert!(benefit > 0.5);
     }
 
     #[test]
@@ -698,9 +686,9 @@ mod tests {
             .select(db.schema().column_id("o_totalprice").unwrap())
             .build(db.schema())
             .unwrap();
-        let none = db.actual_query_cost(&q, &IndexConfig::empty());
+        let none = db.actual_query_cost(&q, &IndexConfig::empty()).unwrap();
         let cfg = IndexConfig::from_indexes([Index::single(key)]);
-        let with = db.actual_query_cost(&q, &cfg);
+        let with = db.actual_query_cost(&q, &cfg).unwrap();
         assert!(with < none, "with={with} none={none}");
     }
 
@@ -723,8 +711,8 @@ mod tests {
             .select(key)
             .build(db.schema())
             .unwrap();
-        let a = db.actual_query_cost(&q, &cfg);
-        let b = db.actual_query_cost(&q, &cfg);
+        let a = db.actual_query_cost(&q, &cfg).unwrap();
+        let b = db.actual_query_cost(&q, &cfg).unwrap();
         assert_eq!(a, b);
         assert_eq!(db.phys_cache.lock().unwrap().len(), 1);
     }

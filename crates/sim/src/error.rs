@@ -19,6 +19,16 @@ pub enum SimError {
     /// The executor was asked to run against a database without
     /// materialized data.
     NoData,
+    /// Storage is present but a table's data is missing (incomplete
+    /// materialization).
+    MissingData(String),
+    /// A shared lock was poisoned by a panicking thread; the named
+    /// structure can no longer be trusted.
+    Poisoned(&'static str),
+    /// An internal invariant of the executor or cost machinery was
+    /// violated (a bug, surfaced as an error instead of a panic so the
+    /// experiment harness can report it).
+    Internal(&'static str),
     /// Parsing rendered SQL back into the AST failed.
     Parse(String),
 }
@@ -32,6 +42,9 @@ impl fmt::Display for SimError {
             SimError::InvalidIndex(m) => write!(f, "invalid index: {m}"),
             SimError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             SimError::NoData => write!(f, "database has no materialized data"),
+            SimError::MissingData(t) => write!(f, "no materialized data for table: {t}"),
+            SimError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
+            SimError::Internal(m) => write!(f, "internal invariant violated: {m}"),
             SimError::Parse(m) => write!(f, "parse error: {m}"),
         }
     }

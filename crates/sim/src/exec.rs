@@ -11,6 +11,7 @@
 
 use crate::cost::{Catalog, CostParams};
 use crate::datagen::NULL_POSITION;
+use crate::error::{SimError, SimResult};
 use crate::index::{Index, IndexConfig};
 use crate::predicate::Predicate;
 use crate::query::Query;
@@ -61,16 +62,17 @@ impl<'a> Executor<'a> {
 
     /// Execute a query under an index configuration. `physical` must hold
     /// a built [`PhysicalIndex`] for every index in `cfg` (extra entries
-    /// are fine).
+    /// are fine). Errors with [`SimError::MissingData`] when a referenced
+    /// table has no materialized data.
     pub fn execute(
         &self,
         q: &Query,
         cfg: &IndexConfig,
         physical: &HashMap<Index, PhysicalIndex>,
-    ) -> ExecStats {
+    ) -> SimResult<ExecStats> {
         let mut st = ExecStats::default();
         if q.tables.is_empty() {
-            return st;
+            return Ok(st);
         }
 
         // Estimated filtered rows per table, for join ordering.
@@ -102,10 +104,10 @@ impl<'a> Executor<'a> {
                     (j.right, j.left)
                 };
                 let other_t = self.cat.schema.table_of(other_col);
-                let outer_keys = self.column_values(other_t, other_col, &matched[&other_t]);
-                self.access_table(q, t, cfg, physical, Some((my_col, &outer_keys)), &mut st)
+                let outer_keys = self.column_values(other_t, other_col, &matched[&other_t])?;
+                self.access_table(q, t, cfg, physical, Some((my_col, &outer_keys)), &mut st)?
             } else {
-                self.access_table(q, t, cfg, physical, None, &mut st)
+                self.access_table(q, t, cfg, physical, None, &mut st)?
             };
             matched.insert(t, rows);
         }
@@ -113,8 +115,8 @@ impl<'a> Executor<'a> {
         // Extra semijoin reduction passes to propagate filters both ways.
         for _ in 0..2 {
             for j in &q.joins {
-                self.reduce_edge(j.left, j.right, &mut matched, &mut st);
-                self.reduce_edge(j.right, j.left, &mut matched, &mut st);
+                self.reduce_edge(j.left, j.right, &mut matched, &mut st)?;
+                self.reduce_edge(j.right, j.left, &mut matched, &mut st)?;
             }
         }
 
@@ -125,9 +127,12 @@ impl<'a> Executor<'a> {
             .iter()
             .copied()
             .max_by_key(|&t| self.cat.table(t).rows)
-            .expect("nonempty");
-        st.rows_out = matched[&fact].len() as u64;
-        st
+            .ok_or(SimError::Internal("query with tables lost them"))?;
+        st.rows_out = matched
+            .get(&fact)
+            .ok_or(SimError::Internal("fact table never accessed"))?
+            .len() as u64;
+        Ok(st)
     }
 
     /// Execute and convert to cost, including aggregation/sort surcharges
@@ -137,8 +142,8 @@ impl<'a> Executor<'a> {
         q: &Query,
         cfg: &IndexConfig,
         physical: &HashMap<Index, PhysicalIndex>,
-    ) -> f64 {
-        let st = self.execute(q, cfg, physical);
+    ) -> SimResult<f64> {
+        let st = self.execute(q, cfg, physical)?;
         pipa_obs::count("exec_queries", 1);
         pipa_obs::count("exec_seq_pages", st.seq_pages);
         pipa_obs::count("exec_random_pages", st.random_pages);
@@ -153,18 +158,26 @@ impl<'a> Executor<'a> {
         if !q.order_by.is_empty() && rows > 1.0 {
             cost += 2.0 * self.params.cpu_operator_cost * rows * rows.log2().max(1.0);
         }
-        cost
+        Ok(cost)
     }
 
     /// Values of `col` over the given rows (NULLs excluded).
-    fn column_values(&self, t: TableId, col: ColumnId, rows: &[u32]) -> HashSet<i64> {
-        let data = self.storage.table(t).expect("materialized");
+    fn column_values(&self, t: TableId, col: ColumnId, rows: &[u32]) -> SimResult<HashSet<i64>> {
+        let data = self.table_data(t)?;
         let ord = Storage::ordinal(self.cat.schema, col);
         let col_data = data.column(ord);
-        rows.iter()
+        Ok(rows
+            .iter()
             .map(|&r| col_data[r as usize])
             .filter(|&v| v != NULL_POSITION)
-            .collect()
+            .collect())
+    }
+
+    /// Materialized data for `t`, or [`SimError::MissingData`].
+    fn table_data(&self, t: TableId) -> SimResult<&'a crate::storage::TableData> {
+        self.storage
+            .table(t)
+            .ok_or_else(|| SimError::MissingData(self.cat.schema.table(t).name.clone()))
     }
 
     /// Semijoin-reduce `keep` side against `by` side along one edge.
@@ -174,22 +187,25 @@ impl<'a> Executor<'a> {
         by_col: ColumnId,
         matched: &mut HashMap<TableId, Vec<u32>>,
         st: &mut ExecStats,
-    ) {
+    ) -> SimResult<()> {
         let keep_t = self.cat.schema.table_of(keep_col);
         let by_t = self.cat.schema.table_of(by_col);
         if keep_t == by_t || !matched.contains_key(&keep_t) || !matched.contains_key(&by_t) {
-            return;
+            return Ok(());
         }
-        let keys = self.column_values(by_t, by_col, &matched[&by_t]);
-        let data = self.storage.table(keep_t).expect("materialized");
+        let keys = self.column_values(by_t, by_col, &matched[&by_t])?;
+        let data = self.table_data(keep_t)?;
         let ord = Storage::ordinal(self.cat.schema, keep_col);
         let col = data.column(ord);
-        let rows = matched.get_mut(&keep_t).expect("present");
+        let rows = matched
+            .get_mut(&keep_t)
+            .ok_or(SimError::Internal("matched set vanished"))?;
         st.tuples += rows.len() as u64;
         rows.retain(|&r| {
             let v = col[r as usize];
             v != NULL_POSITION && keys.contains(&v)
         });
+        Ok(())
     }
 
     /// Pick and execute an access path for one table, returning matched
@@ -203,16 +219,18 @@ impl<'a> Executor<'a> {
         physical: &HashMap<Index, PhysicalIndex>,
         probe: Option<(ColumnId, &HashSet<i64>)>,
         st: &mut ExecStats,
-    ) -> Vec<u32> {
-        let data = self.storage.table(t).expect("materialized");
+    ) -> SimResult<Vec<u32>> {
+        let data = self.table_data(t)?;
         let preds = q.predicates_on(self.cat.schema, t);
         let p = &self.params;
 
-        // Candidate estimates: (cost, plan)
+        // Candidate estimates: (cost, plan). The probe variant carries
+        // its outer key set so choosing it can never outlive the
+        // knowledge that keys exist.
         enum Plan<'x> {
             Seq,
             IndexScan(&'x PhysicalIndex, &'x Predicate),
-            IndexProbe(&'x PhysicalIndex),
+            IndexProbe(&'x PhysicalIndex, &'x HashSet<i64>),
         }
         let seq_est =
             p.seq_page_cost * data.pages() as f64 + p.cpu_tuple_cost * f64::from(data.rows);
@@ -250,7 +268,7 @@ impl<'a> Executor<'a> {
                             + p.cpu_tuple_cost * per_key.max(1.0));
                     if est < best_est {
                         best_est = est;
-                        plan = Plan::IndexProbe(phys);
+                        plan = Plan::IndexProbe(phys, keys);
                     }
                 }
             }
@@ -273,8 +291,7 @@ impl<'a> Executor<'a> {
                 st.random_pages += pages.len() as u64;
                 rows
             }
-            Plan::IndexProbe(phys) => {
-                let (_, keys) = probe.expect("probe plan requires keys");
+            Plan::IndexProbe(phys, keys) => {
                 let mut rows = Vec::new();
                 let mut pages: HashSet<u32> = HashSet::new();
                 for &k in keys {
@@ -311,7 +328,7 @@ impl<'a> Executor<'a> {
             }
             out.push(r);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -417,10 +434,10 @@ mod tests {
             .unwrap();
         let ex = Executor::new(fx.cat(), &fx.storage);
         let empty = IndexConfig::empty();
-        let none = ex.execute(&q, &empty, &HashMap::new());
+        let none = ex.execute(&q, &empty, &HashMap::new()).unwrap();
         let cfg = IndexConfig::from_indexes([Index::single(fx.col("f_id"))]);
         let phys = build_physical(fx.cat(), &fx.storage, &cfg);
-        let with = ex.execute(&q, &cfg, &phys);
+        let with = ex.execute(&q, &cfg, &phys).unwrap();
         assert_eq!(none.rows_out, with.rows_out, "same answer");
         assert!(
             with.seq_pages + with.random_pages < (none.seq_pages + none.random_pages) / 4,
@@ -438,10 +455,10 @@ mod tests {
             .build(&fx.schema)
             .unwrap();
         let ex = Executor::new(fx.cat(), &fx.storage);
-        let none = ex.execute(&q, &IndexConfig::empty(), &HashMap::new());
+        let none = ex.execute(&q, &IndexConfig::empty(), &HashMap::new()).unwrap();
         let cfg = IndexConfig::from_indexes([Index::single(fx.col("f_dim"))]);
         let phys = build_physical(fx.cat(), &fx.storage, &cfg);
-        let with = ex.execute(&q, &cfg, &phys);
+        let with = ex.execute(&q, &cfg, &phys).unwrap();
         assert_eq!(none.rows_out, with.rows_out);
         assert!(none.rows_out > 0, "fixture should match something");
     }
@@ -456,7 +473,7 @@ mod tests {
             .build(&fx.schema)
             .unwrap();
         let ex = Executor::new(fx.cat(), &fx.storage);
-        let st = ex.execute(&q, &IndexConfig::empty(), &HashMap::new());
+        let st = ex.execute(&q, &IndexConfig::empty(), &HashMap::new()).unwrap();
         // ~1/10 of dims selected → ~1/10 of fact rows survive.
         let frac = st.rows_out as f64 / 100_000.0;
         assert!(frac > 0.02 && frac < 0.3, "join output fraction {frac}");
@@ -472,10 +489,10 @@ mod tests {
             .build(&fx.schema)
             .unwrap();
         let ex = Executor::new(fx.cat(), &fx.storage);
-        let none = ex.execute(&q, &IndexConfig::empty(), &HashMap::new());
+        let none = ex.execute(&q, &IndexConfig::empty(), &HashMap::new()).unwrap();
         let cfg = IndexConfig::from_indexes([Index::single(fx.col("f_dim"))]);
         let phys = build_physical(fx.cat(), &fx.storage, &cfg);
-        let with = ex.execute(&q, &cfg, &phys);
+        let with = ex.execute(&q, &cfg, &phys).unwrap();
         assert_eq!(none.rows_out, with.rows_out);
         assert!(
             with.seq_pages + with.random_pages < none.seq_pages + none.random_pages,
@@ -501,7 +518,7 @@ mod tests {
             let cfg = IndexConfig::from_indexes([Index::single(fx.col(c))]);
             let phys = build_physical(fx.cat(), &fx.storage, &cfg);
             est.push((m.query_cost(fx.cat(), &q, &cfg), c));
-            act.push((ex.execute_cost(&q, &cfg, &phys), c));
+            act.push((ex.execute_cost(&q, &cfg, &phys).unwrap(), c));
         }
         let best_est = est.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap().1;
         let best_act = act.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap().1;
@@ -524,7 +541,7 @@ mod tests {
             .build(&fx.schema)
             .unwrap();
         let ex = Executor::new(fx.cat(), &fx.storage);
-        let st = ex.execute(&q, &IndexConfig::empty(), &HashMap::new());
+        let st = ex.execute(&q, &IndexConfig::empty(), &HashMap::new()).unwrap();
         assert!(st.rows_out <= 5);
     }
 }

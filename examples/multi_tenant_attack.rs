@@ -23,7 +23,8 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let benchmark = Benchmark::TpcH;
-    let db = benchmark.database(1.0, None);
+    let cost = pipa::cost::SimBackend::new(benchmark.database(1.0, None));
+    let engine = pipa::cost::CostEngine::new(&cost);
     let gen = WorkloadGenerator::new(benchmark.schema(), benchmark.default_templates());
 
     // Three honest tenants with their own workload mixes.
@@ -56,16 +57,19 @@ fn main() {
         SpeedPreset::Quick,
         7,
     );
-    advisor.train(&db, &shared);
-    let clean_cfg = advisor.recommend(&db, &shared);
+    advisor.train(&cost, &shared).expect("train");
+    let clean_cfg = advisor.recommend(&cost, &shared).expect("recommend");
     println!("\nplatform indexes (clean):");
     for i in clean_cfg.indexes() {
-        println!("  {}", i.name(db.schema()));
+        println!("  {}", i.name(cost.database().schema()));
     }
-    let clean_costs: Vec<(String, f64)> = tenants
-        .iter()
-        .map(|(name, w)| (name.to_string(), db.estimated_workload_cost(w, &clean_cfg)))
-        .collect();
+    let mut clean_costs: Vec<(String, f64)> = Vec::new();
+    for (name, w) in &tenants {
+        let c = engine
+            .measured_workload_cost(w, &clean_cfg, false)
+            .expect("workload cost");
+        clean_costs.push((name.to_string(), c));
+    }
 
     // Mallory probes the advisor and submits a PIPA injection.
     println!("\nmallory probes the advisor and submits an extraneous workload...");
@@ -76,7 +80,9 @@ fn main() {
         seed: 99,
         ..Default::default()
     };
-    let poison = mallory.build(advisor.as_mut(), &db, 18, 99);
+    let poison = mallory
+        .build(advisor.as_mut(), &cost, 18, 99)
+        .expect("injection build");
     println!(
         "injected {} queries (all disjoint from tenant workloads)",
         poison.len()
@@ -84,16 +90,18 @@ fn main() {
     assert!(poison.is_disjoint_from(&shared));
 
     // Nightly retraining picks up the polluted set.
-    advisor.retrain(&db, &shared.union(&poison));
-    let poisoned_cfg = advisor.recommend(&db, &shared);
+    advisor.retrain(&cost, &shared.union(&poison)).expect("retrain");
+    let poisoned_cfg = advisor.recommend(&cost, &shared).expect("recommend");
     println!("\nplatform indexes (after mallory):");
     for i in poisoned_cfg.indexes() {
-        println!("  {}", i.name(db.schema()));
+        println!("  {}", i.name(cost.database().schema()));
     }
 
     println!("\nper-tenant impact (same workloads, new indexes):");
     for ((name, w), (_, before)) in tenants.iter().zip(&clean_costs) {
-        let after = db.estimated_workload_cost(w, &poisoned_cfg);
+        let after = engine
+            .measured_workload_cost(w, &poisoned_cfg, false)
+            .expect("workload cost");
         let delta = (after - before) / before * 100.0;
         println!("  {name:8} cost {before:9.0} → {after:9.0}  ({delta:+.1}%)");
     }

@@ -17,20 +17,23 @@ use pipa::workload::Benchmark;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use pipa::cost::CostBackend;
+
 fn main() {
-    let db = Benchmark::TpcH.database(1.0, None);
-    let schema = db.schema().clone();
+    let cost = pipa::cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let engine = pipa::cost::CostEngine::new(&cost);
+    let schema = cost.database().schema().clone();
 
     // 1. Corpus: FSM-generated queries + greedy what-if index labels +
     //    discretized rewards (§3.1).
     println!("building corpus...");
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let corpus = build_corpus(&db, 600, &mut rng);
+    let corpus = build_corpus(&cost, 600, &mut rng).expect("corpus generation");
     println!("corpus: {} samples", corpus.len());
     let sample = &corpus[0];
     println!(
         "sample query: {}\nsample labels: {:?} (reward bucket r{})",
-        db.render_sql(&sample.query),
+        cost.render_sql(&sample.query).expect("render"),
         sample
             .indexes
             .iter()
@@ -65,15 +68,15 @@ fn main() {
             ("IABART", &mut iabart as &mut dyn QueryGenerator),
             ("ST", &mut st as &mut dyn QueryGenerator),
         ] {
-            match generator.generate(&db, &cols, 0.6) {
+            match generator.generate(&cost, &cols, 0.6).expect("generate") {
                 Some(q) => {
-                    let rec = label_indexes(&db, &q, cols.len());
+                    let rec = label_indexes(&cost, &q, cols.len()).expect("labels");
                     let hit = rec.iter().filter(|c| cols.contains(c)).count();
                     let cfg: IndexConfig = cols.iter().map(|&c| Index::single(c)).collect();
                     println!(
                         "{label:7} {}\n        target-index benefit {:+.2}, advisor picks {hit}/{} targets",
-                        db.render_sql(&q),
-                        db.query_benefit(&q, &cfg),
+                        cost.render_sql(&q).expect("render"),
+                        engine.query_benefit(&q, &cfg).expect("benefit"),
                         cols.len()
                     );
                 }

@@ -18,11 +18,11 @@ fn main() {
     //    defaults (N = 18 queries, budget B = 4 indexes).
     let mut cfg = CellConfig::quick(Benchmark::TpcH);
     cfg.preset = SpeedPreset::Quick;
-    let db = build_db(&cfg);
+    let cost = build_db(&cfg);
     println!(
         "database: {} tables, {} indexable columns",
-        db.schema().num_tables(),
-        db.schema().num_columns()
+        cost.database().schema().num_tables(),
+        cost.database().schema().num_columns()
     );
 
     // 2. A normal workload W (every benchmark template once, uniform
@@ -34,13 +34,14 @@ fn main() {
     //    inject a toxic workload aimed at mid-ranked columns, retrain on
     //    {W, Ŵ}, and re-measure on W.
     let outcome = run_cell(
-        &db,
+        &cost,
         &normal,
         AdvisorKind::Dqn(TrajectoryMode::Best),
         InjectorKind::Pipa,
         &cfg,
         CellSeed::raw(11),
-    );
+    )
+    .expect("stress test against the simulator backend");
 
     println!("\n--- stress-test outcome ---");
     println!("advisor:            {}", outcome.advisor);
@@ -59,12 +60,16 @@ fn main() {
         .baseline_indexes
         .iter()
         .filter_map(|name| {
-            db.schema().columns().iter().find_map(|c| {
+            cost.database().schema().columns().iter().find_map(|c| {
                 name.ends_with(&c.name).then(|| pipa::sim::Index::single(c.id))
             })
         })
         .collect();
-    print!("{}", db.explain(sample, &clean_cfg));
+    use pipa::cost::CostBackend;
+    print!(
+        "{}",
+        cost.explain(sample, &clean_cfg).expect("explain")
+    );
 
     if outcome.toxic {
         println!(

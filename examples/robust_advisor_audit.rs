@@ -20,7 +20,8 @@ use pipa::workload::Benchmark;
 fn main() {
     let mut cfg = CellConfig::quick(Benchmark::TpcH);
     cfg.preset = SpeedPreset::Quick;
-    let db = build_db(&cfg);
+    let cost = build_db(&cfg);
+    let engine = pipa::cost::CostEngine::new(&cost);
     let runs = 3u64;
 
     println!("Robustness audit — TPC-H, {} runs per advisor\n", runs);
@@ -37,10 +38,13 @@ fn main() {
         for run in 0..runs {
             let seed = CellSeed::derive(1000, run);
             let normal = normal_workload(&cfg, seed.get());
-            let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, seed);
+            let out = run_cell(&cost, &normal, kind, InjectorKind::Pipa, &cfg, seed)
+                .expect("stress test against the simulator backend");
             // Clean benefit: how much the advisor's baseline config
             // improves the workload over no indexes.
-            let base = db.estimated_workload_cost(&normal, &pipa::sim::IndexConfig::empty());
+            let base = engine
+                .measured_workload_cost(&normal, &pipa::sim::IndexConfig::empty(), false)
+                .expect("workload cost");
             benefits.push(1.0 - out.baseline_cost / base);
             ads.push(out.ad);
         }

@@ -11,13 +11,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PKGS=(-p pipa -p pipa-obs -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
+PKGS=(-p pipa -p pipa-obs -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-cost -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
 
 echo "== cargo build --release =="
 cargo build --release "${PKGS[@]}"
 
 echo "== cargo test -q =="
 cargo test -q "${PKGS[@]}"
+
+echo "== cost-backend boundary lint =="
+# Advisors and the attack pipeline must route every cost through the
+# object-safe CostBackend seam, never the simulator's Database methods.
+# The trait's method names are deliberately distinct from Database's, so
+# a direct call is grep-visible.
+if grep -rnE 'estimated_(query|workload)_cost|scalar_(query|workload)_cost|what_if_(batch|delta)|whatif_eval_|actual_(query|workload)_cost' \
+        crates/ia/src crates/core/src; then
+    echo "boundary lint: direct Database cost calls found above (use the CostBackend seam)" >&2
+    exit 1
+fi
+
+echo "== cost-backend differential suite =="
+# Bit-equality of every cost answered through the CostBackend trait
+# against the direct Database paths, plus record/replay tape equality
+# across --jobs 1 and --jobs N.
+cargo test -q -p pipa --test cost_backend_differential
+
+echo "== replay smoke test =="
+# Record a stress-test grid, then re-run it from the tape alone: the
+# replayed outcomes must be bit-identical (the differential suite pins
+# this; re-run the replay tests by name so CI output names a failure).
+cargo test -q -p pipa --test cost_backend_differential replay
 
 echo "== what-if differential suite =="
 # Bit-equality of the benefit matrix / delta / batch paths against the

@@ -5,6 +5,8 @@
 //!
 //! * [`sim`] — the database substrate (schema, statistics, cost model,
 //!   executor, what-if interface);
+//! * [`cost`] — the object-safe [`cost::CostBackend`] seam every consumer
+//!   routes cost access through, plus record/replay backends;
 //! * [`workload`] — TPC-H / TPC-DS schemas, templates, workload generation;
 //! * [`nn`] — the tiny neural-network library backing the learned advisors
 //!   and the IABART query generator;
@@ -17,6 +19,7 @@
 //!   per-cell recording).
 
 pub use pipa_core as core;
+pub use pipa_cost as cost;
 pub use pipa_obs as obs;
 pub use pipa_ia as ia;
 pub use pipa_nn as nn;

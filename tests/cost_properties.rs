@@ -140,8 +140,10 @@ fn executor_and_model_agree_on_best_index_for_benchmark_queries() {
         // The estimate-chosen index must be near-optimal when actually
         // executed (exact argmin ties are meaningless when no index
         // helps, so compare achieved costs instead of identities).
-        let actual_of =
-            |i: &Index| db.actual_query_cost(&q, &IndexConfig::from_indexes([i.clone()]));
+        let actual_of = |i: &Index| {
+            db.actual_query_cost(&q, &IndexConfig::from_indexes([i.clone()]))
+                .unwrap()
+        };
         let best_actual_cost = candidates
             .iter()
             .map(actual_of)

@@ -25,7 +25,8 @@ fn every_advisor_survives_the_full_pipeline() {
     let db = build_db(&cfg);
     let normal = normal_workload(&cfg, 11);
     for kind in AdvisorKind::all() {
-        let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, CellSeed::raw(11));
+        let out = run_cell(&db, &normal, kind, InjectorKind::Pipa, &cfg, CellSeed::raw(11))
+            .expect("stress test against the simulator backend");
         assert!(out.baseline_cost > 0.0, "{}", kind.label());
         assert!(out.poisoned_cost > 0.0, "{}", kind.label());
         assert!(!out.baseline_indexes.is_empty(), "{}", kind.label());
@@ -48,18 +49,26 @@ fn heuristic_advisors_have_zero_ad_by_construction() {
         fn name(&self) -> String {
             self.0.name()
         }
-        fn train(&mut self, db: &pipa::sim::Database, w: &pipa::sim::Workload) {
-            self.0.train(db, w)
+        fn train(
+            &mut self,
+            cost: &dyn pipa::cost::CostBackend,
+            w: &pipa::sim::Workload,
+        ) -> pipa::cost::CostResult<()> {
+            self.0.train(cost, w)
         }
-        fn retrain(&mut self, db: &pipa::sim::Database, w: &pipa::sim::Workload) {
-            self.0.retrain(db, w)
+        fn retrain(
+            &mut self,
+            cost: &dyn pipa::cost::CostBackend,
+            w: &pipa::sim::Workload,
+        ) -> pipa::cost::CostResult<()> {
+            self.0.retrain(cost, w)
         }
         fn recommend(
             &mut self,
-            db: &pipa::sim::Database,
+            cost: &dyn pipa::cost::CostBackend,
             w: &pipa::sim::Workload,
-        ) -> pipa::sim::IndexConfig {
-            self.0.recommend(db, w)
+        ) -> pipa::cost::CostResult<pipa::sim::IndexConfig> {
+            self.0.recommend(cost, w)
         }
         fn budget(&self) -> usize {
             self.0.budget()
@@ -69,7 +78,10 @@ fn heuristic_advisors_have_zero_ad_by_construction() {
         }
     }
     impl pipa::ia::ClearBoxAdvisor for HeuristicClearBox {
-        fn column_preferences(&self, _db: &pipa::sim::Database) -> Vec<(pipa::sim::ColumnId, f64)> {
+        fn column_preferences(
+            &self,
+            _cost: &dyn pipa::cost::CostBackend,
+        ) -> Vec<(pipa::sim::ColumnId, f64)> {
             Vec::new()
         }
     }
@@ -80,7 +92,8 @@ fn heuristic_advisors_have_zero_ad_by_construction() {
         .injection_size(8)
         .actual_cost(false)
         .seed(CellSeed::raw(13))
-        .run(&mut advisor, &mut injector);
+        .run(&mut advisor, &mut injector)
+        .expect("stress test against the simulator backend");
     assert!(
         out.ad.abs() < 1e-12,
         "heuristic AD must be exactly zero, got {}",
@@ -100,10 +113,12 @@ fn injection_workloads_are_extraneous() {
         SpeedPreset::Test,
         17,
     );
-    advisor.train(&db, &normal);
+    advisor.train(&db, &normal).expect("train");
     for kind in InjectorKind::all() {
         let mut injector = pipa::core::experiment::make_injector(kind, &cfg, CellSeed::raw(17));
-        let w = injector.build(advisor.as_mut(), &db, 8, 17);
+        let w = injector
+            .build(advisor.as_mut(), &db, 8, 17)
+            .expect("injection build");
         assert!(
             w.is_disjoint_from(&normal),
             "{} produced overlapping queries",
@@ -125,7 +140,8 @@ fn stress_outcome_serializes_to_json() {
         InjectorKind::Fsm,
         &cfg,
         CellSeed::raw(19),
-    );
+    )
+    .expect("stress test against the simulator backend");
     let json = serde_json::to_string(&out).expect("serializable");
     assert!(json.contains("\"advisor\""));
     assert!(json.contains("\"ad\""));
@@ -138,7 +154,7 @@ fn tpcds_pipeline_works_too() {
     cfg.probe_epochs = 2;
     cfg.injection_size = 6;
     let db = build_db(&cfg);
-    assert_eq!(db.schema().num_columns(), 425);
+    assert_eq!(db.database().schema().num_columns(), 425);
     let normal = normal_workload(&cfg, 23);
     assert_eq!(normal.len(), 90);
     let out = run_cell(
@@ -148,7 +164,8 @@ fn tpcds_pipeline_works_too() {
         InjectorKind::Pipa,
         &cfg,
         CellSeed::raw(23),
-    );
+    )
+    .expect("stress test against the simulator backend");
     assert!(out.baseline_cost > 0.0);
     assert!(out.ad.is_finite());
 }
@@ -171,12 +188,14 @@ fn tpcds_materializes_and_executes() {
     let subset = pipa::sim::Workload::from_queries(
         w.entries().iter().take(6).map(|e| (e.query.clone(), 1)),
     );
-    let cost = db.actual_workload_cost(&subset, &pipa::sim::IndexConfig::empty());
+    let cost = db
+        .actual_workload_cost(&subset, &pipa::sim::IndexConfig::empty())
+        .unwrap();
     assert!(cost > 0.0);
     // An index on a fact date key should not hurt.
     let date_sk = db.schema().column_id("ss_sold_date_sk").unwrap();
     let cfg = pipa::sim::IndexConfig::from_indexes([pipa::sim::Index::single(date_sk)]);
-    let with = db.actual_workload_cost(&subset, &cfg);
+    let with = db.actual_workload_cost(&subset, &cfg).unwrap();
     assert!(with <= cost * 1.05, "with={with} base={cost}");
 }
 
@@ -186,7 +205,7 @@ fn actual_cost_measurement_path_works() {
     let mut cfg = test_cfg();
     cfg.materialize = Some((7, 30_000));
     let db = build_db(&cfg);
-    assert!(db.has_data());
+    assert!(db.database().has_data());
     let normal = normal_workload(&cfg, 29);
     let out = run_cell(
         &db,
@@ -195,7 +214,8 @@ fn actual_cost_measurement_path_works() {
         InjectorKind::Fsm,
         &cfg,
         CellSeed::raw(29),
-    );
+    )
+    .expect("stress test against the simulator backend");
     assert!(out.baseline_cost > 0.0);
     assert!(out.ad.is_finite());
 }

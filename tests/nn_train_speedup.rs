@@ -38,7 +38,7 @@ fn nn_heavy_cfg() -> DrlIndexConfig {
 /// channel.
 fn retrain_run(mode: KernelMode, cell: u64) -> (Vec<f64>, u64) {
     set_kernel_mode(mode);
-    let db = Benchmark::TpcH.database(1.0, None);
+    let db = pipa::cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let g = pipa::workload::generator::WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -47,9 +47,9 @@ fn retrain_run(mode: KernelMode, cell: u64) -> (Vec<f64>, u64) {
         .normal(&mut rand_chacha::ChaCha8Rng::seed_from_u64(5))
         .unwrap();
     let mut ia = Instrumented::new(DrlIndexAdvisor::new(TrajectoryMode::Best, nn_heavy_cfg()));
-    ia.train(&db, &w);
+    ia.train(&db, &w).expect("train");
     let (rewards, trace) = record_cell(true, CellCtx::new(cell), || {
-        ia.retrain(&db, &w);
+        ia.retrain(&db, &w).expect("retrain");
         ia.reward_trace().to_vec()
     });
     let line = trace

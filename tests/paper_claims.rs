@@ -2,6 +2,7 @@
 //! statements from the paper's analysis that our substrate must also
 //! exhibit, since the attack's design rests on them.
 
+use pipa::cost::{CostEngine, SimBackend};
 use pipa::ia::features::single_column_benefit;
 use pipa::sim::{Aggregate, Index, IndexConfig, Predicate, QueryBuilder};
 use pipa::workload::Benchmark;
@@ -14,8 +15,9 @@ use rand_chacha::ChaCha8Rng;
 /// probing only single-column preferences.
 #[test]
 fn multicolumn_benefit_is_driven_by_the_leading_column() {
-    let db = Benchmark::TpcH.database(1.0, None);
-    let schema = db.schema();
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let engine = CostEngine::new(&cost);
+    let schema = cost.database().schema();
     let mut rng = ChaCha8Rng::seed_from_u64(61);
     let mut close = 0usize;
     let mut total = 0usize;
@@ -37,11 +39,15 @@ fn multicolumn_benefit_is_driven_by_the_leading_column() {
                 .aggregate(Aggregate::CountStar)
                 .build(schema)
                 .unwrap();
-            let single = db.query_benefit(&q, &IndexConfig::from_indexes([Index::single(a)]));
-            let multi = db.query_benefit(
-                &q,
-                &IndexConfig::from_indexes([Index::multi(schema, vec![a, b]).unwrap()]),
-            );
+            let single = engine
+                .query_benefit(&q, &IndexConfig::from_indexes([Index::single(a)]))
+                .unwrap();
+            let multi = engine
+                .query_benefit(
+                    &q,
+                    &IndexConfig::from_indexes([Index::multi(schema, vec![a, b]).unwrap()]),
+                )
+                .unwrap();
             total += 1;
             // The multi-column index is at least as good, and the single
             // leading column captures most of its benefit.
@@ -66,8 +72,9 @@ fn multicolumn_benefit_is_driven_by_the_leading_column() {
 /// selectivity — a real PostgreSQL behaviour our model reproduces.)
 #[test]
 fn low_selectivity_columns_yield_no_index_reward() {
-    let db = Benchmark::TpcH.database(1.0, None);
-    let schema = db.schema();
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let engine = CostEngine::new(&cost);
+    let schema = cost.database().schema();
     for (name, agg) in [
         ("l_linestatus", "l_extendedprice"),
         ("l_returnflag", "l_extendedprice"),
@@ -80,11 +87,13 @@ fn low_selectivity_columns_yield_no_index_reward() {
             .aggregate(Aggregate::Sum(payload))
             .build(schema)
             .unwrap();
-        let benefit = db.query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)]));
+        let benefit = engine
+            .query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)]))
+            .unwrap();
         assert!(
             benefit < 0.1,
             "{name} (ndv {}) should be a useless index: benefit {benefit}",
-            db.column_stat(c).ndv
+            cost.database().column_stat(c).ndv
         );
     }
 }
@@ -94,15 +103,17 @@ fn low_selectivity_columns_yield_no_index_reward() {
 /// 2's explicit cost filter (rather than an NDV heuristic) necessary.
 #[test]
 fn count_star_makes_any_index_covering() {
-    let db = Benchmark::TpcH.database(1.0, None);
-    let schema = db.schema();
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let schema = cost.database().schema();
     let c = schema.column_id("l_linestatus").unwrap();
     let q = QueryBuilder::new()
         .filter(schema, Predicate::eq(c, 0.5))
         .aggregate(Aggregate::CountStar)
         .build(schema)
         .unwrap();
-    let benefit = db.query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)]));
+    let benefit = CostEngine::new(&cost)
+        .query_benefit(&q, &IndexConfig::from_indexes([Index::single(c)]))
+        .unwrap();
     assert!(benefit > 0.2, "index-only scan should win: {benefit}");
 }
 
@@ -112,7 +123,7 @@ fn count_star_makes_any_index_covering() {
 #[test]
 fn budget_curve_is_monotone_with_diminishing_returns() {
     use pipa::ia::{AutoAdminGreedy, IndexAdvisor};
-    let db = Benchmark::TpcH.database(1.0, None);
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let g = pipa::workload::generator::WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -121,8 +132,8 @@ fn budget_curve_is_monotone_with_diminishing_returns() {
     let mut prev = 0.0;
     let mut gains = Vec::new();
     for b in 1..=8 {
-        let cfg = AutoAdminGreedy::new(b).recommend(&db, &w);
-        let benefit = db.workload_benefit(&w, &cfg);
+        let cfg = AutoAdminGreedy::new(b).recommend(&cost, &w).unwrap();
+        let benefit = CostEngine::new(&cost).workload_benefit(&w, &cfg).unwrap();
         assert!(benefit + 1e-9 >= prev, "budget {b}: {benefit} < {prev}");
         gains.push(benefit - prev);
         prev = benefit;
@@ -141,13 +152,15 @@ fn budget_curve_is_monotone_with_diminishing_returns() {
 /// and selective date columns above text/flag columns on TPC-H.
 #[test]
 fn benefit_landscape_has_the_expected_head() {
-    let db = Benchmark::TpcH.database(1.0, None);
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let g = pipa::workload::generator::WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
     );
     let w = g.normal(&mut ChaCha8Rng::seed_from_u64(71)).unwrap();
-    let b = |n: &str| single_column_benefit(&db, &w, db.schema().column_id(n).unwrap());
+    let b = |n: &str| {
+        single_column_benefit(&cost, &w, cost.database().schema().column_id(n).unwrap()).unwrap()
+    };
     assert!(b("l_shipdate") > 0.05, "l_shipdate {}", b("l_shipdate"));
     assert!(b("l_orderkey") > 0.02, "l_orderkey {}", b("l_orderkey"));
     assert!(b("l_comment") < 1e-6);

@@ -6,13 +6,14 @@ use pipa::core::preference::{oracle_preference, segment, SegmentConfig};
 use pipa::core::probe::{probe, ProbeConfig};
 use pipa::ia::{build_clear_box, AdvisorKind, IndexAdvisor, SpeedPreset, TrajectoryMode};
 use pipa::qgen::StGenerator;
-use pipa::sim::{Database, Workload};
+use pipa::cost::SimBackend;
+use pipa::sim::Workload;
 use pipa::workload::Benchmark;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn setup() -> (Database, Workload) {
-    let db = Benchmark::TpcH.database(1.0, None);
+fn setup() -> (SimBackend, Workload) {
+    let db = SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let g = pipa::workload::generator::WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
@@ -29,9 +30,9 @@ fn probing_recovers_the_victims_top_preference() {
         SpeedPreset::Test,
         31,
     );
-    advisor.train(&db, &w);
+    advisor.train(&db, &w).expect("train");
     // What the victim actually recommends for its training workload.
-    let actual = advisor.recommend(&db, &w);
+    let actual = advisor.recommend(&db, &w).expect("recommend");
     let actual_leading = actual.leading_columns();
 
     let mut generator = StGenerator::new(31);
@@ -41,9 +42,9 @@ fn probing_recovers_the_victims_top_preference() {
         seed: 31,
         ..Default::default()
     };
-    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg);
+    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg).expect("probe");
     // The probed top segment should intersect the victim's actual picks.
-    let seg = segment(&res.preference, db.schema(), &SegmentConfig::default());
+    let seg = segment(&res.preference, db.database().schema(), &SegmentConfig::default());
     let overlap = seg
         .top
         .iter()
@@ -69,7 +70,7 @@ fn probed_ranking_correlates_with_the_oracle() {
         SpeedPreset::Test,
         37,
     );
-    advisor.train(&db, &w);
+    advisor.train(&db, &w).expect("train");
     let mut generator = StGenerator::new(37);
     let cfg = ProbeConfig {
         epochs: 8,
@@ -77,8 +78,8 @@ fn probed_ranking_correlates_with_the_oracle() {
         seed: 37,
         ..Default::default()
     };
-    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg);
-    let oracle = oracle_preference(&db, &w);
+    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg).expect("probe");
+    let oracle = oracle_preference(&db, &w).expect("oracle preference");
     let mean_oracle_rank: f64 = res
         .preference
         .ranking
@@ -103,7 +104,7 @@ fn more_probing_epochs_never_lose_information() {
             SpeedPreset::Test,
             41,
         );
-        advisor.train(&db, &w);
+        advisor.train(&db, &w).expect("train");
         let mut generator = StGenerator::new(41);
         let cfg = ProbeConfig {
             epochs,
@@ -111,7 +112,7 @@ fn more_probing_epochs_never_lose_information() {
             seed: 41,
             ..Default::default()
         };
-        probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg)
+        probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg).expect("probe")
     };
     let small = run_probe(2);
     let large = run_probe(10);
@@ -130,7 +131,7 @@ fn zero_probing_epochs_yield_prior_only_ranking() {
         SpeedPreset::Test,
         43,
     );
-    advisor.train(&db, &w);
+    advisor.train(&db, &w).expect("train");
     let mut generator = StGenerator::new(43);
     let cfg = ProbeConfig {
         epochs: 0,
@@ -138,7 +139,7 @@ fn zero_probing_epochs_yield_prior_only_ranking() {
         seed: 43,
         ..Default::default()
     };
-    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg);
+    let res = probe(as_ia(advisor.as_mut()), &db, &mut generator, &cfg).expect("probe");
     assert_eq!(res.epochs_run, 0);
     assert_eq!(res.preference.ranking.len(), 61);
 }

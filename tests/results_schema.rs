@@ -148,6 +148,34 @@ fn bench_nn_artifact_meets_the_kernel_acceptance_floor() {
 }
 
 #[test]
+fn bench_whatif_artifact_keeps_trait_dispatch_within_budget() {
+    // PR: the CostBackend seam put a virtual call on every cost lookup.
+    // The whatif bench measures the same candidate-scoring loop directly
+    // against `Database` and through `&dyn CostBackend` (matrix and
+    // cache disabled, so the full analytical model dominates both); the
+    // committed artifact must show dynamic dispatch costing <= 5%.
+    let path = results_dir().join("BENCH_whatif.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_whatif.json is committed");
+    for cell in ["dispatch_direct", "dispatch_trait"] {
+        let ns = num_field(&text, cell);
+        assert!(ns.is_finite() && ns > 0.0, "median_ns.{cell} = {ns}");
+    }
+    let overhead = num_field(&text, "trait_dispatch_overhead");
+    assert!(
+        overhead.is_finite() && overhead > 0.0,
+        "trait_dispatch_overhead = {overhead}"
+    );
+    assert!(
+        overhead <= 1.05,
+        "trait dispatch must cost <= 5% over direct calls, got {overhead}x"
+    );
+    // The matrix speedups from the incremental what-if PR must survive
+    // the seam: greedy single-table scoring still beats scalar recompute.
+    let speedup = num_field(&text, "greedy_single_speedup");
+    assert!(speedup > 1.5, "greedy_single_speedup = {speedup}");
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check

@@ -267,10 +267,10 @@ proptest! {
         let cfg = IndexConfig::from_indexes([build_index(&db, &cols)]);
 
         let reference = scalar.estimated_workload_cost(&w, &cfg);
-        let cold = db.matrix_workload_cost(&w, &cfg); // cache+matrix cold
-        let warm = db.matrix_workload_cost(&w, &cfg); // both warm
+        let cold = db.estimated_workload_cost(&w, &cfg); // cache+matrix cold
+        let warm = db.estimated_workload_cost(&w, &cfg); // both warm
         db.set_whatif_cache_enabled(false);
-        let uncached = db.matrix_workload_cost(&w, &cfg);
+        let uncached = db.estimated_workload_cost(&w, &cfg);
         db.set_whatif_cache_enabled(true);
         assert_bits("fallback cold", reference, cold);
         assert_bits("fallback warm", reference, warm);
@@ -347,9 +347,9 @@ fn disabled_matrix_routes_to_identical_values() {
         w.push(t.instantiate(db.schema(), &mut rng).unwrap(), 1);
     }
     let cfg = IndexConfig::from_indexes([Index::single(ColumnId(5))]);
-    let enabled = db.matrix_workload_cost(&w, &cfg);
+    let enabled = db.estimated_workload_cost(&w, &cfg);
     db.set_whatif_matrix_enabled(false);
-    let disabled = db.matrix_workload_cost(&w, &cfg);
+    let disabled = db.estimated_workload_cost(&w, &cfg);
     let delta_disabled = db.what_if_delta(
         &w,
         &IndexConfig::empty(),
