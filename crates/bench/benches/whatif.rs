@@ -9,8 +9,13 @@
 //!   phases (generated toxic queries are single-table by construction),
 //!   and the cell where every evaluation is matrix-answerable;
 //! * `whatif/greedy_mixed_*` — the same loop over a normal TPC-H
-//!   template workload (~80 % join-shaped): joins take the full-model
-//!   fallback in both variants, so this bounds the *worst-case* win;
+//!   template workload (~80 % join-shaped): since the join-aware
+//!   decomposition, join queries are answered from per-join-step matrix
+//!   cells rather than the full-model fallback, so this measures the
+//!   matrix win on realistic workloads;
+//! * `whatif/join_mix_{pct}_*` — a grid over the join fraction of the
+//!   workload (0 %, 25 %, 50 %, 75 %, 100 % join-shaped queries): how
+//!   the matrix win scales as joins displace single-table probes;
 //! * `whatif/train_single_*` — DQN training (`Test` preset) on the
 //!   single-table workload: every env step re-costs the workload under
 //!   the episode's grown configuration.
@@ -24,7 +29,9 @@
 //!
 //! A custom `main` (the `[[bench]]` is `harness = false`) re-reads the
 //! criterion JSON lines and writes `results/BENCH_whatif.json` with the
-//! speedups and the matrix/delta/full-fallback counter rates.
+//! speedups and the matrix/join/delta/full-fallback counter rates.
+//! `WHATIF_BENCH_SMOKE=1` shrinks every dimension and skips the
+//! artifact write (CI smoke).
 
 use criterion::Criterion;
 use pipa_cost::CostBackend;
@@ -52,11 +59,26 @@ struct Medians {
 #[derive(Serialize)]
 struct MatrixCounters {
     matrix_evals: u64,
+    join_evals: u64,
     full_fallbacks: u64,
     delta_evals: u64,
     matrix_rate: f64,
     fallback_rate: f64,
     entries: usize,
+    nl_entries: usize,
+}
+
+/// One cell of the join-mix grid: greedy scoring over a workload whose
+/// join-shaped fraction is controlled, scalar vs matrix.
+#[derive(Serialize)]
+struct JoinMixCell {
+    /// Fraction of the workload's queries that are join-shaped.
+    join_fraction: f64,
+    scalar_ns: Option<f64>,
+    matrix_ns: Option<f64>,
+    speedup: Option<f64>,
+    /// Counters observed during the matrix variant of this cell.
+    counters: MatrixCounters,
 }
 
 #[derive(Serialize)]
@@ -76,6 +98,8 @@ struct BenchArtifact {
     trait_dispatch_overhead: Option<f64>,
     matrix_single: MatrixCounters,
     matrix_mixed: MatrixCounters,
+    /// Matrix win as a function of the workload's join fraction.
+    join_mix: Vec<JoinMixCell>,
 }
 
 /// A single-table workload in the image of PIPA's probing/injection
@@ -107,6 +131,36 @@ fn single_table_workload(db: &Database, n: usize) -> Workload {
     w
 }
 
+/// A workload of `n` queries where `frac` of them are join-shaped
+/// (instantiated from the benchmark's join templates, cycled) and the
+/// rest are single-table probes in the shape of
+/// [`single_table_workload`].
+fn join_mix_workload(
+    db: &Database,
+    g: &WorkloadGenerator,
+    frac: f64,
+    n: usize,
+) -> Workload {
+    let join_templates: Vec<_> = g
+        .templates()
+        .iter()
+        .filter(|t| !t.joins.is_empty())
+        .collect();
+    let n_join = (frac * n as f64).round() as usize;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(29 + (frac * 100.0) as u64);
+    let mut w = Workload::new();
+    for wq in single_table_workload(db, n - n_join).iter() {
+        w.push(wq.query.clone(), wq.frequency);
+    }
+    for i in 0..n_join {
+        let q = join_templates[i % join_templates.len()]
+            .instantiate(db.schema(), &mut rng)
+            .expect("join template instantiates");
+        w.push(q, rng.gen_range(1..=5));
+    }
+    w
+}
+
 /// Pull `median_ns` out of the criterion JSON line for `id` (the
 /// vendored serde_json is serialize-only; the line format is fixed).
 fn median_of(lines: &str, id: &str) -> Option<f64> {
@@ -121,30 +175,40 @@ fn counters(db: &Database) -> MatrixCounters {
     let stats = db.whatif_matrix_stats();
     MatrixCounters {
         matrix_evals: stats.matrix_evals,
+        join_evals: stats.join_evals,
         full_fallbacks: stats.full_fallbacks,
         delta_evals: stats.delta_evals,
         matrix_rate: stats.matrix_rate(),
         fallback_rate: stats.fallback_rate(),
         entries: stats.entries,
+        nl_entries: stats.nl_entries,
     }
 }
 
 fn main() {
+    let smoke = std::env::var("WHATIF_BENCH_SMOKE").is_ok();
     let json_path = std::env::temp_dir().join("pipa_whatif_bench.jsonl");
     let _ = std::fs::remove_file(&json_path);
     std::env::set_var("CRITERION_JSON", &json_path);
 
     let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
-    let single = single_table_workload(cost.database(), 24);
+    let wl_n = if smoke { 8 } else { 24 };
+    let single = single_table_workload(cost.database(), wl_n);
     let g = WorkloadGenerator::new(
         Benchmark::TpcH.schema(),
         Benchmark::TpcH.default_templates(),
     );
     let mixed = g
-        .of_size(24, &mut rand_chacha::ChaCha8Rng::seed_from_u64(7))
+        .of_size(wl_n, &mut rand_chacha::ChaCha8Rng::seed_from_u64(7))
         .unwrap();
     let budget = 4;
-    let mut c = Criterion::default().sample_size(10);
+    let mut c = if smoke {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(std::time::Duration::from_millis(30))
+    } else {
+        Criterion::default().sample_size(10)
+    };
 
     let bench_greedy = |c: &mut Criterion, name: &str, w: &Workload, matrix_on: bool| {
         cost.database().set_whatif_matrix_enabled(matrix_on);
@@ -167,6 +231,21 @@ fn main() {
     bench_greedy(&mut c, "whatif/greedy_mixed_scalar", &mixed, false);
     bench_greedy(&mut c, "whatif/greedy_mixed_matrix", &mixed, true);
     let matrix_mixed = counters(cost.database());
+
+    // --- join-mix grid: matrix win vs join fraction -------------------
+    let fractions: &[f64] = if smoke {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    let mut join_mix_counters = Vec::new();
+    for &frac in fractions {
+        let w = join_mix_workload(cost.database(), &g, frac, wl_n);
+        let pct = (frac * 100.0).round() as u32;
+        bench_greedy(&mut c, &format!("whatif/join_mix_{pct}_scalar"), &w, false);
+        bench_greedy(&mut c, &format!("whatif/join_mix_{pct}_matrix"), &w, true);
+        join_mix_counters.push((frac, pct, counters(cost.database())));
+    }
 
     // --- DQN training (env-step what-ifs), single-table ---------------
     let bench_train = |c: &mut Criterion, name: &str, matrix_on: bool| {
@@ -244,6 +323,21 @@ fn main() {
     let train_single_speedup = ratio(medians.train_single_scalar, medians.train_single_matrix);
     let trait_dispatch_overhead = ratio(medians.dispatch_trait, medians.dispatch_direct);
 
+    let join_mix: Vec<JoinMixCell> = join_mix_counters
+        .into_iter()
+        .map(|(frac, pct, counters)| {
+            let scalar_ns = med(&format!("whatif/join_mix_{pct}_scalar"));
+            let matrix_ns = med(&format!("whatif/join_mix_{pct}_matrix"));
+            JoinMixCell {
+                join_fraction: frac,
+                scalar_ns,
+                matrix_ns,
+                speedup: ratio(scalar_ns, matrix_ns),
+                counters,
+            }
+        })
+        .collect();
+
     for (label, s) in [
         ("greedy single-table", greedy_single_speedup),
         ("greedy mixed       ", greedy_mixed_speedup),
@@ -252,6 +346,16 @@ fn main() {
         if let Some(s) = s {
             println!("{label}: matrix speedup {s:.2}x");
         }
+    }
+    for cell in &join_mix {
+        println!(
+            "join mix {:>3.0}%: speedup {}, fallback rate {:.3}, {} join evals",
+            cell.join_fraction * 100.0,
+            cell.speedup
+                .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
+            cell.counters.fallback_rate,
+            cell.counters.join_evals,
+        );
     }
     if let Some(o) = trait_dispatch_overhead {
         println!("trait dispatch overhead    : {o:.3}x (budget 1.05x)");
@@ -264,11 +368,17 @@ fn main() {
         matrix_single.matrix_rate,
     );
 
+    if smoke {
+        eprintln!("[smoke] WHATIF_BENCH_SMOKE set; artifact not written");
+        return;
+    }
     let artifact = BenchArtifact {
         id: "BENCH_whatif".to_string(),
         description: "benefit-matrix what-if vs scalar recompute on advisor hot paths \
                       (greedy candidate scoring and DQN training; cold per iteration; \
-                      single-table = probing/injection shape, mixed = join-heavy bound)"
+                      single-table = probing/injection shape, mixed = join-heavy TPC-H \
+                      templates answered via join-aware decomposition, join_mix = win \
+                      vs join fraction)"
             .to_string(),
         single_workload_queries: single.len(),
         mixed_workload_queries: mixed.len(),
@@ -280,6 +390,7 @@ fn main() {
         trait_dispatch_overhead,
         matrix_single,
         matrix_mixed,
+        join_mix,
     };
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let out = dir.join("BENCH_whatif.json");

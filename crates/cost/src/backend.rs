@@ -79,16 +79,44 @@ impl std::fmt::Debug for CostSession {
 ///
 /// # Contract
 ///
-/// * Costs are deterministic pure functions of `(catalog, query,
-///   config)`: repeated calls return the same `f64` bit-for-bit.
-/// * `workload_cost` is the frequency-weighted sum, in workload order,
-///   of the per-query `query_cost` values — backends must preserve this
-///   decomposition so tapes recorded per-query replay composite calls
-///   exactly (see `RecordReplayBackend` and
-///   `tests/cost_backend_differential.rs`).
-/// * Sessions begin at the empty configuration; `cfg_after` arguments
-///   must equal the session's configuration with `idx` added, exactly as
-///   in the `Database` session API this trait abstracts.
+/// **Bit-equality.** Costs are deterministic pure functions of
+/// `(catalog, query, config)`: repeated calls return the same `f64`
+/// bit-for-bit, regardless of which route answered them (benefit-matrix
+/// cells, decomposed join plans, memoized scalar model, or a replay
+/// tape) and regardless of thread count. Composite results decompose:
+/// `workload_cost` is the frequency-weighted sum, in workload order, of
+/// the per-query `query_cost` values, and `batch_workload_cost` /
+/// `delta_workload_cost` / session totals must all equal the
+/// corresponding sequence of `workload_cost` calls bit-for-bit. This is
+/// what makes per-query tapes sufficient to replay whole grids (see
+/// [`crate::RecordingBackend`] / [`crate::ReplayBackend`]); it is pinned
+/// by `tests/cost_backend_differential.rs`.
+///
+/// **Session lifecycle.** [`session_begin`](Self::session_begin) starts
+/// a session at the **empty configuration**; the returned
+/// [`CostSession`] is an opaque value the consumer stores and hands
+/// back to the *same* backend.
+/// [`session_preview_add`](Self::session_preview_add) costs
+/// `session config + idx` without mutating the session;
+/// [`session_add`](Self::session_add) commits it.
+/// Both take `cfg_after`, which **must** equal the session's current
+/// configuration with `idx` added — backends may trust it (the matrix
+/// paths re-cost only what `idx` touches) or recompute from it, but
+/// they never diff it. Sessions are `Clone`: cloning forks the
+/// configuration state, and both forks remain valid against the
+/// creating backend.
+///
+/// **Error semantics.** Every method is total: failures surface as
+/// [`CostError`] values, never panics. Handing a session to a backend
+/// that did not create it yields [`CostError::SessionMismatch`]. A
+/// replay tape with no entry for a requested `(query, config)` pair
+/// yields [`CostError::ReplayMiss`] — carrying both fingerprints and a
+/// rendered description of the pair — never a fabricated cost.
+/// Operations a backend cannot perform yield [`CostError::Unsupported`]
+/// (e.g. `explain` on a tape) rather than a silent approximation;
+/// the only sanctioned fallback is `executed_*` degrading to the
+/// estimate when [`supports_execution`](Self::supports_execution) is
+/// false, mirroring `Database::actual_query_cost`.
 pub trait CostBackend: Send + Sync {
     /// Short stable name (used in errors, traces, and result artifacts).
     fn name(&self) -> &'static str;

@@ -31,6 +31,11 @@ pub enum CostError {
         config: u128,
         /// Whether the miss was on the executed-cost tape (vs estimated).
         executed: bool,
+        /// Human-readable description of the offending pair (rendered
+        /// SQL, index list, tape size). Diagnostic only: carries no
+        /// identity, so two misses on the same fingerprints compare
+        /// equal even if rendered differently.
+        detail: ReplayMissDetail,
     },
     /// The backend does not support the requested operation.
     Unsupported {
@@ -41,6 +46,37 @@ pub enum CostError {
     },
     /// Reading or parsing a tape failed.
     Io(String),
+}
+
+/// Diagnostic payload attached to [`CostError::ReplayMiss`]: what the
+/// offending `(query, config)` pair actually was, rendered by the backend
+/// that raised the miss (SQL text, index names, tape size).
+///
+/// Compares equal to every other detail so that [`CostError`]'s derived
+/// `PartialEq`/`Eq` remain structural on the fingerprints alone — two
+/// misses on the same pair are the same error even when one side could
+/// render richer context than the other.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayMissDetail(pub String);
+
+impl PartialEq for ReplayMissDetail {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ReplayMissDetail {}
+
+impl From<String> for ReplayMissDetail {
+    fn from(s: String) -> Self {
+        ReplayMissDetail(s)
+    }
+}
+
+impl fmt::Display for ReplayMissDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
 }
 
 impl fmt::Display for CostError {
@@ -54,11 +90,18 @@ impl fmt::Display for CostError {
                 query,
                 config,
                 executed,
-            } => write!(
-                f,
-                "replay tape miss ({} cost): query {query:032x} under config {config:032x}",
-                if *executed { "executed" } else { "estimated" }
-            ),
+                detail,
+            } => {
+                write!(
+                    f,
+                    "replay tape miss ({} cost): query {query:032x} under config {config:032x}",
+                    if *executed { "executed" } else { "estimated" }
+                )?;
+                if !detail.0.is_empty() {
+                    write!(f, " ({detail})")?;
+                }
+                Ok(())
+            }
             CostError::Unsupported { backend, op } => {
                 write!(f, "backend `{backend}` does not support {op}")
             }
@@ -95,9 +138,21 @@ mod tests {
             query: 0xab,
             config: 1,
             executed: false,
+            detail: ReplayMissDetail::default(),
         };
         assert!(m.to_string().contains("estimated"));
         assert!(m.to_string().contains("000000000000000000000000000000ab"));
+        // An empty detail adds nothing; a populated one is rendered.
+        assert!(!m.to_string().ends_with("()"));
+        let with_detail = CostError::ReplayMiss {
+            query: 0xab,
+            config: 1,
+            executed: false,
+            detail: "SELECT * FROM lineitem; config []".to_string().into(),
+        };
+        assert!(with_detail.to_string().contains("SELECT * FROM lineitem"));
+        // Detail is diagnostic, not identity: the two misses are equal.
+        assert_eq!(m, with_detail);
         let u = CostError::Unsupported {
             backend: "replay",
             op: "explain",

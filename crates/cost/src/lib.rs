@@ -35,7 +35,7 @@ mod sim;
 
 pub use backend::{CostBackend, CostSession};
 pub use engine::CostEngine;
-pub use error::{CostError, CostResult};
+pub use error::{CostError, CostResult, ReplayMissDetail};
 pub use replay::{RecordingBackend, ReplayBackend, Tape};
 pub use sim::SimBackend;
 

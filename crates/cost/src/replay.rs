@@ -320,11 +320,32 @@ impl ReplayBackend {
         );
         map.get(&key)
             .map(|&bits| f64::from_bits(bits))
-            .ok_or(CostError::ReplayMiss {
+            .ok_or_else(|| CostError::ReplayMiss {
                 query: key.0,
                 config: key.1,
                 executed,
+                detail: self.miss_detail(q, cfg, map.len()).into(),
             })
+    }
+
+    /// Render the offending `(query, config)` pair for a
+    /// [`CostError::ReplayMiss`]: the query's SQL text, the configuration's
+    /// index names, and the size of the tape that was searched. The owned
+    /// catalog makes this possible without reaching back to the recording
+    /// backend.
+    fn miss_detail(&self, q: &Query, cfg: &IndexConfig, tape_len: usize) -> String {
+        let cat = self.catalog();
+        let sql = q.render_sql(cat.schema, |c| cat.column(c));
+        let indexes: Vec<String> = cfg
+            .indexes()
+            .iter()
+            .map(|i| i.name(cat.schema))
+            .collect();
+        format!(
+            "query `{sql}` under config [{}]; tape holds {tape_len} entr{}",
+            indexes.join(", "),
+            if tape_len == 1 { "y" } else { "ies" }
+        )
     }
 }
 

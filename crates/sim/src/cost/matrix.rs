@@ -13,16 +13,27 @@
 //!   cardinality. The per-index access costs are a *matrix* indexed by
 //!   `(query, index)` — `O(|W| · L)` entries, not `O(|W| · 2^L)` — and a
 //!   config cost is a running `min` over the row.
-//! * For a **join query** the access-path choice couples with join
-//!   planning (an index on the join key enables an index nested-loop
-//!   join whose cost depends on the outer cardinality), so decomposition
-//!   would change results. Those queries take the full-model fallback,
+//! * For a **join query** the greedy left-deep skeleton — join order,
+//!   per-step cardinalities, join columns, and the final result
+//!   cardinality — is itself config-independent (the order sorts by
+//!   filtered cardinalities, which no index changes). The model exposes
+//!   it as a `JoinPlan`, and the per-step costs decompose into the
+//!   same `(query, index)` access cells plus a second family of
+//!   `(query, index)` *nested-loop* cells (the probe cost of an index
+//!   that leads on the step's join key, for the step's fixed outer
+//!   cardinality). A config cost is per-step running `min`s folded by
+//!   `AnalyticalCostModel::join_cost_from_steps`, and a config *edit*
+//!   re-costs only the step whose table the index touches.
+//! * Only **genuinely non-decomposable** shapes — a table scanned twice
+//!   in one query (raw self-join), where `(query, index)` cell keys
+//!   would collide across steps — take the full-model fallback,
 //!   memoized by the [`super::CostCache`].
 //!
 //! Equality contract: matrix answers are **bit-identical** to the scalar
 //! model. Both paths call the same crate-internal `table_access` /
-//! `index_access_cost` / `apply_surcharges` helpers, the `min` runs over
-//! the same values in the same order, and "index not applicable" is
+//! `index_access_cost` / `index_nl_cost` / `join_cost_from_steps` /
+//! `apply_surcharges` helpers on the same `JoinPlan` skeleton, the
+//! `min` runs over the same values, and "index not applicable" is
 //! encoded as `+∞` so the `e < best` comparison skips it exactly like the
 //! scalar path's `continue`. `tests/whatif_differential.rs` pins this
 //! with proptest-generated workloads and edit sequences.
@@ -32,20 +43,34 @@
 //! model is pure.
 
 use super::cache::{fingerprint_index, Fingerprint};
-use super::model::{AnalyticalCostModel, TableAccess};
+use super::model::{AnalyticalCostModel, JoinPlan, JoinStep, JoinStepState, TableAccess};
 use super::Catalog;
 use crate::index::{Index, IndexConfig};
 use crate::query::Query;
-use crate::schema::TableId;
+use crate::schema::{ColumnId, TableId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Shard count (power of two, same rationale as the cost cache).
 const SHARDS: usize = 16;
 
 /// How a query's cost depends on the index configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Classification decision (memoized per query fingerprint):
+///
+/// ```text
+/// tables = 0 ─────────────────────────────► Trivial
+/// tables = 1 ─────────────────────────────► Decomposable
+/// tables ≥ 2, all tables distinct ────────► JoinDecomposable
+/// tables ≥ 2, some table scanned twice ───► JoinCoupled (full model)
+/// ```
+///
+/// Duplicate scans of one table are the genuinely non-decomposable case:
+/// the matrix keys cells by `(query, index)` and resolves the step an
+/// index belongs to via the index's table, which is ambiguous when two
+/// steps scan the same table.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum QueryShape {
     /// No tables: cost is 0 under every configuration.
     Trivial,
@@ -58,8 +83,16 @@ pub(crate) enum QueryShape {
         /// Filtered output cardinality (surcharge input).
         rows_out: f64,
     },
-    /// Joins present: index choice interacts with join planning; only the
-    /// full model is correct.
+    /// Multi-table with distinct tables: the config-independent
+    /// [`JoinPlan`] skeleton decomposes the cost into per-step access
+    /// and nested-loop matrix cells.
+    JoinDecomposable {
+        /// The memoized plan skeleton (shared with session states).
+        plan: Arc<JoinPlan>,
+    },
+    /// A table is scanned more than once: `(query, index)` cell keys
+    /// would be ambiguous across steps, so only the full model is
+    /// correct.
     JoinCoupled,
 }
 
@@ -67,30 +100,42 @@ pub(crate) enum QueryShape {
 /// [`BenefitMatrix::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatrixStats {
-    /// Per-query config evaluations answered from the matrix
-    /// (decomposable shape, including trivial queries).
+    /// Per-query config evaluations answered from the single-table
+    /// matrix rows (decomposable shape, including trivial queries).
     pub matrix_evals: u64,
+    /// Per-query config evaluations answered from a decomposed join
+    /// plan (join-decomposable shape).
+    pub join_evals: u64,
     /// Per-query evaluations that fell back to the full model
     /// (join-coupled shape).
     pub full_fallbacks: u64,
     /// Delta operations (`what_if_delta`, incremental-eval previews and
     /// commits).
     pub delta_evals: u64,
-    /// Matrix-cell lookups answered from the resident matrix.
+    /// Matrix-cell lookups answered from the resident matrix (access and
+    /// nested-loop cells).
     pub entry_hits: u64,
-    /// Matrix-cell lookups that computed a fresh access cost.
+    /// Matrix-cell lookups that computed a fresh cost (access and
+    /// nested-loop cells).
     pub entry_misses: u64,
-    /// `(query, index)` cells currently resident.
+    /// `(query, index)` access cells currently resident.
     pub entries: usize,
+    /// `(query, index)` nested-loop cells currently resident.
+    pub nl_entries: usize,
     /// Query shapes classified so far.
     pub shapes: usize,
 }
 
 impl MatrixStats {
+    /// All per-query evaluations counted (matrix, join, fallback).
+    fn evals(&self) -> u64 {
+        self.matrix_evals + self.join_evals + self.full_fallbacks
+    }
+
     /// Full-model fallbacks as a fraction of all per-query evaluations
     /// (0 when nothing was evaluated).
     pub fn fallback_rate(&self) -> f64 {
-        let total = self.matrix_evals + self.full_fallbacks;
+        let total = self.evals();
         if total == 0 {
             0.0
         } else {
@@ -98,14 +143,15 @@ impl MatrixStats {
         }
     }
 
-    /// Matrix evaluations as a fraction of all per-query evaluations
-    /// (0 when nothing was evaluated).
+    /// Matrix-answered evaluations (single-table rows and decomposed
+    /// joins) as a fraction of all per-query evaluations (0 when nothing
+    /// was evaluated).
     pub fn matrix_rate(&self) -> f64 {
-        let total = self.matrix_evals + self.full_fallbacks;
+        let total = self.evals();
         if total == 0 {
             0.0
         } else {
-            self.matrix_evals as f64 / total as f64
+            (self.matrix_evals + self.join_evals) as f64 / total as f64
         }
     }
 }
@@ -137,7 +183,7 @@ impl ConfigDelta {
 }
 
 /// Per-query state of an [`IncrementalEval`] session.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) enum QueryState {
     /// No tables: cost pinned at 0.
     Trivial,
@@ -154,6 +200,19 @@ pub(crate) enum QueryState {
         /// session's current configuration.
         cost: f64,
     },
+    /// Join-decomposable: the memoized plan skeleton plus per-step
+    /// running minima. Adding an index re-costs only the step whose
+    /// table the index covers; every other step's state is untouched.
+    Join {
+        /// The plan skeleton (shared with the matrix's shape entry).
+        plan: Arc<JoinPlan>,
+        /// Per-step `(raw access, best nested loop)` minima over the
+        /// indexes applied so far, in plan order.
+        steps: Vec<JoinStepState>,
+        /// `join_cost_from_steps(steps)` — the per-query cost under the
+        /// session's current configuration.
+        cost: f64,
+    },
     /// Join-coupled (or matrix disabled): full per-query cost under the
     /// session's current configuration.
     Full(f64),
@@ -162,16 +221,17 @@ pub(crate) enum QueryState {
 impl QueryState {
     /// The per-query cost under the session's current configuration.
     pub(crate) fn cost(&self) -> f64 {
-        match *self {
+        match self {
             QueryState::Trivial => 0.0,
-            QueryState::Raw { cost, .. } => cost,
-            QueryState::Full(c) => c,
+            QueryState::Raw { cost, .. } => *cost,
+            QueryState::Join { cost, .. } => *cost,
+            QueryState::Full(c) => *c,
         }
     }
 }
 
 /// Per-workload-entry evaluation state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct EvalState {
     /// Fingerprint of the entry's query (computed once per session).
     pub(crate) qf: Fingerprint,
@@ -213,9 +273,18 @@ pub struct BenefitMatrix {
     /// Query fingerprint → shape (lazily classified).
     shapes: RwLock<HashMap<Fingerprint, QueryShape>>,
     /// `(query, index)` → raw access cost; `+∞` = index not applicable.
+    /// For join-decomposable queries the index's table resolves which
+    /// plan step the cell belongs to (tables are distinct by shape
+    /// classification, so the key is unambiguous).
     entries: Vec<RwLock<HashMap<(Fingerprint, Fingerprint), f64>>>,
+    /// `(query, index)` → index nested-loop probe cost into the step the
+    /// index's table identifies, for that step's fixed outer
+    /// cardinality. Kept separate from `entries` because an index on a
+    /// join key owns cells in *both* families under the same key.
+    nl_entries: Vec<RwLock<HashMap<(Fingerprint, Fingerprint), f64>>>,
     enabled: AtomicBool,
     matrix_evals: AtomicU64,
+    join_evals: AtomicU64,
     full_fallbacks: AtomicU64,
     delta_evals: AtomicU64,
     entry_hits: AtomicU64,
@@ -234,8 +303,10 @@ impl BenefitMatrix {
         BenefitMatrix {
             shapes: RwLock::new(HashMap::new()),
             entries: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            nl_entries: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             enabled: AtomicBool::new(true),
             matrix_evals: AtomicU64::new(0),
+            join_evals: AtomicU64::new(0),
             full_fallbacks: AtomicU64::new(0),
             delta_evals: AtomicU64::new(0),
             entry_hits: AtomicU64::new(0),
@@ -258,10 +329,11 @@ impl BenefitMatrix {
     /// Drop all cells and shapes and zero the counters.
     pub fn clear(&self) {
         self.shapes.write().expect("matrix shapes poisoned").clear();
-        for s in &self.entries {
+        for s in self.entries.iter().chain(&self.nl_entries) {
             s.write().expect("matrix shard poisoned").clear();
         }
         self.matrix_evals.store(0, Ordering::Relaxed);
+        self.join_evals.store(0, Ordering::Relaxed);
         self.full_fallbacks.store(0, Ordering::Relaxed);
         self.delta_evals.store(0, Ordering::Relaxed);
         self.entry_hits.store(0, Ordering::Relaxed);
@@ -272,12 +344,18 @@ impl BenefitMatrix {
     pub fn stats(&self) -> MatrixStats {
         MatrixStats {
             matrix_evals: self.matrix_evals.load(Ordering::Relaxed),
+            join_evals: self.join_evals.load(Ordering::Relaxed),
             full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
             delta_evals: self.delta_evals.load(Ordering::Relaxed),
             entry_hits: self.entry_hits.load(Ordering::Relaxed),
             entry_misses: self.entry_misses.load(Ordering::Relaxed),
             entries: self
                 .entries
+                .iter()
+                .map(|s| s.read().expect("matrix shard poisoned").len())
+                .sum(),
+            nl_entries: self
+                .nl_entries
                 .iter()
                 .map(|s| s.read().expect("matrix shard poisoned").len())
                 .sum(),
@@ -288,6 +366,11 @@ impl BenefitMatrix {
     /// One per-query evaluation was answered from the matrix.
     pub(crate) fn note_matrix_eval(&self) {
         self.matrix_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One per-query evaluation was answered from a decomposed join plan.
+    pub(crate) fn note_join_eval(&self) {
+        self.join_evals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One per-query evaluation fell back to the full model.
@@ -308,13 +391,13 @@ impl BenefitMatrix {
         q: &Query,
         qf: Fingerprint,
     ) -> QueryShape {
-        if let Some(&s) = self
+        if let Some(s) = self
             .shapes
             .read()
             .expect("matrix shapes poisoned")
             .get(&qf)
         {
-            return s;
+            return s.clone();
         }
         let s = if q.tables.is_empty() {
             QueryShape::Trivial
@@ -325,15 +408,27 @@ impl BenefitMatrix {
                 seq_cost: acc.seq_cost,
                 rows_out: acc.rows_out,
             }
-        } else {
+        } else if q
+            .tables
+            .iter()
+            .enumerate()
+            .any(|(i, t)| q.tables[..i].contains(t))
+        {
+            // A table scanned twice: `(query, index)` cell keys can't
+            // tell the two steps apart, so only the full model is
+            // correct.
             QueryShape::JoinCoupled
+        } else {
+            QueryShape::JoinDecomposable {
+                plan: Arc::new(model.join_plan(cat, q)),
+            }
         };
         self.shapes
             .write()
             .expect("matrix shapes poisoned")
             .entry(qf)
-            .or_insert(s);
-        s
+            .or_insert(s)
+            .clone()
     }
 
     /// One matrix cell: the raw access cost of scanning the query's
@@ -404,6 +499,197 @@ impl BenefitMatrix {
     ) -> f64 {
         let mut acc = None;
         self.cell(model, cat, key, idxf, index, &mut acc)
+    }
+
+    /// One nested-loop cell: the probe cost of driving `index` on the
+    /// step's join key for the step's fixed outer cardinality. Callers
+    /// pass only applicable candidates (index on the step's table,
+    /// leading on the step's join column — a pure metadata check), so
+    /// unlike access cells there is no `+∞` encoding here.
+    #[allow(clippy::too_many_arguments)]
+    fn nl_cell(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        qf: Fingerprint,
+        step: &JoinStep,
+        idxf: Fingerprint,
+        index: &Index,
+        col: ColumnId,
+    ) -> f64 {
+        let cell_key = (qf, idxf);
+        let shard = &self.nl_entries
+            [(qf.to_u128() as u64 ^ idxf.to_u128() as u64) as usize & (SHARDS - 1)];
+        if let Some(&v) = shard.read().expect("matrix shard poisoned").get(&cell_key) {
+            self.entry_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.entry_misses.fetch_add(1, Ordering::Relaxed);
+        let v = model.index_nl_cost(cat, step.table, index, col, step.outer_rows);
+        shard
+            .write()
+            .expect("matrix shard poisoned")
+            .entry(cell_key)
+            .or_insert(v);
+        v
+    }
+
+    /// Per-step [`JoinStepState`]s of a decomposed join under the keyed
+    /// configuration: for each step, `raw = min(seq_cost, access cells
+    /// of the config's indexes on that table)` and `nl = min(nested-loop
+    /// cells of indexes leading on the step's join key)`. Bit-identical
+    /// to [`AnalyticalCostModel::join_step_state`] because both paths
+    /// take the `min` of the same `index_access_cost` / `index_nl_cost`
+    /// values over the same applicable candidates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn join_states(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+        plan: &JoinPlan,
+        keyed: &[(Fingerprint, &Index)],
+    ) -> Vec<JoinStepState> {
+        plan.steps
+            .iter()
+            .map(|step| {
+                let mut acc = None;
+                let key = QueryKey {
+                    q,
+                    qf,
+                    table: step.table,
+                };
+                let mut raw = step.seq_cost;
+                for &(idxf, index) in keyed {
+                    // Only this step's table: the cell key `(qf, idxf)`
+                    // must always hold the cost against the index's own
+                    // table, never another step's `+∞`.
+                    if index.table(cat.schema) != step.table {
+                        continue;
+                    }
+                    let e = self.cell(model, cat, &key, idxf, index, &mut acc);
+                    if e < raw {
+                        raw = e;
+                    }
+                }
+                let mut nl = f64::INFINITY;
+                if let Some(col) = step.inner_col {
+                    for &(idxf, index) in keyed {
+                        if index.table(cat.schema) == step.table && index.leading() == col {
+                            let c = self.nl_cell(model, cat, qf, step, idxf, index, col);
+                            if c < nl {
+                                nl = c;
+                            }
+                        }
+                    }
+                }
+                JoinStepState { raw, nl }
+            })
+            .collect()
+    }
+
+    /// Full-config cost of a decomposed join: per-step minima from the
+    /// matrix cells folded through the model's shared accumulation loop.
+    pub(crate) fn join_eval(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+        plan: &JoinPlan,
+        keyed: &[(Fingerprint, &Index)],
+    ) -> f64 {
+        let states = self.join_states(model, cat, q, qf, plan, keyed);
+        model.join_cost_from_steps(q, plan, &states)
+    }
+
+    /// One step's state with `index` folded into its minima (access cell
+    /// always; nested-loop cell only when the index leads on the step's
+    /// join column).
+    #[allow(clippy::too_many_arguments)]
+    fn step_with_index(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+        step: &JoinStep,
+        mut st: JoinStepState,
+        idxf: Fingerprint,
+        index: &Index,
+    ) -> JoinStepState {
+        let key = QueryKey {
+            q,
+            qf,
+            table: step.table,
+        };
+        let e = self.index_cell(model, cat, &key, idxf, index);
+        if e < st.raw {
+            st.raw = e;
+        }
+        if let Some(col) = step.inner_col {
+            if index.leading() == col {
+                let c = self.nl_cell(model, cat, qf, step, idxf, index, col);
+                if c < st.nl {
+                    st.nl = c;
+                }
+            }
+        }
+        st
+    }
+
+    /// Apply one added index to a join session's per-step states,
+    /// re-costing only the step whose table the index covers (tables are
+    /// distinct by shape classification, so at most one step matches; an
+    /// index on a table the query never scans touches nothing).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn join_apply_add(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+        plan: &JoinPlan,
+        steps: &mut [JoinStepState],
+        idxf: Fingerprint,
+        index: &Index,
+    ) {
+        let t = index.table(cat.schema);
+        if let Some(k) = plan.steps.iter().position(|s| s.table == t) {
+            steps[k] =
+                self.step_with_index(model, cat, q, qf, &plan.steps[k], steps[k], idxf, index);
+        }
+    }
+
+    /// Cost of a join session's configuration plus one index, without
+    /// committing: the touched step's minima are recomputed (one or two
+    /// cell probes) and substituted into the shared accumulation loop;
+    /// untouched steps are read as-is.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn join_preview_add(
+        &self,
+        model: &AnalyticalCostModel,
+        cat: Catalog<'_>,
+        q: &Query,
+        qf: Fingerprint,
+        plan: &JoinPlan,
+        steps: &[JoinStepState],
+        idxf: Fingerprint,
+        index: &Index,
+    ) -> f64 {
+        let t = index.table(cat.schema);
+        let replace = plan
+            .steps
+            .iter()
+            .position(|s| s.table == t)
+            .map(|k| {
+                (
+                    k,
+                    self.step_with_index(model, cat, q, qf, &plan.steps[k], steps[k], idxf, index),
+                )
+            });
+        model.join_cost_substituted(q, plan, steps, replace)
     }
 }
 
@@ -561,7 +847,7 @@ mod tests {
     }
 
     #[test]
-    fn join_queries_classify_as_join_coupled() {
+    fn join_queries_classify_as_join_decomposable() {
         let fx = Fixture::new();
         let model = AnalyticalCostModel::new();
         let m = BenefitMatrix::new();
@@ -572,10 +858,120 @@ mod tests {
             .build(&fx.schema)
             .unwrap();
         let qf = fingerprint_query(&q);
-        assert_eq!(
-            m.shape(&model, fx.cat(), &q, qf),
-            QueryShape::JoinCoupled
-        );
+        match m.shape(&model, fx.cat(), &q, qf) {
+            QueryShape::JoinDecomposable { plan } => {
+                assert_eq!(plan.steps.len(), 2);
+                // Every later step carries the join column it probes on.
+                assert!(plan.steps[1].inner_col.is_some());
+            }
+            s => panic!("expected join-decomposable shape, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_table_scans_classify_as_join_coupled() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        // A raw self-join scanning `fact` twice: the builder dedupes
+        // tables, so construct the query directly.
+        let mut q = QueryBuilder::new()
+            .join(&fx.schema, fx.col("f_dim"), fx.col("d_id"))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let fact = fx.schema.table_of(fx.col("f_id"));
+        q.tables.push(fact);
+        let qf = fingerprint_query(&q);
+        assert_eq!(m.shape(&model, fx.cat(), &q, qf), QueryShape::JoinCoupled);
+    }
+
+    #[test]
+    fn join_matrix_costs_match_the_scalar_model_bit_for_bit() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .join(&fx.schema, fx.col("f_dim"), fx.col("d_id"))
+            .filter(&fx.schema, Predicate::eq(fx.col("d_cat"), 0.5))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let qf = fingerprint_query(&q);
+        let QueryShape::JoinDecomposable { plan } = m.shape(&model, fx.cat(), &q, qf) else {
+            panic!("expected join-decomposable shape");
+        };
+        let configs = [
+            IndexConfig::empty(),
+            // Leads on the fact join key: enables the nested loop.
+            IndexConfig::from_indexes([Index::single(fx.col("f_dim"))]),
+            // Dimension-side filter index plus the join-key index.
+            IndexConfig::from_indexes([
+                Index::single(fx.col("d_cat")),
+                Index::single(fx.col("f_dim")),
+                Index::multi(&fx.schema, vec![fx.col("f_dim"), fx.col("f_price")]).unwrap(),
+            ]),
+        ];
+        for cfg in &configs {
+            let scalar = model.query_cost(fx.cat(), &q, cfg);
+            let keyed = keyed_indexes(cfg);
+            let cold = m.join_eval(&model, fx.cat(), &q, qf, &plan, &keyed);
+            let warm = m.join_eval(&model, fx.cat(), &q, qf, &plan, &keyed);
+            assert_eq!(scalar.to_bits(), cold.to_bits());
+            assert_eq!(scalar.to_bits(), warm.to_bits());
+        }
+        let s = m.stats();
+        assert!(s.entry_hits > 0, "warm pass must hit resident cells");
+        assert!(s.nl_entries > 0, "join-key index must own a nested-loop cell");
+    }
+
+    #[test]
+    fn join_apply_add_recosts_only_the_touched_step() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .join(&fx.schema, fx.col("f_dim"), fx.col("d_id"))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let qf = fingerprint_query(&q);
+        let QueryShape::JoinDecomposable { plan } = m.shape(&model, fx.cat(), &q, qf) else {
+            panic!("expected join-decomposable shape");
+        };
+        // Start from the empty config: per-step (seq, +inf).
+        let mut steps: Vec<JoinStepState> = plan
+            .steps
+            .iter()
+            .map(|s| JoinStepState {
+                raw: s.seq_cost,
+                nl: f64::INFINITY,
+            })
+            .collect();
+        let before = steps.clone();
+        let idx = Index::single(fx.col("f_dim"));
+        let idxf = fingerprint_index(&idx);
+        m.join_apply_add(&model, fx.cat(), &q, qf, &plan, &mut steps, idxf, &idx);
+        let fact = fx.schema.table_of(fx.col("f_dim"));
+        for (k, step) in plan.steps.iter().enumerate() {
+            if step.table == fact {
+                assert!(
+                    steps[k].nl.is_finite(),
+                    "join-key index must open the nested-loop alternative"
+                );
+            } else {
+                assert_eq!(steps[k].raw.to_bits(), before[k].raw.to_bits());
+                assert_eq!(steps[k].nl.to_bits(), before[k].nl.to_bits());
+            }
+        }
+        // The updated states must equal a from-scratch evaluation.
+        let keyed = [(idxf, &idx)];
+        let fresh = m.join_states(&model, fx.cat(), &q, qf, &plan, &keyed);
+        let incr = model.join_cost_from_steps(&q, &plan, &steps);
+        let full = model.join_cost_from_steps(&q, &plan, &fresh);
+        assert_eq!(incr.to_bits(), full.to_bits());
+        let scalar = model.query_cost(fx.cat(), &q, &IndexConfig::from_indexes([idx]));
+        assert_eq!(incr.to_bits(), scalar.to_bits());
     }
 
     #[test]

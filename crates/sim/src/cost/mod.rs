@@ -8,7 +8,7 @@
 
 pub mod cache;
 pub mod matrix;
-mod model;
+pub(crate) mod model;
 
 pub use cache::{CacheStats, CostCache};
 pub use matrix::{BenefitMatrix, ConfigDelta, IncrementalEval, MatrixStats};

@@ -53,6 +53,67 @@ pub(crate) struct TableAccess<'q> {
     pub rows_out: f64,
 }
 
+/// One step of a [`JoinPlan`]: a table attached to the greedy left-deep
+/// prefix, together with every **config-independent** quantity the model
+/// needs to cost that step under an arbitrary index configuration.
+///
+/// Step 0 is the driver table (its cost is just its access path); every
+/// later step pays `min(hash join, index nested-loop)` where
+///
+/// * the hash-join cost is `access_cost + f(rows_out, outer_rows)` (see
+///   [`AnalyticalCostModel::hash_join_cost`]), and
+/// * the nested-loop alternatives exist only when [`Self::inner_col`] is
+///   `Some` and an index on this table leads on that column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct JoinStep {
+    /// The table attached at this step.
+    pub table: TableId,
+    /// Sequential-scan baseline for this table (the "no index" access).
+    pub seq_cost: f64,
+    /// Filtered cardinality of this table (the scalar path's `t_rows`).
+    pub rows_out: f64,
+    /// Result cardinality of the join prefix *before* this step (the
+    /// scalar path's `result_rows`; `0.0` and unused for step 0).
+    pub outer_rows: f64,
+    /// Join column on this table linking it to the prefix, or `None`
+    /// when the step is a cross join (no index nested-loop alternative).
+    pub inner_col: Option<ColumnId>,
+}
+
+/// The config-independent skeleton of a multi-table query's plan: the
+/// greedy left-deep join order, per-step cardinalities and join edges,
+/// and the final result cardinality for surcharges.
+///
+/// The skeleton depends only on the catalog and the query — the greedy
+/// order sorts by filtered cardinalities (`rows_out`), which no index
+/// can change, and the containment-assumption cardinality chain uses
+/// only column NDVs. Index configurations influence *only* the per-step
+/// access costs and nested-loop alternatives, which is exactly what
+/// makes join queries decomposable into per-(query, index) matrix cells
+/// (see `super::matrix`). Built by [`AnalyticalCostModel::join_plan`];
+/// both the scalar path and the benefit matrix evaluate it through
+/// [`AnalyticalCostModel::join_cost_from_steps`], so the two paths
+/// execute literally identical float operations.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct JoinPlan {
+    /// Steps in greedy left-deep order; step 0 is the driver table.
+    pub steps: Vec<JoinStep>,
+    /// Final result cardinality (surcharge input).
+    pub result_rows: f64,
+}
+
+/// Config-dependent state of one [`JoinStep`] under a concrete index
+/// configuration: the running minima an evaluation (or an incremental
+/// session) maintains per step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct JoinStepState {
+    /// `min(seq_cost, applicable index access costs)` for this step's
+    /// table.
+    pub raw: f64,
+    /// `min(index nested-loop alternatives)`, `+∞` when none apply.
+    pub nl: f64,
+}
+
 /// PostgreSQL-style analytical cost model.
 #[derive(Debug, Clone, Default)]
 pub struct AnalyticalCostModel {
@@ -302,7 +363,7 @@ impl AnalyticalCostModel {
     /// column is `join_col`, for `outer_rows` probes. Heap fetches per
     /// probe shrink with the join column's physical correlation: matches
     /// of a clustered key (e.g. `l_orderkey`) share heap pages.
-    fn index_nl_cost(
+    pub(crate) fn index_nl_cost(
         &self,
         cat: Catalog<'_>,
         table: TableId,
@@ -324,102 +385,200 @@ impl AnalyticalCostModel {
             + p.cpu_tuple_cost * matches;
         outer_rows * per_probe
     }
+
+    /// Derive the config-independent [`JoinPlan`] skeleton of a
+    /// multi-table query: greedy left-deep order (smallest filtered
+    /// cardinality first, then repeatedly attach a join-connected table,
+    /// falling back to the smallest remaining for cross joins), per-step
+    /// cardinalities, join columns, and the containment-assumption
+    /// result-cardinality chain.
+    ///
+    /// This is the *only* implementation of the join-order heuristic in
+    /// the workspace; [`CostModel::query_cost`] and the benefit matrix
+    /// both consume its output, so they cannot drift.
+    pub(crate) fn join_plan(&self, cat: Catalog<'_>, q: &Query) -> JoinPlan {
+        debug_assert!(q.tables.len() >= 2, "join_plan needs a multi-table query");
+        let accs: Vec<TableAccess<'_>> = q
+            .tables
+            .iter()
+            .map(|&t| self.table_access(cat, q, t))
+            .collect();
+
+        let mut steps: Vec<JoinStep> = Vec::with_capacity(accs.len());
+        let mut order: Vec<usize> = Vec::with_capacity(accs.len());
+        let mut remaining: Vec<usize> = (0..accs.len()).collect();
+        remaining.sort_by(|&a, &b| accs[a].rows_out.total_cmp(&accs[b].rows_out));
+        order.push(remaining.remove(0));
+        let first = &accs[order[0]];
+        let mut result_rows = first.rows_out;
+        steps.push(JoinStep {
+            table: first.table,
+            seq_cost: first.seq_cost,
+            rows_out: first.rows_out,
+            outer_rows: 0.0,
+            inner_col: None,
+        });
+
+        while !remaining.is_empty() {
+            // Prefer a table connected to the current prefix by a join
+            // edge; fall back to the smallest remaining (cross join).
+            let connected_pos = remaining.iter().position(|&i| {
+                q.joins.iter().any(|j| {
+                    let lt = cat.schema.table_of(j.left);
+                    let rt = cat.schema.table_of(j.right);
+                    let in_prefix = |t: TableId| order.iter().any(|&o| accs[o].table == t);
+                    (accs[i].table == lt && in_prefix(rt))
+                        || (accs[i].table == rt && in_prefix(lt))
+                })
+            });
+            let next = remaining.remove(connected_pos.unwrap_or(0));
+            let t = accs[next].table;
+
+            // Join edge linking `t` to the prefix (if any).
+            let edge = q.joins.iter().find(|j| {
+                let lt = cat.schema.table_of(j.left);
+                let rt = cat.schema.table_of(j.right);
+                (lt == t) != (rt == t)
+                    && (order.iter().any(|&o| accs[o].table == lt)
+                        || order.iter().any(|&o| accs[o].table == rt))
+            });
+            let inner_col = edge.map(|j| {
+                if cat.schema.table_of(j.left) == t {
+                    j.left
+                } else {
+                    j.right
+                }
+            });
+            steps.push(JoinStep {
+                table: t,
+                seq_cost: accs[next].seq_cost,
+                rows_out: accs[next].rows_out,
+                outer_rows: result_rows,
+                inner_col,
+            });
+
+            // Output cardinality via containment assumption.
+            result_rows = if let Some(j) = edge {
+                let ndv_l = cat.column(j.left).ndv.max(1) as f64;
+                let ndv_r = cat.column(j.right).ndv.max(1) as f64;
+                (result_rows * accs[next].rows_out / ndv_l.max(ndv_r)).max(1.0)
+            } else {
+                result_rows * accs[next].rows_out
+            };
+            order.push(next);
+        }
+
+        JoinPlan { steps, result_rows }
+    }
+
+    /// Hash-join cost of one [`JoinStep`] given the chosen inner access
+    /// path: inner access + build/probe CPU. Kept as the single shared
+    /// expression (left-associative, in this exact operand order) so the
+    /// scalar path and the benefit matrix produce bit-identical sums.
+    pub(crate) fn hash_join_cost(&self, access_cost: f64, step: &JoinStep) -> f64 {
+        let p = &self.params;
+        access_cost
+            + 2.0 * p.cpu_tuple_cost * step.rows_out
+            + p.cpu_operator_cost * (step.outer_rows + step.rows_out)
+    }
+
+    /// Config-dependent state of one [`JoinStep`] under `cfg`: the best
+    /// raw access path for the step's table and the best index
+    /// nested-loop alternative (`+∞` when none applies).
+    pub(crate) fn join_step_state(
+        &self,
+        cat: Catalog<'_>,
+        q: &Query,
+        step: &JoinStep,
+        cfg: &IndexConfig,
+    ) -> JoinStepState {
+        let (raw, _) = self.best_access_path(cat, q, step.table, cfg);
+        let mut nl = f64::INFINITY;
+        if let Some(col) = step.inner_col {
+            // Index nested loop: only if an index leads on t's join key.
+            for index in cfg.indexes() {
+                if index.table(cat.schema) == step.table && index.leading() == col {
+                    let c = self.index_nl_cost(cat, step.table, index, col, step.outer_rows);
+                    if c < nl {
+                        nl = c;
+                    }
+                }
+            }
+        }
+        JoinStepState { raw, nl }
+    }
+
+    /// Total query cost from a [`JoinPlan`] plus per-step
+    /// [`JoinStepState`]s: step 0 pays its access path, every later step
+    /// pays `min(hash join, best nested loop)`, accumulated in plan
+    /// order, then surcharges on the final cardinality.
+    ///
+    /// This is the single accumulation loop both cost paths share. The
+    /// scalar path feeds it states computed directly from `cfg`; the
+    /// benefit matrix feeds it states assembled from memoized cells. The
+    /// sum is evaluated left-associatively in plan order either way,
+    /// which is what makes the two paths bit-identical despite float
+    /// addition being non-associative.
+    pub(crate) fn join_cost_from_steps(
+        &self,
+        q: &Query,
+        plan: &JoinPlan,
+        states: &[JoinStepState],
+    ) -> f64 {
+        self.join_cost_substituted(q, plan, states, None)
+    }
+
+    /// [`Self::join_cost_from_steps`] with one step's state substituted
+    /// (allocation-free preview of a single-index edit: the caller
+    /// computes the touched step's updated minima and folds them in
+    /// without cloning the session's state vector).
+    pub(crate) fn join_cost_substituted(
+        &self,
+        q: &Query,
+        plan: &JoinPlan,
+        states: &[JoinStepState],
+        replace: Option<(usize, JoinStepState)>,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (k, step) in plan.steps.iter().enumerate() {
+            let st = match replace {
+                Some((i, s)) if i == k => s,
+                _ => states[k],
+            };
+            if k == 0 {
+                total = st.raw;
+                continue;
+            }
+            let hash_cost = self.hash_join_cost(st.raw, step);
+            // Strict `<` so ties keep the hash join, exactly like the
+            // pre-decomposition scalar loop.
+            let best_join = if st.nl < hash_cost { st.nl } else { hash_cost };
+            total += best_join;
+        }
+        self.apply_surcharges(q, total, plan.result_rows)
+    }
 }
 
 impl CostModel for AnalyticalCostModel {
     fn query_cost(&self, cat: Catalog<'_>, q: &Query, cfg: &IndexConfig) -> f64 {
-        let p = &self.params;
         if q.tables.is_empty() {
             return 0.0;
         }
 
-        // Per-table best paths and filtered cardinalities.
-        let paths: Vec<(TableId, f64, f64)> = q
-            .tables
-            .iter()
-            .map(|&t| {
-                let (c, r) = self.best_access_path(cat, q, t, cfg);
-                (t, c, r)
-            })
-            .collect();
-
-        let mut total;
-        let mut result_rows;
-
-        if paths.len() == 1 {
-            total = paths[0].1;
-            result_rows = paths[0].2;
-        } else {
-            // Greedy left-deep order: start from the smallest filtered
-            // cardinality, then repeatedly attach a join-connected table.
-            let mut order: Vec<usize> = Vec::with_capacity(paths.len());
-            let mut remaining: Vec<usize> = (0..paths.len()).collect();
-            remaining.sort_by(|&a, &b| paths[a].2.total_cmp(&paths[b].2));
-            order.push(remaining.remove(0));
-            total = paths[order[0]].1;
-            result_rows = paths[order[0]].2;
-
-            while !remaining.is_empty() {
-                // Prefer a table connected to the current prefix by a join
-                // edge; fall back to the smallest remaining (cross join).
-                let connected_pos = remaining.iter().position(|&i| {
-                    q.joins.iter().any(|j| {
-                        let lt = cat.schema.table_of(j.left);
-                        let rt = cat.schema.table_of(j.right);
-                        let in_prefix = |t: TableId| order.iter().any(|&o| paths[o].0 == t);
-                        (paths[i].0 == lt && in_prefix(rt)) || (paths[i].0 == rt && in_prefix(lt))
-                    })
-                });
-                let next = remaining.remove(connected_pos.unwrap_or(0));
-                let (t, access_cost, t_rows) = paths[next];
-
-                // Join edge linking `t` to the prefix (if any).
-                let edge = q.joins.iter().find(|j| {
-                    let lt = cat.schema.table_of(j.left);
-                    let rt = cat.schema.table_of(j.right);
-                    (lt == t) != (rt == t)
-                        && (order.iter().any(|&o| paths[o].0 == lt)
-                            || order.iter().any(|&o| paths[o].0 == rt))
-                });
-
-                // Hash join: pay the inner access path + build/probe CPU.
-                let hash_cost = access_cost
-                    + 2.0 * p.cpu_tuple_cost * t_rows
-                    + p.cpu_operator_cost * (result_rows + t_rows);
-
-                // Index nested loop: only if an index leads on t's join key.
-                let mut best_join = hash_cost;
-                if let Some(j) = edge {
-                    let inner_col = if cat.schema.table_of(j.left) == t {
-                        j.left
-                    } else {
-                        j.right
-                    };
-                    for index in cfg.indexes() {
-                        if index.table(cat.schema) == t && index.leading() == inner_col {
-                            let nl = self.index_nl_cost(cat, t, index, inner_col, result_rows);
-                            if nl < best_join {
-                                best_join = nl;
-                            }
-                        }
-                    }
-                }
-                total += best_join;
-
-                // Output cardinality via containment assumption.
-                result_rows = if let Some(j) = edge {
-                    let ndv_l = cat.column(j.left).ndv.max(1) as f64;
-                    let ndv_r = cat.column(j.right).ndv.max(1) as f64;
-                    (result_rows * t_rows / ndv_l.max(ndv_r)).max(1.0)
-                } else {
-                    result_rows * t_rows
-                };
-                order.push(next);
-            }
+        if q.tables.len() == 1 {
+            let (total, result_rows) = self.best_access_path(cat, q, q.tables[0], cfg);
+            return self.apply_surcharges(q, total, result_rows);
         }
 
-        // Aggregation / grouping / sorting surcharges.
-        self.apply_surcharges(q, total, result_rows)
+        // Multi-table: derive the config-independent skeleton, then cost
+        // each step under `cfg` and accumulate in plan order.
+        let plan = self.join_plan(cat, q);
+        let states: Vec<JoinStepState> = plan
+            .steps
+            .iter()
+            .map(|s| self.join_step_state(cat, q, s, cfg))
+            .collect();
+        self.join_cost_from_steps(q, &plan, &states)
     }
 }
 

@@ -4,6 +4,7 @@
 
 use crate::cost::cache::{fingerprint_config, fingerprint_index, fingerprint_query, Fingerprint};
 use crate::cost::matrix::{keyed_indexes, EvalState, QueryKey, QueryShape, QueryState};
+use crate::cost::model::JoinStepState;
 use crate::cost::{
     AnalyticalCostModel, BenefitMatrix, CacheStats, Catalog, ConfigDelta, CostCache, CostModel,
     IncrementalEval, MatrixStats, PAGE_SIZE,
@@ -91,11 +92,14 @@ impl Database {
     /// `c(q, d, I)`, the single what-if entry point.
     ///
     /// Dispatch is internal: single-table queries are answered from the
-    /// per-(query, index) benefit matrix, join-coupled queries (and calls
-    /// with the matrix disabled) fall back to the full analytical model
-    /// memoized by the thread-safe [`CostCache`]. Both paths are
-    /// bit-identical (pinned by `tests/whatif_differential.rs`), so the
-    /// dispatch choice never changes results.
+    /// per-(query, index) benefit matrix, join queries over distinct
+    /// tables from the decomposed join plan (per-step access and
+    /// nested-loop cells over the config-independent skeleton), and only
+    /// genuinely non-decomposable shapes — a table scanned twice — fall
+    /// back to the full analytical model memoized by the thread-safe
+    /// [`CostCache`] (as do all calls with the matrix disabled). Every
+    /// path is bit-identical (pinned by `tests/whatif_differential.rs`),
+    /// so the dispatch choice never changes results.
     pub fn estimated_query_cost(&self, q: &Query, cfg: &IndexConfig) -> f64 {
         if !self.whatif_matrix.is_enabled() {
             return self.scalar_query_cost(q, cfg);
@@ -224,6 +228,23 @@ impl Database {
                                 cost: self.model.apply_surcharges(q, seq_cost, rows_out),
                             }
                         }
+                        QueryShape::JoinDecomposable { plan } => {
+                            self.whatif_matrix.note_join_eval();
+                            pipa_obs::count("whatif_join_matrix", 1);
+                            // Empty configuration: every step starts at
+                            // its seq-scan baseline with no nested-loop
+                            // alternative.
+                            let steps: Vec<JoinStepState> = plan
+                                .steps
+                                .iter()
+                                .map(|s| JoinStepState {
+                                    raw: s.seq_cost,
+                                    nl: f64::INFINITY,
+                                })
+                                .collect();
+                            let cost = self.model.join_cost_from_steps(q, &plan, &steps);
+                            QueryState::Join { plan, steps, cost }
+                        }
                         QueryShape::JoinCoupled => {
                             self.whatif_matrix.note_fallback();
                             pipa_obs::count("whatif_full_fallback", 1);
@@ -268,7 +289,7 @@ impl Database {
             .zip(&eval.states)
             .map(|(wq, st)| {
                 wq.frequency as f64
-                    * match st.kind {
+                    * match &st.kind {
                         QueryState::Trivial => 0.0,
                         QueryState::Raw {
                             table,
@@ -282,14 +303,24 @@ impl Database {
                                 &QueryKey {
                                     q: &wq.query,
                                     qf: st.qf,
-                                    table,
+                                    table: *table,
                                 },
                                 idxf,
                                 idx,
                             );
-                            let raw2 = if e < raw { e } else { raw };
-                            self.model.apply_surcharges(&wq.query, raw2, rows_out)
+                            let raw2 = if e < *raw { e } else { *raw };
+                            self.model.apply_surcharges(&wq.query, raw2, *rows_out)
                         }
+                        QueryState::Join { plan, steps, .. } => self.whatif_matrix.join_preview_add(
+                            &self.model,
+                            self.catalog(),
+                            &wq.query,
+                            st.qf,
+                            plan,
+                            steps,
+                            idxf,
+                            idx,
+                        ),
                         QueryState::Full(_) => self.scalar_query_cost(&wq.query, cfg_after),
                     }
             })
@@ -311,35 +342,46 @@ impl Database {
         debug_assert_eq!(w.len(), eval.len(), "session built for another workload");
         let idxf = fingerprint_index(idx);
         for (wq, st) in w.iter().zip(&mut eval.states) {
-            match st.kind {
+            let qf = st.qf;
+            match &mut st.kind {
                 QueryState::Trivial => {}
                 QueryState::Raw {
                     table,
                     rows_out,
                     raw,
-                    ..
+                    cost,
                 } => {
                     let e = self.whatif_matrix.index_cell(
                         &self.model,
                         self.catalog(),
                         &QueryKey {
                             q: &wq.query,
-                            qf: st.qf,
-                            table,
+                            qf,
+                            table: *table,
                         },
                         idxf,
                         idx,
                     );
-                    let raw2 = if e < raw { e } else { raw };
-                    st.kind = QueryState::Raw {
-                        table,
-                        rows_out,
-                        raw: raw2,
-                        cost: self.model.apply_surcharges(&wq.query, raw2, rows_out),
-                    };
+                    if e < *raw {
+                        *raw = e;
+                    }
+                    *cost = self.model.apply_surcharges(&wq.query, *raw, *rows_out);
                 }
-                QueryState::Full(_) => {
-                    st.kind = QueryState::Full(self.scalar_query_cost(&wq.query, cfg_after));
+                QueryState::Join { plan, steps, cost } => {
+                    self.whatif_matrix.join_apply_add(
+                        &self.model,
+                        self.catalog(),
+                        &wq.query,
+                        qf,
+                        plan,
+                        steps,
+                        idxf,
+                        idx,
+                    );
+                    *cost = self.model.join_cost_from_steps(&wq.query, plan, steps);
+                }
+                QueryState::Full(c) => {
+                    *c = self.scalar_query_cost(&wq.query, cfg_after);
                 }
             }
         }
@@ -398,6 +440,12 @@ impl Database {
                     keyed,
                 );
                 self.model.apply_surcharges(q, raw, rows_out)
+            }
+            QueryShape::JoinDecomposable { plan } => {
+                self.whatif_matrix.note_join_eval();
+                pipa_obs::count("whatif_join_matrix", 1);
+                self.whatif_matrix
+                    .join_eval(&self.model, self.catalog(), q, qf, &plan, keyed)
             }
             QueryShape::JoinCoupled => {
                 self.whatif_matrix.note_fallback();

@@ -63,6 +63,21 @@ echo "== NN bench smoke =="
 # smoke mode skips the committed artifact.
 NN_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench nn >/dev/null
 
+echo "== what-if bench smoke =="
+# Tiny-dimension pass through the whatif bench harness, including the
+# join-mix grid endpoints; smoke mode skips the committed artifact.
+WHATIF_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench whatif >/dev/null
+
+echo "== doc-link lint =="
+# Prose docs must not reference cost entry points that no longer exist:
+# the PR-5/PR-6 unification removed the matrix_* pair (dispatch is
+# internal to estimated_*) and JoinCoupled no longer covers plain joins.
+if grep -rnE 'matrix_query_cost|matrix_workload_cost' \
+        README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md; then
+    echo "doc-link lint: stale cost entry-point references found above" >&2
+    exit 1
+fi
+
 echo "== cargo doc (RUSTDOCFLAGS=-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKGS[@]}"
 

@@ -315,12 +315,23 @@ fn greedy_recommendation_replays_from_tape() {
         replay.workload_cost(&w, &live_cfg).unwrap(),
     );
 
-    // A config the tape never saw is a hard miss, not a fabricated cost.
+    // A config the tape never saw is a hard miss, not a fabricated cost —
+    // and the error names the offending query/config in human terms, not
+    // just fingerprints.
     let unseen: IndexConfig = cost_unseen_config(&sim);
-    assert!(matches!(
-        replay.workload_cost(&w, &unseen),
-        Err(pipa::cost::CostError::ReplayMiss { .. })
-    ));
+    let miss = replay.workload_cost(&w, &unseen).unwrap_err();
+    assert!(matches!(miss, pipa::cost::CostError::ReplayMiss { .. }));
+    let msg = miss.to_string();
+    assert!(msg.contains("select"), "miss must render the SQL: {msg}");
+    let first_index = unseen.indexes()[0].name(sim.catalog().schema);
+    assert!(
+        msg.contains(&first_index),
+        "miss must name the config's indexes ({first_index}): {msg}"
+    );
+    assert!(
+        msg.contains("tape holds"),
+        "miss must report the searched tape size: {msg}"
+    );
 }
 
 /// A config of every indexable column — far larger than anything the

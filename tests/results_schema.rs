@@ -176,6 +176,51 @@ fn bench_whatif_artifact_keeps_trait_dispatch_within_budget() {
 }
 
 #[test]
+fn bench_whatif_artifact_shows_the_join_decomposition_win() {
+    // The join-aware decomposition PR: join-shaped queries are answered
+    // from per-join-step matrix cells instead of the full-model
+    // fallback, so the mixed (join-heavy) workload must show both a low
+    // fallback rate and a real end-to-end speedup.
+    let path = results_dir().join("BENCH_whatif.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_whatif.json is committed");
+
+    let mixed_speedup = num_field(&text, "greedy_mixed_speedup");
+    assert!(
+        mixed_speedup.is_finite() && mixed_speedup >= 2.0,
+        "greedy_mixed_speedup = {mixed_speedup} should be >= 2.0"
+    );
+
+    // `fallback_rate` appears in several counter blocks; scope to the
+    // matrix_mixed block (the join-heavy greedy cell).
+    let mixed = text
+        .split("\"matrix_mixed\"")
+        .nth(1)
+        .expect("matrix_mixed counters present");
+    let fallback = num_field(mixed, "fallback_rate");
+    assert!(
+        fallback <= 0.2,
+        "matrix_mixed.fallback_rate = {fallback} should be <= 0.2"
+    );
+    let join_evals = num_field(mixed, "join_evals");
+    assert!(
+        join_evals > 0.0,
+        "matrix_mixed.join_evals = {join_evals}: the mixed workload must exercise the join path"
+    );
+
+    // The join-mix grid is committed and covers both endpoints.
+    let grid = text
+        .split("\"join_mix\"")
+        .nth(1)
+        .expect("join_mix grid present");
+    for frac in ["0.0", "1.0"] {
+        assert!(
+            grid.contains(&format!("\"join_fraction\": {frac}")),
+            "join_mix grid missing join_fraction {frac}"
+        );
+    }
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check
