@@ -29,7 +29,6 @@
 //! `pipa-nn` kernel counters. `NN_BENCH_SMOKE=1` shrinks every dimension
 //! and skips the artifact write (CI smoke).
 
-use criterion::Criterion;
 use pipa_nn::kernels::{self, matmul_t_with_mode, matmul_with_mode};
 use pipa_nn::mlp::Activation;
 use pipa_nn::{
@@ -40,7 +39,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::hint::black_box;
-use std::time::Duration;
 
 #[derive(Serialize)]
 struct Medians {
@@ -100,27 +98,10 @@ fn fill(rows: usize, cols: usize, seed: u64) -> Tensor {
     Tensor::from_vec(rows, cols, data)
 }
 
-fn median_of(lines: &str, id: &str) -> Option<f64> {
-    let line = lines
-        .lines()
-        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
-    let rest = line.split("\"median_ns\":").nth(1)?;
-    rest.split([',', '}']).next()?.trim().parse().ok()
-}
-
 fn main() {
-    let smoke = std::env::var("NN_BENCH_SMOKE").is_ok();
-    let json_path = std::env::temp_dir().join("pipa_nn_bench.jsonl");
-    let _ = std::fs::remove_file(&json_path);
-    std::env::set_var("CRITERION_JSON", &json_path);
-
-    let mut c = if smoke {
-        Criterion::default()
-            .sample_size(3)
-            .measurement_time(Duration::from_millis(30))
-    } else {
-        Criterion::default().sample_size(10)
-    };
+    let bench = pipa_bench::cli::BenchArgs::for_bench("nn");
+    let smoke = bench.smoke;
+    let mut c = bench.criterion(10);
     kernels::reset_stats();
 
     // --- raw matmul kernels -------------------------------------------
@@ -290,12 +271,9 @@ fn main() {
 
     // --- artifact ------------------------------------------------------
     let stats = kernels::stats();
-    let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
-    let med = |id: &str| median_of(&lines, id);
-    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
-        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
-        _ => None,
-    };
+    let lines = bench.lines();
+    let med = |id: &str| pipa_bench::cli::median_of(&lines, id);
+    let ratio = pipa_bench::cli::ratio;
     let medians = Medians {
         matmul_naive: med("nn/matmul_naive"),
         matmul_blocked: med("nn/matmul_blocked"),
@@ -326,8 +304,8 @@ fn main() {
     }
 
     if smoke {
-        eprintln!("[smoke] NN_BENCH_SMOKE set; artifact not written");
-        return;
+        // Dimensions were shrunk; the artifact write below is a no-op in
+        // smoke mode, but the counters/printout above already ran.
     }
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -358,11 +336,5 @@ fn main() {
             buf_reuses: stats.buf_reuses,
         },
     };
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    let out = dir.join("BENCH_nn.json");
-    if std::fs::create_dir_all(&dir).is_ok()
-        && std::fs::write(&out, serde_json::to_string_pretty(&artifact).unwrap()).is_ok()
-    {
-        eprintln!("[artifact] {}", out.display());
-    }
+    bench.write_artifact(&artifact);
 }

@@ -17,7 +17,6 @@
 //! criterion JSON lines and writes `results/BENCH_runner.json` with the
 //! derived speedups and the measured cache hit rate.
 
-use criterion::Criterion;
 use pipa_core::experiment::{build_db, CellConfig, GridSpec, InjectorKind};
 use pipa_core::run_grid;
 use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
@@ -63,25 +62,11 @@ fn grid() -> (CellConfig, GridSpec) {
     (cfg, spec)
 }
 
-/// Pull `median_ns` out of the criterion JSON line for `id`. The vendored
-/// serde_json is serialize-only, and the line format is fixed
-/// (`{"id":"...","median_ns":N,...}`), so a string scan suffices.
-fn median_of(lines: &str, id: &str) -> Option<f64> {
-    let line = lines
-        .lines()
-        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
-    let rest = line.split("\"median_ns\":").nth(1)?;
-    rest.split([',', '}']).next()?.trim().parse().ok()
-}
-
 fn main() {
-    let json_path = std::env::temp_dir().join("pipa_runner_bench.jsonl");
-    let _ = std::fs::remove_file(&json_path);
-    std::env::set_var("CRITERION_JSON", &json_path);
-
+    let bench = pipa_bench::cli::BenchArgs::for_bench("runner");
     let (cfg, spec) = grid();
     let db = build_db(&cfg);
-    let mut c = Criterion::default().sample_size(10);
+    let mut c = bench.criterion(10);
 
     db.database().set_whatif_cache_enabled(false);
     c.bench_function("runner/serial_uncached", |b| {
@@ -100,14 +85,11 @@ fn main() {
     });
     let final_stats = db.database().whatif_cache_stats();
 
-    let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
-    let serial = median_of(&lines, "runner/serial_uncached");
-    let par4 = median_of(&lines, "runner/parallel4_uncached");
-    let cached = median_of(&lines, "runner/serial_cached_warm");
-    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
-        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
-        _ => None,
-    };
+    let lines = bench.lines();
+    let serial = pipa_bench::cli::median_of(&lines, "runner/serial_uncached");
+    let par4 = pipa_bench::cli::median_of(&lines, "runner/parallel4_uncached");
+    let cached = pipa_bench::cli::median_of(&lines, "runner/serial_cached_warm");
+    let ratio = pipa_bench::cli::ratio;
     let parallel_speedup = ratio(serial, par4);
     let cache_speedup = ratio(serial, cached);
 
@@ -145,13 +127,5 @@ fn main() {
         cache_hit_rate_final: final_stats.hit_rate(),
         cache_entries: final_stats.entries,
     };
-    // Cargo runs benches with the package dir as cwd; anchor the artifact
-    // at the workspace-root results/ alongside the experiment outputs.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    let out = dir.join("BENCH_runner.json");
-    if std::fs::create_dir_all(&dir).is_ok()
-        && std::fs::write(&out, serde_json::to_string_pretty(&artifact).unwrap()).is_ok()
-    {
-        eprintln!("[artifact] {}", out.display());
-    }
+    bench.write_artifact(&artifact);
 }

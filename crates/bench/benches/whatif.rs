@@ -161,16 +161,6 @@ fn join_mix_workload(
     w
 }
 
-/// Pull `median_ns` out of the criterion JSON line for `id` (the
-/// vendored serde_json is serialize-only; the line format is fixed).
-fn median_of(lines: &str, id: &str) -> Option<f64> {
-    let line = lines
-        .lines()
-        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
-    let rest = line.split("\"median_ns\":").nth(1)?;
-    rest.split([',', '}']).next()?.trim().parse().ok()
-}
-
 fn counters(db: &Database) -> MatrixCounters {
     let stats = db.whatif_matrix_stats();
     MatrixCounters {
@@ -186,10 +176,8 @@ fn counters(db: &Database) -> MatrixCounters {
 }
 
 fn main() {
-    let smoke = std::env::var("WHATIF_BENCH_SMOKE").is_ok();
-    let json_path = std::env::temp_dir().join("pipa_whatif_bench.jsonl");
-    let _ = std::fs::remove_file(&json_path);
-    std::env::set_var("CRITERION_JSON", &json_path);
+    let bench = pipa_bench::cli::BenchArgs::for_bench("whatif");
+    let smoke = bench.smoke;
 
     let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
     let wl_n = if smoke { 8 } else { 24 };
@@ -202,13 +190,7 @@ fn main() {
         .of_size(wl_n, &mut rand_chacha::ChaCha8Rng::seed_from_u64(7))
         .unwrap();
     let budget = 4;
-    let mut c = if smoke {
-        Criterion::default()
-            .sample_size(3)
-            .measurement_time(std::time::Duration::from_millis(30))
-    } else {
-        Criterion::default().sample_size(10)
-    };
+    let mut c = bench.criterion(10);
 
     let bench_greedy = |c: &mut Criterion, name: &str, w: &Workload, matrix_on: bool| {
         cost.database().set_whatif_matrix_enabled(matrix_on);
@@ -302,12 +284,9 @@ fn main() {
     cost.database().set_whatif_matrix_enabled(true);
     cost.database().set_whatif_cache_enabled(true);
 
-    let lines = std::fs::read_to_string(&json_path).unwrap_or_default();
-    let med = |id: &str| median_of(&lines, id);
-    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
-        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
-        _ => None,
-    };
+    let lines = bench.lines();
+    let med = |id: &str| pipa_bench::cli::median_of(&lines, id);
+    let ratio = pipa_bench::cli::ratio;
     let medians = Medians {
         greedy_single_scalar: med("whatif/greedy_single_scalar"),
         greedy_single_matrix: med("whatif/greedy_single_matrix"),
@@ -368,10 +347,6 @@ fn main() {
         matrix_single.matrix_rate,
     );
 
-    if smoke {
-        eprintln!("[smoke] WHATIF_BENCH_SMOKE set; artifact not written");
-        return;
-    }
     let artifact = BenchArtifact {
         id: "BENCH_whatif".to_string(),
         description: "benefit-matrix what-if vs scalar recompute on advisor hot paths \
@@ -392,11 +367,5 @@ fn main() {
         matrix_mixed,
         join_mix,
     };
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    let out = dir.join("BENCH_whatif.json");
-    if std::fs::create_dir_all(&dir).is_ok()
-        && std::fs::write(&out, serde_json::to_string_pretty(&artifact).unwrap()).is_ok()
-    {
-        eprintln!("[artifact] {}", out.display());
-    }
+    bench.write_artifact(&artifact);
 }

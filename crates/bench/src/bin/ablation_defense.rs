@@ -18,7 +18,7 @@ use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKi
 use pipa_core::metrics::{absolute_degradation, Stats};
 use pipa_core::par_map_traced;
 use pipa_core::report::{render_table, ExperimentArtifact};
-use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, BuildCtx, TrajectoryMode};
 use pipa_obs::CellCtx;
 use serde::Serialize;
 
@@ -105,7 +105,7 @@ fn main() {
                 |_, run| {
                     let seed = args.cell_seed(run);
                     let normal = normal_workload(&cfg, seed.get());
-                    let mut advisor = victim.build(cfg.preset, seed.get());
+                    let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
                     let mut injector = make_injector(InjectorKind::Pipa, &cfg, seed);
                     stress_with_canary(
                         advisor.as_mut(),
@@ -145,7 +145,7 @@ fn main() {
             |_, run| {
                 let seed = args.cell_seed(run);
                 let normal = normal_workload(&cfg, seed.get());
-                let mut advisor = victim.build(cfg.preset, seed.get());
+                let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
                 advisor.train(&db, &normal).expect("train");
                 let clean = advisor.recommend(&db, &normal).expect("recommend");
                 let baseline = db.executed_workload_cost(&normal, &clean).expect("cost");

@@ -17,7 +17,7 @@ use pipa_core::harness::StressTest;
 use pipa_core::metrics::Stats;
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::{par_map_traced, InjectConfig, ProbeConfig, TargetedInjector};
-use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, BuildCtx, TrajectoryMode};
 use pipa_obs::{CellCtx, TraceOutputs};
 use serde::Serialize;
 
@@ -57,7 +57,7 @@ fn run_variant(
         |_, run| {
             let seed = args.cell_seed(run);
             let normal = normal_workload(cfg, seed.get());
-            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
             let mut injector = TargetedInjector::pipa(backend.generator(seed.get()));
             injector.probe_cfg = ProbeConfig {
                 epochs: cfg.probe_epochs,

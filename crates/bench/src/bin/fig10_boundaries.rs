@@ -19,7 +19,7 @@ use pipa_core::par_map_traced;
 use pipa_core::preference::SegmentConfig;
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
-use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, BuildCtx, TrajectoryMode};
 use pipa_obs::{CellCtx, TraceOutputs};
 use serde::Serialize;
 
@@ -55,7 +55,7 @@ fn run_with_segment(
         |_, run| {
             let seed = args.cell_seed(run);
             let normal = normal_workload(cfg, seed.get());
-            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
             // Rebuild the PIPA injector with the custom segmentation.
             let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed.get()));
             injector.probe_cfg = pipa_core::ProbeConfig {

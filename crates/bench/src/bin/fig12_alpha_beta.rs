@@ -22,7 +22,7 @@ use pipa_core::preference::{segment, SegmentConfig};
 use pipa_core::probe::{probe, ProbeConfig};
 use pipa_core::report::{render_table, ExperimentArtifact};
 use pipa_core::TargetedInjector;
-use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, BuildCtx, TrajectoryMode};
 use pipa_obs::CellCtx;
 use serde::Serialize;
 
@@ -70,7 +70,7 @@ fn main() {
         |_, (ai, run)| {
             let seed = args.cell_seed(run);
             let normal = normal_workload(&cfg, seed.get());
-            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
             let mut injector = TargetedInjector::pipa(cfg.backend.generator(seed.get()));
             injector.probe_cfg = ProbeConfig {
                 epochs: cfg.probe_epochs,
@@ -133,7 +133,7 @@ fn main() {
             let beta_i = BETA_IS[bi];
             let seed = args.cell_seed(run);
             let normal = normal_workload(&cfg, seed.get());
-            let mut advisor = victim.build(cfg.preset, seed.get());
+            let mut advisor = victim.build_with(BuildCtx::new(cfg.preset, seed.get()));
             advisor.train(&db, &normal).expect("train");
             let reference = {
                 let mut gen = cfg.backend.generator(seed.get());

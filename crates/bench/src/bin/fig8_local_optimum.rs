@@ -16,7 +16,7 @@ use pipa_core::experiment::{build_db, make_injector, normal_workload, InjectorKi
 use pipa_core::par_map_traced;
 use pipa_core::report::ExperimentArtifact;
 use pipa_core::CellSeed;
-use pipa_ia::{AdvisorKind, TrajectoryMode};
+use pipa_ia::{AdvisorKind, BuildCtx, TrajectoryMode};
 use pipa_obs::CellCtx;
 use serde::Serialize;
 
@@ -81,7 +81,7 @@ fn main() {
         },
         |_, (panel, kind, injector_kind)| {
         let engine = pipa_cost::CostEngine::new(&db);
-        let mut advisor = kind.build(cfg.preset, args.seed);
+        let mut advisor = kind.build_with(BuildCtx::new(cfg.preset, args.seed));
         advisor.train(&db, &normal).expect("train");
         let clean = advisor.recommend(&db, &normal).expect("recommend");
         let clean_benefit = engine.workload_benefit(&normal, &clean).expect("benefit");

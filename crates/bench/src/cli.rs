@@ -194,3 +194,105 @@ where
         .parse()
         .unwrap_or_else(|e| panic!("{flag}: {e:?}"))
 }
+
+/// The shared harness for the custom-`main` benches (`harness = false`):
+/// one place for the smoke-mode env toggle, the `CRITERION_JSON` capture
+/// file, median extraction, and the `results/BENCH_*.json` artifact
+/// write that each bench previously hand-rolled.
+///
+/// ```no_run
+/// let bench = pipa_bench::cli::BenchArgs::for_bench("nn");
+/// let mut c = bench.criterion(10);
+/// // ... c.bench_function(...) ...
+/// let median = bench.median_ns("nn/forward");
+/// # let artifact = 0u32;
+/// bench.write_artifact(&artifact); // skipped (with a note) in smoke mode
+/// ```
+pub struct BenchArgs {
+    /// Bench name (`"nn"`, `"whatif"`, `"runner"`, `"serve"`); names the
+    /// smoke env var, the capture file, and the artifact.
+    pub name: &'static str,
+    /// Smoke mode: `<NAME>_BENCH_SMOKE` is set. Dimensions shrink (the
+    /// bench's business) and the artifact write is skipped (ours).
+    pub smoke: bool,
+    json_path: std::path::PathBuf,
+}
+
+impl BenchArgs {
+    /// Set up the harness for `name`: read `<NAME>_BENCH_SMOKE`, point
+    /// `CRITERION_JSON` at a fresh temp capture file.
+    pub fn for_bench(name: &'static str) -> Self {
+        let smoke = std::env::var(format!("{}_BENCH_SMOKE", name.to_uppercase())).is_ok();
+        let json_path = std::env::temp_dir().join(format!("pipa_{name}_bench.jsonl"));
+        let _ = std::fs::remove_file(&json_path);
+        std::env::set_var("CRITERION_JSON", &json_path);
+        BenchArgs {
+            name,
+            smoke,
+            json_path,
+        }
+    }
+
+    /// A criterion instance sized for this mode: `full_samples` samples
+    /// normally, 3 samples × 30 ms in smoke mode.
+    pub fn criterion(&self, full_samples: usize) -> criterion::Criterion {
+        if self.smoke {
+            criterion::Criterion::default()
+                .sample_size(3)
+                .measurement_time(std::time::Duration::from_millis(30))
+        } else {
+            criterion::Criterion::default().sample_size(full_samples)
+        }
+    }
+
+    /// The captured criterion JSONL so far.
+    pub fn lines(&self) -> String {
+        std::fs::read_to_string(&self.json_path).unwrap_or_default()
+    }
+
+    /// Median nanoseconds of the cell benched as `id`.
+    pub fn median_ns(&self, id: &str) -> Option<f64> {
+        median_of(&self.lines(), id)
+    }
+
+    /// Write `results/BENCH_<name>.json` at the workspace root and
+    /// return its path — unless smoke mode, which notes the skip and
+    /// writes nothing.
+    pub fn write_artifact<T: serde::Serialize>(&self, artifact: &T) -> Option<std::path::PathBuf> {
+        if self.smoke {
+            eprintln!(
+                "[smoke] {}_BENCH_SMOKE set; artifact not written",
+                self.name.to_uppercase()
+            );
+            return None;
+        }
+        // Cargo runs benches with the package dir as cwd; anchor the
+        // artifact at the workspace-root results/ next to the experiment
+        // outputs.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let out = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::create_dir_all(&dir).ok()?;
+        std::fs::write(&out, serde_json::to_string_pretty(artifact).ok()?).ok()?;
+        eprintln!("[artifact] {}", out.display());
+        Some(out)
+    }
+}
+
+/// Pull `median_ns` out of the criterion JSON line for `id`. The
+/// vendored serde_json is serialize-only, and the line format is fixed
+/// (`{"id":"...","median_ns":N,...}`), so a string scan suffices.
+pub fn median_of(lines: &str, id: &str) -> Option<f64> {
+    let line = lines
+        .lines()
+        .find(|l| l.contains(&format!("\"id\":\"{id}\"")))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
+}
+
+/// `a / b`, defined only when both exist and `b > 0` (speedup ratios).
+pub fn ratio(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) if y > 0.0 => Some(x / y),
+        _ => None,
+    }
+}

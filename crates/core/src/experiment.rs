@@ -183,7 +183,7 @@ pub fn run_cell(
     cfg: &CellConfig,
     seed: CellSeed,
 ) -> CostResult<StressOutcome> {
-    let mut advisor = advisor_kind.build(cfg.preset, seed.get());
+    let mut advisor = advisor_kind.build_with(pipa_ia::BuildCtx::new(cfg.preset, seed.get()));
     let mut injector = make_injector(injector_kind, cfg, seed);
     StressTest::new(cost, normal)
         .injection_size(cfg.injection_size)

@@ -17,7 +17,11 @@ use pipa_sim::{IndexConfig, Workload};
 use serde::Serialize;
 
 /// One stress-test outcome.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` is bit-exact on the cost fields: outcomes are pure
+/// functions of `(catalog, workload, seed)`, so fleet determinism tests
+/// compare whole reports structurally.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StressOutcome {
     /// Advisor display name.
     pub advisor: String,
@@ -45,7 +49,7 @@ pub struct StressOutcome {
 ///
 /// ```no_run
 /// use pipa_core::{harness::StressTest, injectors::TpInjector, runner::CellSeed};
-/// use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+/// use pipa_ia::{AdvisorKind, BuildCtx, SpeedPreset, TrajectoryMode};
 /// use pipa_workload::Benchmark;
 ///
 /// let cost = pipa_cost::SimBackend::new(Benchmark::TpcH.database(1.0, None));
@@ -55,7 +59,7 @@ pub struct StressOutcome {
 /// );
 /// let seed = CellSeed::derive(0, 0);
 /// let mut advisor =
-///     AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Quick, seed.get());
+///     AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(BuildCtx::new(SpeedPreset::Quick, seed.get()));
 /// let mut injector = TpInjector::new(Benchmark::TpcH.default_templates());
 /// let outcome = StressTest::new(&cost, &normal)
 ///     .injection_size(18)
@@ -214,7 +218,7 @@ mod tests {
     use super::*;
     use crate::injectors::{TargetedInjector, TpInjector};
     use crate::probe::ProbeConfig;
-    use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+    use pipa_ia::{AdvisorKind, BuildCtx, SpeedPreset, TrajectoryMode};
     use pipa_obs::MemorySink;
     use pipa_qgen::StGenerator;
     use pipa_workload::Benchmark;
@@ -234,7 +238,7 @@ mod tests {
     #[test]
     fn stress_test_produces_consistent_outcome() {
         let (cost, w) = setup();
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 1);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(BuildCtx::new(SpeedPreset::Test, 1));
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
         let out = StressTest::new(&cost, &w)
             .injection_size(6)
@@ -258,7 +262,7 @@ mod tests {
         // The core claim in miniature: a PIPA injection degrades a
         // learned advisor.
         let (cost, w) = setup();
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 2);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(BuildCtx::new(SpeedPreset::Test, 2));
         let mut inj = TargetedInjector::pipa(Box::new(StGenerator::new(2)));
         inj.probe_cfg = ProbeConfig {
             epochs: 4,
@@ -281,7 +285,7 @@ mod tests {
     #[test]
     fn reusing_the_advisor_across_runs_is_safe() {
         let (cost, w) = setup();
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 3);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(BuildCtx::new(SpeedPreset::Test, 3));
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
         let test = StressTest::new(&cost, &w)
             .injection_size(4)
@@ -298,7 +302,7 @@ mod tests {
         let (cost, w) = setup();
         let trace = MemorySink::new();
         let out = TraceOutputs::with_sinks(Some(Box::new(trace.clone())), None);
-        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build(SpeedPreset::Test, 4);
+        let mut ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(BuildCtx::new(SpeedPreset::Test, 4));
         let mut inj = TpInjector::new(Benchmark::TpcH.default_templates());
         let outcome = StressTest::new(&cost, &w)
             .injection_size(4)

@@ -55,6 +55,17 @@ impl Tape {
         self.est.is_empty() && self.exec.is_empty()
     }
 
+    /// Merge another tape's entries into this one. Overlapping keys must
+    /// agree — the [`CostBackend`] bit-equality contract makes two
+    /// recordings of the same `(query, config)` pair identical — so
+    /// last-write-wins is observationally a no-op on overlaps. Used by
+    /// `pipa-serve` to accumulate one tenant tape across many recorded
+    /// sessions.
+    pub fn merge(&mut self, other: Tape) {
+        self.est.extend(other.est);
+        self.exec.extend(other.exec);
+    }
+
     /// Serialize to JSONL, one entry per line, sorted (estimated first,
     /// then executed), each line shaped like
     /// `{"event":"whatif_cost","kind":"est","q":"<32 hex>","cfg":"<32 hex>","bits":123}`.

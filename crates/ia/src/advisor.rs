@@ -34,7 +34,11 @@ impl TrajectoryMode {
 }
 
 /// A learning-based (or heuristic) index advisor.
-pub trait IndexAdvisor {
+///
+/// `Send` is a supertrait: a boxed advisor is tenant state that the
+/// `pipa-serve` scheduler migrates between worker threads, and every
+/// implementor is plain owned data (networks, RNGs, traces).
+pub trait IndexAdvisor: Send {
     /// Display name, e.g. `"DQN-b"`.
     fn name(&self) -> String;
 

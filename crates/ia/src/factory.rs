@@ -5,7 +5,7 @@
 //! counts ~5× for CI and interactive use — the attack dynamics survive
 //! (all experiment binaries accept `--quick`), only the variance grows.
 
-use crate::advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor};
+use crate::advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
 use crate::bandit::{BanditAdvisor, BanditConfig};
 use crate::dqn::{DqnAdvisor, DqnConfig};
 use crate::drlindex::{DrlIndexAdvisor, DrlIndexConfig};
@@ -76,13 +76,60 @@ impl SpeedPreset {
     }
 }
 
+/// Typed construction context for [`AdvisorKind::build_with`].
+///
+/// Replaces the positional `(preset, seed)` pair — which silently
+/// transposed when both arguments were integers-in-spirit — with named,
+/// defaultable fields, mirroring the `StressTest` builder migration.
+/// The context is `Copy`, so one value can seed a whole tenant fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildCtx {
+    /// Training/trial compute preset.
+    pub preset: SpeedPreset,
+    /// RNG seed for the advisor's own stochastic machinery.
+    pub seed: u64,
+    /// Override the kind's trajectory-selection mode (`-b`/`-m`).
+    /// `None` keeps the mode baked into the [`AdvisorKind`] variant;
+    /// `Some(m)` rewrites it (SWIRL, which has no mode, ignores this).
+    pub mode_override: Option<TrajectoryMode>,
+}
+
+impl BuildCtx {
+    /// Context with the given preset and seed, no mode override.
+    pub fn new(preset: SpeedPreset, seed: u64) -> Self {
+        BuildCtx {
+            preset,
+            seed,
+            mode_override: None,
+        }
+    }
+
+    /// Builder-style trajectory-mode override.
+    pub fn mode(mut self, mode: TrajectoryMode) -> Self {
+        self.mode_override = Some(mode);
+        self
+    }
+}
+
 impl AdvisorKind {
     /// Construct this advisor variant — *the* advisor constructor, used
-    /// by the factory functions and the experiment binaries alike. Every
-    /// advisor comes wrapped in the [`Instrumented`] observability
-    /// decorator (transparent when nothing records).
-    pub fn build(self, preset: SpeedPreset, seed: u64) -> Box<dyn ClearBoxAdvisor> {
-        match self {
+    /// by the factory functions, the experiment binaries, and the
+    /// `pipa-serve` tenant fleet alike. Every advisor comes wrapped in
+    /// the [`Instrumented`] observability decorator (transparent when
+    /// nothing records).
+    pub fn build_with(self, ctx: BuildCtx) -> Box<dyn ClearBoxAdvisor> {
+        let BuildCtx {
+            preset,
+            seed,
+            mode_override,
+        } = ctx;
+        let kind = match (self, mode_override) {
+            (AdvisorKind::Dqn(_), Some(m)) => AdvisorKind::Dqn(m),
+            (AdvisorKind::DrlIndex(_), Some(m)) => AdvisorKind::DrlIndex(m),
+            (AdvisorKind::DbaBandit(_), Some(m)) => AdvisorKind::DbaBandit(m),
+            (kind, _) => kind,
+        };
+        match kind {
             AdvisorKind::Dqn(m) => Box::new(Instrumented::new(DqnAdvisor::new(m, preset.dqn(seed)))),
             AdvisorKind::DrlIndex(m) => {
                 Box::new(Instrumented::new(DrlIndexAdvisor::new(m, preset.drl(seed))))
@@ -93,13 +140,20 @@ impl AdvisorKind {
             AdvisorKind::Swirl => Box::new(Instrumented::new(SwirlAdvisor::new(preset.swirl(seed)))),
         }
     }
+
+    /// Positional-argument shim for [`AdvisorKind::build_with`], kept for
+    /// one PR as the `StressTest` migration did.
+    #[deprecated(since = "0.1.0", note = "use `build_with(BuildCtx::new(preset, seed))`")]
+    pub fn build(self, preset: SpeedPreset, seed: u64) -> Box<dyn ClearBoxAdvisor> {
+        self.build_with(BuildCtx::new(preset, seed))
+    }
 }
 
 /// Build an advisor by kind (opaque-box surface only). Delegates to
-/// [`AdvisorKind::build`] via a thin adapter: `Box<dyn ClearBoxAdvisor>`
+/// [`AdvisorKind::build_with`] via a thin adapter: `Box<dyn ClearBoxAdvisor>`
 /// does not unsize to `Box<dyn IndexAdvisor>`, so the box is re-wrapped.
 pub fn build_advisor(kind: AdvisorKind, preset: SpeedPreset, seed: u64) -> Box<dyn IndexAdvisor> {
-    Box::new(OpaqueOnly(kind.build(preset, seed)))
+    Box::new(OpaqueOnly(kind.build_with(BuildCtx::new(preset, seed))))
 }
 
 /// Build an advisor with clear-box introspection (for the P-C baseline).
@@ -108,7 +162,7 @@ pub fn build_clear_box(
     preset: SpeedPreset,
     seed: u64,
 ) -> Box<dyn ClearBoxAdvisor> {
-    kind.build(preset, seed)
+    kind.build_with(BuildCtx::new(preset, seed))
 }
 
 /// Adapter hiding the clear-box surface behind `dyn IndexAdvisor`.
@@ -164,11 +218,33 @@ mod tests {
     }
 
     #[test]
-    fn kind_build_is_the_factory() {
+    fn kind_build_with_is_the_factory() {
         for kind in AdvisorKind::all() {
-            let ia = kind.build(SpeedPreset::Test, 1);
+            let ia = kind.build_with(BuildCtx::new(SpeedPreset::Test, 1));
             assert_eq!(ia.name(), kind.label());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn positional_build_shim_matches_build_with() {
+        for kind in AdvisorKind::all() {
+            let shim = kind.build(SpeedPreset::Test, 5);
+            let ctx = kind.build_with(BuildCtx::new(SpeedPreset::Test, 5));
+            assert_eq!(shim.name(), ctx.name());
+            assert_eq!(shim.budget(), ctx.budget());
+            assert_eq!(shim.is_trial_based(), ctx.is_trial_based());
+        }
+    }
+
+    #[test]
+    fn mode_override_rewrites_the_trajectory_mode() {
+        let ctx = BuildCtx::new(SpeedPreset::Test, 1).mode(TrajectoryMode::MeanLast(10));
+        let ia = AdvisorKind::DbaBandit(TrajectoryMode::Best).build_with(ctx);
+        assert_eq!(ia.name(), "DBAbandit-m");
+        // SWIRL has no trajectory mode; the override is ignored.
+        let swirl = AdvisorKind::Swirl.build_with(ctx);
+        assert_eq!(swirl.name(), "SWIRL");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use bandit::{BanditAdvisor, BanditConfig};
 pub use dqn::{DqnAdvisor, DqnConfig};
 pub use drlindex::{DrlIndexAdvisor, DrlIndexConfig};
 pub use env::IndexEnv;
-pub use factory::{build_advisor, build_clear_box, SpeedPreset};
+pub use factory::{build_advisor, build_clear_box, BuildCtx, SpeedPreset};
 pub use heuristic::{AutoAdminGreedy, DropHeuristic};
 pub use instrument::Instrumented;
 pub use swirl::{SwirlAdvisor, SwirlConfig};

@@ -1,0 +1,229 @@
+//! The typed response side of the service API.
+//!
+//! Results split into two values with different contracts, mirroring the
+//! `pipa-obs` trace/metrics channels:
+//!
+//! * [`FleetReport`] — deterministic: a pure function of the
+//!   [`FleetSpec`](crate::FleetSpec) (bit-identical across worker
+//!   counts, `PartialEq`-comparable, serializable);
+//! * [`FleetTiming`] — wall-clock session latencies and fleet wall time,
+//!   inherently nondeterministic and therefore quarantined.
+
+use pipa_core::harness::StressOutcome;
+use pipa_cost::Tape;
+use serde::Serialize;
+
+/// What one session produced (deterministic payload only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionReport {
+    /// A [`SessionRequest::WhatIf`](crate::SessionRequest::WhatIf) batch.
+    WhatIf {
+        /// Per-query cost evaluations issued (configs × workload queries).
+        evals: u64,
+        /// Sum of the workload costs over the candidate configurations.
+        total_cost: f64,
+        /// Cheapest candidate configuration's workload cost.
+        best_cost: f64,
+    },
+    /// A [`SessionRequest::Recommend`](crate::SessionRequest::Recommend).
+    Recommend {
+        /// Recommended index names.
+        indexes: Vec<String>,
+        /// Tenant-workload cost under the recommendation.
+        cost: f64,
+    },
+    /// A [`SessionRequest::Stress`](crate::SessionRequest::Stress).
+    Stress(StressOutcome),
+}
+
+impl SessionReport {
+    /// Per-query what-if evaluations this session issued (what-if
+    /// sessions only; training traffic is not counted here).
+    pub fn evals(&self) -> u64 {
+        match self {
+            SessionReport::WhatIf { evals, .. } => *evals,
+            _ => 0,
+        }
+    }
+}
+
+// Hand-written: the vendored mini-serde derive handles unit enums and
+// structs only, not payload variants. Rendered as externally-tagged
+// objects (`{"what_if": {...}}`), matching upstream serde's default.
+impl Serialize for SessionReport {
+    fn to_value(&self) -> serde::Value {
+        let (tag, body) = match self {
+            SessionReport::WhatIf {
+                evals,
+                total_cost,
+                best_cost,
+            } => (
+                "what_if",
+                serde::Value::Object(vec![
+                    ("evals".into(), evals.to_value()),
+                    ("total_cost".into(), total_cost.to_value()),
+                    ("best_cost".into(), best_cost.to_value()),
+                ]),
+            ),
+            SessionReport::Recommend { indexes, cost } => (
+                "recommend",
+                serde::Value::Object(vec![
+                    ("indexes".into(), indexes.to_value()),
+                    ("cost".into(), cost.to_value()),
+                ]),
+            ),
+            SessionReport::Stress(outcome) => ("stress", outcome.to_value()),
+        };
+        serde::Value::Object(vec![(tag.into(), body)])
+    }
+}
+
+/// Why a tenant stopped serving sessions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Degraded {
+    /// Index of the failing session.
+    pub session: usize,
+    /// Rendered error (a `CostError` display or a panic message).
+    pub error: String,
+}
+
+/// One tenant's deterministic results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub tenant: String,
+    /// Advisor label (e.g. `"DBAbandit-b"`).
+    pub advisor: String,
+    /// Backend label (`"sim"` / `"record"` / `"replay"`).
+    pub backend: String,
+    /// The tenant's derived seed.
+    pub seed: u64,
+    /// Completed sessions, in request order.
+    pub sessions: Vec<SessionReport>,
+    /// Set if a session failed; later sessions were skipped.
+    pub degraded: Option<Degraded>,
+}
+
+/// The fleet's deterministic results: bit-identical across worker
+/// counts, compared structurally by the determinism tests.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Root seed the per-tenant seeds derive from.
+    pub root_seed: u64,
+    /// One report per tenant, in admission order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl FleetReport {
+    /// Number of degraded tenants.
+    pub fn degraded_tenants(&self) -> usize {
+        self.tenants.iter().filter(|t| t.degraded.is_some()).count()
+    }
+
+    /// Completed sessions across the fleet.
+    pub fn completed_sessions(&self) -> usize {
+        self.tenants.iter().map(|t| t.sessions.len()).sum()
+    }
+
+    /// Total per-query what-if evaluations across the fleet.
+    pub fn whatif_evals(&self) -> u64 {
+        self.tenants
+            .iter()
+            .flat_map(|t| &t.sessions)
+            .map(SessionReport::evals)
+            .sum()
+    }
+}
+
+/// Wall-clock measurements from one fleet run. Values vary run to run;
+/// only the *shape* (which sessions completed) is deterministic.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetTiming {
+    /// Wall time of the whole run, nanoseconds.
+    pub wall_nanos: u64,
+    /// Per-session wall latencies, flattened in (tenant, session) order.
+    pub session_nanos: Vec<u64>,
+}
+
+impl FleetTiming {
+    /// The `p`-th percentile (0.0–1.0) of session latency, in
+    /// nanoseconds, by the nearest-rank method. Zero if no sessions ran.
+    pub fn percentile_nanos(&self, p: f64) -> u64 {
+        if self.session_nanos.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.session_nanos.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// Everything [`FleetSpec::run`](crate::FleetSpec::run) hands back.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// Deterministic results (compare these across worker counts).
+    pub report: FleetReport,
+    /// Wall-clock latencies (never compare these).
+    pub timing: FleetTiming,
+    /// Accumulated tapes, one slot per tenant in admission order:
+    /// `Some` for [`BackendSpec::SimRecording`](crate::BackendSpec)
+    /// tenants, `None` otherwise.
+    pub tapes: Vec<Option<Tape>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let t = FleetTiming {
+            wall_nanos: 0,
+            session_nanos: vec![50, 10, 20, 30, 40],
+        };
+        assert_eq!(t.percentile_nanos(0.5), 30);
+        assert_eq!(t.percentile_nanos(0.99), 50);
+        assert_eq!(t.percentile_nanos(0.0), 10);
+        let empty = FleetTiming {
+            wall_nanos: 0,
+            session_nanos: vec![],
+        };
+        assert_eq!(empty.percentile_nanos(0.5), 0);
+    }
+
+    #[test]
+    fn fleet_report_aggregates() {
+        let report = FleetReport {
+            root_seed: 1,
+            tenants: vec![
+                TenantReport {
+                    tenant: "a".into(),
+                    advisor: "DBAbandit-b".into(),
+                    backend: "sim".into(),
+                    seed: 2,
+                    sessions: vec![SessionReport::WhatIf {
+                        evals: 12,
+                        total_cost: 3.0,
+                        best_cost: 1.0,
+                    }],
+                    degraded: None,
+                },
+                TenantReport {
+                    tenant: "b".into(),
+                    advisor: "DBAbandit-b".into(),
+                    backend: "replay".into(),
+                    seed: 3,
+                    sessions: vec![],
+                    degraded: Some(Degraded {
+                        session: 0,
+                        error: "replay miss".into(),
+                    }),
+                },
+            ],
+        };
+        assert_eq!(report.degraded_tenants(), 1);
+        assert_eq!(report.completed_sessions(), 1);
+        assert_eq!(report.whatif_evals(), 12);
+    }
+}

@@ -1,114 +1,105 @@
-//! The paper's motivating scenario (§1): a multi-tenant cloud database
-//! where one malicious tenant pollutes the shared advisor's training
-//! workload.
+//! The paper's motivating scenario (§1) on the serving layer: a
+//! multi-tenant cloud database where one tenant runs a PIPA poisoning
+//! attack — expressed through `pipa-serve`'s typed fleet API.
 //!
-//! Three tenants submit normal analytic workloads; the platform's learned
-//! advisor trains on their union. Tenant "mallory" then submits an
-//! extraneous workload crafted with PIPA. The advisor updates — and the
-//! *honest* tenants' queries get slower, even though their workloads
-//! never changed.
+//! Three honest tenants (each with their *own* advisor, schema
+//! statistics, and seed stream) serve what-if and recommendation
+//! traffic. A fourth tenant, "mallory", runs the full probe → inject →
+//! retrain → measure stress pipeline against her advisor. The fleet
+//! report shows the attack degrading mallory's recommendations while
+//! the honest tenants' numbers are untouched — per-tenant advisors
+//! contain the blast radius that a *shared* advisor (the paper's threat
+//! model) cannot. A fifth tenant with a corrupt replay tape then
+//! demonstrates failure isolation: it degrades, the fleet survives.
 //!
 //! ```text
 //! cargo run --release --example multi_tenant_attack
 //! ```
 
-use pipa::core::injectors::{Injector, TargetedInjector};
-use pipa::core::ProbeConfig;
-use pipa::ia::{build_clear_box, AdvisorKind, SpeedPreset, TrajectoryMode};
-use pipa::qgen::StGenerator;
-use pipa::sim::Workload;
-use pipa::workload::{generator::WorkloadGenerator, Benchmark};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use pipa::obs::TraceOutputs;
+use pipa::serve::{
+    BackendSpec, FleetSpec, InjectorKind, SessionReport, SessionRequest, TenantSpec,
+};
+use pipa::ia::{AdvisorKind, TrajectoryMode};
+use pipa::workload::Benchmark;
 
 fn main() {
-    let benchmark = Benchmark::TpcH;
-    let cost = pipa::cost::SimBackend::new(benchmark.database(1.0, None));
-    let engine = pipa::cost::CostEngine::new(&cost);
-    let gen = WorkloadGenerator::new(benchmark.schema(), benchmark.default_templates());
-
-    // Three honest tenants with their own workload mixes.
-    let tenants: Vec<(&str, Workload)> = vec![
-        (
-            "acme",
-            gen.normal(&mut ChaCha8Rng::seed_from_u64(1)).unwrap(),
-        ),
-        (
-            "globex",
-            gen.normal(&mut ChaCha8Rng::seed_from_u64(2)).unwrap(),
-        ),
-        (
-            "initech",
-            gen.normal(&mut ChaCha8Rng::seed_from_u64(3)).unwrap(),
-        ),
+    // The roster: honest tenants on their own benchmarks and advisors,
+    // each serving a morning of what-if traffic plus a recommendation.
+    let honest = [
+        ("acme", Benchmark::TpcH, AdvisorKind::DbaBandit(TrajectoryMode::Best)),
+        ("globex", Benchmark::TpcDs, AdvisorKind::Swirl),
+        ("initech", Benchmark::TpcH, AdvisorKind::Dqn(TrajectoryMode::Best)),
     ];
-    let mut shared = Workload::new();
-    for (_, w) in &tenants {
-        shared.extend_from(w);
+    let mut fleet = FleetSpec::new(7).workers(0);
+    for (name, benchmark, advisor) in honest {
+        fleet = fleet.tenant(
+            TenantSpec::new(name, benchmark)
+                .advisor(advisor)
+                .session(SessionRequest::WhatIf { configs: 6 })
+                .session(SessionRequest::Recommend),
+        );
     }
-    println!(
-        "shared training workload: {} queries from 3 tenants",
-        shared.len()
+    // Mallory attacks *her own* advisor with PIPA (N̂ = 18, §6.1) — in
+    // the shared-advisor world of the paper this injection would poison
+    // everyone's recommendations.
+    fleet = fleet.tenant(
+        TenantSpec::new("mallory", Benchmark::TpcH).session(SessionRequest::Stress {
+            injector: InjectorKind::Pipa,
+            injection_size: 18,
+        }),
+    );
+    // And one tenant whose recorded tape is corrupt (empty): every
+    // lookup misses, the tenant degrades, the fleet keeps serving.
+    fleet = fleet.tenant(
+        TenantSpec::new("corrupt-tape", Benchmark::TpcH)
+            .backend(BackendSpec::Replay(pipa::cost::Tape::default()))
+            .session(SessionRequest::WhatIf { configs: 4 }),
     );
 
-    // The platform's advisor trains on the shared workload.
-    let mut advisor = build_clear_box(
-        AdvisorKind::DbaBandit(TrajectoryMode::Best),
-        SpeedPreset::Quick,
-        7,
-    );
-    advisor.train(&cost, &shared).expect("train");
-    let clean_cfg = advisor.recommend(&cost, &shared).expect("recommend");
-    println!("\nplatform indexes (clean):");
-    for i in clean_cfg.indexes() {
-        println!("  {}", i.name(cost.database().schema()));
-    }
-    let mut clean_costs: Vec<(String, f64)> = Vec::new();
-    for (name, w) in &tenants {
-        let c = engine
-            .measured_workload_cost(w, &clean_cfg, false)
-            .expect("workload cost");
-        clean_costs.push((name.to_string(), c));
-    }
-
-    // Mallory probes the advisor and submits a PIPA injection.
-    println!("\nmallory probes the advisor and submits an extraneous workload...");
-    let mut mallory = TargetedInjector::pipa(Box::new(StGenerator::new(99)));
-    mallory.probe_cfg = ProbeConfig {
-        epochs: 8,
-        queries_per_epoch: 18,
-        seed: 99,
-        ..Default::default()
-    };
-    let poison = mallory
-        .build(advisor.as_mut(), &cost, 18, 99)
-        .expect("injection build");
     println!(
-        "injected {} queries (all disjoint from tenant workloads)",
-        poison.len()
+        "fleet: {} tenants, {} sessions queued\n",
+        fleet.tenants.len(),
+        fleet.total_sessions()
     );
-    assert!(poison.is_disjoint_from(&shared));
+    let run = fleet.run(&TraceOutputs::disabled());
 
-    // Nightly retraining picks up the polluted set.
-    advisor.retrain(&cost, &shared.union(&poison)).expect("retrain");
-    let poisoned_cfg = advisor.recommend(&cost, &shared).expect("recommend");
-    println!("\nplatform indexes (after mallory):");
-    for i in poisoned_cfg.indexes() {
-        println!("  {}", i.name(cost.database().schema()));
+    for tenant in &run.report.tenants {
+        println!("tenant {:12} [{} / {}]", tenant.tenant, tenant.advisor, tenant.backend);
+        for (s, session) in tenant.sessions.iter().enumerate() {
+            match session {
+                SessionReport::WhatIf {
+                    evals, best_cost, ..
+                } => println!("  session {s}: what-if  {evals:5} evals, best cost {best_cost:.0}"),
+                SessionReport::Recommend { indexes, cost } => {
+                    println!("  session {s}: recommend cost {cost:.0} via {indexes:?}")
+                }
+                SessionReport::Stress(o) => {
+                    println!(
+                        "  session {s}: stress   AD {:+.3} (toxic: {}) — {:.0} → {:.0}",
+                        o.ad, o.toxic, o.baseline_cost, o.poisoned_cost
+                    );
+                    println!("             clean indexes:    {:?}", o.baseline_indexes);
+                    println!("             poisoned indexes: {:?}", o.poisoned_indexes);
+                }
+            }
+        }
+        if let Some(d) = &tenant.degraded {
+            println!("  DEGRADED at session {}: {}", d.session, d.error);
+        }
+        println!();
     }
 
-    println!("\nper-tenant impact (same workloads, new indexes):");
-    for ((name, w), (_, before)) in tenants.iter().zip(&clean_costs) {
-        let after = engine
-            .measured_workload_cost(w, &poisoned_cfg, false)
-            .expect("workload cost");
-        let delta = (after - before) / before * 100.0;
-        println!("  {name:8} cost {before:9.0} → {after:9.0}  ({delta:+.1}%)");
-    }
     println!(
-        "\nHonest tenants pay for mallory's injection — the robustness gap\n\
-         PIPA is designed to expose. Defenses: workload provenance checks,\n\
-         retraining canaries (compare pre/post cost on a held-out target\n\
-         workload), and anomaly detection on training-set drift."
+        "{} of {} tenants degraded; {} sessions completed.",
+        run.report.degraded_tenants(),
+        run.report.tenants.len(),
+        run.report.completed_sessions()
+    );
+    println!(
+        "\nMallory's poisoning lands entirely inside her own tenant, and the\n\
+         corrupt tape takes down one tenant, not the fleet: per-tenant\n\
+         advisors and per-session failure isolation contain exactly the\n\
+         blast radius the paper's shared-advisor threat model exposes."
     );
 }

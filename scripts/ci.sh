@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PKGS=(-p pipa -p pipa-obs -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-cost -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-bench)
+PKGS=(-p pipa -p pipa-obs -p pipa-sim -p pipa-workload -p pipa-nn -p pipa-cost -p pipa-ia -p pipa-qgen -p pipa-core -p pipa-serve -p pipa-bench)
 
 echo "== cargo build --release =="
 cargo build --release "${PKGS[@]}"
@@ -25,7 +25,7 @@ echo "== cost-backend boundary lint =="
 # The trait's method names are deliberately distinct from Database's, so
 # a direct call is grep-visible.
 if grep -rnE 'estimated_(query|workload)_cost|scalar_(query|workload)_cost|what_if_(batch|delta)|whatif_eval_|actual_(query|workload)_cost' \
-        crates/ia/src crates/core/src; then
+        crates/ia/src crates/core/src crates/serve/src; then
     echo "boundary lint: direct Database cost calls found above (use the CostBackend seam)" >&2
     exit 1
 fi
@@ -62,6 +62,12 @@ echo "== NN bench smoke =="
 # session's bitwise equality against the per-token path on the way);
 # smoke mode skips the committed artifact.
 NN_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench nn >/dev/null
+
+echo "== serve bench smoke =="
+# Tiny replay fleet through the serve bench harness: records tapes, runs
+# the worker grid, and asserts the fleet report is bit-identical across
+# worker counts; smoke mode skips the committed artifact.
+SERVE_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench serve >/dev/null
 
 echo "== what-if bench smoke =="
 # Tiny-dimension pass through the whatif bench harness, including the

@@ -15,6 +15,8 @@
 //! * [`qgen`] — query generators (FSM, templates, IABART);
 //! * [`core`] — PIPA itself: probing, injecting, AD/RD metrics, and the
 //!   stress-test harness;
+//! * [`serve`] — the multi-tenant session fleet (typed
+//!   `TenantSpec`/`FleetSpec` API over a work-stealing scheduler);
 //! * [`obs`] — zero-dependency observability (event channels, timers,
 //!   per-cell recording).
 
@@ -24,5 +26,6 @@ pub use pipa_obs as obs;
 pub use pipa_ia as ia;
 pub use pipa_nn as nn;
 pub use pipa_qgen as qgen;
+pub use pipa_serve as serve;
 pub use pipa_sim as sim;
 pub use pipa_workload as workload;

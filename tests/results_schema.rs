@@ -221,6 +221,64 @@ fn bench_whatif_artifact_shows_the_join_decomposition_win() {
 }
 
 #[test]
+fn bench_serve_artifact_meets_the_fleet_floors() {
+    // The serving-layer PR: a >= 1000-session replay fleet must be
+    // committed with sane latency percentiles, real aggregate what-if
+    // throughput, zero degraded tenants, and the report proven
+    // bit-identical across worker counts before the artifact is written.
+    let path = results_dir().join("BENCH_serve.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_serve.json is committed");
+    let keys = top_level_keys(&text).unwrap();
+    for required in [
+        "tenants",
+        "sessions_total",
+        "whatif_evals_total",
+        "median_fleet_ns",
+        "p50_session_ns",
+        "p99_session_ns",
+        "whatif_qps",
+        "degraded_tenants",
+        "deterministic_across_workers",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "BENCH_serve.json: missing top-level {required:?} (has {keys:?})"
+        );
+    }
+    let sessions = num_field(&text, "sessions_total");
+    assert!(
+        sessions >= 1000.0,
+        "sessions_total = {sessions} should be >= 1000"
+    );
+    let p50 = num_field(&text, "p50_session_ns");
+    let p99 = num_field(&text, "p99_session_ns");
+    assert!(p50 > 0.0, "p50_session_ns = {p50}");
+    assert!(p99 >= p50, "p99 ({p99}) should be >= p50 ({p50})");
+    let qps = num_field(&text, "whatif_qps");
+    assert!(qps.is_finite() && qps > 0.0, "whatif_qps = {qps}");
+    assert_eq!(
+        num_field(&text, "degraded_tenants"),
+        0.0,
+        "the committed fleet run must have no degraded tenants"
+    );
+    // Every worker-grid cell must be present and positive, so a partial
+    // bench run can't produce a plausible file.
+    for cell in [
+        "replay_fleet_w1",
+        "replay_fleet_w2",
+        "replay_fleet_w4",
+        "replay_fleet_w8",
+    ] {
+        let ns = num_field(&text, cell);
+        assert!(ns.is_finite() && ns > 0.0, "median_fleet_ns.{cell} = {ns}");
+    }
+    assert!(
+        text.contains("\"deterministic_across_workers\": true"),
+        "the fleet report must be proven worker-count invariant"
+    );
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check
