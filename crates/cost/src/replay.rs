@@ -57,13 +57,23 @@ impl Tape {
 
     /// Merge another tape's entries into this one. Overlapping keys must
     /// agree — the [`CostBackend`] bit-equality contract makes two
-    /// recordings of the same `(query, config)` pair identical — so
-    /// last-write-wins is observationally a no-op on overlaps. Used by
-    /// `pipa-serve` to accumulate one tenant tape across many recorded
-    /// sessions.
+    /// recordings of the same `(query, config)` pair identical — and
+    /// debug builds assert that per entry, so cost drift between
+    /// recordings fails loudly in tests instead of being masked by a
+    /// silent overwrite. Used by `pipa-serve` to accumulate one tenant
+    /// tape across many recorded sessions.
     pub fn merge(&mut self, other: Tape) {
-        self.est.extend(other.est);
-        self.exec.extend(other.exec);
+        for (dst, src) in [(&mut self.est, other.est), (&mut self.exec, other.exec)] {
+            for ((q, cfg), bits) in src {
+                if let Some(prev) = dst.insert((q, cfg), bits) {
+                    debug_assert_eq!(
+                        prev, bits,
+                        "tape merge: overlapping entry disagrees at q={q:032x} cfg={cfg:032x} \
+                         — the CostBackend bit-equality contract was broken upstream"
+                    );
+                }
+            }
+        }
     }
 
     /// Serialize to JSONL, one entry per line, sorted (estimated first,
@@ -509,6 +519,32 @@ mod tests {
         assert!(matches!(Tape::from_jsonl(bad), Err(CostError::Io(_))));
         let bad_kind = "{\"event\":\"whatif_cost\",\"kind\":\"wat\",\"q\":\"0a\",\"cfg\":\"01\",\"bits\":1}";
         assert!(Tape::from_jsonl(bad_kind).is_err());
+    }
+
+    #[test]
+    fn tape_merge_unions_and_agreeing_overlaps_are_noops() {
+        let mut a = Tape::default();
+        a.est.insert((1, 1), 10);
+        a.exec.insert((1, 1), 20);
+        let mut b = Tape::default();
+        b.est.insert((1, 1), 10); // agreeing overlap
+        b.est.insert((2, 2), 30); // fresh entry
+        a.merge(b);
+        assert_eq!(a.est.get(&(1, 1)), Some(&10));
+        assert_eq!(a.est.get(&(2, 2)), Some(&30));
+        assert_eq!(a.exec.get(&(1, 1)), Some(&20));
+        assert_eq!(a.est_len(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "tape merge: overlapping entry disagrees")]
+    fn tape_merge_rejects_disagreeing_overlaps_in_debug() {
+        let mut a = Tape::default();
+        a.est.insert((1, 1), 10);
+        let mut b = Tape::default();
+        b.est.insert((1, 1), 11);
+        a.merge(b);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! traces are flushed **in (tenant, session) order** after the run —
 //! never in completion order — so the merged fleet trace is
 //! byte-identical across worker counts, exactly like the experiment
-//! runner's per-cell stream.
+//! runner's per-cell stream. That includes the trace of a session that
+//! degraded its tenant with an `Err`: its events up to the failure are
+//! flushed right after the tenant's completed sessions. Only a
+//! *panicking* session leaves no trace (the unwind discards its
+//! buffer).
 
 use crate::report::{Degraded, FleetReport, FleetRun, FleetTiming, SessionReport, TenantReport};
 use crate::scheduler::run_tenants;
@@ -37,6 +41,11 @@ struct TenantRuntime {
     backend: OwnedBackend,
     workload: Workload,
     sessions: Vec<SessionRequest>,
+    /// Trace of the session that degraded this tenant, if any. The
+    /// scheduler only carries the error string back, so the events the
+    /// failing session recorded before erroring ride home here and are
+    /// flushed after the tenant's completed sessions.
+    failed_trace: Option<CellTrace>,
 }
 
 /// The tenant's cost backend, owned. Sessions only ever see it as
@@ -81,6 +90,7 @@ fn materialize(spec: &TenantSpec, seed: CellSeed) -> TenantRuntime {
         backend,
         workload,
         sessions: spec.sessions.clone(),
+        failed_trace: None,
     }
 }
 
@@ -177,6 +187,11 @@ fn exec_session(
 /// One scheduler step: session `s` of a tenant, inside its recording
 /// scope. Recording-backend tenants stack a fresh [`RecordingBackend`]
 /// per session and merge the captured tape into the tenant's.
+///
+/// On an `Err` the trace still survives — it is parked on the runtime
+/// (`failed_trace`) because the scheduler's error channel only carries
+/// the string. A *panicking* session is the one case that loses its
+/// buffer: the unwind discards the recorder before it can return.
 fn run_session(
     rt: &mut TenantRuntime,
     s: usize,
@@ -223,7 +238,13 @@ fn run_session(
             ),
         }
     });
-    result.map(|report| (report, trace))
+    match result {
+        Ok(report) => Ok((report, trace)),
+        Err(e) => {
+            rt.failed_trace = Some(trace);
+            Err(e)
+        }
+    }
 }
 
 impl FleetSpec {
@@ -262,6 +283,12 @@ impl FleetSpec {
             for (report, trace) in outcome.results {
                 out.write_cell(&trace);
                 sessions.push(report);
+            }
+            // The degraded session (if any) comes right after the
+            // completed ones, so the merged stream stays in (tenant,
+            // session) order even for tenants that failed partway.
+            if let Some(trace) = &rt.failed_trace {
+                out.write_cell(trace);
             }
             session_nanos.extend(outcome.session_nanos);
             tenants.push(TenantReport {

@@ -152,6 +152,13 @@ where
             if finished {
                 if live.fetch_sub(1, Ordering::AcqRel) == 1 {
                     // Last tenant done: wake every parked worker to exit.
+                    // The notify must happen with the queue lock held —
+                    // a waiter releases that lock atomically with parking
+                    // in `idle.wait`, so taking it here means the wake
+                    // cannot land in the window between a waiter's `live`
+                    // check and its park (a lost wake-up would sleep that
+                    // worker forever, since nothing notifies afterwards).
+                    let _q = queue.lock().expect("ready queue");
                     idle.notify_all();
                 }
             } else {
@@ -267,6 +274,21 @@ mod tests {
         assert_eq!(outcomes[1].results, vec![0, 1, 2, 3]);
         // Session 3 of tenant 0 never ran.
         assert!(!calls.lock().unwrap().contains(&(0, 3)));
+    }
+
+    #[test]
+    fn shutdown_never_strands_a_parked_worker() {
+        // Regression for a lost-wakeup deadlock: the final notify_all
+        // used to fire without the queue lock, so a worker that had just
+        // seen an empty queue and `live != 0` but not yet parked missed
+        // the only wake-up and slept forever. Many tiny fleets with more
+        // workers than work maximize the odds of hitting that window.
+        for round in 0..200usize {
+            let n = 1 + round % 3;
+            let (_, outcomes) =
+                run_tenants(8, vec![0usize; n], &vec![1; n], |_, s| Ok(s));
+            assert_eq!(outcomes.len(), n, "round {round}");
+        }
     }
 
     #[test]

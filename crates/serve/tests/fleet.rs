@@ -124,14 +124,15 @@ fn a_poisoned_tenants_cost_error_never_perturbs_siblings() {
 
     // Same fleet plus a tenant whose empty replay tape fails every
     // lookup with a `ReplayMiss` on its first session.
-    let poisoned = honest(FleetSpec::new(3).workers(2))
-        .tenant(
+    let poisoned_spec = |workers| {
+        honest(FleetSpec::new(3).workers(workers)).tenant(
             TenantSpec::new("mallory", Benchmark::TpcH)
                 .backend(BackendSpec::Replay(pipa_cost::Tape::default()))
                 .session(SessionRequest::WhatIf { configs: 4 })
                 .session(SessionRequest::WhatIf { configs: 4 }),
         )
-        .run(&TraceOutputs::disabled());
+    };
+    let (poisoned, poisoned_trace) = traced_run(&poisoned_spec(2));
 
     // The failing tenant is degraded at its first session, with the
     // replay miss recorded verbatim — and nothing else.
@@ -147,6 +148,19 @@ fn a_poisoned_tenants_cost_error_never_perturbs_siblings() {
     // appended after them, so the derivations line up.)
     assert_eq!(poisoned.report.tenants[0], baseline.report.tenants[0]);
     assert_eq!(poisoned.report.tenants[1], baseline.report.tenants[1]);
+
+    // The failing session's partial trace is not dropped — its events up
+    // to the replay miss are flushed after mallory's (zero) completed
+    // sessions — and the merged trace stays worker-count invariant even
+    // with a degraded tenant in the roster.
+    assert!(
+        poisoned_trace.contains("mallory"),
+        "degraded session left no trace:\n{poisoned_trace}"
+    );
+    for workers in [1, 8] {
+        let (_, trace) = traced_run(&poisoned_spec(workers));
+        assert_eq!(trace, poisoned_trace, "degraded trace drifted at workers={workers}");
+    }
 }
 
 #[test]
