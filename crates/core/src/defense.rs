@@ -36,6 +36,10 @@ pub struct GuardedOutcome {
     pub rolled_back: bool,
     /// The configuration in force after the guard's decision.
     pub final_config: IndexConfig,
+    /// The pre-update recommendation — what a rollback reinstates
+    /// (`tests/defense_properties.rs` pins `final_config ==
+    /// previous_config` exactly on every rollback).
+    pub previous_config: IndexConfig,
 }
 
 impl CanaryGuard {
@@ -67,7 +71,12 @@ impl CanaryGuard {
             cost_before,
             cost_after,
             rolled_back,
-            final_config: if rolled_back { before_cfg } else { after_cfg },
+            final_config: if rolled_back {
+                before_cfg.clone()
+            } else {
+                after_cfg
+            },
+            previous_config: before_cfg,
         })
     }
 }

@@ -13,6 +13,8 @@
 //!   → inject → retrain → measure;
 //! * [`defense`] — retraining canaries and provenance screening (the
 //!   mitigations the paper's insights point DBAs at);
+//! * [`stream`] — the streaming arms race: windowed workload drift,
+//!   cadence-based retraining, adaptive attackers, online defenses;
 //! * [`experiment`] — shared plumbing for the per-figure binaries,
 //!   including the [`experiment::GridSpec`] advisor × injector × run
 //!   grid API;
@@ -60,6 +62,7 @@ pub mod preference;
 pub mod probe;
 pub mod report;
 pub mod runner;
+pub mod stream;
 
 pub use defense::{CanaryGuard, ProvenanceFilter};
 pub use experiment::{
@@ -72,3 +75,7 @@ pub use metrics::{absolute_degradation, is_toxic, relative_degradation, Stats};
 pub use preference::{segment, IndexingPreference, SegmentConfig, Segments};
 pub use probe::{probe, ProbeConfig, ProbeResult};
 pub use runner::{default_jobs, derive_seed, par_map, par_map_traced, CellSeed};
+pub use stream::{
+    run_stream, run_stream_grid, run_stream_grid_traced, AttackerStrategy, Cadence, DefensePolicy,
+    StreamCell, StreamGridSpec, StreamOutcome, StreamSpec, WindowReport,
+};

@@ -3,10 +3,14 @@
 //! `results/*.json` artifacts take).
 
 use pipa_core::experiment::{build_db, CellConfig, GridSpec, InjectorKind};
+use pipa_core::stream::{
+    run_stream_grid, run_stream_grid_traced, AttackerStrategy, Cadence, DefensePolicy,
+    StreamGridSpec,
+};
 use pipa_core::{run_grid, run_grid_traced, CellSeed};
 use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
 use pipa_obs::{MemorySink, TraceOutputs};
-use pipa_workload::Benchmark;
+use pipa_workload::{Benchmark, DriftSchedule};
 
 fn small_spec() -> (CellConfig, GridSpec) {
     let mut cfg = CellConfig::quick(Benchmark::TpcH);
@@ -149,6 +153,117 @@ fn trace_stream_is_bit_identical_across_job_counts() {
     };
     assert_eq!(ads(&serial), ads(&parallel));
     assert_eq!(ads(&serial), ads(&untraced));
+}
+
+fn small_stream_spec() -> (CellConfig, StreamGridSpec) {
+    let mut cfg = CellConfig::quick(Benchmark::TpcH);
+    cfg.preset = SpeedPreset::Test;
+    cfg.probe_epochs = 2;
+    let spec = StreamGridSpec {
+        advisor: AdvisorKind::DbaBandit(TrajectoryMode::Best),
+        attackers: vec![
+            AttackerStrategy::Spread(InjectorKind::Pipa),
+            AttackerStrategy::Burst(InjectorKind::Pipa),
+        ],
+        defenses: vec![DefensePolicy::None, DefensePolicy::Canary { tolerance: 0.02 }],
+        cadences: vec![Cadence::Every(1), Cadence::EndOnly],
+        windows: 2,
+        drift: DriftSchedule::Resample,
+        budget: 3,
+        runs: 1,
+        root_seed: 13,
+    };
+    (cfg, spec)
+}
+
+/// The streaming arms race inherits the grid guarantees: results and the
+/// serialized artifact form are bit-identical across `--jobs 1/4/8`.
+#[test]
+fn stream_grid_is_bit_identical_across_job_counts() {
+    let (cfg, spec) = small_stream_spec();
+    assert!(spec.len() >= 8, "grid must exercise several cells");
+
+    let run = |jobs: usize| {
+        let db = build_db(&cfg);
+        run_stream_grid(&db, &cfg, &spec, jobs).unwrap()
+    };
+    let serial = run(1);
+    let ser = |rs: &[(pipa_core::StreamCell, pipa_core::StreamOutcome)]| {
+        let outcomes: Vec<&pipa_core::StreamOutcome> = rs.iter().map(|(_, o)| o).collect();
+        serde_json::to_string_pretty(&outcomes).expect("serializable")
+    };
+    let golden = ser(&serial);
+    for jobs in [4, 8] {
+        let parallel = run(jobs);
+        assert_eq!(
+            golden,
+            ser(&parallel),
+            "--jobs 1 and --jobs {jobs} must serialize identically"
+        );
+        for ((a, _), (b, _)) in serial.iter().zip(&parallel) {
+            assert_eq!(a, b);
+        }
+    }
+    // Cells come back in spec order regardless of scheduling.
+    for (got, want) in serial.iter().map(|(c, _)| c).zip(&spec.cells()) {
+        assert_eq!(got, want);
+    }
+}
+
+/// Golden-trace determinism for the stream grid: the merged JSONL event
+/// stream is byte-identical across `--jobs 1/4/8`, every line carries the
+/// cell context, and tracing never perturbs the outcomes.
+#[test]
+fn stream_trace_is_bit_identical_across_job_counts() {
+    let (cfg, spec) = small_stream_spec();
+
+    let traced = |jobs: usize| {
+        let db = build_db(&cfg);
+        let sink = MemorySink::new();
+        let out = TraceOutputs::with_sinks(Some(Box::new(sink.clone())), None);
+        let results = run_stream_grid_traced(&db, &cfg, &spec, jobs, &out).unwrap();
+        (results, sink.contents())
+    };
+    let (serial, golden_trace) = traced(1);
+    assert!(!golden_trace.is_empty(), "trace must capture events");
+    for jobs in [4, 8] {
+        let (parallel, trace) = traced(jobs);
+        assert_eq!(
+            golden_trace, trace,
+            "--jobs 1 and --jobs {jobs} traces must be byte-identical"
+        );
+        let ads = |rs: &[(pipa_core::StreamCell, pipa_core::StreamOutcome)]| -> Vec<f64> {
+            rs.iter().map(|(_, o)| o.mean_ad).collect()
+        };
+        assert_eq!(ads(&serial), ads(&parallel));
+    }
+
+    // Every cell contributes its windows and closing outcome, each line
+    // tagged with the full arms-race context.
+    assert_eq!(
+        golden_trace.matches("\"event\":\"stream_outcome\"").count(),
+        spec.len()
+    );
+    assert_eq!(
+        golden_trace.matches("\"event\":\"stream_window\"").count(),
+        spec.len() * spec.windows
+    );
+    for line in golden_trace.lines() {
+        let keys = pipa_obs::json::top_level_keys(line).expect("valid JSON line");
+        for req in ["event", "cell_seed", "attacker", "defense", "cadence", "run"] {
+            assert!(keys.iter().any(|k| k == req), "missing {req} in {line}");
+        }
+    }
+
+    // Tracing does not perturb the scenarios.
+    let untraced = {
+        let db = build_db(&cfg);
+        run_stream_grid(&db, &cfg, &spec, 1).unwrap()
+    };
+    for ((a, x), (b, y)) in serial.iter().zip(&untraced) {
+        assert_eq!(a, b);
+        assert_eq!(x, y);
+    }
 }
 
 /// With no sink attached the recorder never switches on: the traced entry

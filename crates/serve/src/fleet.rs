@@ -12,13 +12,14 @@
 //! never in completion order — so the merged fleet trace is
 //! byte-identical across worker counts, exactly like the experiment
 //! runner's per-cell stream. That includes the trace of a session that
-//! degraded its tenant with an `Err`: its events up to the failure are
-//! flushed right after the tenant's completed sessions. Only a
-//! *panicking* session leaves no trace (the unwind discards its
-//! buffer).
+//! degraded its tenant — by returning `Err` *or by panicking*: the
+//! session body runs under `catch_unwind` **inside** the recording
+//! scope, so the events recorded before an unwind are flushed as the
+//! degraded session's trace right after the tenant's completed
+//! sessions, instead of being discarded with the unwound buffer.
 
 use crate::report::{Degraded, FleetReport, FleetRun, FleetTiming, SessionReport, TenantReport};
-use crate::scheduler::run_tenants;
+use crate::scheduler::{panic_message, run_tenants};
 use crate::spec::{BackendSpec, FleetSpec, SessionRequest, TenantSpec};
 use pipa_core::experiment::{make_injector, normal_workload, CellConfig};
 use pipa_core::harness::StressTest;
@@ -27,6 +28,7 @@ use pipa_cost::{CostBackend, RecordingBackend, ReplayBackend, SimBackend, Tape};
 use pipa_ia::{BuildCtx, ClearBoxAdvisor};
 use pipa_obs::{record_cell, CellCtx, CellTrace, Event, TraceOutputs};
 use pipa_sim::{Index, IndexConfig, Workload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A materialized tenant: owned state the scheduler migrates between
@@ -181,6 +183,10 @@ fn exec_session(
                 .map_err(|e| e.to_string())?;
             Ok(SessionReport::Stress(outcome))
         }
+        SessionRequest::ChaosPanic { message } => {
+            pipa_obs::emit(Event::new("chaos_panic").field("message", message.clone()));
+            panic!("{}", message);
+        }
     }
 }
 
@@ -188,10 +194,14 @@ fn exec_session(
 /// scope. Recording-backend tenants stack a fresh [`RecordingBackend`]
 /// per session and merge the captured tape into the tenant's.
 ///
-/// On an `Err` the trace still survives — it is parked on the runtime
+/// On a failure the trace still survives — it is parked on the runtime
 /// (`failed_trace`) because the scheduler's error channel only carries
-/// the string. A *panicking* session is the one case that loses its
-/// buffer: the unwind discards the recorder before it can return.
+/// the string. That holds for *panics* too: the session body runs under
+/// `catch_unwind` inside the recording scope, so `record_cell` returns
+/// normally with the buffer recorded up to the unwind, and the payload
+/// degrades the tenant as `session panicked: …` — the same rendering
+/// the scheduler's outer backstop (which stays in place for panics
+/// outside the session body) would produce.
 fn run_session(
     rt: &mut TenantRuntime,
     s: usize,
@@ -211,7 +221,7 @@ fn run_session(
     } = rt;
     let (result, trace) = record_cell(trace_active, ctx, || {
         pipa_obs::phase("session");
-        match backend {
+        let body = catch_unwind(AssertUnwindSafe(|| match backend {
             OwnedBackend::Sim(sim) => {
                 exec_session(&request, &*sim, advisor.as_mut(), workload, cfg, session_seed)
             }
@@ -236,7 +246,11 @@ fn run_session(
                 cfg,
                 session_seed,
             ),
-        }
+        }));
+        // Catching here — inside the recording scope — is what keeps a
+        // panicking session's partial trace: record_cell returns
+        // normally and the unwound buffer rides the normal Err path.
+        body.unwrap_or_else(|payload| Err(panic_message(payload)))
     });
     match result {
         Ok(report) => Ok((report, trace)),

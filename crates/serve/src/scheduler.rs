@@ -56,8 +56,11 @@ struct Slot<T, R> {
     outcome: TenantOutcome<R>,
 }
 
-/// Render a panic payload the way `std::panic` would print it.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Render a panic payload the way `std::panic` would print it. Shared
+/// with the fleet's session wrapper so a panic caught inside a recording
+/// scope (to save its partial trace) degrades the tenant with exactly
+/// the message the scheduler's own backstop would have produced.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("session panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -60,6 +60,15 @@ pub enum SessionRequest {
         /// Injection workload size `N̂`.
         injection_size: usize,
     },
+    /// Fault injection for resilience tests: emit one trace event, then
+    /// panic with `message`. The fleet must degrade only this tenant,
+    /// report the session as `session panicked: <message>`, and still
+    /// flush the session's partial trace (the events recorded before the
+    /// unwind) — pinned by `tests/fleet.rs`.
+    ChaosPanic {
+        /// Panic message.
+        message: String,
+    },
 }
 
 /// Everything one tenant brings: its benchmark and scale (schema plus

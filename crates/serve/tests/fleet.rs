@@ -164,6 +164,67 @@ fn a_poisoned_tenants_cost_error_never_perturbs_siblings() {
 }
 
 #[test]
+fn a_panicking_session_keeps_its_partial_trace() {
+    // PR 7 shipped with a known gap: an `Err` session parked its trace
+    // for flushing, but a *panicking* session unwound straight through
+    // the recorder and lost every event it had emitted. The session body
+    // now runs under catch_unwind inside the recording scope, so the
+    // buffer recorded before the unwind survives as the degraded
+    // session's trace.
+    let chaotic = |workers| {
+        FleetSpec::new(11)
+            .workers(workers)
+            .tenant(
+                TenantSpec::new("steady", Benchmark::TpcH)
+                    .session(SessionRequest::WhatIf { configs: 4 })
+                    .session(SessionRequest::WhatIf { configs: 2 }),
+            )
+            .tenant(
+                TenantSpec::new("kaboom", Benchmark::TpcDs)
+                    .session(SessionRequest::WhatIf { configs: 3 })
+                    .session(SessionRequest::ChaosPanic {
+                        message: "induced fault".to_string(),
+                    })
+                    .session(SessionRequest::WhatIf { configs: 3 }),
+            )
+    };
+    let (run, trace) = traced_run(&chaotic(2));
+
+    // The panicking tenant degrades at its panic session with the
+    // scheduler's canonical rendering; its earlier session completed and
+    // its later session never ran.
+    let kaboom = &run.report.tenants[1];
+    let degraded = kaboom.degraded.as_ref().expect("kaboom degrades");
+    assert_eq!(degraded.session, 1);
+    assert_eq!(degraded.error, "session panicked: induced fault");
+    assert_eq!(kaboom.sessions.len(), 1);
+    assert_eq!(run.report.degraded_tenants(), 1);
+
+    // The sibling tenant is untouched.
+    assert!(run.report.tenants[0].degraded.is_none());
+    assert_eq!(run.report.tenants[0].sessions.len(), 2);
+
+    // The partial trace survived the unwind: the event emitted just
+    // before the panic is in the merged stream, attributed to the
+    // panicking session's context.
+    let chaos_line = trace
+        .lines()
+        .find(|l| l.contains("\"event\":\"chaos_panic\""))
+        .unwrap_or_else(|| panic!("panicking session left no trace:\n{trace}"));
+    assert!(chaos_line.contains("\"tenant\":\"kaboom\""), "{chaos_line}");
+    assert!(chaos_line.contains("\"session\":1"), "{chaos_line}");
+    assert!(chaos_line.contains("induced fault"), "{chaos_line}");
+
+    // And the merged stream stays byte-identical across worker counts,
+    // degraded trace included.
+    for workers in [1, 8] {
+        let (rerun, retrace) = traced_run(&chaotic(workers));
+        assert_eq!(rerun.report, run.report, "report drifted at workers={workers}");
+        assert_eq!(retrace, trace, "degraded trace drifted at workers={workers}");
+    }
+}
+
+#[test]
 fn fleet_report_serializes_with_degraded_markers() {
     let run = FleetSpec::new(1)
         .tenant(

@@ -14,11 +14,13 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod generator;
 pub mod templates;
 pub mod tpcds;
 pub mod tpch;
 
+pub use drift::DriftSchedule;
 pub use generator::{generate_normal_workload, WorkloadGenerator};
 pub use templates::{AggSpec, ParamKind, ParamPredicate, TemplateSpec};
 

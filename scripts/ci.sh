@@ -54,6 +54,16 @@ echo "== NN kernel differential suite =="
 # equality across kernel modes and tape reuse.
 cargo test -q -p pipa --test nn_kernel_differential
 
+echo "== streaming arms-race suites =="
+# The stream ↔ static differential (a no-drift, end-only stream is
+# bit-identical to the static pipeline) and the defense property suite
+# (canary never deploys beyond tolerance, rollback reinstates the exact
+# pre-update configuration, provenance passes clean workloads
+# bit-unchanged). Both run in the test gate above; re-run by name so a
+# failure is named in CI output.
+cargo test -q -p pipa --test stream_differential
+cargo test -q -p pipa --test defense_properties
+
 echo "== results artifact schema =="
 cargo test -q -p pipa --test results_schema
 
@@ -68,6 +78,12 @@ echo "== serve bench smoke =="
 # the worker grid, and asserts the fleet report is bit-identical across
 # worker counts; smoke mode skips the committed artifact.
 SERVE_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench serve >/dev/null
+
+echo "== stream bench smoke =="
+# Tiny arms-race grid through the stream bench harness: runs the
+# attacker × defense × cadence sweep and asserts the grid serializes
+# bit-identically across --jobs; smoke mode skips the committed artifact.
+STREAM_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench stream >/dev/null
 
 echo "== what-if bench smoke =="
 # Tiny-dimension pass through the whatif bench harness, including the

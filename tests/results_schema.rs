@@ -279,6 +279,90 @@ fn bench_serve_artifact_meets_the_fleet_floors() {
 }
 
 #[test]
+fn bench_stream_artifact_meets_the_arms_race_floors() {
+    // The streaming arms-race PR: the committed grid must sweep both
+    // adaptive attackers and both online defenses across at least two
+    // cadences, prove itself bit-identical across --jobs, and show at
+    // least one defense measurably cutting steady-state toxicity against
+    // the undefended column at equal attacker budget.
+    let path = results_dir().join("BENCH_stream.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_stream.json is committed");
+    let keys = top_level_keys(&text).unwrap();
+    for required in [
+        "advisor",
+        "windows_per_stream",
+        "budget_per_window",
+        "grid_cells",
+        "attackers",
+        "defenses",
+        "cadences",
+        "median_scenario_ns",
+        "whatif_qps",
+        "no_defense_steady_ad",
+        "no_defense_steady_toxicity",
+        "best_defense",
+        "best_defense_steady_toxicity",
+        "defense_toxicity_cut",
+        "defense_ad_cut",
+        "defense_columns",
+        "deterministic_across_jobs",
+        "curves",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "BENCH_stream.json: missing top-level {required:?} (has {keys:?})"
+        );
+    }
+    // Both adaptive attacker families and both online defenses must be
+    // in the sweep, plus the undefended/unattacked controls.
+    for label in ["\"none\"", "spread-", "burst-", "\"canary\"", "\"provenance\""] {
+        assert!(text.contains(label), "grid missing {label} column");
+    }
+    let cells = num_field(&text, "grid_cells");
+    assert!(cells >= 16.0, "grid_cells = {cells} should cover a real sweep");
+    let windows = num_field(&text, "windows_per_stream");
+    assert!(windows >= 4.0, "windows_per_stream = {windows}");
+    // The undefended column must actually be under attack, and the best
+    // defense must measurably cut steady-state toxicity at equal budget
+    // — the PR's acceptance criterion.
+    let base_tox = num_field(&text, "no_defense_steady_toxicity");
+    assert!(base_tox > 0.0, "no_defense_steady_toxicity = {base_tox}");
+    let cut = num_field(&text, "defense_toxicity_cut");
+    assert!(
+        cut > 0.0,
+        "defense_toxicity_cut = {cut}: a defense must beat no-defense"
+    );
+    let ad_cut = num_field(&text, "defense_ad_cut");
+    assert!(ad_cut > 0.0, "defense_ad_cut = {ad_cut}");
+    // Scenario medians and steady-state throughput must come from a real
+    // (non-smoke) run.
+    for cell in ["scenario_spread_none", "scenario_spread_canary"] {
+        let ns = num_field(&text, cell);
+        assert!(ns.is_finite() && ns > 0.0, "median_scenario_ns.{cell} = {ns}");
+    }
+    let qps = num_field(&text, "whatif_qps");
+    assert!(qps.is_finite() && qps > 0.0, "whatif_qps = {qps}");
+    // The winning defense column must report real recall (it caught
+    // attack surface, not just got lucky). Scope to the defense_columns
+    // block of the winner; columns precede curves in the artifact.
+    let best = text
+        .split("\"best_defense\":")
+        .nth(1)
+        .and_then(|r| r.split('"').nth(1))
+        .expect("best_defense present");
+    let col = text
+        .split(&format!("\"defense\": \"{best}\""))
+        .nth(1)
+        .expect("winner appears in defense_columns");
+    let recall = num_field(col, "mean_recall");
+    assert!(recall > 0.0, "{best}.mean_recall = {recall}");
+    assert!(
+        text.contains("\"deterministic_across_jobs\": true"),
+        "the stream grid must be proven --jobs invariant"
+    );
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check
