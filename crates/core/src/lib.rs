@@ -15,6 +15,8 @@
 //!   mitigations the paper's insights point DBAs at);
 //! * [`stream`] — the streaming arms race: windowed workload drift,
 //!   cadence-based retraining, adaptive attackers, online defenses;
+//! * [`traffic`] — skewed-traffic pricing: Zipf/diurnal window sampling
+//!   and the hot-vs-cold poisoning-economics axis;
 //! * [`experiment`] — shared plumbing for the per-figure binaries,
 //!   including the [`experiment::GridSpec`] advisor × injector × run
 //!   grid API;
@@ -63,6 +65,7 @@ pub mod probe;
 pub mod report;
 pub mod runner;
 pub mod stream;
+pub mod traffic;
 
 pub use defense::{CanaryGuard, ProvenanceFilter};
 pub use experiment::{
@@ -79,3 +82,4 @@ pub use stream::{
     run_stream, run_stream_grid, run_stream_grid_traced, AttackerStrategy, Cadence, DefensePolicy,
     StreamCell, StreamGridSpec, StreamOutcome, StreamSpec, WindowReport,
 };
+pub use traffic::{poisoning_economics, sampled_window_workload, PoisonEconomics};

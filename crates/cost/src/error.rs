@@ -44,6 +44,24 @@ pub enum CostError {
         /// The unsupported operation.
         op: &'static str,
     },
+    /// A tape line failed to parse (truncated write, foreign bytes, or
+    /// hand-edited file). Carries the 1-based line number and the
+    /// offending content so the broken byte range is findable in a
+    /// multi-gigabyte tape.
+    TapeCorrupt {
+        /// 1-based line number within the tape stream.
+        line: usize,
+        /// The offending line (truncated for display).
+        detail: String,
+    },
+    /// A tape stream exceeded the caller's size guard; the loader stops
+    /// reading instead of swallowing an unbounded file into memory.
+    TapeTooLarge {
+        /// Bytes consumed before the guard tripped.
+        bytes: u64,
+        /// The configured limit.
+        limit: u64,
+    },
     /// Reading or parsing a tape failed.
     Io(String),
 }
@@ -105,6 +123,15 @@ impl fmt::Display for CostError {
             CostError::Unsupported { backend, op } => {
                 write!(f, "backend `{backend}` does not support {op}")
             }
+            CostError::TapeCorrupt { line, detail } => {
+                write!(f, "malformed tape line {line}: {detail}")
+            }
+            CostError::TapeTooLarge { bytes, limit } => {
+                write!(
+                    f,
+                    "tape stream exceeds the size guard: {bytes} bytes read, limit {limit}"
+                )
+            }
             CostError::Io(m) => write!(f, "tape i/o error: {m}"),
         }
     }
@@ -153,6 +180,18 @@ mod tests {
         assert!(with_detail.to_string().contains("SELECT * FROM lineitem"));
         // Detail is diagnostic, not identity: the two misses are equal.
         assert_eq!(m, with_detail);
+        let c = CostError::TapeCorrupt {
+            line: 7,
+            detail: "{\"event\":\"whatif_cost\",\"kind\":\"est\",\"q\":\"zz".to_string(),
+        };
+        assert!(c.to_string().contains("line 7"));
+        assert!(c.to_string().contains("zz"));
+        let big = CostError::TapeTooLarge {
+            bytes: 2048,
+            limit: 1024,
+        };
+        assert!(big.to_string().contains("2048"));
+        assert!(big.to_string().contains("1024"));
         let u = CostError::Unsupported {
             backend: "replay",
             op: "explain",

@@ -36,7 +36,7 @@ mod sim;
 pub use backend::{CostBackend, CostSession};
 pub use engine::CostEngine;
 pub use error::{CostError, CostResult, ReplayMissDetail};
-pub use replay::{RecordingBackend, ReplayBackend, Tape};
+pub use replay::{RecordingBackend, ReplayBackend, Tape, DEFAULT_TAPE_BYTE_LIMIT};
 pub use sim::SimBackend;
 
 // The vocabulary types every backend signature speaks, re-exported so

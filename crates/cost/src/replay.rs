@@ -20,10 +20,73 @@ use pipa_sim::cost::cache::{fingerprint_config, fingerprint_query};
 use pipa_sim::cost::Catalog;
 use pipa_sim::{ColumnStats, Index, IndexConfig, Query, Schema, TableStats, Workload};
 use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 use std::sync::Mutex;
 
 /// Tape key: `(query fingerprint, config fingerprint)`.
 type Key = (u128, u128);
+
+/// Default size guard for [`Tape::read_jsonl_file`]: 1 GiB of JSONL
+/// (≈13M entries) — far above any recorded fleet to date, low enough to
+/// stop a runaway or mis-pointed file from swallowing the host.
+pub const DEFAULT_TAPE_BYTE_LIMIT: u64 = 1 << 30;
+
+/// Render one tape entry as its canonical JSONL line (no newline).
+fn render_line(kind: &str, q: u128, cfg: u128, bits: u64) -> String {
+    format!(
+        "{{\"event\":\"whatif_cost\",\"kind\":\"{kind}\",\"q\":\"{q:032x}\",\"cfg\":\"{cfg:032x}\",\"bits\":{bits}}}"
+    )
+}
+
+/// One classified tape line.
+enum ParsedLine {
+    /// Empty, or a different `"event"` (tapes can live inside mixed
+    /// telemetry streams).
+    Foreign,
+    /// A `whatif_cost` entry.
+    Entry {
+        /// Executed-cost family (vs estimated).
+        exec: bool,
+        /// `(query, config)` fingerprint key.
+        key: Key,
+        /// Exact `f64::to_bits` cost.
+        bits: u64,
+    },
+}
+
+/// Parse one line of tape JSONL. `no` is the 1-based line number for
+/// error reporting; malformed lines (including a truncated final line
+/// with no newline) surface as [`CostError::TapeCorrupt`].
+fn parse_tape_line(line: &str, no: usize) -> CostResult<ParsedLine> {
+    let line = line.trim();
+    if line.is_empty() || !line.contains("\"event\":\"whatif_cost\"") {
+        return Ok(ParsedLine::Foreign);
+    }
+    let bad = || CostError::TapeCorrupt {
+        line: no,
+        detail: line.chars().take(160).collect(),
+    };
+    let q = u128::from_str_radix(field(line, "\"q\":\"", '"').ok_or_else(bad)?, 16)
+        .map_err(|_| bad())?;
+    let cfg = u128::from_str_radix(field(line, "\"cfg\":\"", '"').ok_or_else(bad)?, 16)
+        .map_err(|_| bad())?;
+    let bits: u64 = field(line, "\"bits\":", '}')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    let exec = match field(line, "\"kind\":\"", '"').ok_or_else(bad)? {
+        "est" => false,
+        "exec" => true,
+        _ => return Err(bad()),
+    };
+    Ok(ParsedLine::Entry {
+        exec,
+        key: (q, cfg),
+        bits,
+    })
+}
 
 /// A recorded cost tape: estimated and executed per-query costs keyed by
 /// structural fingerprints, values stored as exact [`f64::to_bits`]
@@ -83,12 +146,76 @@ impl Tape {
         let mut out = String::new();
         for (kind, map) in [("est", &self.est), ("exec", &self.exec)] {
             for (&(q, cfg), &bits) in map {
-                out.push_str(&format!(
-                    "{{\"event\":\"whatif_cost\",\"kind\":\"{kind}\",\"q\":\"{q:032x}\",\"cfg\":\"{cfg:032x}\",\"bits\":{bits}}}\n"
-                ));
+                out.push_str(&render_line(kind, q, cfg, bits));
+                out.push('\n');
             }
         }
         out
+    }
+
+    /// Stream the tape to a file, one entry at a time through a
+    /// [`BufWriter`] — the full JSONL text is never resident. Returns the
+    /// number of bytes written and adds it to the `tape_bytes_streamed`
+    /// obs counter (a pure function of the tape contents, so the counter
+    /// stays jobs-deterministic).
+    pub fn write_jsonl_file(&self, path: impl AsRef<Path>) -> CostResult<u64> {
+        let path = path.as_ref();
+        let io = |e: std::io::Error| CostError::Io(format!("{}: {e}", path.display()));
+        let mut w = BufWriter::new(File::create(path).map_err(io)?);
+        let mut bytes = 0u64;
+        for (kind, map) in [("est", &self.est), ("exec", &self.exec)] {
+            for (&(q, cfg), &bits) in map {
+                let line = render_line(kind, q, cfg, bits);
+                w.write_all(line.as_bytes()).map_err(io)?;
+                w.write_all(b"\n").map_err(io)?;
+                bytes += line.len() as u64 + 1;
+            }
+        }
+        w.flush().map_err(io)?;
+        pipa_obs::count("tape_bytes_streamed", bytes);
+        Ok(bytes)
+    }
+
+    /// Stream a tape in from a JSONL file line by line — the whole file
+    /// is never resident, so replay fleets can load multi-gigabyte tapes
+    /// under a flat memory ceiling. `max_bytes` guards against runaway
+    /// or mis-pointed files ([`DEFAULT_TAPE_BYTE_LIMIT`] is a sensible
+    /// default); exceeding it aborts with [`CostError::TapeTooLarge`],
+    /// and any malformed or truncated line surfaces as
+    /// [`CostError::TapeCorrupt`] with its line number. Bytes consumed
+    /// are added to the `tape_bytes_streamed` obs counter.
+    pub fn read_jsonl_file(path: impl AsRef<Path>, max_bytes: u64) -> CostResult<Tape> {
+        let path = path.as_ref();
+        let io = |e: std::io::Error| CostError::Io(format!("{}: {e}", path.display()));
+        let mut reader = BufReader::new(File::open(path).map_err(io)?);
+        let mut tape = Tape::default();
+        let mut buf = String::new();
+        let mut bytes = 0u64;
+        let mut no = 0usize;
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf).map_err(io)?;
+            if n == 0 {
+                break;
+            }
+            bytes += n as u64;
+            if bytes > max_bytes {
+                return Err(CostError::TapeTooLarge {
+                    bytes,
+                    limit: max_bytes,
+                });
+            }
+            no += 1;
+            if let ParsedLine::Entry { exec, key, bits } = parse_tape_line(&buf, no)? {
+                if exec {
+                    tape.exec.insert(key, bits);
+                } else {
+                    tape.est.insert(key, bits);
+                }
+            }
+        }
+        pipa_obs::count("tape_bytes_streamed", bytes);
+        Ok(tape)
     }
 
     /// Write the tape through a `pipa-obs` sink (e.g. a
@@ -106,24 +233,13 @@ impl Tape {
     pub fn from_jsonl(text: &str) -> CostResult<Tape> {
         let mut tape = Tape::default();
         for (no, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || !line.contains("\"event\":\"whatif_cost\"") {
-                continue;
+            if let ParsedLine::Entry { exec, key, bits } = parse_tape_line(line, no + 1)? {
+                if exec {
+                    tape.exec.insert(key, bits);
+                } else {
+                    tape.est.insert(key, bits);
+                }
             }
-            let bad = || CostError::Io(format!("malformed tape line {}: {line}", no + 1));
-            let q = u128::from_str_radix(field(line, "\"q\":\"", '"').ok_or_else(bad)?, 16)
-                .map_err(|_| bad())?;
-            let cfg = u128::from_str_radix(field(line, "\"cfg\":\"", '"').ok_or_else(bad)?, 16)
-                .map_err(|_| bad())?;
-            let bits: u64 = field(line, "\"bits\":", '}')
-                .ok_or_else(bad)?
-                .parse()
-                .map_err(|_| bad())?;
-            match field(line, "\"kind\":\"", '"').ok_or_else(bad)? {
-                "est" => tape.est.insert((q, cfg), bits),
-                "exec" => tape.exec.insert((q, cfg), bits),
-                _ => return Err(bad()),
-            };
         }
         Ok(tape)
     }
@@ -328,6 +444,17 @@ impl ReplayBackend {
         }
     }
 
+    /// Build a replay backend by streaming a tape from a JSONL file (see
+    /// [`Tape::read_jsonl_file`] for the size guard and error surface).
+    /// The whole file is never resident: only the parsed entries are.
+    pub fn from_file(
+        catalog: Catalog<'_>,
+        path: impl AsRef<Path>,
+        max_bytes: u64,
+    ) -> CostResult<Self> {
+        Ok(Self::new(catalog, Tape::read_jsonl_file(path, max_bytes)?))
+    }
+
     fn lookup(
         &self,
         map: &BTreeMap<Key, u64>,
@@ -516,9 +643,61 @@ mod tests {
         assert_eq!(tape.est.get(&(0x0a, 0x01)), Some(&42));
 
         let bad = "{\"event\":\"whatif_cost\",\"kind\":\"est\",\"q\":\"zz\",\"cfg\":\"01\",\"bits\":42}";
-        assert!(matches!(Tape::from_jsonl(bad), Err(CostError::Io(_))));
+        assert!(matches!(
+            Tape::from_jsonl(bad),
+            Err(CostError::TapeCorrupt { line: 1, .. })
+        ));
         let bad_kind = "{\"event\":\"whatif_cost\",\"kind\":\"wat\",\"q\":\"0a\",\"cfg\":\"01\",\"bits\":1}";
         assert!(Tape::from_jsonl(bad_kind).is_err());
+        // The error names the offending line in a mixed stream.
+        let mixed_bad = format!("{mixed}{bad}\n");
+        match Tape::from_jsonl(&mixed_bad) {
+            Err(CostError::TapeCorrupt { line, detail }) => {
+                assert_eq!(line, 3);
+                assert!(detail.contains("zz"));
+            }
+            other => panic!("expected TapeCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip_streams_and_guards_size() {
+        let dir = std::env::temp_dir().join("pipa_tape_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tape.jsonl");
+        let mut tape = Tape::default();
+        for i in 0..100u128 {
+            tape.est.insert((i, i * 3), (i as u64) << 4);
+            tape.exec.insert((i, i * 3), (i as u64) << 5);
+        }
+        let written = tape.write_jsonl_file(&path).unwrap();
+        assert_eq!(written, tape.to_jsonl().len() as u64);
+        // Streaming read matches the in-memory parse bit for bit.
+        let back = Tape::read_jsonl_file(&path, DEFAULT_TAPE_BYTE_LIMIT).unwrap();
+        assert_eq!(back, tape);
+        // The size guard trips with the byte counts reported.
+        match Tape::read_jsonl_file(&path, 256) {
+            Err(CostError::TapeTooLarge { bytes, limit }) => {
+                assert!(bytes > 256 && limit == 256);
+            }
+            other => panic!("expected TapeTooLarge, got {other:?}"),
+        }
+        // A truncated final line (interrupted writer) is corrupt, with
+        // the line number pointing at the cut.
+        let text = tape.to_jsonl();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        match Tape::read_jsonl_file(&path, DEFAULT_TAPE_BYTE_LIMIT) {
+            Err(CostError::TapeCorrupt { line, .. }) => assert_eq!(line, 200),
+            other => panic!("expected TapeCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clear_io_error() {
+        let err = Tape::read_jsonl_file("/nonexistent/pipa/tape.jsonl", 1024).unwrap_err();
+        assert!(matches!(err, CostError::Io(_)));
+        assert!(err.to_string().contains("tape.jsonl"));
     }
 
     #[test]

@@ -17,12 +17,22 @@
 //! Determinism: a cache hit returns a previously computed `f64`
 //! bit-for-bit, so cached and uncached runs produce identical results
 //! (see `DESIGN.md`, "Determinism guarantees").
+//!
+//! Capacity: by default the cache is unbounded (the paper-scale grids
+//! fit comfortably). [`CostCache::set_capacity`] bounds residency for
+//! million-query streams; eviction is CLOCK/second-chance per shard
+//! (hits set a reference bit under the read lock, the insert path
+//! sweeps a clock hand over the shard's slots). Eviction affects
+//! *presence only* — the cost model is pure, so a re-miss recomputes
+//! the bit-identical value and every capacity (including 0) returns
+//! costs bit-identical to the unbounded cache
+//! (`tests/scale_properties.rs` pins this).
 
 use crate::index::IndexConfig;
 use crate::predicate::PredOp;
 use crate::query::{Aggregate, Query};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 /// Number of independently locked shards. A power of two so the shard
@@ -206,6 +216,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries displaced by the CLOCK sweep (0 while unbounded).
+    pub evictions: u64,
+    /// Configured capacity bound (`usize::MAX` = unbounded).
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -220,11 +234,70 @@ impl CacheStats {
     }
 }
 
-/// A sharded, thread-safe `(query, config) → cost` memo table.
+type Key = (Fingerprint, Fingerprint);
+
+/// One resident cache entry. The reference bit is atomic so a *read*
+/// lock suffices to mark recency on the hit path.
+struct Slot {
+    key: Key,
+    value: f64,
+    referenced: AtomicBool,
+}
+
+/// One shard: a key → slot-index map over a slot arena swept by a CLOCK
+/// hand. Unbounded shards never sweep (the arena only grows).
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+impl Shard {
+    /// Pick a victim by second chance (referenced slots get their bit
+    /// cleared and are passed over; a full sweep therefore always
+    /// terminates), unlink it from the map, and return its index for
+    /// reuse. Caller guarantees the arena is non-empty.
+    fn evict_one(&mut self) -> usize {
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            if self.slots[i].referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            self.map.remove(&self.slots[i].key);
+            return i;
+        }
+    }
+
+    /// Shrink residency to `cap` entries, evicting by CLOCK. Returns the
+    /// number of entries dropped.
+    fn trim(&mut self, cap: usize) -> u64 {
+        let mut dropped = 0;
+        while self.slots.len() > cap {
+            let i = self.evict_one();
+            self.slots.swap_remove(i);
+            if i < self.slots.len() {
+                self.map.insert(self.slots[i].key, i);
+            }
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+/// A sharded, thread-safe `(query, config) → cost` memo table with
+/// optional CLOCK-bounded residency.
 pub struct CostCache {
-    shards: Vec<RwLock<HashMap<(Fingerprint, Fingerprint), f64>>>,
+    shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Total capacity bound across shards; `usize::MAX` = unbounded.
+    capacity: AtomicUsize,
     enabled: AtomicBool,
 }
 
@@ -235,12 +308,14 @@ impl Default for CostCache {
 }
 
 impl CostCache {
-    /// An empty, enabled cache.
+    /// An empty, enabled, unbounded cache.
     pub fn new() -> Self {
         CostCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: AtomicUsize::new(usize::MAX),
             enabled: AtomicBool::new(true),
         }
     }
@@ -257,6 +332,31 @@ impl CostCache {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Bound residency to `capacity` total entries (`usize::MAX` =
+    /// unbounded, the default; `0` = store nothing). Shards each hold up
+    /// to `capacity / SHARDS` (rounded up) entries, evicting by CLOCK
+    /// when full; a shrinking bound trims immediately. Eviction affects
+    /// presence only — every capacity returns bit-identical costs.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let cap = Self::per_shard(capacity);
+        for s in &self.shards {
+            let dropped = s.write().expect("cache shard poisoned").trim(cap);
+            if dropped > 0 {
+                self.evictions.fetch_add(dropped, Ordering::Relaxed);
+                pipa_obs::count("whatif_cache_evict", dropped);
+            }
+        }
+    }
+
+    fn per_shard(capacity: usize) -> usize {
+        if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            capacity.div_ceil(SHARDS)
+        }
+    }
+
     /// Look up `(q, cfg)`, computing and publishing via `compute` on a
     /// miss. `compute` runs outside all locks.
     pub fn get_or_compute(
@@ -270,17 +370,46 @@ impl CostCache {
         }
         let key = (q, cfg);
         let shard = &self.shards[(q.a ^ cfg.a) as usize & (SHARDS - 1)];
-        if let Some(&v) = shard.read().expect("cache shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
+        {
+            let s = shard.read().expect("cache shard poisoned");
+            if let Some(&i) = s.map.get(&key) {
+                let slot = &s.slots[i];
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return slot.value;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute();
-        shard
-            .write()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .or_insert(v);
+        let cap = Self::per_shard(self.capacity.load(Ordering::Relaxed));
+        if cap == 0 {
+            return v;
+        }
+        let mut s = shard.write().expect("cache shard poisoned");
+        if let Some(&i) = s.map.get(&key) {
+            // A racing thread published first; the model is pure, so its
+            // value is bit-identical to ours.
+            return s.slots[i].value;
+        }
+        let i = if s.slots.len() < cap {
+            s.slots.push(Slot {
+                key,
+                value: v,
+                referenced: AtomicBool::new(false),
+            });
+            s.slots.len() - 1
+        } else {
+            let i = s.evict_one();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            pipa_obs::count("whatif_cache_evict", 1);
+            s.slots[i] = Slot {
+                key,
+                value: v,
+                referenced: AtomicBool::new(false),
+            };
+            i
+        };
+        s.map.insert(key, i);
         v
     }
 
@@ -292,18 +421,25 @@ impl CostCache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.read().expect("cache shard poisoned").len())
+                .map(|s| s.read().expect("cache shard poisoned").map.len())
                 .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity.load(Ordering::Relaxed),
         }
     }
 
-    /// Drop all entries and zero the counters.
+    /// Drop all entries and zero the counters (the capacity bound and
+    /// enabled flag persist).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.write().expect("cache shard poisoned").clear();
+            let mut s = s.write().expect("cache shard poisoned");
+            s.map.clear();
+            s.slots.clear();
+            s.hand = 0;
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -375,6 +511,87 @@ mod tests {
         cache.clear();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_never_changes_values() {
+        let cache = CostCache::new();
+        cache.set_capacity(16); // 1 slot per shard
+        let qs: Vec<Fingerprint> = (0..200)
+            .map(|i| fingerprint_query(&q(i as f64 / 200.0)))
+            .collect();
+        let cf = fingerprint_config(&IndexConfig::empty());
+        // Two passes over 200 distinct keys through ≤16 slots: values
+        // must stay bit-identical to the pure model on every lookup.
+        for pass in 0..2 {
+            for (i, &qf) in qs.iter().enumerate() {
+                let v = cache.get_or_compute(qf, cf, || i as f64 * 1.5);
+                assert_eq!(v, i as f64 * 1.5, "pass {pass} key {i}");
+            }
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 16, "resident {} > capacity", s.entries);
+        assert!(s.evictions > 0, "200 keys through 16 slots must evict");
+        assert_eq!(s.capacity, 16);
+        assert_eq!(s.hits + s.misses, 400);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing_and_capacity_one_works() {
+        let cf = fingerprint_config(&IndexConfig::empty());
+        let cache = CostCache::new();
+        cache.set_capacity(0);
+        let qf = fingerprint_query(&q(0.5));
+        assert_eq!(cache.get_or_compute(qf, cf, || 7.0), 7.0);
+        assert_eq!(cache.get_or_compute(qf, cf, || 7.0), 7.0);
+        assert_eq!(cache.stats().entries, 0);
+        let one = CostCache::new();
+        one.set_capacity(1);
+        for i in 0..50 {
+            let qf = fingerprint_query(&q(i as f64 / 50.0));
+            assert_eq!(one.get_or_compute(qf, cf, || i as f64), i as f64);
+        }
+        assert!(one.stats().entries <= SHARDS, "per-shard cap is 1");
+    }
+
+    #[test]
+    fn second_chance_prefers_hot_entries() {
+        let cache = CostCache::new();
+        // 2 slots per shard: enough room for the clock to pass over a
+        // referenced hot entry and land on an unreferenced cold one.
+        cache.set_capacity(32);
+        let hot = fingerprint_query(&q(0.001));
+        let cf = fingerprint_config(&IndexConfig::empty());
+        let _ = cache.get_or_compute(hot, cf, || 1.0);
+        let mut hot_hits = 0;
+        for i in 0..100 {
+            // Re-touch the hot key (sets its reference bit), then insert
+            // a cold key that may land in the same shard.
+            let v = cache.get_or_compute(hot, cf, || f64::NAN);
+            assert_eq!(v, 1.0, "hot entry round {i}");
+            hot_hits += 1;
+            let cold = fingerprint_query(&q(0.002 + i as f64 / 1000.0));
+            let _ = cache.get_or_compute(cold, cf, || 2.0);
+        }
+        assert_eq!(hot_hits, 100);
+        // The referenced bit must have spared the hot entry every round:
+        // its 100 re-touches were all hits (else get_or_compute would
+        // have returned NAN's compute above and the assert_eq failed).
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_immediately() {
+        let cache = CostCache::new();
+        let cf = fingerprint_config(&IndexConfig::empty());
+        for i in 0..100 {
+            let qf = fingerprint_query(&q(i as f64 / 100.0));
+            let _ = cache.get_or_compute(qf, cf, || i as f64);
+        }
+        assert_eq!(cache.stats().entries, 100);
+        cache.set_capacity(32);
+        let s = cache.stats();
+        assert!(s.entries <= 32, "trim left {} resident", s.entries);
+        assert!(s.evictions >= 68);
     }
 
     #[test]

@@ -49,11 +49,18 @@ use crate::index::{Index, IndexConfig};
 use crate::query::Query;
 use crate::schema::{ColumnId, TableId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Shard count (power of two, same rationale as the cost cache).
 const SHARDS: usize = 16;
+
+/// Approximate resident footprint of one matrix cell: the 32-byte
+/// `(Fingerprint, Fingerprint)` key, the 8-byte cost, and amortized
+/// hash-table bucket overhead. Used for the `matrix_bytes` accounting —
+/// an estimate, deliberately conservative rather than allocator-exact,
+/// so the byte budget bounds real memory.
+const CELL_BYTES: usize = 48;
 
 /// How a query's cost depends on the index configuration.
 ///
@@ -124,6 +131,16 @@ pub struct MatrixStats {
     pub nl_entries: usize,
     /// Query shapes classified so far.
     pub shapes: usize,
+    /// Approximate resident cell footprint in bytes
+    /// (`(entries + nl_entries) × 48`).
+    pub approx_bytes: usize,
+    /// High-water mark of [`Self::approx_bytes`] since the last clear.
+    pub peak_bytes: usize,
+    /// Shard-clear compactions run by the byte budget (0 while
+    /// unbudgeted).
+    pub compactions: u64,
+    /// Configured byte budget (`usize::MAX` = unbounded).
+    pub byte_budget: usize,
 }
 
 impl MatrixStats {
@@ -289,6 +306,16 @@ pub struct BenefitMatrix {
     delta_evals: AtomicU64,
     entry_hits: AtomicU64,
     entry_misses: AtomicU64,
+    /// Resident cell count across both families (maintained on insert so
+    /// the byte check is one atomic load, not 32 shard locks).
+    cells: AtomicUsize,
+    /// High-water mark of `cells × CELL_BYTES`.
+    peak_bytes: AtomicUsize,
+    /// Approximate byte budget; `usize::MAX` = unbounded (default).
+    byte_budget: AtomicUsize,
+    /// Next shard the rotating compactor clears (mod `2 × SHARDS`).
+    compact_cursor: AtomicUsize,
+    compactions: AtomicU64,
 }
 
 impl Default for BenefitMatrix {
@@ -311,6 +338,73 @@ impl BenefitMatrix {
             delta_evals: AtomicU64::new(0),
             entry_hits: AtomicU64::new(0),
             entry_misses: AtomicU64::new(0),
+            cells: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            byte_budget: AtomicUsize::new(usize::MAX),
+            compact_cursor: AtomicUsize::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Approximate resident cell footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.cells.load(Ordering::Relaxed) * CELL_BYTES
+    }
+
+    /// Bound the matrix's approximate cell footprint (`usize::MAX` =
+    /// unbounded, the default). When an insert pushes the footprint past
+    /// the budget, the compactor clears whole cell shards in rotation
+    /// until back under; cleared cells recompute bit-identically on the
+    /// next touch, so the budget trades recompute work for memory, never
+    /// correctness. Shape classifications are tiny (one per distinct
+    /// query) and are not subject to the budget.
+    pub fn set_byte_budget(&self, bytes: usize) {
+        self.byte_budget.store(bytes, Ordering::Relaxed);
+        if self.approx_bytes() > bytes {
+            self.compact(bytes);
+        }
+    }
+
+    /// One fresh cell landed in a shard: maintain the footprint
+    /// accounting and run the compactor if the budget is exceeded.
+    fn note_insert(&self) {
+        let cells = self.cells.fetch_add(1, Ordering::Relaxed) + 1;
+        let bytes = cells * CELL_BYTES;
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+        let budget = self.byte_budget.load(Ordering::Relaxed);
+        if budget != usize::MAX {
+            pipa_obs::count("matrix_bytes", CELL_BYTES as u64);
+            if bytes > budget {
+                self.compact(budget);
+            }
+        }
+    }
+
+    /// Clear cell shards in rotation (access shards `0..SHARDS`, then
+    /// nested-loop shards) until the footprint is back under `budget` or
+    /// every shard was swept once.
+    fn compact(&self, budget: usize) {
+        for _ in 0..(2 * SHARDS) {
+            if self.approx_bytes() <= budget {
+                break;
+            }
+            let k = self.compact_cursor.fetch_add(1, Ordering::Relaxed) % (2 * SHARDS);
+            let shard = if k < SHARDS {
+                &self.entries[k]
+            } else {
+                &self.nl_entries[k - SHARDS]
+            };
+            let dropped = {
+                let mut w = shard.write().expect("matrix shard poisoned");
+                let n = w.len();
+                w.clear();
+                w.shrink_to_fit();
+                n
+            };
+            if dropped > 0 {
+                self.cells.fetch_sub(dropped, Ordering::Relaxed);
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -338,6 +432,9 @@ impl BenefitMatrix {
         self.delta_evals.store(0, Ordering::Relaxed);
         self.entry_hits.store(0, Ordering::Relaxed);
         self.entry_misses.store(0, Ordering::Relaxed);
+        self.cells.store(0, Ordering::Relaxed);
+        self.peak_bytes.store(0, Ordering::Relaxed);
+        self.compactions.store(0, Ordering::Relaxed);
     }
 
     /// Counter snapshot.
@@ -360,6 +457,10 @@ impl BenefitMatrix {
                 .map(|s| s.read().expect("matrix shard poisoned").len())
                 .sum(),
             shapes: self.shapes.read().expect("matrix shapes poisoned").len(),
+            approx_bytes: self.approx_bytes(),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            byte_budget: self.byte_budget.load(Ordering::Relaxed),
         }
     }
 
@@ -456,11 +557,15 @@ impl BenefitMatrix {
         let v = model
             .index_access_cost(cat, a, index)
             .unwrap_or(f64::INFINITY);
-        shard
-            .write()
-            .expect("matrix shard poisoned")
-            .entry(cell_key)
-            .or_insert(v);
+        let inserted = {
+            let mut w = shard.write().expect("matrix shard poisoned");
+            let before = w.len();
+            w.entry(cell_key).or_insert(v);
+            w.len() > before
+        };
+        if inserted {
+            self.note_insert();
+        }
         v
     }
 
@@ -526,11 +631,15 @@ impl BenefitMatrix {
         }
         self.entry_misses.fetch_add(1, Ordering::Relaxed);
         let v = model.index_nl_cost(cat, step.table, index, col, step.outer_rows);
-        shard
-            .write()
-            .expect("matrix shard poisoned")
-            .entry(cell_key)
-            .or_insert(v);
+        let inserted = {
+            let mut w = shard.write().expect("matrix shard poisoned");
+            let before = w.len();
+            w.entry(cell_key).or_insert(v);
+            w.len() > before
+        };
+        if inserted {
+            self.note_insert();
+        }
         v
     }
 
@@ -1041,6 +1150,67 @@ mod tests {
         assert_eq!(added.len(), 2);
         let removed = ConfigDelta::Remove(a).apply(&added);
         assert_eq!(removed.indexes(), &[b]);
+    }
+
+    #[test]
+    fn byte_budget_compacts_but_never_changes_costs() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        // Budget of 4 cells' worth: a stream of distinct queries ×
+        // indexes must trigger rotating shard clears.
+        m.set_byte_budget(4 * super::CELL_BYTES);
+        let cols = ["f_id", "f_dim", "f_price"];
+        let mut scalars = Vec::new();
+        for round in 0..3 {
+            for (i, fc) in cols.iter().enumerate() {
+                for ic in &cols {
+                    let q = QueryBuilder::new()
+                        .filter(
+                            &fx.schema,
+                            Predicate::eq(fx.col(fc), 0.1 + i as f64 / 10.0),
+                        )
+                        .select(fx.col("f_price"))
+                        .build(&fx.schema)
+                        .unwrap();
+                    let cfg = IndexConfig::from_indexes([Index::single(fx.col(ic))]);
+                    let got = eval_decomposable(&m, &model, fx.cat(), &q, &cfg);
+                    if round == 0 {
+                        scalars.push(model.query_cost(fx.cat(), &q, &cfg));
+                    }
+                    let want = scalars[i * cols.len()
+                        + cols.iter().position(|c| c == ic).unwrap()];
+                    assert_eq!(got.to_bits(), want.to_bits(), "round {round} {fc}/{ic}");
+                }
+            }
+        }
+        let s = m.stats();
+        assert!(s.compactions > 0, "budget must have forced compactions");
+        assert!(
+            s.approx_bytes <= 4 * super::CELL_BYTES + super::CELL_BYTES,
+            "footprint {} over budget",
+            s.approx_bytes
+        );
+        assert!(s.peak_bytes >= s.approx_bytes);
+        assert_eq!(s.byte_budget, 4 * super::CELL_BYTES);
+    }
+
+    #[test]
+    fn unbudgeted_matrix_never_compacts() {
+        let fx = Fixture::new();
+        let model = AnalyticalCostModel::new();
+        let m = BenefitMatrix::new();
+        let q = QueryBuilder::new()
+            .filter(&fx.schema, Predicate::eq(fx.col("f_id"), 0.5))
+            .select(fx.col("f_price"))
+            .build(&fx.schema)
+            .unwrap();
+        let cfg = IndexConfig::from_indexes([Index::single(fx.col("f_id"))]);
+        let _ = eval_decomposable(&m, &model, fx.cat(), &q, &cfg);
+        let s = m.stats();
+        assert_eq!(s.compactions, 0);
+        assert_eq!(s.byte_budget, usize::MAX);
+        assert_eq!(s.approx_bytes, (s.entries + s.nl_entries) * super::CELL_BYTES);
     }
 
     #[test]

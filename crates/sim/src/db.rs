@@ -163,6 +163,15 @@ impl Database {
         self.whatif_cache.set_enabled(on);
     }
 
+    /// Bound the what-if cache's residency to `capacity` entries
+    /// (`usize::MAX` = unbounded, the default; `0` = store nothing).
+    /// Eviction is CLOCK/second-chance per shard and affects presence
+    /// only — the cost model is pure, so any capacity returns costs
+    /// bit-identical to the unbounded cache.
+    pub fn set_whatif_cache_capacity(&self, capacity: usize) {
+        self.whatif_cache.set_capacity(capacity);
+    }
+
     /// Drop all memoized what-if costs and zero the counters.
     pub fn clear_whatif_cache(&self) {
         self.whatif_cache.clear();
@@ -403,6 +412,14 @@ impl Database {
     /// Whether the benefit matrix is enabled.
     pub fn whatif_matrix_enabled(&self) -> bool {
         self.whatif_matrix.is_enabled()
+    }
+
+    /// Bound the benefit matrix's approximate cell footprint in bytes
+    /// (`usize::MAX` = unbounded, the default). Over-budget inserts
+    /// trigger rotating shard-clear compaction; cleared cells recompute
+    /// bit-identically on the next touch.
+    pub fn set_whatif_matrix_byte_budget(&self, bytes: usize) {
+        self.whatif_matrix.set_byte_budget(bytes);
     }
 
     /// Drop all matrix cells and shapes and zero its counters.

@@ -33,6 +33,39 @@ impl Histogram {
         Some(Histogram { bounds })
     }
 
+    /// Build an equi-depth histogram analytically from a cumulative
+    /// distribution function over the domain `[min, max]`, without
+    /// materializing any rows — this is how SF-100 statistics are
+    /// synthesized (a million-row sort is replaced by `buckets` CDF
+    /// inversions). `cdf` maps a position to the fraction of rows at or
+    /// below it and must be non-decreasing with `cdf(min) ≈ 0` and
+    /// `cdf(max) ≈ 1`; each bucket boundary is found by binary-searching
+    /// the position whose CDF first reaches `b / buckets`.
+    pub fn from_cdf(min: i64, max: i64, buckets: usize, cdf: impl Fn(i64) -> f64) -> Option<Self> {
+        if buckets == 0 || max < min {
+            return None;
+        }
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        bounds.push(min);
+        for b in 1..buckets {
+            let target = b as f64 / buckets as f64;
+            let mut lo = min;
+            let mut hi = max;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if cdf(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            // Keep bounds non-decreasing even for a misbehaved cdf.
+            bounds.push(lo.max(*bounds.last().expect("nonempty")));
+        }
+        bounds.push(max.max(*bounds.last().expect("nonempty")));
+        Some(Histogram { bounds })
+    }
+
     /// Fraction of rows with position strictly below `pos`.
     pub fn fraction_below(&self, pos: i64) -> f64 {
         let n = self.bounds.len() - 1;
@@ -110,6 +143,30 @@ impl ColumnStats {
             correlation: 0.0,
             histogram: None,
         }
+    }
+
+    /// Skewed statistics over `[min, max]`: row mass concentrates toward
+    /// low positions following `CDF(x) = x̂^(1/(1+skew))` (with `x̂` the
+    /// domain fraction), synthesized analytically via
+    /// [`Histogram::from_cdf`] — `skew = 0` degenerates to uniform,
+    /// larger values pack more of the table into the head of the domain
+    /// (hot-column shape at SF 100 without materializing a single row).
+    pub fn skewed(
+        col: ColumnId,
+        ty: DataType,
+        ndv: u64,
+        min: i64,
+        max: i64,
+        skew: f64,
+        buckets: usize,
+    ) -> Self {
+        let mut s = Self::uniform(col, ty, ndv, min, max);
+        let span = (s.max - s.min).max(1) as f64;
+        let exp = 1.0 / (1.0 + skew.max(0.0));
+        s.histogram = Histogram::from_cdf(s.min, s.max, buckets, |pos| {
+            (((pos - s.min) as f64 / span).clamp(0.0, 1.0)).powf(exp)
+        });
+        s
     }
 
     /// Selectivity of `col = literal-at-position`.
@@ -242,6 +299,38 @@ mod tests {
             let f = h.fraction_below(pos);
             assert!(f >= prev - 1e-12, "monotone at {pos}");
             prev = f;
+        }
+    }
+
+    #[test]
+    fn from_cdf_matches_uniform_and_refuses_nonsense() {
+        let h = Histogram::from_cdf(0, 1000, 10, |p| p as f64 / 1000.0).expect("hist");
+        assert_eq!(h.bounds.len(), 11);
+        assert_eq!(h.bounds[0], 0);
+        assert_eq!(*h.bounds.last().unwrap(), 1000);
+        // Uniform CDF → (roughly) evenly spaced bucket boundaries.
+        assert!((h.fraction_below(500) - 0.5).abs() < 0.01);
+        assert!(Histogram::from_cdf(0, 100, 0, |_| 0.0).is_none());
+        assert!(Histogram::from_cdf(100, 0, 4, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn skewed_stats_concentrate_mass_in_the_head() {
+        let s = ColumnStats::skewed(ColumnId(0), DataType::Int, 1000, 0, 999_999, 3.0, 64);
+        // With skew 3, CDF(x̂) = x̂^0.25: the first 10% of the domain
+        // holds 0.1^0.25 ≈ 56% of the rows.
+        let head = s.range_selectivity(0, 99_999);
+        assert!(head > 0.5, "head selectivity {head}");
+        let tail = s.range_selectivity(900_000, 999_999);
+        assert!(tail < 0.05, "tail selectivity {tail}");
+        // skew = 0 degenerates to (near) uniform.
+        let u = ColumnStats::skewed(ColumnId(0), DataType::Int, 1000, 0, 999_999, 0.0, 64);
+        let mid = u.range_selectivity(0, 499_999);
+        assert!((mid - 0.5).abs() < 0.02, "uniform mid {mid}");
+        // Monotone CDF regardless of skew.
+        let h = s.histogram.as_ref().expect("hist");
+        for pair in h.bounds.windows(2) {
+            assert!(pair[0] <= pair[1]);
         }
     }
 

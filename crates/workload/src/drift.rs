@@ -18,8 +18,10 @@ use rand_chacha::ChaCha8Rng;
 /// derivation `pipa_core::runner::derive_seed` uses for experiment
 /// cells (duplicated here because `pipa-workload` sits below
 /// `pipa-core` in the crate graph), so adjacent windows draw
-/// statistically independent parameter streams.
-fn window_seed(base: u64, window: u64) -> u64 {
+/// statistically independent parameter streams. Shared with
+/// [`crate::traffic`], which derives per-template and per-slot
+/// parameter streams from the same mix.
+pub(crate) fn window_seed(base: u64, window: u64) -> u64 {
     let mut z = base.wrapping_add(window.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -63,6 +65,27 @@ impl DriftSchedule {
         }
     }
 
+    /// Indexes (into a template pool of `pool` entries) of the
+    /// templates active in `window`, in instantiation order. `Static`
+    /// and `Resample` keep the full pool; `Rotate` yields the cyclic
+    /// subset `[window·stride, window·stride + span)`. This is the
+    /// template-mix half of [`Self::window_workload`], exposed so the
+    /// [`crate::traffic`] layer can weight exactly the templates a
+    /// drifting stream would instantiate.
+    pub fn window_template_indices(self, pool: usize, window: u64) -> Vec<usize> {
+        match self {
+            DriftSchedule::Static | DriftSchedule::Resample => (0..pool).collect(),
+            DriftSchedule::Rotate { span, stride } => {
+                if pool == 0 {
+                    return Vec::new();
+                }
+                let span = span.clamp(1, pool);
+                let base = (window as usize).wrapping_mul(stride);
+                (0..span).map(|i| (base + i) % pool).collect()
+            }
+        }
+    }
+
     /// The clean workload arriving in window `window` of a stream
     /// seeded with `seed`. Pure: same `(schedule, generator, window,
     /// seed)` → bit-identical workload.
@@ -77,17 +100,13 @@ impl DriftSchedule {
             DriftSchedule::Resample => {
                 gen.normal(&mut ChaCha8Rng::seed_from_u64(window_seed(seed, window)))
             }
-            DriftSchedule::Rotate { span, stride } => {
+            DriftSchedule::Rotate { .. } => {
                 let templates = gen.templates();
-                let n = templates.len();
-                let span = span.clamp(1, n);
                 let mut rng = ChaCha8Rng::seed_from_u64(window_seed(seed, window));
                 let mut w = Workload::new();
-                let base = (window as usize).wrapping_mul(stride);
-                for i in 0..span {
-                    let t = &templates[(base + i) % n];
+                for ti in self.window_template_indices(templates.len(), window) {
                     w.push(
-                        t.instantiate(gen.schema(), &mut rng)?,
+                        templates[ti].instantiate(gen.schema(), &mut rng)?,
                         rng.gen_range(1..=crate::generator::MAX_FREQUENCY),
                     );
                 }
@@ -161,6 +180,18 @@ mod tests {
             let b = d.window_workload(&g, 7, 11).unwrap();
             assert_eq!(a, b, "{}", d.label());
         }
+    }
+
+    #[test]
+    fn window_template_indices_match_the_rotate_subset() {
+        let d = DriftSchedule::Rotate { span: 3, stride: 2 };
+        assert_eq!(d.window_template_indices(5, 0), vec![0, 1, 2]);
+        assert_eq!(d.window_template_indices(5, 1), vec![2, 3, 4]);
+        assert_eq!(d.window_template_indices(5, 2), vec![4, 0, 1]);
+        assert_eq!(DriftSchedule::Static.window_template_indices(3, 9), vec![0, 1, 2]);
+        assert!(DriftSchedule::Rotate { span: 2, stride: 1 }
+            .window_template_indices(0, 4)
+            .is_empty());
     }
 
     #[test]

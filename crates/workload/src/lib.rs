@@ -19,10 +19,12 @@ pub mod generator;
 pub mod templates;
 pub mod tpcds;
 pub mod tpch;
+pub mod traffic;
 
 pub use drift::DriftSchedule;
 pub use generator::{generate_normal_workload, WorkloadGenerator};
 pub use templates::{AggSpec, ParamKind, ParamPredicate, TemplateSpec};
+pub use traffic::{column_usage, Arrivals, ColumnUsage, Diurnal, Popularity, TrafficModel, WindowTraffic};
 
 use pipa_sim::{Database, Schema};
 

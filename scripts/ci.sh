@@ -64,6 +64,12 @@ echo "== streaming arms-race suites =="
 cargo test -q -p pipa --test stream_differential
 cargo test -q -p pipa --test defense_properties
 
+echo "== scale property suite =="
+# Skewed-traffic hardening: ANY cache capacity (incl. 0 and 1) is
+# f64-bit-identical to unbounded, traffic pools/samples are pure in
+# their seed, and window sampling is byte-identical across --jobs.
+cargo test -q -p pipa --test scale_properties
+
 echo "== results artifact schema =="
 cargo test -q -p pipa --test results_schema
 
@@ -89,6 +95,13 @@ echo "== what-if bench smoke =="
 # Tiny-dimension pass through the whatif bench harness, including the
 # join-mix grid endpoints; smoke mode skips the committed artifact.
 WHATIF_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench whatif >/dev/null
+
+echo "== scale bench smoke =="
+# Shrunk Zipf/diurnal stream through the scale bench harness: asserts
+# the bounded cache's bit-identity against the unbounded replay, the
+# matrix byte budget, the tape round trip + size guard, and the
+# hot>=cold economics ordering; smoke mode skips the committed artifact.
+SCALE_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench scale >/dev/null
 
 echo "== doc-link lint =="
 # Prose docs must not reference cost entry points that no longer exist:

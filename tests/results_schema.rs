@@ -363,6 +363,102 @@ fn bench_stream_artifact_meets_the_arms_race_floors() {
 }
 
 #[test]
+fn bench_scale_artifact_meets_the_skewed_traffic_floors() {
+    // The skewed-traffic PR: the committed artifact must show a >= 1M
+    // query Zipf/diurnal stream at SF 100 under a capacity-bounded
+    // what-if cache that (a) actually evicted, (b) beat the uniform
+    // baseline's hit rate (skew is the premise), and (c) returned
+    // bit-identical costs to the unbounded re-run; the byte-budgeted
+    // matrix must have compacted while staying at its budget (one-cell
+    // overshoot allowed per shard); the streamed tape and its size
+    // guard must both have fired; and hot-aligned traffic must price
+    // the attack at least as high as cold-aligned (exchange argument).
+    let path = results_dir().join("BENCH_scale.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_scale.json is committed");
+    let keys = top_level_keys(&text).unwrap();
+    for required in ["scale_factor", "stream", "matrix", "tape", "economics"] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "BENCH_scale.json: missing top-level {required:?} (has {keys:?})"
+        );
+    }
+    assert!(
+        text.contains("\"smoke\": false"),
+        "a smoke run must never be committed as the artifact"
+    );
+    assert_eq!(num_field(&text, "scale_factor"), 100.0);
+
+    // Stream leg: >= 1M queries through a cache bounded far below the
+    // distinct pool, with skew paying for itself.
+    let queries = num_field(&text, "queries");
+    assert!(queries >= 1_000_000.0, "queries = {queries} < 1M");
+    let capacity = num_field(&text, "cache_capacity");
+    let pool = num_field(&text, "distinct_pool_per_window");
+    assert!(
+        capacity < pool,
+        "capacity {capacity} must be under the distinct pool {pool} or nothing evicts"
+    );
+    let resident = num_field(&text, "entries_resident");
+    assert!(
+        resident <= capacity,
+        "entries_resident {resident} over capacity {capacity}"
+    );
+    assert!(num_field(&text, "evictions") > 0.0, "no evictions recorded");
+    let hit_zipf = num_field(&text, "hit_rate_zipf");
+    let hit_uniform = num_field(&text, "hit_rate_uniform");
+    assert!(
+        hit_zipf > hit_uniform,
+        "Zipf hit rate {hit_zipf} must beat uniform {hit_uniform} at equal capacity"
+    );
+    let qps = num_field(&text, "throughput_qps");
+    assert!(qps.is_finite() && qps > 0.0, "throughput_qps = {qps}");
+    let peak_load = num_field(&text, "peak_window_load");
+    let trough_load = num_field(&text, "trough_window_load");
+    assert!(
+        peak_load > trough_load,
+        "the diurnal curve must show: peak {peak_load} vs trough {trough_load}"
+    );
+    assert!(
+        text.contains("\"bounded_bits_identical\": true"),
+        "the bounded cache must be proven bit-identical to unbounded"
+    );
+
+    // Matrix leg: the tracked footprint stayed at the budget and the
+    // rotating compactor actually ran.
+    let budget = num_field(&text, "byte_budget");
+    let peak = num_field(&text, "peak_bytes");
+    assert!(budget > 0.0, "byte_budget = {budget}");
+    assert!(
+        peak <= budget + 48.0 * 16.0,
+        "peak_bytes {peak} overshot budget {budget} by more than a shard's insert slack"
+    );
+    assert!(
+        num_field(&text, "compactions") > 0.0,
+        "the budget never forced a compaction — the leg proved nothing"
+    );
+
+    // Tape leg: bytes actually streamed, round trip held, guard trips.
+    assert!(
+        num_field(&text, "bytes_streamed") > 0.0,
+        "tape_bytes_streamed must be positive"
+    );
+    assert!(text.contains("\"round_trip_ok\": true"), "tape round trip failed");
+    assert!(
+        text.contains("\"guard_trips\": true"),
+        "the size guard must be shown to trip on an undersized limit"
+    );
+
+    // Economics leg: hot-aligned traffic dominates cold-aligned.
+    let ad_hot = num_field(&text, "ad_hot");
+    let ad_cold = num_field(&text, "ad_cold");
+    assert!(ad_hot.is_finite() && ad_cold.is_finite());
+    assert!(
+        ad_hot >= ad_cold,
+        "hot-aligned AD {ad_hot} must be >= cold-aligned {ad_cold}"
+    );
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check

@@ -1,0 +1,167 @@
+//! Scale-hardening properties: bounded caches are invisible to cost
+//! bits, traffic generation is a pure function of its seed, and the
+//! whole traffic layer is `--jobs`-independent.
+//!
+//! These pin the contracts the `scale` bench relies on:
+//!
+//! * a capacity-bounded what-if cache (ANY capacity, including the
+//!   degenerate 0 and 1) returns f64-bit-identical costs to the
+//!   unbounded cache — eviction is presence-only;
+//! * `TrafficModel` window pools, samples, and aggregated workloads are
+//!   byte-identical across rebuilds from the same seed, and differ
+//!   across seeds;
+//! * sampling traffic windows under `par_map` with `--jobs 1/4/8`
+//!   serializes byte-identically.
+
+use pipa::core::runner::par_map;
+use pipa::core::traffic::sampled_window_workload;
+use pipa::cost::SimBackend;
+use pipa::sim::IndexConfig;
+use pipa::workload::{Arrivals, Benchmark, Diurnal, Popularity, TrafficModel, WorkloadGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn generator() -> WorkloadGenerator {
+    WorkloadGenerator::new(
+        Benchmark::TpcH.schema(),
+        Benchmark::TpcH.default_templates(),
+    )
+}
+
+/// Cost every pool query under `capacity`, returning the raw bit
+/// patterns (order-sensitive; two passes so the second pass replays
+/// hits against survivors).
+fn costs_at_capacity(capacity: usize, seed: u64) -> Vec<u64> {
+    let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
+    let db = cost.database();
+    db.set_whatif_matrix_enabled(false);
+    db.set_whatif_cache_capacity(capacity);
+    let model = TrafficModel::zipf(1.2, 4);
+    let traffic = model
+        .window_traffic(&generator(), 0, seed)
+        .expect("pool instantiates");
+    let cfg = IndexConfig::default();
+    let mut bits = Vec::new();
+    for _pass in 0..2 {
+        for i in 0..traffic.distinct_queries() {
+            bits.push(db.estimated_query_cost(traffic.query(i), &cfg).to_bits());
+        }
+    }
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ANY capacity — 0 (store nothing), 1 (single survivor), small,
+    /// larger than the working set — yields the same cost bits as the
+    /// unbounded cache on the same query stream.
+    #[test]
+    fn any_capacity_is_bit_identical_to_unbounded(
+        cap_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Degenerate capacities (0: store nothing; 1: lone survivor)
+        // are in the table, not left to sampling luck.
+        let capacity = [0usize, 1, 2, 7, 33, 80][cap_idx];
+        let bounded = costs_at_capacity(capacity, seed);
+        let unbounded = costs_at_capacity(usize::MAX, seed);
+        prop_assert_eq!(bounded, unbounded);
+    }
+
+    /// The traffic layer is a pure function of `(model, window, seed)`:
+    /// the sampled, frequency-aggregated workload serializes
+    /// byte-identically across rebuilds and differs across seeds.
+    #[test]
+    fn window_sampling_is_seed_stable(seed in 0u64..10_000, window in 0u64..48) {
+        let gen = generator();
+        let model = TrafficModel::zipf(1.1, 3);
+        let (a, load_a) = sampled_window_workload(&model, &gen, window, 200, seed).unwrap();
+        let (b, load_b) = sampled_window_workload(&model, &gen, window, 200, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(load_a, load_b);
+        let (c, _) = sampled_window_workload(&model, &gen, window, 200, seed ^ 0xdead_beef).unwrap();
+        prop_assert_ne!(&a, &c);
+    }
+}
+
+/// Zipf/diurnal/bursty generators produce byte-identical pools across
+/// repeated construction — the contract the bench's unbounded replay
+/// leg depends on.
+#[test]
+fn traffic_pools_rebuild_byte_identically() {
+    let gen = generator();
+    let mut model = TrafficModel::zipf(1.3, 5);
+    model.diurnal = Diurnal::business();
+    model.arrivals = Arrivals::Bursty {
+        tenants: 4,
+        burst_every: 6,
+        burst_len: 2,
+        burst_mult: 2.5,
+    };
+    for window in [0u64, 7, 23] {
+        let a = model.window_traffic(&gen, window, 42).unwrap();
+        let b = model.window_traffic(&gen, window, 42).unwrap();
+        assert_eq!(a.distinct_queries(), b.distinct_queries());
+        for i in 0..a.distinct_queries() {
+            assert_eq!(a.query(i), b.query(i), "pool slot {i} diverged");
+        }
+        // And the draw sequence on top of the pool is seed-stable too.
+        let mut ra = ChaCha8Rng::seed_from_u64(9);
+        let mut rb = ChaCha8Rng::seed_from_u64(9);
+        let da: Vec<usize> = (0..500).map(|_| a.sample(&mut ra)).collect();
+        let db: Vec<usize> = (0..500).map(|_| b.sample(&mut rb)).collect();
+        assert_eq!(da, db);
+    }
+}
+
+/// Sampling a day of traffic windows through `par_map` is byte-identical
+/// for `--jobs` 1, 4, and 8: parallelism must leave no trace.
+#[test]
+fn traffic_windows_are_jobs_independent() {
+    let run = |jobs: usize| -> Vec<String> {
+        let gen = generator();
+        let mut model = TrafficModel::zipf(1.1, 4);
+        model.diurnal = Diurnal::business();
+        par_map(jobs, (0u64..12).collect(), |_, w| {
+            let (workload, load) = sampled_window_workload(&model, &gen, w, 300, 7).unwrap();
+            let queries: Vec<String> = workload
+                .iter()
+                .map(|wq| format!("{}x{:?}", wq.frequency, wq.query))
+                .collect();
+            format!("w{w} load{load} {}", queries.join("|"))
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "jobs=4 diverged from jobs=1");
+    assert_eq!(serial, run(8), "jobs=8 diverged from jobs=1");
+}
+
+/// The Zipf head concentrates draws: under a bounded cache the hot
+/// entries stay resident, which is the entire premise of the bench's
+/// hit-rate comparison. Pin the direction at unit scale.
+#[test]
+fn zipf_beats_uniform_hit_rate_at_equal_capacity() {
+    let hit_rate = |pop: Popularity| -> f64 {
+        let cost = SimBackend::new(Benchmark::TpcH.database(1.0, None));
+        let db = cost.database();
+        db.set_whatif_matrix_enabled(false);
+        db.set_whatif_cache_capacity(32);
+        let mut model = TrafficModel::uniform(8);
+        model.popularity = pop;
+        let traffic = model.window_traffic(&generator(), 0, 3).unwrap();
+        let cfg = IndexConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..4000 {
+            db.estimated_query_cost(traffic.query(traffic.sample(&mut rng)), &cfg);
+        }
+        db.whatif_cache_stats().hit_rate()
+    };
+    let zipf = hit_rate(Popularity::Zipf { exponent: 1.2 });
+    let uniform = hit_rate(Popularity::Uniform);
+    assert!(
+        zipf > uniform,
+        "skew must raise the bounded hit rate: zipf {zipf:.3} vs uniform {uniform:.3}"
+    );
+}
