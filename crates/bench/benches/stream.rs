@@ -149,7 +149,7 @@ fn main() {
     let advisor = AdvisorKind::DbaBandit(TrajectoryMode::Best);
     let (windows, budget, runs) = if smoke { (2, 2, 1) } else { (6, 6, 2) };
     let grid = StreamGridSpec {
-        advisor,
+        advisor: advisor.into(),
         attackers: if smoke {
             vec![
                 AttackerStrategy::None,

@@ -59,9 +59,10 @@ fn main() {
     for advisor in AdvisorKind::all() {
         let mut rows = Vec::new();
         for injector in InjectorKind::all() {
+            let spec = pipa_ia::AdvisorSpec::from(advisor);
             let ads: Vec<f64> = outcomes
                 .iter()
-                .filter(|(c, _)| c.advisor == advisor && c.injector == injector)
+                .filter(|(c, _)| c.advisor == spec && c.injector == injector)
                 .map(|(_, o)| o.ad)
                 .collect();
             let s = Stats::from_samples(&ads);

@@ -59,11 +59,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut payload = Vec::new();
     for advisor in AdvisorKind::all() {
+        let advisor_spec = pipa_ia::AdvisorSpec::from(advisor);
         let ads = |want_pipa: bool| -> Vec<f64> {
             outcomes
                 .iter()
                 .filter(|(c, _)| {
-                    c.advisor == advisor && (c.injector == InjectorKind::Pipa) == want_pipa
+                    c.advisor == advisor_spec && (c.injector == InjectorKind::Pipa) == want_pipa
                 })
                 .map(|(_, o)| o.ad)
                 .collect()

@@ -7,7 +7,7 @@ use crate::injectors::{Injector, TargetedInjector, TpInjector};
 use crate::probe::ProbeConfig;
 use crate::runner::{par_map_traced, CellSeed};
 use pipa_cost::{CostBackend, CostResult, SimBackend};
-use pipa_ia::{AdvisorKind, SpeedPreset};
+use pipa_ia::{AdvisorSpec, SpeedPreset};
 use pipa_obs::{CellCtx, TraceOutputs};
 use pipa_qgen::{build_corpus, Iabart, IabartConfig, IabartGenerator, QueryGenerator, StGenerator};
 use pipa_sim::Workload;
@@ -175,15 +175,21 @@ pub fn make_injector(kind: InjectorKind, cfg: &CellConfig, seed: CellSeed) -> Bo
 }
 
 /// Run one (advisor, injector) cell once.
+///
+/// The advisor is named by anything convertible to an [`AdvisorSpec`] —
+/// an `AdvisorKind` value or a spec carrying a custom registered kind id
+/// — and resolved through the target registry; an unregistered kind
+/// surfaces as [`pipa_cost::CostError::UnknownTarget`], not a panic.
 pub fn run_cell(
     cost: &dyn CostBackend,
     normal: &Workload,
-    advisor_kind: AdvisorKind,
+    advisor: impl Into<AdvisorSpec>,
     injector_kind: InjectorKind,
     cfg: &CellConfig,
     seed: CellSeed,
 ) -> CostResult<StressOutcome> {
-    let mut advisor = advisor_kind.build_with(pipa_ia::BuildCtx::new(cfg.preset, seed.get()));
+    let spec = advisor.into();
+    let mut advisor = spec.build_with(pipa_ia::BuildCtx::new(cfg.preset, seed.get()))?;
     let mut injector = make_injector(injector_kind, cfg, seed);
     StressTest::new(cost, normal)
         .injection_size(cfg.injection_size)
@@ -201,8 +207,8 @@ pub fn run_cell(
 /// always in that same order.
 #[derive(Clone)]
 pub struct GridSpec {
-    /// Advisors under test.
-    pub advisors: Vec<AdvisorKind>,
+    /// Advisors under test, as registry specs (any registered kind id).
+    pub advisors: Vec<AdvisorSpec>,
     /// Injection strategies.
     pub injectors: Vec<InjectorKind>,
     /// Repetitions per (advisor, injector) pair.
@@ -213,10 +219,10 @@ pub struct GridSpec {
 }
 
 /// One cell of a [`GridSpec`]: coordinates plus the derived seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCell {
     /// Advisor under test.
-    pub advisor: AdvisorKind,
+    pub advisor: AdvisorSpec,
     /// Injection strategy.
     pub injector: InjectorKind,
     /// Run index within the (advisor, injector) pair.
@@ -229,15 +235,17 @@ pub struct GridCell {
 }
 
 impl GridSpec {
-    /// A grid over the given axes.
-    pub fn new(
-        advisors: Vec<AdvisorKind>,
+    /// A grid over the given axes. `advisors` accepts anything
+    /// convertible to [`AdvisorSpec`] — `AdvisorKind` values from the
+    /// paper grid or specs naming custom registered kinds.
+    pub fn new<A: Into<AdvisorSpec>>(
+        advisors: Vec<A>,
         injectors: Vec<InjectorKind>,
         runs: u64,
         root_seed: u64,
     ) -> Self {
         GridSpec {
-            advisors,
+            advisors: advisors.into_iter().map(Into::into).collect(),
             injectors,
             runs,
             root_seed,
@@ -248,11 +256,11 @@ impl GridSpec {
     /// [`run_grid`] returns results in, independent of `--jobs`.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::with_capacity(self.len());
-        for &advisor in &self.advisors {
+        for advisor in &self.advisors {
             for &injector in &self.injectors {
                 for run in 0..self.runs {
                     out.push(GridCell {
-                        advisor,
+                        advisor: advisor.clone(),
                         injector,
                         run,
                         seed: CellSeed::derive(self.root_seed, run),
@@ -316,8 +324,15 @@ pub fn run_grid_traced(
         },
         |_, cell| {
             let normal = normal_workload(cfg, cell.seed.get());
-            run_cell(cost, &normal, cell.advisor, cell.injector, cfg, cell.seed)
-                .map(|outcome| (cell, outcome))
+            run_cell(
+                cost,
+                &normal,
+                cell.advisor.clone(),
+                cell.injector,
+                cfg,
+                cell.seed,
+            )
+            .map(|outcome| (cell, outcome))
         },
     );
     out.flush();
@@ -327,7 +342,7 @@ pub fn run_grid_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pipa_ia::TrajectoryMode;
+    use pipa_ia::{AdvisorKind, TrajectoryMode};
 
     #[test]
     fn injector_kinds_cover_the_paper() {

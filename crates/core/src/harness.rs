@@ -157,7 +157,12 @@ impl<'a> StressTest<'a> {
         injector: &mut dyn Injector,
     ) -> CostResult<StressOutcome> {
         // Green flow: train on W, establish the performance baseline.
+        // The backend observes the training workload first: learned cost
+        // backends (pipa-cost's LearnedIndexBackend) refit their
+        // structures on what the system trains on, so they see exactly
+        // what the advisor sees.
         pipa_obs::phase("train");
+        self.cost.observe_training(self.normal)?;
         advisor.train(self.cost, self.normal)?;
 
         pipa_obs::phase("baseline");
@@ -172,6 +177,7 @@ impl<'a> StressTest<'a> {
 
         pipa_obs::phase("retrain");
         let training = self.normal.union(&injection);
+        self.cost.observe_training(&training)?;
         advisor.retrain(self.cost, &training)?;
 
         pipa_obs::phase("measure");

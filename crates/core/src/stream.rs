@@ -37,7 +37,7 @@ use crate::harness::StressOutcome;
 use crate::metrics::{absolute_degradation, is_toxic};
 use crate::runner::{derive_seed, par_map_traced, CellSeed};
 use pipa_cost::{CostBackend, CostEngine, CostResult};
-use pipa_ia::{AdvisorKind, BuildCtx};
+use pipa_ia::{AdvisorSpec, BuildCtx};
 use pipa_obs::{CellCtx, Event, TraceOutputs};
 use pipa_sim::{IndexConfig, Workload};
 use pipa_workload::{generator::WorkloadGenerator, DriftSchedule};
@@ -292,18 +292,28 @@ fn union_all(parts: &[Workload]) -> Workload {
 /// Run one streaming scenario.
 ///
 /// Deterministic: the outcome is a pure function of `(catalog, cfg,
-/// advisor_kind, spec, seed)`. Window `w`'s clean traffic comes from
+/// advisor spec, spec, seed)`. Window `w`'s clean traffic comes from
 /// `spec.drift` at seed `seed ^ 0x4021` (the same convention as
 /// [`crate::experiment::normal_workload`], so [`DriftSchedule::Static`]
 /// replays exactly that workload), and window `w`'s attack stream is
 /// [`derive_seed`]`(seed, w)`.
+///
+/// The advisor is anything convertible to an [`AdvisorSpec`] and is
+/// resolved through the target registry. The backend's
+/// [`CostBackend::observe_training`] hook fires on the bootstrap window
+/// and on every *victim* training batch: the clean twin is an
+/// advisor-only counterfactual sharing the backend's state, so for
+/// learned cost backends the twin's costs reflect the same (possibly
+/// poisoned) index structure and per-window AD isolates the advisor's
+/// decisions.
 pub fn run_stream(
     cost: &dyn CostBackend,
     cfg: &CellConfig,
-    advisor_kind: AdvisorKind,
+    advisor: impl Into<AdvisorSpec>,
     spec: &StreamSpec,
     seed: CellSeed,
 ) -> CostResult<StreamOutcome> {
+    let advisor_spec: AdvisorSpec = advisor.into();
     let gen = WorkloadGenerator::new(cfg.benchmark.schema(), cfg.benchmark.default_templates());
     let wseed = seed.get() ^ 0x4021;
     let use_actual = cfg.materialize.is_some();
@@ -323,13 +333,15 @@ pub fn run_stream(
         .drift
         .window_workload(&gen, 0, wseed)
         .expect("benchmark templates instantiate");
-    let mut advisor = advisor_kind.build_with(BuildCtx::new(cfg.preset, seed.get()));
+    let ctx = BuildCtx::new(cfg.preset, seed.get());
+    let mut advisor = advisor_spec.build_with(ctx)?;
+    cost.observe_training(&w0)?;
     advisor.train(cost, &w0)?;
     let mut deployed = advisor.recommend(cost, &w0)?;
     let baseline_cost = measure(&w0, &deployed)?;
     let baseline_indexes = index_names(cost, &deployed);
 
-    let mut twin = advisor_kind.build_with(BuildCtx::new(cfg.preset, seed.get()));
+    let mut twin = advisor_spec.build_with(ctx)?;
     twin.train(cost, &w0)?;
     let mut twin_deployed = twin.recommend(cost, &w0)?;
 
@@ -431,6 +443,7 @@ pub fn run_stream(
             let training = union_all(&victim_pending);
             let batch_poisoned = injected_since(&windows, injected) > 0;
             victim_pending.clear();
+            cost.observe_training(&training)?;
             match spec.defense {
                 DefensePolicy::Canary { tolerance } => {
                     let guard = CanaryGuard::new(tolerance);
@@ -565,8 +578,8 @@ fn injected_since(done: &[WindowReport], this_window: usize) -> usize {
 /// one stream shape (windows, drift, budget) and advisor.
 #[derive(Clone)]
 pub struct StreamGridSpec {
-    /// Advisor under attack.
-    pub advisor: AdvisorKind,
+    /// Advisor under attack (any registered kind id).
+    pub advisor: AdvisorSpec,
     /// Attacker strategies to sweep.
     pub attackers: Vec<AttackerStrategy>,
     /// Defense policies to sweep.
@@ -685,8 +698,14 @@ pub fn run_stream_grid_traced(
                 .field("run", cell.run)
         },
         |_, cell| {
-            run_stream(cost, cfg, spec.advisor, &spec.cell_spec(&cell), cell.seed)
-                .map(|outcome| (cell, outcome))
+            run_stream(
+                cost,
+                cfg,
+                spec.advisor.clone(),
+                &spec.cell_spec(&cell),
+                cell.seed,
+            )
+            .map(|outcome| (cell, outcome))
         },
     );
     out.flush();
@@ -697,7 +716,7 @@ pub fn run_stream_grid_traced(
 mod tests {
     use super::*;
     use crate::experiment::build_db;
-    use pipa_ia::{SpeedPreset, TrajectoryMode};
+    use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
     use pipa_workload::Benchmark;
 
     fn cfg() -> CellConfig {
@@ -816,7 +835,7 @@ mod tests {
     #[test]
     fn stream_grid_enumerates_cells_in_fixed_order() {
         let grid = StreamGridSpec {
-            advisor: advisor(),
+            advisor: advisor().into(),
             attackers: vec![
                 AttackerStrategy::Spread(InjectorKind::Tp),
                 AttackerStrategy::Burst(InjectorKind::Tp),

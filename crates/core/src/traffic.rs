@@ -35,7 +35,7 @@
 use crate::experiment::{make_injector, normal_workload, CellConfig, InjectorKind};
 use crate::runner::CellSeed;
 use pipa_cost::{CostBackend, CostResult};
-use pipa_ia::{AdvisorKind, BuildCtx};
+use pipa_ia::{AdvisorSpec, BuildCtx};
 use pipa_sim::{SimResult, Workload};
 use pipa_workload::{generator::WorkloadGenerator, Popularity, TrafficModel};
 use rand::SeedableRng;
@@ -122,14 +122,16 @@ fn weighted_ad(shares: &[f64], order: &[usize], delta: &[f64], base: &[f64]) -> 
 pub fn poisoning_economics(
     cost: &dyn CostBackend,
     cfg: &CellConfig,
-    advisor_kind: AdvisorKind,
+    advisor: impl Into<AdvisorSpec>,
     injector_kind: InjectorKind,
     exponent: f64,
     seed: CellSeed,
 ) -> CostResult<PoisonEconomics> {
     // One attack, end to end, keeping both configurations.
     let normal = normal_workload(cfg, seed.get());
-    let mut advisor = advisor_kind.build_with(BuildCtx::new(cfg.preset, seed.get()));
+    let mut advisor = advisor
+        .into()
+        .build_with(BuildCtx::new(cfg.preset, seed.get()))?;
     let mut injector = make_injector(injector_kind, cfg, seed);
     advisor.train(cost, &normal)?;
     let clean_cfg = advisor.recommend(cost, &normal)?;
@@ -186,7 +188,7 @@ pub fn poisoning_economics(
 mod tests {
     use super::*;
     use crate::experiment::build_db;
-    use pipa_ia::{SpeedPreset, TrajectoryMode};
+    use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
     use pipa_workload::Benchmark;
 
     fn quick_cfg() -> CellConfig {

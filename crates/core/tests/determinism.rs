@@ -160,7 +160,7 @@ fn small_stream_spec() -> (CellConfig, StreamGridSpec) {
     cfg.preset = SpeedPreset::Test;
     cfg.probe_epochs = 2;
     let spec = StreamGridSpec {
-        advisor: AdvisorKind::DbaBandit(TrajectoryMode::Best),
+        advisor: AdvisorKind::DbaBandit(TrajectoryMode::Best).into(),
         attackers: vec![
             AttackerStrategy::Spread(InjectorKind::Pipa),
             AttackerStrategy::Burst(InjectorKind::Pipa),
@@ -264,6 +264,114 @@ fn stream_trace_is_bit_identical_across_job_counts() {
         assert_eq!(a, b);
         assert_eq!(x, y);
     }
+}
+
+/// The registry-opened target classes inherit the determinism
+/// guarantee: a grid mixing a built-in advisor with the in-context
+/// kind, and learned-index-backend cells mapped with fresh per-cell
+/// backends (a learned backend mutates under `observe_training`, so
+/// sharing one across cells would leak refits), all serialize
+/// bit-identically across worker counts.
+#[test]
+fn mixed_target_classes_stay_bit_identical_across_job_counts() {
+    use pipa_core::experiment::{normal_workload, run_cell};
+    use pipa_core::runner::par_map;
+    use pipa_cost::{CostBackend, LearnedIndexBackend, LearnedIndexConfig};
+    use pipa_ia::AdvisorSpec;
+
+    let mut cfg = CellConfig::quick(Benchmark::TpcH);
+    cfg.preset = SpeedPreset::Test;
+    cfg.probe_epochs = 2;
+    cfg.injection_size = 4;
+
+    // Built-in + in-context through the shared-simulator grid.
+    let spec = GridSpec::new(
+        vec![
+            AdvisorSpec::from(AdvisorKind::DbaBandit(TrajectoryMode::Best)),
+            AdvisorSpec::new("incontext"),
+        ],
+        vec![InjectorKind::Pipa],
+        1,
+        21,
+    );
+    let grid = |jobs: usize| {
+        let db = build_db(&cfg);
+        run_grid(&db, &cfg, &spec, jobs).unwrap()
+    };
+    let ser = |rs: &[(pipa_core::GridCell, pipa_core::StressOutcome)]| {
+        let outcomes: Vec<&pipa_core::StressOutcome> = rs.iter().map(|(_, o)| o).collect();
+        serde_json::to_string_pretty(&outcomes).expect("serializable")
+    };
+    let serial = grid(1);
+    assert_eq!(
+        ser(&serial),
+        ser(&grid(4)),
+        "the mixed advisor grid must serialize identically across --jobs"
+    );
+    assert!(serial.iter().any(|(_, o)| o.advisor == "InContext"));
+
+    // Learned-index cells: one fresh bulk-loaded backend per cell.
+    let learned = |jobs: usize| -> Vec<pipa_core::StressOutcome> {
+        par_map(jobs, vec![0u64, 1], |_, run| {
+            let seed = CellSeed::derive(21, run);
+            let sim = build_db(&cfg);
+            let backend = LearnedIndexBackend::new(
+                sim.catalog(),
+                LearnedIndexConfig {
+                    seed: seed.get(),
+                    ..LearnedIndexConfig::fast()
+                },
+            );
+            let normal = normal_workload(&cfg, seed.get());
+            run_cell(
+                &backend,
+                &normal,
+                AdvisorSpec::new("dbabandit"),
+                InjectorKind::Pipa,
+                &cfg,
+                seed,
+            )
+            .unwrap()
+        })
+    };
+    let learned_serial = learned(1);
+    let ser_cells = |outs: &[pipa_core::StressOutcome]| {
+        serde_json::to_string_pretty(&outs.iter().collect::<Vec<_>>()).expect("serializable")
+    };
+    assert_eq!(
+        ser_cells(&learned_serial),
+        ser_cells(&learned(4)),
+        "learned-index cells must serialize identically across worker counts"
+    );
+    assert!(learned_serial.iter().all(|o| o.ad.is_finite()));
+}
+
+/// The in-context advisor runs the streaming arms race under the same
+/// cross-jobs guarantee as the built-ins.
+#[test]
+fn incontext_stream_grid_is_bit_identical_across_job_counts() {
+    use pipa_ia::AdvisorSpec;
+
+    let (cfg, mut spec) = small_stream_spec();
+    spec.advisor = AdvisorSpec::new("incontext");
+    spec.attackers = vec![AttackerStrategy::Spread(InjectorKind::Pipa)];
+    spec.cadences = vec![Cadence::Every(1)];
+
+    let run = |jobs: usize| {
+        let db = build_db(&cfg);
+        run_stream_grid(&db, &cfg, &spec, jobs).unwrap()
+    };
+    let ser = |rs: &[(pipa_core::StreamCell, pipa_core::StreamOutcome)]| {
+        let outcomes: Vec<&pipa_core::StreamOutcome> = rs.iter().map(|(_, o)| o).collect();
+        serde_json::to_string_pretty(&outcomes).expect("serializable")
+    };
+    let serial = run(1);
+    assert_eq!(
+        ser(&serial),
+        ser(&run(4)),
+        "the in-context stream grid must serialize identically across --jobs"
+    );
+    assert!(serial.iter().all(|(_, o)| o.advisor == "InContext"));
 }
 
 /// With no sink attached the recorder never switches on: the traced entry

@@ -241,4 +241,21 @@ pub trait CostBackend: Send + Sync {
         let cfg = self.hypo_config()?;
         self.workload_cost(w, &cfg)
     }
+
+    // ---- Training-time observation -----------------------------------
+
+    /// The harness is about to (re)train the target on `w`: backends
+    /// whose cost model is itself *learned from the observed workload*
+    /// (the [`crate::LearnedIndexBackend`] refits its per-table CDF
+    /// models on the workload's key fractions) update their structures
+    /// here, making the index structure a poisoning target in its own
+    /// right. Stateless backends ignore it (the default), so the
+    /// bit-equality contract above is untouched for them; for learning
+    /// backends, costs are pure functions of `(catalog, query, config)`
+    /// *between* `observe_training` calls, and the call sequence is part
+    /// of the deterministic replayable state.
+    fn observe_training(&self, w: &Workload) -> CostResult<()> {
+        let _ = w;
+        Ok(())
+    }
 }

@@ -64,6 +64,16 @@ pub enum CostError {
     },
     /// Reading or parsing a tape failed.
     Io(String),
+    /// A target spec named a kind id with no constructor registered in
+    /// the target registry (the advisor-side twin of this cost seam).
+    /// Raised when a grid, stream, or tenant resolves an `AdvisorSpec`
+    /// whose kind was never registered.
+    UnknownTarget {
+        /// The unresolved kind id.
+        kind: String,
+        /// Comma-joined ids that *were* registered at resolution time.
+        registered: String,
+    },
 }
 
 /// Diagnostic payload attached to [`CostError::ReplayMiss`]: what the
@@ -133,6 +143,12 @@ impl fmt::Display for CostError {
                 )
             }
             CostError::Io(m) => write!(f, "tape i/o error: {m}"),
+            CostError::UnknownTarget { kind, registered } => {
+                write!(
+                    f,
+                    "unknown target kind {kind:?} (registered: {registered})"
+                )
+            }
         }
     }
 }

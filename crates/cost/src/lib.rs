@@ -15,7 +15,11 @@
 //!   captures `(query, config) → cost` tapes as JSONL (written through
 //!   `pipa-obs` sinks) and replays them deterministically, proving the
 //!   seam is real and enabling a future PostgreSQL/what-if-server backend
-//!   without touching consumers.
+//!   without touching consumers;
+//! * [`LearnedIndexBackend`] — an RMI/ALEX-style learned index structure
+//!   whose per-table CDF models refit on the observed workload
+//!   ([`CostBackend::observe_training`]), making the index *structure*
+//!   itself a poisoning target.
 //!
 //! The [`CostEngine`] facade adds the composed helpers every consumer
 //! wants (benefits, best-single-index, estimated-vs-executed dispatch)
@@ -30,12 +34,14 @@
 mod backend;
 mod engine;
 mod error;
+mod learned;
 mod replay;
 mod sim;
 
 pub use backend::{CostBackend, CostSession};
 pub use engine::CostEngine;
 pub use error::{CostError, CostResult, ReplayMissDetail};
+pub use learned::{LearnedIndexBackend, LearnedIndexConfig};
 pub use replay::{RecordingBackend, ReplayBackend, Tape, DEFAULT_TAPE_BYTE_LIMIT};
 pub use sim::SimBackend;
 

@@ -379,6 +379,12 @@ impl CostBackend for RecordingBackend<'_> {
         self.inner.supports_execution()
     }
 
+    fn observe_training(&self, w: &Workload) -> CostResult<()> {
+        // Forward so a recorded learning backend refits exactly like the
+        // live one; the post-refit costs it records then replay verbatim.
+        self.inner.observe_training(w)
+    }
+
     fn executed_query_cost(&self, q: &Query, cfg: &IndexConfig) -> CostResult<f64> {
         let v = self.inner.executed_query_cost(q, cfg)?;
         self.record(&self.exec, q, cfg, v);

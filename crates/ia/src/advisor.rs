@@ -78,6 +78,38 @@ pub trait ClearBoxAdvisor: IndexAdvisor {
     fn column_preferences(&self, cost: &dyn CostBackend) -> Vec<(ColumnId, f64)>;
 }
 
+/// Blanket coercion: a boxed clear-box advisor is itself an opaque-box
+/// advisor, so `Box<dyn ClearBoxAdvisor>` erases to
+/// `Box<dyn IndexAdvisor>` with one `Box::new` (see
+/// [`crate::factory::opaque`]) instead of a hand-forwarding adapter.
+impl IndexAdvisor for Box<dyn ClearBoxAdvisor> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn train(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
+        (**self).train(cost, workload)
+    }
+    fn retrain(&mut self, cost: &dyn CostBackend, workload: &Workload) -> CostResult<()> {
+        (**self).retrain(cost, workload)
+    }
+    fn recommend(
+        &mut self,
+        cost: &dyn CostBackend,
+        workload: &Workload,
+    ) -> CostResult<IndexConfig> {
+        (**self).recommend(cost, workload)
+    }
+    fn budget(&self) -> usize {
+        (**self).budget()
+    }
+    fn is_trial_based(&self) -> bool {
+        (**self).is_trial_based()
+    }
+    fn reward_trace(&self) -> &[f64] {
+        (**self).reward_trace()
+    }
+}
+
 /// Identifier for the advisors in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdvisorKind {
@@ -95,9 +127,13 @@ pub enum AdvisorKind {
 }
 
 impl AdvisorKind {
-    /// The advisor variants of the paper's main experiment (seven: the
-    /// `-b`/`-m` trajectory modes of DQN, DRLindex and DBABandit, plus
-    /// SWIRL).
+    /// The seven built-in variants the paper's main experiment sweeps
+    /// (the `-b`/`-m` trajectory modes of DQN, DRLindex and DBABandit,
+    /// plus SWIRL). This is a convenience slice of the paper grid, *not*
+    /// the universe of targets: the target registry
+    /// ([`crate::registry::registered_ids`]) is open, and kinds added
+    /// there (e.g. `"incontext"`, or user-registered ones) are addressed
+    /// by [`crate::registry::AdvisorSpec`] rather than enum variants.
     pub fn all() -> Vec<AdvisorKind> {
         use TrajectoryMode::*;
         vec![
@@ -130,7 +166,12 @@ mod tests {
     fn seven_variants_with_paper_labels() {
         let all = AdvisorKind::all();
         assert_eq!(all.len(), 7);
-        let labels: Vec<String> = all.iter().map(|a| a.label()).collect();
+        // Labels derive from the registry entries (the enum is an alias
+        // layer), and must still spell the paper's table headings.
+        let labels: Vec<String> = all
+            .iter()
+            .map(|a| crate::registry::AdvisorSpec::from(*a).label())
+            .collect();
         assert_eq!(
             labels,
             vec![

@@ -1,16 +1,23 @@
-//! Construction of the paper's seven advisor variants with speed presets.
+//! Construction of advisors with speed presets.
 //!
 //! The paper runs 400 trajectories per workload (20 for DBABandit); that
 //! is [`SpeedPreset::Paper`]. [`SpeedPreset::Quick`] shrinks trajectory
 //! counts ~5× for CI and interactive use — the attack dynamics survive
 //! (all experiment binaries accept `--quick`), only the variance grows.
+//!
+//! Since the registry migration, *the* constructor is
+//! [`crate::registry::AdvisorSpec::build`]: every kind id (built-in or
+//! user-registered) resolves through the
+//! [`crate::registry::TargetRegistry`]. The [`AdvisorKind`] methods and
+//! the free functions here are thin aliases over that seam, kept so the
+//! paper-experiment call sites stay enum-typed.
 
 use crate::advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
-use crate::bandit::{BanditAdvisor, BanditConfig};
-use crate::dqn::{DqnAdvisor, DqnConfig};
-use crate::drlindex::{DrlIndexAdvisor, DrlIndexConfig};
-use crate::instrument::Instrumented;
-use crate::swirl::{SwirlAdvisor, SwirlConfig};
+use crate::bandit::BanditConfig;
+use crate::dqn::DqnConfig;
+use crate::drlindex::DrlIndexConfig;
+use crate::registry::AdvisorSpec;
+use crate::swirl::SwirlConfig;
 
 /// How much compute to spend on training/trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +31,7 @@ pub enum SpeedPreset {
 }
 
 impl SpeedPreset {
-    fn dqn(self, seed: u64) -> DqnConfig {
+    pub(crate) fn dqn(self, seed: u64) -> DqnConfig {
         let mut c = match self {
             SpeedPreset::Paper => DqnConfig::default(),
             SpeedPreset::Quick => DqnConfig {
@@ -38,7 +45,7 @@ impl SpeedPreset {
         c
     }
 
-    fn drl(self, seed: u64) -> DrlIndexConfig {
+    pub(crate) fn drl(self, seed: u64) -> DrlIndexConfig {
         let mut c = match self {
             SpeedPreset::Paper => DrlIndexConfig::default(),
             SpeedPreset::Quick => DrlIndexConfig {
@@ -52,7 +59,7 @@ impl SpeedPreset {
         c
     }
 
-    fn bandit(self, seed: u64) -> BanditConfig {
+    pub(crate) fn bandit(self, seed: u64) -> BanditConfig {
         let mut c = match self {
             SpeedPreset::Paper => BanditConfig::default(),
             SpeedPreset::Quick => BanditConfig::default(),
@@ -62,7 +69,7 @@ impl SpeedPreset {
         c
     }
 
-    fn swirl(self, seed: u64) -> SwirlConfig {
+    pub(crate) fn swirl(self, seed: u64) -> SwirlConfig {
         let mut c = match self {
             SpeedPreset::Paper => SwirlConfig::default(),
             SpeedPreset::Quick => SwirlConfig {
@@ -76,7 +83,8 @@ impl SpeedPreset {
     }
 }
 
-/// Typed construction context for [`AdvisorKind::build_with`].
+/// Typed construction context for [`AdvisorKind::build_with`] and
+/// [`AdvisorSpec::build_with`].
 ///
 /// Replaces the positional `(preset, seed)` pair — which silently
 /// transposed when both arguments were integers-in-spirit — with named,
@@ -89,8 +97,8 @@ pub struct BuildCtx {
     /// RNG seed for the advisor's own stochastic machinery.
     pub seed: u64,
     /// Override the kind's trajectory-selection mode (`-b`/`-m`).
-    /// `None` keeps the mode baked into the [`AdvisorKind`] variant;
-    /// `Some(m)` rewrites it (SWIRL, which has no mode, ignores this).
+    /// `None` keeps the mode baked into the kind/spec; `Some(m)`
+    /// rewrites it (kinds without a mode, like SWIRL, ignore this).
     pub mode_override: Option<TrajectoryMode>,
 }
 
@@ -112,48 +120,31 @@ impl BuildCtx {
 }
 
 impl AdvisorKind {
-    /// Construct this advisor variant — *the* advisor constructor, used
-    /// by the factory functions, the experiment binaries, and the
-    /// `pipa-serve` tenant fleet alike. Every advisor comes wrapped in
-    /// the [`Instrumented`] observability decorator (transparent when
-    /// nothing records).
+    /// Construct this built-in advisor variant by routing the kind
+    /// through the target registry (the enum is an alias layer: this is
+    /// exactly `AdvisorSpec::from(self).build_with(ctx)`). Every advisor
+    /// comes wrapped in the [`crate::instrument::Instrumented`]
+    /// observability decorator (transparent when nothing records).
     pub fn build_with(self, ctx: BuildCtx) -> Box<dyn ClearBoxAdvisor> {
-        let BuildCtx {
-            preset,
-            seed,
-            mode_override,
-        } = ctx;
-        let kind = match (self, mode_override) {
-            (AdvisorKind::Dqn(_), Some(m)) => AdvisorKind::Dqn(m),
-            (AdvisorKind::DrlIndex(_), Some(m)) => AdvisorKind::DrlIndex(m),
-            (AdvisorKind::DbaBandit(_), Some(m)) => AdvisorKind::DbaBandit(m),
-            (kind, _) => kind,
-        };
-        match kind {
-            AdvisorKind::Dqn(m) => Box::new(Instrumented::new(DqnAdvisor::new(m, preset.dqn(seed)))),
-            AdvisorKind::DrlIndex(m) => {
-                Box::new(Instrumented::new(DrlIndexAdvisor::new(m, preset.drl(seed))))
-            }
-            AdvisorKind::DbaBandit(m) => {
-                Box::new(Instrumented::new(BanditAdvisor::new(m, preset.bandit(seed))))
-            }
-            AdvisorKind::Swirl => Box::new(Instrumented::new(SwirlAdvisor::new(preset.swirl(seed)))),
-        }
-    }
-
-    /// Positional-argument shim for [`AdvisorKind::build_with`], kept for
-    /// one PR as the `StressTest` migration did.
-    #[deprecated(since = "0.1.0", note = "use `build_with(BuildCtx::new(preset, seed))`")]
-    pub fn build(self, preset: SpeedPreset, seed: u64) -> Box<dyn ClearBoxAdvisor> {
-        self.build_with(BuildCtx::new(preset, seed))
+        AdvisorSpec::from(self)
+            .build_with(ctx)
+            .expect("built-in advisor kinds are always registered")
     }
 }
 
-/// Build an advisor by kind (opaque-box surface only). Delegates to
-/// [`AdvisorKind::build_with`] via a thin adapter: `Box<dyn ClearBoxAdvisor>`
-/// does not unsize to `Box<dyn IndexAdvisor>`, so the box is re-wrapped.
+/// Erase the clear-box surface: `Box<dyn ClearBoxAdvisor>` does not
+/// unsize to `Box<dyn IndexAdvisor>`, but the blanket
+/// [`IndexAdvisor for Box<dyn ClearBoxAdvisor>`](IndexAdvisor) impl
+/// makes the boxed box itself an advisor, so the coercion is one
+/// allocation and zero hand-forwarded methods (the `OpaqueOnly` adapter
+/// this replaces forwarded every trait method by hand).
+pub fn opaque(advisor: Box<dyn ClearBoxAdvisor>) -> Box<dyn IndexAdvisor> {
+    Box::new(advisor)
+}
+
+/// Build an advisor by kind (opaque-box surface only).
 pub fn build_advisor(kind: AdvisorKind, preset: SpeedPreset, seed: u64) -> Box<dyn IndexAdvisor> {
-    Box::new(OpaqueOnly(kind.build_with(BuildCtx::new(preset, seed))))
+    opaque(kind.build_with(BuildCtx::new(preset, seed)))
 }
 
 /// Build an advisor with clear-box introspection (for the P-C baseline).
@@ -163,45 +154,6 @@ pub fn build_clear_box(
     seed: u64,
 ) -> Box<dyn ClearBoxAdvisor> {
     kind.build_with(BuildCtx::new(preset, seed))
-}
-
-/// Adapter hiding the clear-box surface behind `dyn IndexAdvisor`.
-struct OpaqueOnly(Box<dyn ClearBoxAdvisor>);
-
-impl IndexAdvisor for OpaqueOnly {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-    fn train(
-        &mut self,
-        cost: &dyn pipa_cost::CostBackend,
-        w: &pipa_sim::Workload,
-    ) -> pipa_cost::CostResult<()> {
-        self.0.train(cost, w)
-    }
-    fn retrain(
-        &mut self,
-        cost: &dyn pipa_cost::CostBackend,
-        w: &pipa_sim::Workload,
-    ) -> pipa_cost::CostResult<()> {
-        self.0.retrain(cost, w)
-    }
-    fn recommend(
-        &mut self,
-        cost: &dyn pipa_cost::CostBackend,
-        w: &pipa_sim::Workload,
-    ) -> pipa_cost::CostResult<pipa_sim::IndexConfig> {
-        self.0.recommend(cost, w)
-    }
-    fn budget(&self) -> usize {
-        self.0.budget()
-    }
-    fn is_trial_based(&self) -> bool {
-        self.0.is_trial_based()
-    }
-    fn reward_trace(&self) -> &[f64] {
-        self.0.reward_trace()
-    }
 }
 
 #[cfg(test)]
@@ -218,23 +170,28 @@ mod tests {
     }
 
     #[test]
-    fn kind_build_with_is_the_factory() {
+    fn kind_build_with_is_the_registry_route() {
         for kind in AdvisorKind::all() {
             let ia = kind.build_with(BuildCtx::new(SpeedPreset::Test, 1));
-            assert_eq!(ia.name(), kind.label());
+            let via_spec = AdvisorSpec::from(kind)
+                .preset(SpeedPreset::Test)
+                .seeded(1)
+                .build()
+                .unwrap();
+            assert_eq!(ia.name(), via_spec.name());
+            assert_eq!(ia.budget(), via_spec.budget());
         }
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn positional_build_shim_matches_build_with() {
-        for kind in AdvisorKind::all() {
-            let shim = kind.build(SpeedPreset::Test, 5);
-            let ctx = kind.build_with(BuildCtx::new(SpeedPreset::Test, 5));
-            assert_eq!(shim.name(), ctx.name());
-            assert_eq!(shim.budget(), ctx.budget());
-            assert_eq!(shim.is_trial_based(), ctx.is_trial_based());
-        }
+    fn opaque_coercion_preserves_the_surface() {
+        let clear = AdvisorKind::Swirl.build_with(BuildCtx::new(SpeedPreset::Test, 1));
+        let name = clear.name();
+        let budget = clear.budget();
+        let ia = opaque(clear);
+        assert_eq!(ia.name(), name);
+        assert_eq!(ia.budget(), budget);
+        assert!(!ia.is_trial_based());
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //!   masking and one-off inference;
 //!
 //! plus heuristic baselines ([`heuristic::AutoAdminGreedy`],
-//! [`heuristic::DropHeuristic`]) whose AD is zero by construction.
+//! [`heuristic::DropHeuristic`]) whose AD is zero by construction, and
+//! the retraining-free [`incontext::InContextAdvisor`] (nearest-exemplar
+//! matching over an IABART-encoded corpus).
 //!
-//! [`factory::build_advisor`] constructs any of the paper's seven
-//! advisor variants with speed presets.
+//! Construction goes through the open **target registry**
+//! ([`registry::AdvisorSpec`] → [`registry::TargetRegistry`]): built-in
+//! kinds are pre-registered, and new target classes slot in with one
+//! [`registry::register_target`] call — no enum edits anywhere.
+//! [`factory::build_advisor`] and [`AdvisorKind`] remain as thin alias
+//! layers over that seam for the paper's seven advisor variants.
 
 #![warn(missing_docs)]
 
@@ -29,7 +35,9 @@ pub mod env;
 pub mod factory;
 pub mod features;
 pub mod heuristic;
+pub mod incontext;
 pub mod instrument;
+pub mod registry;
 pub mod swirl;
 
 pub use advisor::{AdvisorKind, ClearBoxAdvisor, IndexAdvisor, TrajectoryMode};
@@ -37,7 +45,11 @@ pub use bandit::{BanditAdvisor, BanditConfig};
 pub use dqn::{DqnAdvisor, DqnConfig};
 pub use drlindex::{DrlIndexAdvisor, DrlIndexConfig};
 pub use env::IndexEnv;
-pub use factory::{build_advisor, build_clear_box, BuildCtx, SpeedPreset};
+pub use factory::{build_advisor, build_clear_box, opaque, BuildCtx, SpeedPreset};
 pub use heuristic::{AutoAdminGreedy, DropHeuristic};
+pub use incontext::{InContextAdvisor, InContextConfig};
 pub use instrument::Instrumented;
+pub use registry::{
+    register_target, registered_ids, AdvisorSpec, TargetEntry, TargetRegistry, UnknownTarget,
+};
 pub use swirl::{SwirlAdvisor, SwirlConfig};

@@ -126,6 +126,25 @@ impl Iabart {
         &self.vocab
     }
 
+    /// The schema the model is bound to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Deterministic fixed-width embedding of a token sequence, via the
+    /// encoder and one KV-cached decode step: [`Seq2SeqTransformer::start_session`]
+    /// precomputes the encoder states and cross-attention K/V for `src`,
+    /// and a single `<cls>` advance reads them back out. The returned
+    /// logits row is a pure function of `(parameters, src)` — bit-stable
+    /// across calls and `--jobs` — which is what the in-context advisor's
+    /// nearest-exemplar matching needs from an encoder (training the
+    /// model sharpens the space but is not required for matching).
+    pub fn embed(&self, src: &[usize]) -> Vec<f32> {
+        let mut sess = self.model.start_session(&self.store, src);
+        let out = self.model.session_advance(&self.store, &mut sess, &[CLS]);
+        out.row_slice(out.rows - 1).to_vec()
+    }
+
     /// Progressive training over a corpus (§3.2).
     pub fn train(&mut self, corpus: &[Sample]) {
         let tasks = self.cfg.tasks;

@@ -24,8 +24,11 @@ use crate::spec::{BackendSpec, FleetSpec, SessionRequest, TenantSpec};
 use pipa_core::experiment::{make_injector, normal_workload, CellConfig};
 use pipa_core::harness::StressTest;
 use pipa_core::runner::{par_map, CellSeed};
-use pipa_cost::{CostBackend, RecordingBackend, ReplayBackend, SimBackend, Tape};
-use pipa_ia::{BuildCtx, ClearBoxAdvisor};
+use pipa_cost::{
+    CostBackend, CostResult, LearnedIndexBackend, LearnedIndexConfig, RecordingBackend,
+    ReplayBackend, SimBackend, Tape,
+};
+use pipa_ia::{BuildCtx, ClearBoxAdvisor, IndexAdvisor, UnknownTarget};
 use pipa_obs::{record_cell, CellCtx, CellTrace, Event, TraceOutputs};
 use pipa_sim::{Index, IndexConfig, Workload};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,12 +62,61 @@ enum OwnedBackend {
     /// over the simulator and merges its tape in afterwards).
     Recording(SimBackend, Tape),
     Replay(ReplayBackend),
+    /// Learned-index cost models over the tenant's catalog; refit on
+    /// every workload the tenant trains on.
+    Learned(LearnedIndexBackend),
+}
+
+/// Stand-in for an advisor whose spec named an unregistered kind id.
+/// Materialization never fails the fleet: the stub carries the
+/// [`UnknownTarget`] error and surfaces it from every advisor call, so
+/// the tenant degrades at its first session — same path as any other
+/// per-tenant failure — while the rest of the fleet runs on.
+struct UnresolvedAdvisor(UnknownTarget);
+
+impl UnresolvedAdvisor {
+    fn err(&self) -> pipa_cost::CostError {
+        self.0.clone().into()
+    }
+}
+
+impl IndexAdvisor for UnresolvedAdvisor {
+    fn name(&self) -> String {
+        format!("unresolved:{}", self.0.kind)
+    }
+    fn train(&mut self, _cost: &dyn CostBackend, _w: &Workload) -> CostResult<()> {
+        Err(self.err())
+    }
+    fn retrain(&mut self, _cost: &dyn CostBackend, _w: &Workload) -> CostResult<()> {
+        Err(self.err())
+    }
+    fn recommend(&mut self, _cost: &dyn CostBackend, _w: &Workload) -> CostResult<IndexConfig> {
+        Err(self.err())
+    }
+    fn budget(&self) -> usize {
+        0
+    }
+    fn is_trial_based(&self) -> bool {
+        false
+    }
+}
+
+impl ClearBoxAdvisor for UnresolvedAdvisor {
+    fn column_preferences(&self, _cost: &dyn CostBackend) -> Vec<(pipa_sim::ColumnId, f64)> {
+        Vec::new()
+    }
 }
 
 fn materialize(spec: &TenantSpec, seed: CellSeed) -> TenantRuntime {
     let cfg = spec.cell_config();
     let workload = normal_workload(&cfg, seed.get());
-    let advisor = spec.advisor.build_with(BuildCtx::new(spec.preset, seed.get()));
+    // Registry resolution happens here, per tenant: a spec naming an
+    // unregistered kind materializes the UnresolvedAdvisor stub instead
+    // of failing the whole fleet.
+    let advisor: Box<dyn ClearBoxAdvisor> = spec
+        .advisor
+        .build_with(BuildCtx::new(spec.preset, seed.get()))
+        .unwrap_or_else(|e| Box::new(UnresolvedAdvisor(e)));
     let backend = match &spec.backend {
         BackendSpec::Sim => OwnedBackend::Sim(SimBackend::new(
             spec.benchmark.database(spec.scale, None),
@@ -80,6 +132,18 @@ fn materialize(spec: &TenantSpec, seed: CellSeed) -> TenantRuntime {
             // features.
             let sim = SimBackend::new(spec.benchmark.database(spec.scale, None));
             OwnedBackend::Replay(ReplayBackend::new(sim.catalog(), tape.clone()))
+        }
+        BackendSpec::LearnedIndex => {
+            // Same catalog-cloning trick: a throwaway simulator provides
+            // schema and statistics, the learned models own everything.
+            let sim = SimBackend::new(spec.benchmark.database(spec.scale, None));
+            OwnedBackend::Learned(LearnedIndexBackend::new(
+                sim.catalog(),
+                LearnedIndexConfig {
+                    seed: seed.get(),
+                    ..LearnedIndexConfig::fast()
+                },
+            ))
         }
     };
     TenantRuntime {
@@ -158,6 +222,10 @@ fn exec_session(
             })
         }
         SessionRequest::Recommend => {
+            // Learned cost backends refit on what the tenant trains on
+            // (no-op for the stateless backends), mirroring the stress
+            // harness's train stage.
+            cost.observe_training(workload).map_err(|e| e.to_string())?;
             advisor.train(cost, workload).map_err(|e| e.to_string())?;
             let recommended = advisor
                 .recommend(cost, workload)
@@ -241,6 +309,14 @@ fn run_session(
             OwnedBackend::Replay(replay) => exec_session(
                 &request,
                 &*replay,
+                advisor.as_mut(),
+                workload,
+                cfg,
+                session_seed,
+            ),
+            OwnedBackend::Learned(learned) => exec_session(
+                &request,
+                &*learned,
                 advisor.as_mut(),
                 workload,
                 cfg,

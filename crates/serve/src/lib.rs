@@ -1,11 +1,13 @@
 //! # pipa-serve — a concurrent multi-tenant session fleet
 //!
 //! The serving layer over the PIPA stack: N independent tenants — each
-//! with its own schema statistics, advisor
-//! ([`AdvisorKind`](pipa_ia::AdvisorKind)), and cost backend (simulator,
-//! recording, or replay tape) — driven through a work-stealing session
-//! scheduler inside one process, all cost access behind the object-safe
-//! `dyn CostBackend` seam.
+//! with its own schema statistics, advisor (an
+//! [`AdvisorSpec`](pipa_ia::AdvisorSpec) resolved through the target
+//! registry, so custom registered kinds serve alongside the built-ins),
+//! and cost backend (simulator, recording, replay tape, or learned-index
+//! models) — driven through a work-stealing session scheduler inside one
+//! process, all cost access behind the object-safe `dyn CostBackend`
+//! seam.
 //!
 //! The public surface is a typed request/response vocabulary:
 //!

@@ -4,7 +4,7 @@
 
 use pipa_core::experiment::CellConfig;
 use pipa_cost::Tape;
-use pipa_ia::{AdvisorKind, SpeedPreset, TrajectoryMode};
+use pipa_ia::{AdvisorSpec, SpeedPreset};
 use pipa_workload::Benchmark;
 
 pub use pipa_core::experiment::InjectorKind;
@@ -24,6 +24,11 @@ pub enum BackendSpec {
     /// seam. A `(query, config)` pair missing from the tape degrades the
     /// tenant with a `ReplayMiss`, never a fabricated cost.
     Replay(Tape),
+    /// A [`pipa_cost::LearnedIndexBackend`] over the tenant's catalog:
+    /// per-table learned CDF cost models that refit on the workloads the
+    /// tenant trains on, so the tenant's *index structure* is itself a
+    /// poisoning target.
+    LearnedIndex,
 }
 
 impl BackendSpec {
@@ -33,6 +38,7 @@ impl BackendSpec {
             BackendSpec::Sim => "sim",
             BackendSpec::SimRecording => "record",
             BackendSpec::Replay(_) => "replay",
+            BackendSpec::LearnedIndex => "learned",
         }
     }
 }
@@ -92,8 +98,10 @@ pub struct TenantSpec {
     pub benchmark: Benchmark,
     /// Scale factor.
     pub scale: f64,
-    /// The tenant's advisor variant.
-    pub advisor: AdvisorKind,
+    /// The tenant's advisor, as a registry spec (any registered kind
+    /// id; an unregistered one degrades the tenant at its first
+    /// session instead of failing the fleet).
+    pub advisor: AdvisorSpec,
     /// Advisor training/trial compute preset.
     pub preset: SpeedPreset,
     /// Cost backend.
@@ -110,7 +118,7 @@ impl TenantSpec {
             name: name.into(),
             benchmark,
             scale: 1.0,
-            advisor: AdvisorKind::DbaBandit(TrajectoryMode::Best),
+            advisor: AdvisorSpec::new("dbabandit"),
             preset: SpeedPreset::Test,
             backend: BackendSpec::Sim,
             sessions: Vec::new(),
@@ -123,9 +131,10 @@ impl TenantSpec {
         self
     }
 
-    /// Set the advisor variant.
-    pub fn advisor(mut self, advisor: AdvisorKind) -> Self {
-        self.advisor = advisor;
+    /// Set the advisor — an `AdvisorKind` value or any [`AdvisorSpec`]
+    /// naming a registered kind id.
+    pub fn advisor(mut self, advisor: impl Into<AdvisorSpec>) -> Self {
+        self.advisor = advisor.into();
         self
     }
 

@@ -57,6 +57,50 @@ fn fleet_report_and_trace_are_worker_count_invariant() {
     assert!(base.timing.wall_nanos > 0);
 }
 
+/// The registry-opened target classes serve like the built-ins: a fleet
+/// mixing a built-in advisor on the simulator, the in-context advisor,
+/// and a tenant whose backend is the learned-index structure produces a
+/// report and merged trace that are byte-identical across worker counts.
+#[test]
+fn mixed_target_fleet_is_worker_count_invariant() {
+    use pipa_ia::AdvisorSpec;
+
+    let mixed = |workers| {
+        FleetSpec::new(29)
+            .workers(workers)
+            .tenant(
+                TenantSpec::new("builtin-sim", Benchmark::TpcH)
+                    .session(SessionRequest::WhatIf { configs: 4 })
+                    .session(SessionRequest::Recommend),
+            )
+            .tenant(
+                TenantSpec::new("incontext-sim", Benchmark::TpcH)
+                    .advisor(AdvisorSpec::new("incontext"))
+                    .session(SessionRequest::Recommend)
+                    .session(SessionRequest::Stress {
+                        injector: InjectorKind::Tp,
+                        injection_size: 4,
+                    }),
+            )
+            .tenant(
+                TenantSpec::new("learned-backend", Benchmark::TpcH)
+                    .backend(BackendSpec::LearnedIndex)
+                    .session(SessionRequest::WhatIf { configs: 3 })
+                    .session(SessionRequest::Recommend),
+            )
+    };
+    let (base, base_trace) = traced_run(&mixed(1));
+    assert_eq!(base.report.degraded_tenants(), 0);
+    assert_eq!(base.report.completed_sessions(), 6);
+    assert_eq!(base.report.tenants[1].advisor, "InContext");
+    assert_eq!(base.report.tenants[2].backend, "learned");
+    for workers in [2, 8] {
+        let (run, trace) = traced_run(&mixed(workers));
+        assert_eq!(run.report, base.report, "report drifted at workers={workers}");
+        assert_eq!(trace, base_trace, "trace drifted at workers={workers}");
+    }
+}
+
 #[test]
 fn recorded_fleet_replays_bit_exactly_without_a_simulator() {
     // Phase 1: record. Same roster as phase 2, but costs answered by the

@@ -30,6 +30,28 @@ if grep -rnE 'estimated_(query|workload)_cost|scalar_(query|workload)_cost|what_
     exit 1
 fi
 
+echo "== target-registry coverage lint =="
+# Every built-in kind id registered in crates/ia/src/registry.rs must be
+# exercised by the every-kind construction test fixture in the same
+# file: adding a builtin("<id>", ...) without extending EXERCISED_KINDS
+# fails here instead of silently shipping an untested target.
+REGISTRY=crates/ia/src/registry.rs
+BUILTIN_IDS=$(grep -A1 -E 'builtin\($' "$REGISTRY" | grep -oE '"[a-z0-9_-]+"' | tr -d '"')
+FIXTURE_LINE=$(grep 'EXERCISED_KINDS' "$REGISTRY" | grep '&\[')
+[ -n "$BUILTIN_IDS" ] || { echo "registry lint: no builtin(...) registrations found" >&2; exit 1; }
+for id in $BUILTIN_IDS; do
+    if ! echo "$FIXTURE_LINE" | grep -q "\"$id\""; then
+        echo "registry lint: builtin \"$id\" missing from EXERCISED_KINDS in $REGISTRY" >&2
+        exit 1
+    fi
+done
+
+echo "== target-registry acceptance suite =="
+# A toy advisor registered from an integration test must run the full
+# stress pipeline and serve a fleet tenant with zero edits to core/
+# serve/bench match sites (the open-seam guarantee).
+cargo test -q -p pipa --test target_registry
+
 echo "== cost-backend differential suite =="
 # Bit-equality of every cost answered through the CostBackend trait
 # against the direct Database paths, plus record/replay tape equality
@@ -90,6 +112,13 @@ echo "== stream bench smoke =="
 # attacker × defense × cadence sweep and asserts the grid serializes
 # bit-identically across --jobs; smoke mode skips the committed artifact.
 STREAM_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench stream >/dev/null
+
+echo "== targets bench smoke =="
+# Shrunk pass over the registry-opened target classes (in-context
+# advisor, learned-index backend) vs. the DQN baseline: stress grid,
+# stream legs, and the worker-count determinism cross-checks; smoke mode
+# skips the committed artifact.
+TARGETS_BENCH_SMOKE=1 cargo bench -q -p pipa-bench --bench targets >/dev/null
 
 echo "== what-if bench smoke =="
 # Tiny-dimension pass through the whatif bench harness, including the

@@ -209,7 +209,7 @@ fn replay_grid_cfg() -> (CellConfig, GridSpec) {
     cfg.probe_epochs = 2;
     cfg.injection_size = 6;
     let spec = GridSpec {
-        advisors: vec![AdvisorKind::DbaBandit(TrajectoryMode::Best)],
+        advisors: vec![AdvisorKind::DbaBandit(TrajectoryMode::Best).into()],
         injectors: vec![InjectorKind::Pipa, InjectorKind::Fsm],
         runs: 1,
         root_seed: 77,

@@ -459,6 +459,73 @@ fn bench_scale_artifact_meets_the_skewed_traffic_floors() {
 }
 
 #[test]
+fn bench_targets_artifact_meets_the_new_target_class_floors() {
+    // The registry PR: both target classes the seam opened — the
+    // in-context advisor (fifth registered kind) and the learned-index
+    // cost backend — must be committed through the full stress pipeline
+    // and the streaming arms race, with finite AD next to the DQN
+    // baseline and the whole artifact proven worker-count invariant.
+    let path = results_dir().join("BENCH_targets.json");
+    let text = fs::read_to_string(&path).expect("results/BENCH_targets.json is committed");
+    let keys = top_level_keys(&text).unwrap();
+    for required in [
+        "registered_kinds",
+        "runs",
+        "injector",
+        "median_stress_ns",
+        "classes",
+        "dqn_baseline_ad",
+        "incontext_ad",
+        "learned_index_ad",
+        "stream",
+        "deterministic_across_jobs",
+        "stress_cells",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == required),
+            "BENCH_targets.json: missing top-level {required:?} (has {keys:?})"
+        );
+    }
+    // Every built-in kind id must be registered at bench time — the
+    // registry the artifact saw is the registry consumers get.
+    for kind in ["dbabandit", "dqn", "drlindex", "incontext", "swirl"] {
+        assert!(
+            text.contains(&format!("\"{kind}\"")),
+            "registered_kinds missing built-in {kind:?}"
+        );
+    }
+    // Both new classes and the baseline are present as summary rows.
+    for class in ["dqn-sim", "incontext-sim", "dbabandit-learned"] {
+        assert!(
+            text.contains(&format!("\"class\": \"{class}\"")),
+            "classes missing {class:?}"
+        );
+    }
+    // Headline ADs are finite numbers (the stress pipeline completed on
+    // every class — no NaN from a dead backend or an unbuilt advisor).
+    for ad in ["dqn_baseline_ad", "incontext_ad", "learned_index_ad"] {
+        let v = num_field(&text, ad);
+        assert!(v.is_finite(), "{ad} = {v}");
+    }
+    // The streaming leg ran against both backends.
+    for backend in ["\"sim\"", "\"learned-index\""] {
+        assert!(
+            text.contains(backend),
+            "stream rows missing backend {backend}"
+        );
+    }
+    // Criterion medians come from a real (non-smoke) run.
+    for cell in ["stress_incontext_sim", "stress_dbabandit_learned"] {
+        let ns = num_field(&text, cell);
+        assert!(ns.is_finite() && ns > 0.0, "median_stress_ns.{cell} = {ns}");
+    }
+    assert!(
+        text.contains("\"deterministic_across_jobs\": true"),
+        "the target-class cells must be proven worker-count invariant"
+    );
+}
+
+#[test]
 fn bench_artifacts_have_no_duplicate_keys() {
     // BENCH_* files are written by the criterion harness glue; a bad
     // merge could duplicate keys without breaking the parser, so check
